@@ -1,0 +1,130 @@
+//! The blocking-vs-failure tradeoff knob.
+//!
+//! Section III-A1: "during admission control, a switch controller might
+//! reject an incoming call even if there is available capacity, if the
+//! resources used by the new call will make future renegotiations more
+//! likely to fail. This allows the network operator to tradeoff call
+//! blocking probability and renegotiation failure probability."
+//!
+//! [`SafetyMargin`] implements that knob generically: it wraps any
+//! controller and presents it with a link scaled down by a factor
+//! `gamma ∈ (0, 1]`. Smaller `gamma` admits fewer calls — more blocking,
+//! fewer renegotiation failures — and `gamma = 1` is the wrapped
+//! controller unchanged.
+
+use crate::policy::{AdmissionController, AdmissionSnapshot};
+
+/// A controller wrapper that under-reports the link capacity by a factor.
+#[derive(Debug)]
+pub struct SafetyMargin<C> {
+    inner: C,
+    gamma: f64,
+}
+
+impl<C: AdmissionController> SafetyMargin<C> {
+    /// Wrap `inner`, showing it `gamma * capacity`.
+    ///
+    /// # Panics
+    /// Panics unless `0 < gamma <= 1`.
+    pub fn new(inner: C, gamma: f64) -> Self {
+        assert!(gamma > 0.0 && gamma <= 1.0, "gamma must be in (0, 1]");
+        Self { inner, gamma }
+    }
+
+    /// The wrapped controller.
+    pub fn inner(&self) -> &C {
+        &self.inner
+    }
+
+    /// The capacity scale factor.
+    pub fn gamma(&self) -> f64 {
+        self.gamma
+    }
+}
+
+impl<C: AdmissionController> AdmissionController for SafetyMargin<C> {
+    fn admit(&mut self, s: &AdmissionSnapshot<'_>) -> bool {
+        let scaled = AdmissionSnapshot {
+            capacity: self.gamma * s.capacity,
+            time: s.time,
+            reservations: s.reservations,
+        };
+        self.inner.admit(&scaled)
+    }
+
+    fn observe(&mut self, s: &AdmissionSnapshot<'_>) {
+        let scaled = AdmissionSnapshot {
+            capacity: self.gamma * s.capacity,
+            time: s.time,
+            reservations: s.reservations,
+        };
+        self.inner.observe(&scaled);
+    }
+
+    fn name(&self) -> &'static str {
+        "safety-margin"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::callsim::{CallSim, CallSimConfig};
+    use crate::controllers::Memoryless;
+    use rcbr_schedule::Schedule;
+
+    fn base_schedule() -> Schedule {
+        let mut rates = vec![150_000.0; 50];
+        rates.extend(vec![450_000.0; 25]);
+        rates.extend(vec![150_000.0; 10]);
+        rates.extend(vec![900_000.0; 5]);
+        Schedule::from_rates(1.0, &rates)
+    }
+
+    #[test]
+    fn gamma_one_is_transparent() {
+        let schedule = base_schedule();
+        let dist = schedule.empirical_distribution();
+        let capacity = 15.0 * dist.mean();
+        let arrival = 1.5 * capacity / dist.mean() / schedule.duration();
+        let cfg = CallSimConfig::new(capacity, arrival, 1e-3, 8).with_max_windows(20);
+        let mut plain = Memoryless::new(1e-3);
+        let r_plain = CallSim::new(&schedule, cfg.clone()).run(&mut plain);
+        let mut wrapped = SafetyMargin::new(Memoryless::new(1e-3), 1.0);
+        let r_wrapped = CallSim::new(&schedule, cfg).run(&mut wrapped);
+        assert_eq!(r_plain.failure_probability, r_wrapped.failure_probability);
+        assert_eq!(r_plain.blocking_probability, r_wrapped.blocking_probability);
+    }
+
+    #[test]
+    fn tighter_margin_trades_blocking_for_failures() {
+        let schedule = base_schedule();
+        let dist = schedule.empirical_distribution();
+        let capacity = 15.0 * dist.mean();
+        let arrival = 1.5 * capacity / dist.mean() / schedule.duration();
+        let mut failures = Vec::new();
+        let mut blocking = Vec::new();
+        for gamma in [1.0, 0.8, 0.6] {
+            let cfg = CallSimConfig::new(capacity, arrival, 1e-3, 9).with_max_windows(30);
+            let mut ctl = SafetyMargin::new(Memoryless::new(1e-3), gamma);
+            let r = CallSim::new(&schedule, cfg).run(&mut ctl);
+            failures.push(r.failure_probability);
+            blocking.push(r.blocking_probability);
+        }
+        // The knob moves both dials in the promised directions.
+        assert!(
+            failures[2] < failures[0],
+            "gamma 0.6 must cut failures: {failures:?}"
+        );
+        assert!(
+            blocking[2] > blocking[0],
+            "gamma 0.6 must raise blocking: {blocking:?}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "gamma")]
+    fn invalid_gamma_rejected() {
+        SafetyMargin::new(Memoryless::new(1e-3), 0.0);
+    }
+}

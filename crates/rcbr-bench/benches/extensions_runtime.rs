@@ -1,0 +1,53 @@
+//! Runtime of the extension modules: optimal smoothing, MTS model
+//! fitting, the empirical effective bandwidth, and the frame-granularity
+//! full-system simulator.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rcbr::system::{SystemConfig, SystemSim};
+use rcbr_admission::Memoryless;
+use rcbr_bench::paper_trace;
+use rcbr_ldt::{trace_equivalent_bandwidth, QosTarget};
+use rcbr_schedule::{optimal_smoothing, Ar1Config};
+use rcbr_traffic::fit::{fit_mts, MtsFitConfig};
+
+fn bench_extensions(c: &mut Criterion) {
+    let trace = paper_trace(14_400, 1); // 10 minutes
+
+    let mut group = c.benchmark_group("extensions");
+    group.sample_size(10);
+
+    group.bench_function("optimal_smoothing_14400", |b| {
+        b.iter(|| optimal_smoothing(&trace, 300_000.0))
+    });
+
+    group.bench_function("fit_mts_14400", |b| {
+        b.iter(|| fit_mts(&trace, MtsFitConfig::default()))
+    });
+
+    group.bench_function("empirical_eb_14400", |b| {
+        let qos = QosTarget::new(1_000_000.0, 1e-4);
+        b.iter(|| trace_equivalent_bandwidth(&trace, qos, 96))
+    });
+
+    group.bench_function("system_sim_60s", |b| {
+        let movie = paper_trace(2400, 2);
+        let tau = movie.frame_interval();
+        let cfg = SystemConfig {
+            capacity: 20.0 * movie.mean_rate(),
+            buffer: 300_000.0,
+            arrival_rate: 0.3,
+            hold_time: 30.0,
+            policy: Ar1Config::fig2(64_000.0, movie.mean_rate(), tau),
+            seed: 5,
+        };
+        b.iter(|| {
+            let mut ctl = Memoryless::new(1e-3);
+            SystemSim::new(&movie, cfg.clone()).run(&mut ctl, 60.0)
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_extensions);
+criterion_main!(benches);

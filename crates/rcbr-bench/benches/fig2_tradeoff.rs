@@ -1,0 +1,39 @@
+//! Criterion wrapper for the Fig. 2 pipelines: the offline trellis
+//! optimization and the online AR(1) pass at reduced trace length, so
+//! algorithmic runtime regressions are caught by `cargo bench`.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rcbr_bench::{paper_trace, PAPER_BUFFER};
+use rcbr_schedule::online::run_online;
+use rcbr_schedule::{Ar1Config, Ar1Policy, CostModel, OfflineOptimizer, RateGrid, TrellisConfig};
+
+fn bench_fig2(c: &mut Criterion) {
+    let trace = paper_trace(2400, 1); // 100 s of video
+    let buffer = PAPER_BUFFER;
+    let grid = RateGrid::uniform(48_000.0, 2_400_000.0, 20);
+
+    let mut group = c.benchmark_group("fig2");
+    group.sample_size(10);
+
+    group.bench_function("offline_opt_2400_frames", |b| {
+        let opt = OfflineOptimizer::new(
+            TrellisConfig::new(grid.clone(), CostModel::from_ratio(1e6), buffer)
+                .with_q_resolution(buffer / 1000.0),
+        );
+        b.iter(|| opt.optimize(&trace).expect("feasible"))
+    });
+
+    group.bench_function("online_ar1_2400_frames", |b| {
+        let cfg = Ar1Config::fig2(100_000.0, trace.mean_rate(), trace.frame_interval());
+        b.iter_batched(
+            || Ar1Policy::new(cfg, trace.frame_interval()),
+            |mut policy| run_online(&trace, &mut policy, buffer),
+            BatchSize::SmallInput,
+        )
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig2);
+criterion_main!(benches);

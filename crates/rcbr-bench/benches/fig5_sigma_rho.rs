@@ -1,0 +1,23 @@
+//! Criterion wrapper for the Fig. 5 pipeline: one (σ, ρ) point — a full
+//! bisection of the steady-state loss curve — at two buffer scales.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rcbr::min_rate_for_buffer;
+use rcbr_bench::{paper_trace, PAPER_LOSS_TARGET};
+
+fn bench_fig5(c: &mut Criterion) {
+    let trace = paper_trace(14_400, 1); // 10 minutes
+
+    let mut group = c.benchmark_group("fig5");
+    group.sample_size(10);
+
+    for (label, sigma) in [("sigma_300kb", 300e3), ("sigma_10mb", 10e6)] {
+        group.bench_function(label, |b| {
+            b.iter(|| min_rate_for_buffer(&trace, sigma, PAPER_LOSS_TARGET))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Criterion wrapper for the Fig. 6 pipeline: one replication of each
+//! scenario simulator at N = 20 sources, plus one full capacity search at
+//! reduced accuracy.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rcbr::{
+    search_capacity, ScenarioBConfig, ScenarioCConfig, SearchConfig, SharedBufferSim,
+    StepwiseCbrMuxSim,
+};
+use rcbr_bench::{paper_schedule, paper_trace, PAPER_BUFFER};
+use rcbr_sim::SimRng;
+
+fn bench_fig6(c: &mut Criterion) {
+    let trace = paper_trace(7200, 1); // 5 minutes
+    let schedule = paper_schedule(&trace, PAPER_BUFFER);
+    let n = 20;
+
+    let mut group = c.benchmark_group("fig6");
+    group.sample_size(10);
+
+    let sim_b =
+        SharedBufferSim::new(&trace, ScenarioBConfig { num_sources: n, buffer_per_source: PAPER_BUFFER });
+    group.bench_function("scenario_b_replication_n20", |b| {
+        let mut rng = SimRng::from_seed(7);
+        b.iter(|| sim_b.loss_with_random_phasing(500_000.0, &mut rng))
+    });
+
+    let sim_c = StepwiseCbrMuxSim::new(
+        &trace,
+        &schedule,
+        ScenarioCConfig { num_sources: n, buffer_per_source: PAPER_BUFFER },
+    );
+    group.bench_function("scenario_c_replication_n20", |b| {
+        let mut rng = SimRng::from_seed(7);
+        b.iter(|| sim_c.run_with_random_phasing(500_000.0, &mut rng))
+    });
+
+    group.bench_function("capacity_search_c_n20", |b| {
+        let search = SearchConfig {
+            target_loss: 1e-4,
+            relative_precision: 0.3,
+            min_replications: 2,
+            max_replications: 4,
+            rate_tolerance: 0.1,
+        };
+        b.iter(|| {
+            search_capacity(trace.mean_rate(), schedule.peak_service_rate(), &search, |rate, rep| {
+                let mut rng = SimRng::from_seed(100 + rep);
+                sim_c.run_with_random_phasing(rate, &mut rng).loss_fraction
+            })
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig6);
+criterion_main!(benches);

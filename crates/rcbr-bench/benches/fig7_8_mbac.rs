@@ -1,0 +1,49 @@
+//! Criterion wrapper for the Figs. 7–8 pipeline: one bounded call-level
+//! simulation per controller.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rcbr_admission::{CallSim, CallSimConfig, Memoryless, PerfectKnowledge, WithMemory};
+use rcbr_bench::{paper_schedule, paper_trace, PAPER_BUFFER, PAPER_FAILURE_TARGET};
+
+fn bench_mbac(c: &mut Criterion) {
+    let trace = paper_trace(1440, 1); // 60 s calls
+    let schedule = paper_schedule(&trace, PAPER_BUFFER);
+    let dist = schedule.empirical_distribution();
+    let capacity = 20.0 * dist.mean();
+    let arrival = 1.5 * capacity / dist.mean() / schedule.duration();
+
+    let mut group = c.benchmark_group("fig7_8");
+    group.sample_size(10);
+
+    group.bench_function("memoryless_10_windows", |b| {
+        b.iter(|| {
+            let cfg = CallSimConfig::new(capacity, arrival, PAPER_FAILURE_TARGET, 5)
+                .with_max_windows(10);
+            let mut ctl = Memoryless::new(PAPER_FAILURE_TARGET);
+            CallSim::new(&schedule, cfg).run(&mut ctl)
+        })
+    });
+
+    group.bench_function("perfect_10_windows", |b| {
+        b.iter(|| {
+            let cfg = CallSimConfig::new(capacity, arrival, PAPER_FAILURE_TARGET, 5)
+                .with_max_windows(10);
+            let mut ctl = PerfectKnowledge::new(dist.clone(), PAPER_FAILURE_TARGET);
+            CallSim::new(&schedule, cfg).run(&mut ctl)
+        })
+    });
+
+    group.bench_function("with_memory_10_windows", |b| {
+        b.iter(|| {
+            let cfg = CallSimConfig::new(capacity, arrival, PAPER_FAILURE_TARGET, 5)
+                .with_max_windows(10);
+            let mut ctl = WithMemory::new(PAPER_FAILURE_TARGET, 10.0 * schedule.duration());
+            CallSim::new(&schedule, cfg).run(&mut ctl)
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_mbac);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Runtime of the large-deviations primitives: these sit inside admission
+//! decisions (eq. (12) runs on every call arrival in an MBAC), so their
+//! cost matters operationally, not just scientifically.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rcbr_ldt::{
+    chernoff_failure_probability, equivalent_bandwidth, max_admissible_calls,
+    mts_equivalent_bandwidth, rate_function, QosTarget,
+};
+use rcbr_sim::stats::DiscreteDistribution;
+use rcbr_traffic::MtsModel;
+
+fn bench_ldt(c: &mut Criterion) {
+    let slot = 1.0 / 24.0;
+    let model = MtsModel::fig4_example(1e-3, slot);
+    let qos = QosTarget::new(300_000.0, 1e-6);
+    let dist = DiscreteDistribution::from_weights(&[
+        (48_000.0, 0.05),
+        (171_789.0, 0.22),
+        (295_579.0, 0.39),
+        (419_368.0, 0.22),
+        (914_526.0, 0.09),
+        (1_781_000.0, 0.03),
+    ]);
+
+    let mut group = c.benchmark_group("ldt");
+
+    group.bench_function("equivalent_bandwidth_2state", |b| {
+        let src = model.subchains()[0].as_source(slot);
+        b.iter(|| equivalent_bandwidth(&src, qos))
+    });
+
+    group.bench_function("mts_equivalent_bandwidth_eq9", |b| {
+        b.iter(|| mts_equivalent_bandwidth(&model, qos))
+    });
+
+    group.bench_function("rate_function_6levels", |b| {
+        let a = 1.2 * dist.mean();
+        b.iter(|| rate_function(&dist, a))
+    });
+
+    group.bench_function("chernoff_probability_n100", |b| {
+        let capacity = 100.0 * dist.mean() * 1.2;
+        b.iter(|| chernoff_failure_probability(&dist, 100, capacity))
+    });
+
+    group.bench_function("max_admissible_calls_oc3", |b| {
+        // An OC-3's worth of capacity: the per-arrival admission test.
+        b.iter(|| max_admissible_calls(&dist, 155_000_000.0, 1e-3))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_ldt);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! The Section IV-A runtime claim: the trellis optimization "very much
+//! depends on ... above all, the number of bandwidth levels M"; the paper
+//! measured 20 minutes at M = 20 and more than a day at M = 100 (on 1996
+//! hardware, full-movie traces).
+//!
+//! This bench measures our implementation's scaling in both M (exact
+//! algorithm) and trace length, plus the quantized variant that makes
+//! M = 100 tractable.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rcbr_bench::{paper_trace, PAPER_BUFFER};
+use rcbr_schedule::{CostModel, OfflineOptimizer, RateGrid, TrellisConfig};
+
+fn bench_scaling(c: &mut Criterion) {
+    let buffer = PAPER_BUFFER;
+
+    // Scaling with the number of rate levels M, exact algorithm.
+    {
+        let trace = paper_trace(1200, 1); // 50 s
+        let mut group = c.benchmark_group("trellis_vs_levels_exact");
+        group.sample_size(10);
+        for m in [5usize, 10, 20, 50] {
+            group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, &m| {
+                let grid = RateGrid::uniform(48_000.0, 2_400_000.0, m);
+                let opt = OfflineOptimizer::new(TrellisConfig::new(
+                    grid,
+                    CostModel::from_ratio(1e6),
+                    buffer,
+                ));
+                b.iter(|| opt.optimize(&trace).expect("feasible"))
+            });
+        }
+        group.finish();
+    }
+
+    // The same M sweep with the quantized buffer axis — including the
+    // M = 100 point the paper found intractable.
+    {
+        let trace = paper_trace(1200, 1);
+        let mut group = c.benchmark_group("trellis_vs_levels_quantized");
+        group.sample_size(10);
+        for m in [20usize, 50, 100] {
+            group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, &m| {
+                let grid = RateGrid::uniform(48_000.0, 2_400_000.0, m);
+                let opt = OfflineOptimizer::new(
+                    TrellisConfig::new(grid, CostModel::from_ratio(1e6), buffer)
+                        .with_q_resolution(buffer / 1000.0),
+                );
+                b.iter(|| opt.optimize(&trace).expect("feasible"))
+            });
+        }
+        group.finish();
+    }
+
+    // Scaling with trace length at M = 20 (quantized).
+    {
+        let mut group = c.benchmark_group("trellis_vs_length_m20");
+        group.sample_size(10);
+        for frames in [600usize, 1200, 2400, 4800] {
+            let trace = paper_trace(frames, 2);
+            group.bench_with_input(BenchmarkId::from_parameter(frames), &frames, |b, _| {
+                let grid = RateGrid::uniform(48_000.0, 2_400_000.0, 20);
+                let opt = OfflineOptimizer::new(
+                    TrellisConfig::new(grid, CostModel::from_ratio(1e6), buffer)
+                        .with_q_resolution(buffer / 1000.0),
+                );
+                b.iter(|| opt.optimize(&trace).expect("feasible"))
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

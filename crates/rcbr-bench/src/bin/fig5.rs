@@ -1,0 +1,58 @@
+//! Fig. 5 — "The (σ, ρ)-curve of the video trace for 10⁻⁶ loss."
+//!
+//! For each buffer size σ, the minimum drain rate ρ such that the
+//! fraction of bits lost is below 10⁻⁶. The paper's anchors: at the codec
+//! buffer (300 kb) ρ ≈ 4.06x the mean rate; to run at 1.05x the mean the
+//! buffer must grow to ~100 Mb.
+//!
+//! Usage: `fig5 [--frames 171000] [--seed 1] [--out results/]`
+
+use rcbr::sigma_rho::min_rate_for_buffer;
+use rcbr_bench::{paper_trace, write_json, Args, PAPER_LOSS_TARGET};
+use serde::Serialize;
+
+#[derive(Debug, Serialize)]
+struct Row {
+    sigma_bits: f64,
+    rho_bps: f64,
+    rho_over_mean: f64,
+}
+
+fn main() {
+    let args = Args::parse();
+    let frames: usize = args.get("frames", 171_000); // the full-movie scale
+    let seed: u64 = args.get("seed", 1);
+    let trace = paper_trace(frames, seed);
+    let mean = trace.mean_rate();
+
+    println!("# Fig. 5 — (sigma, rho) curve at 1e-6 bit loss");
+    println!(
+        "# trace: {} frames ({:.0} s), mean {:.0} kb/s, peak {:.0} kb/s",
+        frames,
+        trace.duration(),
+        mean / 1e3,
+        trace.peak_rate() / 1e3
+    );
+    println!("{:>14} {:>14} {:>12}", "sigma", "rho (kb/s)", "rho/mean");
+
+    let sigmas: Vec<f64> = [
+        10e3, 30e3, 100e3, 300e3, 1e6, 3e6, 10e6, 30e6, 100e6, 300e6,
+    ]
+    .to_vec();
+    let mut rows = Vec::new();
+    for &sigma in &sigmas {
+        let rho = min_rate_for_buffer(&trace, sigma, PAPER_LOSS_TARGET);
+        let row = Row { sigma_bits: sigma, rho_bps: rho, rho_over_mean: rho / mean };
+        println!(
+            "{:>14} {:>14.1} {:>12.2}",
+            rcbr_sim::units::fmt_bits(sigma),
+            rho / 1e3,
+            row.rho_over_mean
+        );
+        rows.push(row);
+    }
+
+    let codec = min_rate_for_buffer(&trace, 300e3, PAPER_LOSS_TARGET);
+    println!("#\n# Anchors: rho(300 kb) = {:.2}x mean (paper: 4.06x).", codec / mean);
+    write_json(&args.out_dir(), "fig5.json", &rows);
+}

@@ -1,0 +1,127 @@
+//! # rcbr-bench — the experiment harness
+//!
+//! One binary per figure of the paper's evaluation (see `DESIGN.md` for
+//! the experiment index):
+//!
+//! | binary | reproduces |
+//! |---|---|
+//! | `fig2` | efficiency vs. renegotiation interval (OPT + AR(1) heuristic) |
+//! | `fig5` | the (σ, ρ) curve at 10⁻⁶ loss |
+//! | `fig6` | per-stream capacity c(N) for the three Fig. 3 scenarios |
+//! | `fig7_8` | memoryless MBAC failure probability and normalized utilization |
+//! | `headline` | the §I claim: 300 kb + ~12 s renegotiations vs. ~100 Mb static |
+//! | `theory_validation` | eqs. (9)–(12) against simulation |
+//!
+//! Every binary accepts `--frames <n>` and `--seed <s>` to trade accuracy
+//! for runtime, prints the figure's rows to stdout, and writes a JSON
+//! record next to its text output when `--out <dir>` is given.
+//!
+//! The Criterion benches (`cargo bench`) wrap reduced instances of the
+//! same pipelines so regressions in the algorithms' *runtime* are caught;
+//! the binaries are the scientific harness.
+
+use rcbr_schedule::{CostModel, OfflineOptimizer, RateGrid, Schedule, TrellisConfig};
+use rcbr_sim::SimRng;
+use rcbr_traffic::{FrameTrace, SyntheticMpegSource};
+use serde::Serialize;
+use std::path::PathBuf;
+
+/// The paper's buffer size: 300 kb.
+pub const PAPER_BUFFER: f64 = 300_000.0;
+/// The paper's loss target for Figs. 5 and 6.
+pub const PAPER_LOSS_TARGET: f64 = 1e-6;
+/// The paper's MBAC QoS target (Section VI).
+pub const PAPER_FAILURE_TARGET: f64 = 1e-3;
+
+/// Minimal CLI parsing shared by the figure binaries: `--key value` pairs.
+#[derive(Debug, Clone)]
+pub struct Args {
+    pairs: Vec<(String, String)>,
+}
+
+impl Args {
+    /// Parse the process arguments.
+    ///
+    /// # Panics
+    /// Panics on a dangling `--key` with no value.
+    pub fn parse() -> Self {
+        let raw: Vec<String> = std::env::args().skip(1).collect();
+        let mut pairs = Vec::new();
+        let mut it = raw.into_iter();
+        while let Some(k) = it.next() {
+            let k = k.strip_prefix("--").unwrap_or(&k).to_string();
+            let v = it.next().unwrap_or_else(|| panic!("missing value for --{k}"));
+            pairs.push((k, v));
+        }
+        Self { pairs }
+    }
+
+    /// Look up a typed value with a default.
+    pub fn get<T: std::str::FromStr>(&self, key: &str, default: T) -> T
+    where
+        T::Err: std::fmt::Debug,
+    {
+        self.pairs
+            .iter()
+            .rev()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.parse().unwrap_or_else(|e| panic!("bad --{key}: {e:?}")))
+            .unwrap_or(default)
+    }
+
+    /// Optional output directory (`--out`).
+    pub fn out_dir(&self) -> Option<PathBuf> {
+        self.pairs.iter().rev().find(|(k, _)| k == "out").map(|(_, v)| PathBuf::from(v))
+    }
+}
+
+/// The standard workload: a Star-Wars-like synthetic trace.
+pub fn paper_trace(frames: usize, seed: u64) -> FrameTrace {
+    let mut rng = SimRng::from_seed(seed);
+    SyntheticMpegSource::star_wars_like().generate(frames, &mut rng)
+}
+
+/// The standard offline schedule: the paper's Fig. 6 configuration —
+/// 300 kb buffer, drain-at-end (required for circular shifting), a cost
+/// ratio giving roughly one renegotiation every ~12 s, quantized buffer
+/// axis for tractability.
+pub fn paper_schedule(trace: &FrameTrace, buffer: f64) -> Schedule {
+    let grid = RateGrid::uniform(48_000.0, 2_400_000.0, 20);
+    OfflineOptimizer::new(
+        TrellisConfig::new(grid, CostModel::from_ratio(1e6), buffer)
+            .with_drain_at_end()
+            .with_q_resolution(buffer / 1000.0),
+    )
+    .optimize(trace)
+    .expect("the 2.4 Mb/s grid covers the synthetic trace")
+}
+
+/// Write `value` as pretty JSON to `dir/name` when a directory was given.
+pub fn write_json<T: Serialize>(dir: &Option<PathBuf>, name: &str, value: &T) {
+    if let Some(dir) = dir {
+        std::fs::create_dir_all(dir).expect("create output dir");
+        let path = dir.join(name);
+        std::fs::write(&path, serde_json::to_string_pretty(value).expect("serialize"))
+            .expect("write JSON");
+        eprintln!("wrote {}", path.display());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_trace_is_calibrated() {
+        let tr = paper_trace(2400, 1);
+        assert!((tr.mean_rate() - 374_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn paper_schedule_is_feasible() {
+        let tr = paper_trace(2400, 2);
+        let s = paper_schedule(&tr, PAPER_BUFFER);
+        assert!(s.is_feasible(&tr, PAPER_BUFFER));
+        assert!(s.replay(&tr, PAPER_BUFFER).final_backlog <= 1e-9);
+    }
+}

@@ -1,0 +1,212 @@
+//! Rate adaptation on renegotiation failure — Section III-A1's third
+//! option.
+//!
+//! "The signaling system could ask the user or application (perhaps out
+//! of band) to reduce its data rate. ... responding to such signals
+//! should be easy, particularly for adaptive codecs. Recent work suggests
+//! that even stored video can be dynamically requantized in order to
+//! respond to these signals."
+//!
+//! [`AdaptiveSource`] wraps an [`RcbrSource`] with that control loop: when
+//! the buffer climbs into the red zone (which only happens while the
+//! network is denying bandwidth), the codec is asked to requantize —
+//! modeled as scaling the incoming bits — degrading *quality* instead of
+//! dropping data. Degraded bits are accounted separately from lost bits:
+//! the tradeoff the paper describes is precisely loss vs. fidelity.
+
+use serde::{Deserialize, Serialize};
+
+use crate::source::{RcbrSource, SourceEvent};
+
+/// Configuration of the adaptation loop.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct AdaptiveConfig {
+    /// Buffer-occupancy fraction above which requantization begins.
+    pub degrade_above: f64,
+    /// The deepest requantization available: fraction of the original bits
+    /// kept when the buffer is completely full.
+    pub min_scale: f64,
+}
+
+impl AdaptiveConfig {
+    /// Create a config.
+    ///
+    /// # Panics
+    /// Panics unless `0 <= degrade_above < 1` and `0 < min_scale <= 1`.
+    pub fn new(degrade_above: f64, min_scale: f64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&degrade_above),
+            "degradation threshold must be in [0, 1)"
+        );
+        assert!(
+            min_scale > 0.0 && min_scale <= 1.0,
+            "minimum scale must be in (0, 1]"
+        );
+        Self { degrade_above, min_scale }
+    }
+}
+
+/// An RCBR source with a requantization control loop.
+#[derive(Debug)]
+pub struct AdaptiveSource {
+    inner: RcbrSource,
+    config: AdaptiveConfig,
+    buffer: f64,
+    offered_bits: f64,
+    degraded_bits: f64,
+}
+
+impl AdaptiveSource {
+    /// Wrap `inner` (whose end-system buffer is `buffer` bits — the same
+    /// value it was constructed with).
+    pub fn new(inner: RcbrSource, buffer: f64, config: AdaptiveConfig) -> Self {
+        assert!(buffer > 0.0 && buffer.is_finite(), "buffer must be positive");
+        Self { inner, config, buffer, offered_bits: 0.0, degraded_bits: 0.0 }
+    }
+
+    /// The wrapped source.
+    pub fn inner(&self) -> &RcbrSource {
+        &self.inner
+    }
+
+    /// Bits removed by requantization so far (quality loss, not data
+    /// loss).
+    pub fn degraded_bits(&self) -> f64 {
+        self.degraded_bits
+    }
+
+    /// Fraction of offered bits removed by requantization.
+    pub fn degraded_fraction(&self) -> f64 {
+        if self.offered_bits > 0.0 {
+            self.degraded_bits / self.offered_bits
+        } else {
+            0.0
+        }
+    }
+
+    /// Fraction of (post-requantization) bits lost to buffer overflow.
+    pub fn loss_fraction(&self) -> f64 {
+        self.inner.loss_fraction()
+    }
+
+    /// The scale the codec would use at the current buffer occupancy:
+    /// 1 below the threshold, falling linearly to `min_scale` at a full
+    /// buffer.
+    pub fn current_scale(&self) -> f64 {
+        let frac = self.inner.backlog() / self.buffer;
+        let c = &self.config;
+        if frac <= c.degrade_above {
+            1.0
+        } else {
+            let t = ((frac - c.degrade_above) / (1.0 - c.degrade_above)).min(1.0);
+            1.0 + t * (c.min_scale - 1.0)
+        }
+    }
+
+    /// Advance one slot; see [`RcbrSource::step`]. Arriving bits are
+    /// requantized per [`Self::current_scale`] before entering the buffer.
+    pub fn step(
+        &mut self,
+        arrived_bits: f64,
+        network: impl FnOnce(f64, f64) -> bool,
+    ) -> SourceEvent {
+        let scale = self.current_scale();
+        let sent = arrived_bits * scale;
+        self.offered_bits += arrived_bits;
+        self.degraded_bits += arrived_bits - sent;
+        self.inner.step(sent, network)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcbr_schedule::Schedule;
+    use rcbr_sim::SimRng;
+    use rcbr_traffic::{FrameTrace, SyntheticMpegSource};
+
+    fn video(seed: u64, frames: usize) -> FrameTrace {
+        let mut rng = SimRng::from_seed(seed);
+        SyntheticMpegSource::star_wars_like().generate(frames, &mut rng)
+    }
+
+    /// A starved setting: the network grants nothing above the mean rate.
+    fn starved(trace: &FrameTrace, buffer: f64, adaptive: bool) -> (f64, f64) {
+        let frames = trace.len();
+        let schedule =
+            Schedule::constant(trace.frame_interval(), frames, trace.mean_rate());
+        if adaptive {
+            let inner = RcbrSource::offline(schedule, buffer);
+            let mut src =
+                AdaptiveSource::new(inner, buffer, AdaptiveConfig::new(0.5, 0.3));
+            for t in 0..frames {
+                src.step(trace.bits(t), |_, _| false);
+            }
+            (src.loss_fraction(), src.degraded_fraction())
+        } else {
+            let mut src = RcbrSource::offline(schedule, buffer);
+            for t in 0..frames {
+                src.step(trace.bits(t), |_, _| false);
+            }
+            (src.loss_fraction(), 0.0)
+        }
+    }
+
+    #[test]
+    fn requantization_converts_loss_into_quality_degradation() {
+        let trace = video(1, 9600);
+        let buffer = 300_000.0;
+        let (plain_loss, _) = starved(&trace, buffer, false);
+        let (adaptive_loss, degraded) = starved(&trace, buffer, true);
+        assert!(plain_loss > 0.0, "the starved baseline must lose data");
+        assert!(
+            adaptive_loss < plain_loss / 2.0,
+            "adaptation must cut hard losses: {adaptive_loss} vs {plain_loss}"
+        );
+        assert!(degraded > 0.0, "the cut comes from quality, not magic");
+    }
+
+    #[test]
+    fn no_degradation_when_capacity_is_ample() {
+        let trace = video(2, 4800);
+        let buffer = 300_000.0;
+        let schedule = Schedule::constant(
+            trace.frame_interval(),
+            trace.len(),
+            1.05 * trace.peak_rate(),
+        );
+        let inner = RcbrSource::offline(schedule, buffer);
+        let mut src = AdaptiveSource::new(inner, buffer, AdaptiveConfig::new(0.5, 0.3));
+        for t in 0..trace.len() {
+            src.step(trace.bits(t), |_, _| true);
+        }
+        assert_eq!(src.degraded_bits(), 0.0);
+        assert_eq!(src.loss_fraction(), 0.0);
+        assert_eq!(src.current_scale(), 1.0);
+    }
+
+    #[test]
+    fn scale_is_continuous_and_bounded() {
+        let trace = video(3, 240);
+        let buffer = 100_000.0;
+        let schedule = Schedule::constant(trace.frame_interval(), trace.len(), 0.0);
+        let inner = RcbrSource::offline(schedule, buffer);
+        let mut src = AdaptiveSource::new(inner, buffer, AdaptiveConfig::new(0.4, 0.25));
+        let mut last_scale = 1.0;
+        for t in 0..trace.len() {
+            let s = src.current_scale();
+            assert!((0.25..=1.0).contains(&s), "scale {s} out of range");
+            assert!(s <= last_scale + 1e-9, "scale rises only when the buffer drains");
+            last_scale = s;
+            src.step(trace.bits(t), |_, _| false);
+        }
+        // Buffer pinned at full: the deepest requantization is active.
+        assert!((src.current_scale() - 0.25).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold")]
+    fn bad_threshold_rejected() {
+        AdaptiveConfig::new(1.0, 0.5);
+    }
+}

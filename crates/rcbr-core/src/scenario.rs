@@ -1,0 +1,399 @@
+//! The three multiplexing scenarios of Fig. 3.
+//!
+//! All three serve `N` randomly-shifted copies of the same trace with a
+//! total service rate `N·c` and total buffering `N·B`:
+//!
+//! * **(a) static CBR** — each source has its own `B`-bit buffer and a
+//!   fixed rate `c`; no multiplexing at all. The required `c` is the
+//!   (σ, ρ) curve value at `σ = B` (see [`crate::sigma_rho`]), independent
+//!   of `N`; [`scenario_a_loss`] evaluates the loss directly.
+//! * **(b) unrestricted sharing** — all sources feed one `N·B`-bit buffer
+//!   drained at `N·c`: the maximum achievable statistical multiplexing
+//!   gain ([`SharedBufferSim`]).
+//! * **(c) RCBR** — each source is smoothed by its own `B`-bit buffer into
+//!   a stepwise-CBR stream (a precomputed offline renegotiation schedule),
+//!   and the stepwise streams are multiplexed *bufferlessly* on the link
+//!   ([`StepwiseCbrMuxSim`]). A failed upward renegotiation makes the
+//!   source "temporarily settle for whatever bandwidth remaining in the
+//!   link until more bandwidth becomes available"; bits are lost when the
+//!   resulting deficit overflows the source's buffer.
+
+use rcbr_schedule::Schedule;
+use rcbr_sim::{FluidQueue, SimRng};
+use rcbr_traffic::FrameTrace;
+use serde::{Deserialize, Serialize};
+
+pub use crate::sigma_rho::loss_fraction as scenario_a_loss;
+
+/// Configuration of scenario (b).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ScenarioBConfig {
+    /// Number of multiplexed sources `N`.
+    pub num_sources: usize,
+    /// Per-source buffer `B`, bits (the shared buffer is `N·B`).
+    pub buffer_per_source: f64,
+}
+
+/// Scenario (b): unrestricted sharing into one big buffer.
+#[derive(Debug, Clone)]
+pub struct SharedBufferSim<'a> {
+    trace: &'a FrameTrace,
+    config: ScenarioBConfig,
+}
+
+impl<'a> SharedBufferSim<'a> {
+    /// Create the simulator.
+    ///
+    /// # Panics
+    /// Panics if `num_sources == 0` or the buffer is negative.
+    pub fn new(trace: &'a FrameTrace, config: ScenarioBConfig) -> Self {
+        assert!(config.num_sources > 0, "need at least one source");
+        assert!(config.buffer_per_source >= 0.0, "buffer must be nonnegative");
+        Self { trace, config }
+    }
+
+    /// Fraction of bits lost with the given per-source rate and explicit
+    /// phase offsets (one per source, in slots).
+    pub fn loss_fraction(&self, rate_per_source: f64, offsets: &[usize]) -> f64 {
+        assert_eq!(offsets.len(), self.config.num_sources, "one offset per source");
+        let n = self.config.num_sources;
+        let t_len = self.trace.len();
+        let tau = self.trace.frame_interval();
+        let service = rate_per_source * n as f64 * tau;
+        let mut queue = FluidQueue::new(self.config.buffer_per_source * n as f64);
+        for t in 0..t_len {
+            let arrivals: f64 =
+                offsets.iter().map(|&o| self.trace.bits((t + o) % t_len)).sum();
+            queue.offer(arrivals, service);
+        }
+        queue.loss_fraction()
+    }
+
+    /// One replication with uniformly random phasing.
+    pub fn loss_with_random_phasing(&self, rate_per_source: f64, rng: &mut SimRng) -> f64 {
+        let offsets: Vec<usize> =
+            (0..self.config.num_sources).map(|_| rng.index(self.trace.len())).collect();
+        self.loss_fraction(rate_per_source, &offsets)
+    }
+}
+
+/// Configuration of scenario (c).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ScenarioCConfig {
+    /// Number of multiplexed sources `N`.
+    pub num_sources: usize,
+    /// Per-source smoothing buffer `B`, bits.
+    pub buffer_per_source: f64,
+}
+
+/// What one scenario (c) replication observed.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioCOutcome {
+    /// Fraction of offered bits lost to per-source buffer overflow.
+    pub loss_fraction: f64,
+    /// Upward renegotiation attempts (including each source's initial
+    /// allocation).
+    pub attempts: u64,
+    /// Attempts that could not be granted in full.
+    pub failures: u64,
+}
+
+impl ScenarioCOutcome {
+    /// Failures / attempts (0 when there were no attempts).
+    pub fn failure_probability(&self) -> f64 {
+        if self.attempts > 0 {
+            self.failures as f64 / self.attempts as f64
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Scenario (c): stepwise-CBR streams multiplexed bufferlessly.
+///
+/// Each source's data path is simulated at frame granularity (arrivals
+/// into its `B`-bit buffer, drained at its *granted* rate); the link
+/// carries only the granted CBR rates, with no shared buffering.
+#[derive(Debug, Clone)]
+pub struct StepwiseCbrMuxSim<'a> {
+    trace: &'a FrameTrace,
+    /// Per-slot scheduled (demanded) rate of the base schedule.
+    sched_rates: Vec<f64>,
+    /// Per-slot backlog of the base (trace, schedule) pair when every
+    /// request is granted — the steady-state trajectory a shifted replica
+    /// starts on.
+    base_backlog: Vec<f64>,
+    config: ScenarioCConfig,
+}
+
+impl<'a> StepwiseCbrMuxSim<'a> {
+    /// Create the simulator from the base trace and its offline schedule.
+    ///
+    /// A shifted replica is modeled as having run forever, so it starts at
+    /// the base trajectory's backlog for its phase. For that trajectory to
+    /// be circularly consistent the schedule should end with an empty
+    /// buffer (`TrellisConfig::with_drain_at_end`); otherwise the residual
+    /// backlog spills over every replica's wrap-around point and shows up
+    /// as spurious loss.
+    ///
+    /// # Panics
+    /// Panics if the schedule does not cover the trace or the config is
+    /// degenerate.
+    pub fn new(trace: &'a FrameTrace, schedule: &Schedule, config: ScenarioCConfig) -> Self {
+        assert_eq!(schedule.num_slots(), trace.len(), "schedule must cover the trace");
+        assert!(config.num_sources > 0, "need at least one source");
+        assert!(config.buffer_per_source >= 0.0, "buffer must be nonnegative");
+        let sched_rates = schedule.to_rates();
+        let tau = trace.frame_interval();
+        let buffer = config.buffer_per_source;
+        let mut base_backlog = Vec::with_capacity(trace.len());
+        let mut q: f64 = 0.0;
+        for (t, &r) in sched_rates.iter().enumerate() {
+            q = (q + trace.bits(t) - r * tau).max(0.0).min(buffer);
+            base_backlog.push(q);
+        }
+        Self { trace, sched_rates, base_backlog, config }
+    }
+
+    /// Run one replication with explicit phase offsets.
+    pub fn run(&self, rate_per_source: f64, offsets: &[usize]) -> ScenarioCOutcome {
+        let n = self.config.num_sources;
+        assert_eq!(offsets.len(), n, "one offset per source");
+        let t_len = self.trace.len();
+        let tau = self.trace.frame_interval();
+        let capacity = rate_per_source * n as f64;
+        let buffer = self.config.buffer_per_source;
+
+        let mut granted = vec![0.0f64; n];
+        let mut demanded = vec![0.0f64; n];
+        // Start each replica on the base trajectory for its phase: the
+        // backlog at the end of the slot *before* its first one.
+        let mut backlog: Vec<f64> = offsets
+            .iter()
+            .map(|&o| self.base_backlog[(o + t_len - 1) % t_len])
+            .collect();
+        let mut total_granted = 0.0f64;
+
+        let mut attempts = 0u64;
+        let mut failures = 0u64;
+        let mut arrived = 0.0f64;
+        let mut lost = 0.0f64;
+
+        for t in 0..t_len {
+            // Phase 1: downward steps release bandwidth first, so that
+            // same-slot upward steps can use it.
+            for i in 0..n {
+                let d = self.sched_rates[(t + offsets[i]) % t_len];
+                if d < demanded[i] {
+                    demanded[i] = d;
+                    if granted[i] > d {
+                        total_granted -= granted[i] - d;
+                        granted[i] = d;
+                    }
+                }
+            }
+            // Phase 2: upward steps (and initial allocations) try to grab
+            // bandwidth; shortfalls are renegotiation failures.
+            for i in 0..n {
+                let d = self.sched_rates[(t + offsets[i]) % t_len];
+                if d > demanded[i] || t == 0 {
+                    demanded[i] = d;
+                    if granted[i] >= d {
+                        continue;
+                    }
+                    attempts += 1;
+                    let headroom = (capacity - total_granted).max(0.0);
+                    let grant = (d - granted[i]).min(headroom);
+                    granted[i] += grant;
+                    total_granted += grant;
+                    if granted[i] + 1e-9 < d {
+                        failures += 1;
+                    }
+                }
+            }
+            // Phase 3: remaining headroom flows to sources still short of
+            // their demand ("until more bandwidth becomes available") —
+            // recovery, not counted as renegotiation attempts.
+            let mut headroom = capacity - total_granted;
+            if headroom > 1e-12 {
+                for i in 0..n {
+                    if granted[i] + 1e-12 < demanded[i] {
+                        let take = (demanded[i] - granted[i]).min(headroom);
+                        granted[i] += take;
+                        total_granted += take;
+                        headroom -= take;
+                        if headroom <= 1e-12 {
+                            break;
+                        }
+                    }
+                }
+            }
+            // Phase 4: data path — per-source buffers.
+            for i in 0..n {
+                let x = self.trace.bits((t + offsets[i]) % t_len);
+                arrived += x;
+                let mut q = backlog[i] + x - granted[i] * tau;
+                if q < 0.0 {
+                    q = 0.0;
+                }
+                if q > buffer {
+                    lost += q - buffer;
+                    q = buffer;
+                }
+                backlog[i] = q;
+            }
+        }
+
+        ScenarioCOutcome {
+            loss_fraction: if arrived > 0.0 { lost / arrived } else { 0.0 },
+            attempts,
+            failures,
+        }
+    }
+
+    /// One replication with uniformly random phasing.
+    pub fn run_with_random_phasing(
+        &self,
+        rate_per_source: f64,
+        rng: &mut SimRng,
+    ) -> ScenarioCOutcome {
+        let offsets: Vec<usize> =
+            (0..self.config.num_sources).map(|_| rng.index(self.trace.len())).collect();
+        self.run(rate_per_source, &offsets)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcbr_schedule::{CostModel, OfflineOptimizer, RateGrid, TrellisConfig};
+
+    /// A two-level synthetic workload: long quiet phases at 100 b/s with
+    /// bursts at 1000 b/s for 1/6 of the time.
+    fn workload() -> FrameTrace {
+        let bits: Vec<f64> =
+            (0..1200).map(|i| if i % 120 < 20 { 1000.0 } else { 100.0 }).collect();
+        FrameTrace::new(1.0, bits)
+    }
+
+    fn schedule_for(trace: &FrameTrace, buffer: f64) -> Schedule {
+        let grid = RateGrid::new(vec![100.0, 250.0, 500.0, 1000.0]);
+        let opt = OfflineOptimizer::new(
+            TrellisConfig::new(grid, CostModel::new(50.0, 1.0), buffer).with_drain_at_end(),
+        );
+        opt.optimize(trace).unwrap()
+    }
+
+    #[test]
+    fn shared_buffer_loss_decreases_with_rate() {
+        let tr = workload();
+        let sim = SharedBufferSim::new(
+            &tr,
+            ScenarioBConfig { num_sources: 10, buffer_per_source: 500.0 },
+        );
+        let offsets: Vec<usize> = (0..10).map(|i| i * 117).collect();
+        let lo = sim.loss_fraction(150.0, &offsets);
+        let hi = sim.loss_fraction(400.0, &offsets);
+        assert!(lo > hi, "loss must fall with rate: {lo} vs {hi}");
+        assert_eq!(sim.loss_fraction(1000.0, &offsets), 0.0);
+    }
+
+    #[test]
+    fn shared_buffer_beats_isolated_buffers() {
+        // At the same per-source rate, sharing the buffer across phased
+        // sources loses less than scenario (a)'s isolated queues.
+        let tr = workload();
+        let rate = 220.0;
+        let buffer = 2000.0;
+        let a_loss = scenario_a_loss(&tr, buffer, rate);
+        let sim = SharedBufferSim::new(
+            &tr,
+            ScenarioBConfig { num_sources: 12, buffer_per_source: buffer },
+        );
+        let offsets: Vec<usize> = (0..12).map(|i| i * 100).collect();
+        let b_loss = sim.loss_fraction(rate, &offsets);
+        assert!(
+            b_loss < a_loss,
+            "multiplexing must help: shared {b_loss} vs isolated {a_loss}"
+        );
+    }
+
+    #[test]
+    fn rcbr_mux_with_ample_capacity_is_lossless() {
+        let tr = workload();
+        let sched = schedule_for(&tr, 2000.0);
+        let sim = StepwiseCbrMuxSim::new(
+            &tr,
+            &sched,
+            ScenarioCConfig { num_sources: 8, buffer_per_source: 2000.0 },
+        );
+        let offsets: Vec<usize> = (0..8).map(|i| i * 150).collect();
+        // Capacity = peak schedule rate per source: every request granted.
+        let out = sim.run(sched.peak_service_rate(), &offsets);
+        assert_eq!(out.failures, 0, "{out:?}");
+        assert_eq!(out.loss_fraction, 0.0, "{out:?}");
+        assert!(out.attempts >= 8, "each source allocates at least once");
+    }
+
+    #[test]
+    fn rcbr_mux_failures_appear_under_pressure() {
+        let tr = workload();
+        let sched = schedule_for(&tr, 2000.0);
+        let sim = StepwiseCbrMuxSim::new(
+            &tr,
+            &sched,
+            ScenarioCConfig { num_sources: 8, buffer_per_source: 2000.0 },
+        );
+        // All sources in phase: bursts collide, and per-source capacity
+        // below the schedule peak guarantees up-renegotiation failures.
+        let offsets = vec![0usize; 8];
+        let out = sim.run(0.6 * sched.peak_service_rate(), &offsets);
+        assert!(out.failures > 0, "{out:?}");
+        assert!(out.loss_fraction > 0.0, "{out:?}");
+        assert!(out.failure_probability() > 0.0 && out.failure_probability() <= 1.0);
+    }
+
+    #[test]
+    fn rcbr_random_phasing_needs_less_than_peak() {
+        // With many phased sources, a per-source capacity well below the
+        // schedule's peak still yields zero loss — the SMG the paper
+        // claims.
+        let tr = workload();
+        let sched = schedule_for(&tr, 2000.0);
+        let n = 30;
+        let sim = StepwiseCbrMuxSim::new(
+            &tr,
+            &sched,
+            ScenarioCConfig { num_sources: n, buffer_per_source: 2000.0 },
+        );
+        let mut rng = SimRng::from_seed(5);
+        let c = 0.55 * sched.peak_service_rate();
+        let mut total_loss = 0.0;
+        for _ in 0..5 {
+            total_loss += sim.run_with_random_phasing(c, &mut rng).loss_fraction;
+        }
+        assert!(
+            total_loss / 5.0 < 1e-3,
+            "phased RCBR should be nearly lossless at c=0.55*peak, got {}",
+            total_loss / 5.0
+        );
+    }
+
+    #[test]
+    fn scenario_c_conserves_capacity() {
+        // The granted total must never exceed capacity: verify indirectly
+        // by checking zero loss when capacity >= N * peak even with
+        // adversarial phasing.
+        let tr = workload();
+        let sched = schedule_for(&tr, 2000.0);
+        let sim = StepwiseCbrMuxSim::new(
+            &tr,
+            &sched,
+            ScenarioCConfig { num_sources: 4, buffer_per_source: 2000.0 },
+        );
+        for &off in &[[0usize, 0, 0, 0], [0, 300, 600, 900], [5, 5, 700, 700]] {
+            let out = sim.run(sched.peak_service_rate(), &off);
+            assert_eq!(out.failures, 0, "offsets {off:?}: {out:?}");
+        }
+    }
+}

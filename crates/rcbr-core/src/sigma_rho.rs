@@ -1,0 +1,187 @@
+//! The (σ, ρ) curve of a trace — Fig. 5.
+//!
+//! "For a given buffer size, this curve gives the minimum service rate
+//! such that the fraction of bits lost is less than 10⁻⁶." The curve
+//! quantifies the paper's central complaint about non-renegotiated
+//! service: to run near the mean rate, a multiple-time-scale trace needs
+//! enormous buffers (≈ 100 Mb for the *Star Wars* trace at 1.05x the
+//! mean), while a codec-scale 300 kb buffer forces a drain rate of ≈ 4x
+//! the mean.
+
+use rcbr_sim::FluidQueue;
+use rcbr_traffic::FrameTrace;
+use serde::{Deserialize, Serialize};
+
+/// One point of the curve.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SigmaRhoPoint {
+    /// Buffer size, bits.
+    pub sigma: f64,
+    /// Minimum drain rate meeting the loss target, bits/second.
+    pub rho: f64,
+}
+
+/// Fraction of bits lost when `trace` flows through a `buffer`-bit queue
+/// drained at `rate`, measured in *steady state*: the trace is played
+/// twice (the experiments elsewhere treat traces as circular, randomly
+/// phased streams), the first pass warms the queue up, and losses are
+/// counted on the second pass. If the backlog still grows from pass to
+/// pass the queue is unstable (`rate` below the sustainable rate) and the
+/// per-pass growth is counted as lost too — so a sub-mean rate can never
+/// masquerade as lossless behind a huge buffer.
+pub fn loss_fraction(trace: &FrameTrace, buffer: f64, rate: f64) -> f64 {
+    let tau = trace.frame_interval();
+    let service = rate * tau;
+    let mut q = FluidQueue::new(buffer);
+    for t in 0..trace.len() {
+        q.offer(trace.bits(t), service);
+    }
+    let q1 = q.backlog();
+    let lost_pass1 = q.total_lost();
+    let arrived_pass1 = q.total_arrived();
+    for t in 0..trace.len() {
+        q.offer(trace.bits(t), service);
+    }
+    let q2 = q.backlog();
+    let lost = q.total_lost() - lost_pass1;
+    let arrived = q.total_arrived() - arrived_pass1;
+    if arrived <= 0.0 {
+        return 0.0;
+    }
+    // Backlog growth across the measured pass is work that will never be
+    // delivered in steady state.
+    (lost + (q2 - q1).max(0.0)) / arrived
+}
+
+/// Minimum drain rate such that the loss fraction is at most `epsilon`,
+/// found by bisection between the trace's mean and peak rates.
+///
+/// ```
+/// use rcbr::min_rate_for_buffer;
+/// use rcbr_traffic::FrameTrace;
+///
+/// let bits: Vec<f64> = (0..600)
+///     .map(|i| if i % 60 < 10 { 1000.0 } else { 100.0 })
+///     .collect();
+/// let trace = FrameTrace::new(1.0, bits);
+/// // A bufferless service needs ~the peak; a big buffer approaches the mean.
+/// let tight = min_rate_for_buffer(&trace, 0.0, 1e-6);
+/// let roomy = min_rate_for_buffer(&trace, 50_000.0, 1e-6);
+/// assert!(tight > 2.0 * roomy);
+/// ```
+///
+/// # Panics
+/// Panics unless `0 <= epsilon < 1`.
+pub fn min_rate_for_buffer(trace: &FrameTrace, buffer: f64, epsilon: f64) -> f64 {
+    assert!((0.0..1.0).contains(&epsilon), "epsilon must be in [0, 1)");
+    let peak = trace.peak_rate();
+    // Loss at the peak rate is 0 (every slot is fully drained); at rate 0
+    // it is ~1. Loss is nonincreasing in the rate, so bisect.
+    let mut lo = 0.0;
+    let mut hi = peak;
+    if loss_fraction(trace, buffer, lo) <= epsilon {
+        return lo;
+    }
+    // Relative tolerance on the rate.
+    let tol = 1e-6 * peak;
+    while hi - lo > tol {
+        let mid = 0.5 * (lo + hi);
+        if loss_fraction(trace, buffer, mid) <= epsilon {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    hi
+}
+
+/// The full curve over the given buffer sizes.
+pub fn sigma_rho_curve(trace: &FrameTrace, sigmas: &[f64], epsilon: f64) -> Vec<SigmaRhoPoint> {
+    sigmas
+        .iter()
+        .map(|&sigma| SigmaRhoPoint { sigma, rho: min_rate_for_buffer(trace, sigma, epsilon) })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcbr_sim::SimRng;
+    use rcbr_traffic::SyntheticMpegSource;
+
+    fn bursty_trace() -> FrameTrace {
+        // 100 b/s background with periodic 10-slot bursts at 1000 b/s.
+        let bits: Vec<f64> =
+            (0..600).map(|i| if i % 60 < 10 { 1000.0 } else { 100.0 }).collect();
+        FrameTrace::new(1.0, bits)
+    }
+
+    #[test]
+    fn zero_loss_at_peak_rate() {
+        let tr = bursty_trace();
+        assert_eq!(loss_fraction(&tr, 0.0, tr.peak_rate()), 0.0);
+    }
+
+    #[test]
+    fn min_rate_is_tight() {
+        let tr = bursty_trace();
+        let eps = 1e-6;
+        let rho = min_rate_for_buffer(&tr, 500.0, eps);
+        assert!(loss_fraction(&tr, 500.0, rho) <= eps);
+        assert!(loss_fraction(&tr, 500.0, rho * 0.98) > eps, "rho not tight");
+    }
+
+    #[test]
+    fn curve_is_nonincreasing_in_buffer() {
+        let tr = bursty_trace();
+        let pts = sigma_rho_curve(&tr, &[0.0, 100.0, 1000.0, 10_000.0, 1e9], 1e-6);
+        for w in pts.windows(2) {
+            assert!(
+                w[1].rho <= w[0].rho + 1e-6,
+                "rho must not increase with buffer: {w:?}"
+            );
+        }
+        // Tiny buffer: near the peak. Huge buffer: near the mean.
+        assert!(pts[0].rho > 0.9 * tr.peak_rate());
+        assert!(pts.last().unwrap().rho <= 1.02 * tr.mean_rate());
+    }
+
+    #[test]
+    fn zero_tolerance_with_huge_buffer_is_mean_rate() {
+        let tr = bursty_trace();
+        // With an infinite-like buffer and eps=0, the constraint is that
+        // the queue drains by the end: rate >= total/duration.
+        let rho = min_rate_for_buffer(&tr, 1e12, 0.0);
+        assert!(rho <= tr.mean_rate() * 1.01, "rho {rho} vs mean {}", tr.mean_rate());
+    }
+
+    #[test]
+    fn video_trace_shape_matches_paper() {
+        // The paper's headline: at the codec buffer (300 kb) the required
+        // rate is ~4x the mean; at a rate 5% above the mean the buffer
+        // needed is tens of Mb.
+        let mut rng = SimRng::from_seed(1);
+        let tr = SyntheticMpegSource::star_wars_like().generate(120_000, &mut rng);
+        let eps = 1e-6;
+        let rho_codec = min_rate_for_buffer(&tr, 300_000.0, eps);
+        let ratio = rho_codec / tr.mean_rate();
+        assert!(
+            (2.0..8.0).contains(&ratio),
+            "codec-buffer rate should be a few times the mean, got {ratio}"
+        );
+        // Find the buffer needed near the mean rate by scanning.
+        let rate = 1.05 * tr.mean_rate();
+        let mut needed = None;
+        for &sigma in &[1e6, 1e7, 3e7, 1e8, 3e8, 1e9] {
+            if loss_fraction(&tr, sigma, rate) <= eps {
+                needed = Some(sigma);
+                break;
+            }
+        }
+        let needed = needed.expect("some buffer suffices");
+        assert!(
+            needed >= 1e6,
+            "near-mean operation must need orders of magnitude more buffer, got {needed}"
+        );
+    }
+}

@@ -1,0 +1,262 @@
+//! Chernoff estimates for bufferless multiplexing — eqs. (10)–(12).
+//!
+//! When `n` independent sources with marginal rate distribution
+//! `{(r_j, p_j)}` share a link of capacity `C`, the probability that their
+//! total demand exceeds `C` is estimated by
+//!
+//! ```text
+//! P(Σ R_i > C) ≈ exp(−n·I(C/n)),   I(a) = sup_s (s·a − Λ(s))
+//! ```
+//!
+//! This single formula is used three ways in the paper:
+//!
+//! * the **shared-buffer loss probability** (eq. (10), with `R` the
+//!   subchain *mean* rates),
+//! * the **RCBR renegotiation-failure probability** (eq. (11), with `R`
+//!   the per-subchain *equivalent bandwidths* — larger, since RCBR does not
+//!   share buffers),
+//! * the **admission-control test** (eq. (12), with `R` the empirical
+//!   bandwidth-level distribution of a call). The admissible-call count
+//!   [`max_admissible_calls`] is the knob the Section VI controllers turn.
+
+use rcbr_sim::stats::DiscreteDistribution;
+
+use crate::legendre::rate_function;
+use crate::numerics::bisect;
+
+/// Eqs. (10)–(12): `exp(−n·I(C/n))`, clamped to `[0, 1]`.
+///
+/// Degenerate regimes follow the Chernoff bound's own semantics: if the
+/// per-source capacity is at or below the mean the bound is vacuous (`1`);
+/// if it is at or above the peak the demand can never exceed capacity
+/// except exactly at the boundary atom.
+///
+/// # Panics
+/// Panics if `n == 0` or `capacity < 0`.
+pub fn chernoff_failure_probability(
+    dist: &DiscreteDistribution,
+    n: usize,
+    capacity: f64,
+) -> f64 {
+    assert!(n > 0, "need at least one call");
+    assert!(capacity >= 0.0, "capacity must be nonnegative");
+    let per_source = capacity / n as f64;
+    let i = rate_function(dist, per_source);
+    (-(n as f64) * i).exp().clamp(0.0, 1.0)
+}
+
+/// Eq. (12) as an admission test: the largest number of calls `n` such
+/// that `chernoff_failure_probability(dist, n, capacity) <= target`.
+///
+/// ```
+/// use rcbr_ldt::max_admissible_calls;
+/// use rcbr_sim::stats::DiscreteDistribution;
+///
+/// // On/off calls: 1 Mb/s for 30% of the time.
+/// let call = DiscreteDistribution::from_weights(&[(0.0, 0.7), (1e6, 0.3)]);
+/// let n = max_admissible_calls(&call, 20e6, 1e-3);
+/// // Statistical multiplexing admits more than peak-rate allocation (20).
+/// assert!(n > 20);
+/// ```
+///
+/// Returns 0 if even one call violates the target. Note the paper's
+/// observation: the system "will deny new calls even when there is
+/// available capacity" — `n_max · mean` is typically well below `capacity`.
+///
+/// # Panics
+/// Panics unless `capacity > 0` and `0 < target < 1`.
+pub fn max_admissible_calls(dist: &DiscreteDistribution, capacity: f64, target: f64) -> usize {
+    assert!(capacity > 0.0, "capacity must be positive");
+    assert!(target > 0.0 && target < 1.0, "target must be in (0, 1)");
+    let mean = dist.mean();
+    if mean <= 0.0 {
+        // Zero-rate calls can never cause failure; the link fits unboundedly
+        // many. Return the largest count that is still meaningful.
+        return usize::MAX;
+    }
+    // Failure probability is increasing in n (per-source capacity shrinks
+    // and the exponent weakens), so binary search the threshold. Upper
+    // bracket: n where per-source capacity hits the mean (always failing
+    // the target beyond it).
+    let n_hi = (capacity / mean).ceil() as usize + 1;
+    let ok = |n: usize| n == 0 || chernoff_failure_probability(dist, n, capacity) <= target;
+    if !ok(1) {
+        return 0;
+    }
+    let (mut lo, mut hi) = (1usize, n_hi);
+    // Invariant: ok(lo), !ok(hi) — make the upper end genuinely failing.
+    while ok(hi) {
+        lo = hi;
+        hi *= 2;
+        if hi > 1 << 40 {
+            return hi; // pathological flat distribution; effectively unbounded
+        }
+    }
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        if ok(mid) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+/// The smallest per-source capacity `c` such that `n` calls meet the
+/// failure target: solves `exp(−n·I(c)) = target` for `c ∈ [mean, peak]`.
+///
+/// This is the theoretical curve behind Fig. 6's scenario (b)/(c): capacity
+/// per stream as a function of the number of multiplexed streams.
+///
+/// # Panics
+/// Panics unless `n > 0` and `0 < target < 1`.
+pub fn min_capacity_per_source(dist: &DiscreteDistribution, n: usize, target: f64) -> f64 {
+    assert!(n > 0, "need at least one call");
+    assert!(target > 0.0 && target < 1.0, "target must be in (0, 1)");
+    let mean = dist.mean();
+    let peak = dist.peak();
+    let needed_i = -(target.ln()) / n as f64;
+    // I(mean) = 0 < needed; if even I(peak) < needed the target is
+    // unattainable below the peak — allocate the peak.
+    if rate_function(dist, peak) < needed_i {
+        return peak;
+    }
+    if peak <= mean {
+        return peak;
+    }
+    bisect(
+        |c| rate_function(dist, c) - needed_i,
+        mean,
+        peak,
+        1e-9 * peak.max(1.0),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn onoff_dist() -> DiscreteDistribution {
+        // Rate 0 with prob 0.7, rate 1 Mb/s with prob 0.3.
+        DiscreteDistribution::from_weights(&[(0.0, 0.7), (1_000_000.0, 0.3)])
+    }
+
+    #[test]
+    fn exact_binomial_comparison() {
+        // For Bernoulli rates the Chernoff estimate must upper-bound the
+        // exact binomial tail and be within a poly factor of it.
+        let d = onoff_dist();
+        let n = 20;
+        let capacity = 10.0 * 1_000_000.0; // 10 of 20 sources on
+        let est = chernoff_failure_probability(&d, n, capacity);
+        // Exact P(Bin(20, 0.3) > 10) = sum_{k=11}^{20} C(20,k) .3^k .7^(20-k)
+        let mut exact = 0.0;
+        for k in 11..=20 {
+            exact += binom(20, k) * 0.3f64.powi(k as i32) * 0.7f64.powi((20 - k) as i32);
+        }
+        // The bound applies at the demanded level >= capacity; our I is at
+        // a = C/n = 0.5 so P(Bin >= 10) >= exact.
+        let exact_ge = exact + binom(20, 10) * 0.3f64.powi(10) * 0.7f64.powi(10);
+        assert!(
+            est >= exact && est < 300.0 * exact_ge.max(1e-12),
+            "estimate {est} vs exact {exact} / {exact_ge}"
+        );
+    }
+
+    fn binom(n: u64, k: u64) -> f64 {
+        let mut r = 1.0;
+        for i in 0..k {
+            r *= (n - i) as f64 / (i + 1) as f64;
+        }
+        r
+    }
+
+    #[test]
+    fn failure_increases_with_n_at_fixed_capacity() {
+        let d = onoff_dist();
+        let capacity = 5_000_000.0;
+        let p5 = chernoff_failure_probability(&d, 5, capacity);
+        let p10 = chernoff_failure_probability(&d, 10, capacity);
+        let p14 = chernoff_failure_probability(&d, 14, capacity);
+        assert!(p5 <= p10 && p10 <= p14, "{p5} {p10} {p14}");
+    }
+
+    #[test]
+    fn vacuous_bound_below_mean() {
+        let d = onoff_dist(); // mean 300 kb/s
+        let p = chernoff_failure_probability(&d, 10, 10.0 * 250_000.0);
+        assert_eq!(p, 1.0);
+    }
+
+    #[test]
+    fn admissible_calls_threshold() {
+        let d = onoff_dist();
+        let capacity = 20_000_000.0; // 20 Mb/s
+        let target = 1e-3;
+        let n = max_admissible_calls(&d, capacity, target);
+        assert!(n > 0);
+        assert!(chernoff_failure_probability(&d, n, capacity) <= target);
+        assert!(chernoff_failure_probability(&d, n + 1, capacity) > target);
+        // Leaves slack: admitted mean load is below capacity, and peak
+        // allocation would admit exactly 20.
+        assert!(n as f64 * d.mean() < capacity);
+        assert!(n > 20, "statistical gain should beat peak allocation, n={n}");
+    }
+
+    #[test]
+    fn zero_call_capacity() {
+        let d = onoff_dist();
+        // Tiny link: even one call fails the target (capacity below mean).
+        let n = max_admissible_calls(&d, 100_000.0, 1e-3);
+        assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn min_capacity_brackets() {
+        let d = onoff_dist();
+        for &n in &[1usize, 10, 100, 1000] {
+            let c = min_capacity_per_source(&d, n, 1e-6);
+            assert!(c >= d.mean() - 1e-9 && c <= d.peak() + 1e-9, "n={n}: c={c}");
+        }
+        // More multiplexing => less capacity per source.
+        let c10 = min_capacity_per_source(&d, 10, 1e-6);
+        let c1000 = min_capacity_per_source(&d, 1000, 1e-6);
+        assert!(c1000 < c10, "{c1000} vs {c10}");
+        // Huge n approaches the mean.
+        let c_big = min_capacity_per_source(&d, 1_000_000, 1e-6);
+        assert!((c_big - d.mean()) / d.mean() < 0.01, "c_big {c_big}");
+    }
+
+    #[test]
+    fn min_capacity_is_consistent_with_failure_probability() {
+        let d = onoff_dist();
+        let n = 50;
+        let target = 1e-4;
+        let c = min_capacity_per_source(&d, n, target);
+        let p = chernoff_failure_probability(&d, n, n as f64 * c * 1.0001);
+        assert!(p <= target * 1.1, "p {p} target {target}");
+    }
+
+    #[test]
+    fn single_call_needs_peak_for_strict_targets() {
+        let d = onoff_dist();
+        // One call, target below P(R = peak) = 0.3: only the peak works.
+        let c = min_capacity_per_source(&d, 1, 0.01);
+        assert!((c - d.peak()).abs() < 1e-6);
+    }
+
+    proptest! {
+        #[test]
+        fn admission_count_monotone_in_capacity(
+            cap1 in 1e6..5e7f64,
+            extra in 0.0..5e7f64,
+        ) {
+            let d = onoff_dist();
+            let n1 = max_admissible_calls(&d, cap1, 1e-3);
+            let n2 = max_admissible_calls(&d, cap1 + extra, 1e-3);
+            prop_assert!(n2 >= n1);
+        }
+    }
+}

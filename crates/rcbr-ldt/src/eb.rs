@@ -1,0 +1,217 @@
+//! Equivalent bandwidth of Markov-modulated sources.
+//!
+//! For a discrete-time source emitting `x_i` bits per slot in state `i` of
+//! a Markov chain `P`, the scaled log-MGF of the arrival process is
+//!
+//! ```text
+//! Λ(θ) = ln ρ( P · diag(e^{θ x_i}) )
+//! ```
+//!
+//! (per slot, with `θ` in 1/bits), and the large-buffer asymptotic
+//! `P(overflow of buffer B) ≈ e^{−θ B}` holds when the drain rate per slot
+//! equals the *equivalent bandwidth* `Λ(θ)/θ`. Inverting the QoS target
+//! `ε = e^{−θ* B}` gives `θ* = ln(1/ε)/B` and
+//!
+//! ```text
+//! EB(B, ε) = Λ(θ*) / θ*   (bits per slot; divide by the slot length for b/s)
+//! ```
+//!
+//! The equivalent bandwidth always lies between the source's mean and peak
+//! rates and decreases as the buffer grows — it "measures the amount of
+//! smoothing of the stream by buffering" (Section V-A).
+//!
+//! For a multiple-time-scale source, eq. (9) of the paper: in the joint
+//! regime where the buffer absorbs fast fluctuations but rare transitions
+//! are slower still, the equivalent bandwidth of the whole stream is
+//! `max_k EB_k`, the maximum over the subchains considered in isolation.
+
+use rcbr_traffic::markov::MarkovModulatedSource;
+use rcbr_traffic::mts::MtsModel;
+use serde::{Deserialize, Serialize};
+
+use crate::matrix::Matrix;
+
+/// A buffer-overflow QoS target: `P(overflow of buffer B) <= epsilon`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QosTarget {
+    /// Buffer size in bits.
+    pub buffer: f64,
+    /// Overflow/loss probability bound.
+    pub epsilon: f64,
+}
+
+impl QosTarget {
+    /// Create a target.
+    ///
+    /// # Panics
+    /// Panics unless `buffer > 0` and `0 < epsilon < 1`.
+    pub fn new(buffer: f64, epsilon: f64) -> Self {
+        assert!(buffer > 0.0 && buffer.is_finite(), "buffer must be positive");
+        assert!(epsilon > 0.0 && epsilon < 1.0, "epsilon must be in (0, 1)");
+        Self { buffer, epsilon }
+    }
+
+    /// The large-deviations space parameter `θ* = ln(1/ε)/B`, 1/bits.
+    pub fn theta(&self) -> f64 {
+        (1.0 / self.epsilon).ln() / self.buffer
+    }
+}
+
+/// The scaled log-MGF `Λ(θ) = ln ρ(P·diag(e^{θ x_i}))` of a
+/// Markov-modulated source, per slot, with `θ` in 1/bits.
+///
+/// Computed with the peak emission factored out so the matrix entries stay
+/// in `[0, 1]` and no overflow occurs even for large `θ`.
+pub fn log_spectral_mgf(source: &MarkovModulatedSource, theta: f64) -> f64 {
+    let chain = source.chain();
+    let n = chain.num_states();
+    let peak = source.emissions().iter().fold(0.0f64, |m, &x| m.max(x));
+    let mut a = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..n {
+            // A[i][j] = P[i][j] * e^{θ (x_j - peak)}; ρ(A(θ)) = ρ(true) e^{-θ peak}.
+            a[(i, j)] = chain.prob(i, j) * (theta * (source.emission(j) - peak)).exp();
+        }
+    }
+    theta * peak + a.perron_root().ln()
+}
+
+/// Equivalent bandwidth of a Markov-modulated source for the given QoS
+/// target, in **bits/second**.
+///
+/// ```
+/// use rcbr_ldt::{equivalent_bandwidth, QosTarget};
+/// use rcbr_traffic::OnOffSource;
+///
+/// // 1 Mb/s peak, on half the time => mean 500 kb/s.
+/// let source = OnOffSource::new(0.2, 0.2, 1_000_000.0, 0.04).as_source();
+/// let eb = equivalent_bandwidth(&source, QosTarget::new(100_000.0, 1e-6));
+/// assert!(eb > source.mean_rate() && eb < source.peak_rate());
+/// ```
+///
+/// As `B → ∞` this tends to the mean rate; as `B → 0` to the peak rate.
+/// The result is clamped to `[mean, peak]` to absorb numerical round-off
+/// at the extremes.
+pub fn equivalent_bandwidth(source: &MarkovModulatedSource, qos: QosTarget) -> f64 {
+    let theta = qos.theta();
+    let eb_bits_per_slot = log_spectral_mgf(source, theta) / theta;
+    let eb = eb_bits_per_slot / source.slot();
+    eb.clamp(source.mean_rate(), source.peak_rate())
+}
+
+/// Eq. (9): the equivalent bandwidth of a multiple-time-scale source is
+/// the maximum over its subchains, each considered in isolation, in
+/// bits/second. Also returns the index of the dominating subchain.
+pub fn mts_equivalent_bandwidth(model: &MtsModel, qos: QosTarget) -> (f64, usize) {
+    let slot = model.slot();
+    model
+        .subchains()
+        .iter()
+        .enumerate()
+        .map(|(k, sub)| (equivalent_bandwidth(&sub.as_source(slot), qos), k))
+        .max_by(|a, b| a.0.partial_cmp(&b.0).expect("EB is never NaN"))
+        .expect("MTS models have at least two subchains")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcbr_traffic::markov::MarkovChain;
+    use rcbr_traffic::onoff::OnOffSource;
+
+    fn onoff() -> MarkovModulatedSource {
+        // 1000 b/s peak, on half the time, 1 s slots.
+        OnOffSource::new(0.2, 0.2, 1000.0, 1.0).as_source()
+    }
+
+    #[test]
+    fn lambda_zero_is_zero() {
+        let s = onoff();
+        assert!(log_spectral_mgf(&s, 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lambda_slope_brackets_mean_and_peak() {
+        // Λ(θ)/θ increases from the mean rate (θ→0) to the peak (θ→∞).
+        let s = onoff();
+        let small = log_spectral_mgf(&s, 1e-9) / 1e-9;
+        let large = log_spectral_mgf(&s, 1.0) / 1.0;
+        assert!((small - 500.0).abs() < 1.0, "small-θ slope {small}");
+        assert!(large > 900.0 && large <= 1000.0 + 1e-9, "large-θ slope {large}");
+    }
+
+    #[test]
+    fn no_overflow_at_extreme_theta() {
+        let s = onoff();
+        let v = log_spectral_mgf(&s, 10.0); // e^{10*1000} would overflow naively
+        assert!(v.is_finite());
+        assert!((v / 10.0 - 1000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn eb_decreases_with_buffer() {
+        let s = onoff();
+        let eb_small = equivalent_bandwidth(&s, QosTarget::new(10.0, 1e-6));
+        let eb_big = equivalent_bandwidth(&s, QosTarget::new(100_000.0, 1e-6));
+        assert!(eb_small > eb_big, "{eb_small} vs {eb_big}");
+        assert!(eb_small <= 1000.0 + 1e-9);
+        assert!(eb_big >= 500.0 - 1e-9);
+        // Huge buffer: essentially the mean.
+        let eb_huge = equivalent_bandwidth(&s, QosTarget::new(3_000_000.0, 1e-6));
+        assert!((eb_huge - 500.0) / 500.0 < 0.05, "eb_huge {eb_huge}");
+    }
+
+    #[test]
+    fn eb_increases_with_stricter_epsilon() {
+        let s = onoff();
+        let loose = equivalent_bandwidth(&s, QosTarget::new(1000.0, 1e-2));
+        let strict = equivalent_bandwidth(&s, QosTarget::new(1000.0, 1e-9));
+        assert!(strict >= loose, "{strict} vs {loose}");
+    }
+
+    #[test]
+    fn cbr_source_eb_is_its_rate() {
+        let chain = MarkovChain::new(vec![vec![1.0]]);
+        let s = MarkovModulatedSource::new(chain, vec![700.0], 1.0);
+        let eb = equivalent_bandwidth(&s, QosTarget::new(100.0, 1e-6));
+        assert!((eb - 700.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mts_eb_is_dominated_by_burstiest_subchain() {
+        let m = MtsModel::fig4_example(1e-4, 1.0 / 24.0);
+        let qos = QosTarget::new(300_000.0, 1e-6);
+        let (eb, k) = mts_equivalent_bandwidth(&m, qos);
+        // The high-action subchain (index 2, mean 1.5 Mb/s) dominates.
+        assert_eq!(k, 2);
+        assert!(eb >= m.subchain_mean_rate(2) - 1e-6);
+        assert!(eb <= m.peak_rate() + 1e-6);
+        // And it is far above the whole-stream mean: the "wasteful static
+        // allocation" the paper derives.
+        assert!(eb > 2.0 * m.mean_rate());
+    }
+
+    #[test]
+    fn mts_eb_exceeds_max_subchain_mean() {
+        // eq. (9) discussion: the drain rate needed is greater than
+        // max_k m_k.
+        let m = MtsModel::fig4_example(1e-4, 1.0 / 24.0);
+        let qos = QosTarget::new(50_000.0, 1e-6);
+        let (eb, _) = mts_equivalent_bandwidth(&m, qos);
+        let max_mean =
+            (0..3).map(|k| m.subchain_mean_rate(k)).fold(0.0f64, f64::max);
+        assert!(eb > max_mean, "eb {eb} <= max subchain mean {max_mean}");
+    }
+
+    #[test]
+    fn theta_matches_definition() {
+        let q = QosTarget::new(300_000.0, 1e-6);
+        assert!((q.theta() - (1e6f64).ln() / 300_000.0).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon")]
+    fn bad_epsilon_rejected() {
+        QosTarget::new(1.0, 1.5);
+    }
+}

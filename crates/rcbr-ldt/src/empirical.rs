@@ -1,0 +1,135 @@
+//! Empirical effective bandwidth, estimated directly from a trace.
+//!
+//! The model-based equivalent bandwidth of [`crate::eb`] needs a Markov
+//! model; real deployments only have measurements. The standard estimator
+//! replaces the scaled log-MGF with its empirical counterpart over blocks
+//! of `m` slots:
+//!
+//! ```text
+//! Λ̂(θ) = (1/m) · ln( (1/K) Σ_k exp(θ · X_k) )
+//! ```
+//!
+//! where `X_k` is the number of bits arriving in block `k`. For `m` large
+//! relative to the source's mixing time, `Λ̂ → Λ` and the empirical
+//! equivalent bandwidth `Λ̂(θ*)/θ*` converges to the model value. This is
+//! the measurement half of the MBAC story: the same quantity a switch
+//! could estimate online.
+
+use rcbr_traffic::FrameTrace;
+
+/// The empirical scaled log-MGF `Λ̂(θ)` of `trace` over blocks of
+/// `block_slots` slots, per slot, with `θ` in 1/bits.
+///
+/// Computed with the peak block factored out (log-sum-exp) so large `θ`
+/// cannot overflow.
+///
+/// # Panics
+/// Panics if `block_slots == 0` or the trace is shorter than one block.
+pub fn empirical_log_mgf(trace: &FrameTrace, theta: f64, block_slots: usize) -> f64 {
+    assert!(block_slots > 0, "block length must be positive");
+    let blocks = trace.len() / block_slots;
+    assert!(blocks > 0, "trace shorter than one block");
+    let sums: Vec<f64> = (0..blocks)
+        .map(|k| (0..block_slots).map(|i| trace.bits(k * block_slots + i)).sum())
+        .collect();
+    let peak = sums.iter().fold(f64::NEG_INFINITY, |m, &x| m.max(theta * x));
+    if !peak.is_finite() {
+        return peak;
+    }
+    let mean_exp: f64 =
+        sums.iter().map(|&x| (theta * x - peak).exp()).sum::<f64>() / blocks as f64;
+    (peak + mean_exp.ln()) / block_slots as f64
+}
+
+/// Empirical equivalent bandwidth of `trace` for a buffer-overflow QoS
+/// target, in bits/second: `Λ̂(θ*)/θ*` with `θ* = ln(1/ε)/B`, clamped to
+/// `[mean, peak]`.
+pub fn trace_equivalent_bandwidth(
+    trace: &FrameTrace,
+    qos: crate::eb::QosTarget,
+    block_slots: usize,
+) -> f64 {
+    let theta = qos.theta();
+    let eb_bits_per_slot = empirical_log_mgf(trace, theta, block_slots) / theta;
+    let eb = eb_bits_per_slot / trace.frame_interval();
+    eb.clamp(trace.mean_rate(), trace.peak_rate())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eb::{equivalent_bandwidth, QosTarget};
+    use rcbr_sim::SimRng;
+    use rcbr_traffic::OnOffSource;
+
+    #[test]
+    fn log_mgf_is_zero_at_origin_like_object() {
+        // Λ̂(0) = ln(1)/m = 0 exactly.
+        let trace = FrameTrace::new(1.0, vec![10.0, 20.0, 30.0, 40.0]);
+        assert_eq!(empirical_log_mgf(&trace, 0.0, 2), 0.0);
+    }
+
+    #[test]
+    fn small_theta_slope_is_the_mean() {
+        let trace = FrameTrace::new(1.0, vec![100.0, 300.0, 200.0, 400.0]);
+        let theta = 1e-9;
+        let slope = empirical_log_mgf(&trace, theta, 1) / theta;
+        assert!((slope - 250.0).abs() < 0.1, "slope {slope}");
+    }
+
+    #[test]
+    fn large_theta_slope_is_the_block_peak() {
+        let trace = FrameTrace::new(1.0, vec![100.0, 300.0, 200.0, 400.0]);
+        let theta = 1.0; // e^{400} dominates up to the ln(1/K) = ln(1/4) term
+        let slope = empirical_log_mgf(&trace, theta, 1) / theta;
+        assert!((slope - (400.0 - 4.0f64.ln())).abs() < 0.1, "slope {slope}");
+        assert!(slope.is_finite());
+    }
+
+    #[test]
+    fn matches_model_equivalent_bandwidth_for_onoff() {
+        // Generate a long on/off trace and compare the empirical EB with
+        // the analytic one at a moderate buffer.
+        let src = OnOffSource::new(0.2, 0.2, 1000.0, 1.0);
+        let mms = src.as_source();
+        let mut rng = SimRng::from_seed(21);
+        let trace = mms.generate(300_000, &mut rng);
+        let qos = QosTarget::new(2_000.0, 1e-3);
+        let analytic = equivalent_bandwidth(&mms, qos);
+        let empirical = trace_equivalent_bandwidth(&trace, qos, 50);
+        let rel = (empirical - analytic).abs() / analytic;
+        assert!(
+            rel < 0.1,
+            "empirical {empirical} vs analytic {analytic} ({rel:.3})"
+        );
+    }
+
+    #[test]
+    fn eb_is_bracketed_by_mean_and_peak() {
+        let src = OnOffSource::new(0.1, 0.3, 1_000_000.0, 0.04).as_source();
+        let mut rng = SimRng::from_seed(4);
+        let trace = src.generate(100_000, &mut rng);
+        for &(buffer, eps) in &[(1_000.0, 1e-6), (100_000.0, 1e-3), (10_000_000.0, 1e-2)] {
+            let eb = trace_equivalent_bandwidth(&trace, QosTarget::new(buffer, eps), 25);
+            assert!(eb >= trace.mean_rate() - 1e-9);
+            assert!(eb <= trace.peak_rate() + 1e-9);
+        }
+    }
+
+    #[test]
+    fn bigger_buffer_smaller_empirical_eb() {
+        let src = OnOffSource::new(0.05, 0.15, 1000.0, 1.0).as_source();
+        let mut rng = SimRng::from_seed(6);
+        let trace = src.generate(200_000, &mut rng);
+        let small = trace_equivalent_bandwidth(&trace, QosTarget::new(500.0, 1e-6), 50);
+        let large = trace_equivalent_bandwidth(&trace, QosTarget::new(50_000.0, 1e-6), 50);
+        assert!(small >= large, "{small} vs {large}");
+    }
+
+    #[test]
+    #[should_panic(expected = "shorter than one block")]
+    fn oversized_block_rejected() {
+        let trace = FrameTrace::new(1.0, vec![1.0; 5]);
+        empirical_log_mgf(&trace, 0.1, 10);
+    }
+}

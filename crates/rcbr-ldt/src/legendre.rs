@@ -1,0 +1,143 @@
+//! Legendre–Fenchel transforms of discrete bandwidth distributions.
+//!
+//! For a random rate `R` with distribution `{(r_j, p_j)}` and log-MGF
+//! `Λ(s) = ln Σ p_j e^{s r_j}`, the rate function is
+//!
+//! ```text
+//! I(a) = sup_s (s·a − Λ(s))
+//! ```
+//!
+//! (eq. (10)'s `I*`). For `a` above the mean the supremum is attained at
+//! `s ≥ 0` and `P(average of n iid copies ≥ a) ≈ e^{−n I(a)}` — Chernoff's
+//! estimate, which Section V-A uses for the shared-buffer loss probability
+//! and Section VI for the renegotiation-failure probability.
+
+use rcbr_sim::stats::DiscreteDistribution;
+
+use crate::numerics::maximize_on_ray;
+
+/// The rate function `I(a) = sup_{s≥0} (s·a − Λ(s))` of `dist`, for
+/// `a ≥ mean` (the upper-deviations branch used by every estimate in the
+/// paper).
+///
+/// * `a <= mean` → `0` (no decay: demanding less than the mean is typical).
+/// * `a > peak` → `+∞` (impossible deviation).
+/// * `a == peak` → `−ln P(R = peak)` (the exact boundary value).
+pub fn rate_function(dist: &DiscreteDistribution, a: f64) -> f64 {
+    let mean = dist.mean();
+    if a <= mean {
+        return 0.0;
+    }
+    let peak = dist.peak();
+    if a > peak {
+        return f64::INFINITY;
+    }
+    let p_peak: f64 = dist
+        .iter()
+        .filter(|&(r, p)| p > 0.0 && (r - peak).abs() <= f64::EPSILON * peak.abs().max(1.0))
+        .map(|(_, p)| p)
+        .sum();
+    if a == peak {
+        return -p_peak.ln();
+    }
+    // Interior: concave maximization over s >= 0. Scale the initial
+    // bracket to the rate magnitude so the search starts near the right
+    // order of magnitude (s has units of 1/rate).
+    let scale = 1.0 / peak.max(1e-300);
+    let (_, val) = maximize_on_ray(|s| s * a - dist.log_mgf(s), scale, 1e-12);
+    // I is nonnegative by construction (g(0) = 0) and bounded by the
+    // boundary value −ln p_peak.
+    val.max(0.0).min(-p_peak.ln())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn bern(p: f64) -> DiscreteDistribution {
+        DiscreteDistribution::from_weights(&[(0.0, 1.0 - p), (1.0, p)])
+    }
+
+    /// Closed-form rate function of a Bernoulli(p) variable: the binary
+    /// relative entropy D(a ‖ p).
+    fn bern_rate(a: f64, p: f64) -> f64 {
+        a * (a / p).ln() + (1.0 - a) * ((1.0 - a) / (1.0 - p)).ln()
+    }
+
+    #[test]
+    fn matches_bernoulli_closed_form() {
+        let d = bern(0.3);
+        for &a in &[0.35, 0.5, 0.7, 0.9, 0.99] {
+            let got = rate_function(&d, a);
+            let want = bern_rate(a, 0.3);
+            assert!((got - want).abs() < 1e-6, "a={a}: got {got}, want {want}");
+        }
+    }
+
+    #[test]
+    fn below_mean_is_zero() {
+        let d = bern(0.3);
+        assert_eq!(rate_function(&d, 0.3), 0.0);
+        assert_eq!(rate_function(&d, 0.1), 0.0);
+    }
+
+    #[test]
+    fn at_peak_is_log_peak_probability() {
+        let d = bern(0.3);
+        let i = rate_function(&d, 1.0);
+        assert!((i - (-(0.3f64).ln())).abs() < 1e-9);
+    }
+
+    #[test]
+    fn above_peak_is_infinite() {
+        let d = bern(0.3);
+        assert_eq!(rate_function(&d, 1.01), f64::INFINITY);
+    }
+
+    #[test]
+    fn realistic_rate_units_work() {
+        // Levels in bits/s — s is then ~1e-6, exercising the bracket
+        // scaling.
+        let d = DiscreteDistribution::from_weights(&[
+            (200_000.0, 0.5),
+            (500_000.0, 0.4),
+            (1_500_000.0, 0.1),
+        ]);
+        let mean = d.mean();
+        let i = rate_function(&d, 1.5 * mean);
+        assert!(i.is_finite() && i > 0.0, "I = {i}");
+        // Sanity: bounded by the peak boundary value.
+        assert!(i <= -(0.1f64).ln() + 1e-9);
+    }
+
+    #[test]
+    fn degenerate_distribution() {
+        let d = DiscreteDistribution::from_weights(&[(5.0, 1.0)]);
+        assert_eq!(rate_function(&d, 5.0), 0.0); // a == mean
+        assert_eq!(rate_function(&d, 6.0), f64::INFINITY);
+    }
+
+    proptest! {
+        /// I is nondecreasing above the mean and 0 at/below it.
+        #[test]
+        fn monotone_above_mean(
+            p1 in 0.05..0.95f64,
+            lvls in proptest::collection::vec(1.0..1000.0f64, 2..5),
+            a_fracs in proptest::collection::vec(0.0..1.0f64, 2),
+        ) {
+            let pairs: Vec<(f64, f64)> =
+                lvls.iter().enumerate().map(|(i, &r)| (r, if i == 0 { p1 } else { (1.0 - p1) / (lvls.len() - 1) as f64 })).collect();
+            let d = DiscreteDistribution::from_weights(&pairs);
+            let mean = d.mean();
+            let peak = d.peak();
+            prop_assume!(peak > mean * 1.001);
+            let mut a: Vec<f64> = a_fracs.iter().map(|f| mean + f * (peak - mean)).collect();
+            a.sort_by(|x, y| x.partial_cmp(y).unwrap());
+            let i0 = rate_function(&d, a[0]);
+            let i1 = rate_function(&d, a[1]);
+            prop_assert!(i0 >= 0.0);
+            prop_assert!(i1 + 1e-9 >= i0, "I not monotone: I({})={} > I({})={}", a[0], i0, a[1], i1);
+        }
+    }
+}

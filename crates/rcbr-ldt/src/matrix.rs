@@ -1,0 +1,217 @@
+//! Small dense matrices and the Perron root of nonnegative matrices.
+//!
+//! The equivalent-bandwidth computation needs exactly one linear-algebra
+//! primitive: the spectral radius of the nonnegative matrix
+//! `P·diag(e^{θ x_i})`. Source models have a handful of states, so a plain
+//! row-major `Vec<f64>` with power iteration is both simple and fast.
+
+use serde::{Deserialize, Serialize};
+
+/// A dense row-major matrix.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    n_rows: usize,
+    n_cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Zero matrix of the given shape.
+    ///
+    /// # Panics
+    /// Panics if either dimension is zero.
+    pub fn zeros(n_rows: usize, n_cols: usize) -> Self {
+        assert!(n_rows > 0 && n_cols > 0, "matrix dimensions must be positive");
+        Self { n_rows, n_cols, data: vec![0.0; n_rows * n_cols] }
+    }
+
+    /// Build from nested rows.
+    ///
+    /// # Panics
+    /// Panics if rows are empty or ragged.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Self {
+        assert!(!rows.is_empty() && !rows[0].is_empty(), "matrix must be nonempty");
+        let n_cols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * n_cols);
+        for row in rows {
+            assert_eq!(row.len(), n_cols, "ragged rows");
+            data.extend_from_slice(row);
+        }
+        Self { n_rows: rows.len(), n_cols, data }
+    }
+
+    /// Identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of columns.
+    pub fn n_cols(&self) -> usize {
+        self.n_cols
+    }
+
+    /// Matrix-vector product `A·x`.
+    ///
+    /// # Panics
+    /// Panics on dimension mismatch.
+    pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.n_cols, "dimension mismatch");
+        (0..self.n_rows)
+            .map(|i| {
+                let row = &self.data[i * self.n_cols..(i + 1) * self.n_cols];
+                row.iter().zip(x).map(|(a, b)| a * b).sum()
+            })
+            .collect()
+    }
+
+    /// Spectral radius (Perron root) of a *nonnegative* square matrix by
+    /// power iteration.
+    ///
+    /// A uniform diagonal shift makes the iteration converge even for
+    /// periodic matrices (the shift adds exactly `shift` to every
+    /// eigenvalue of a nonnegative matrix's Perron root, so it is
+    /// subtracted back out). For reducible matrices the method converges
+    /// to the largest block's Perron root, which is the spectral radius.
+    ///
+    /// # Panics
+    /// Panics if the matrix is not square or has a negative entry.
+    pub fn perron_root(&self) -> f64 {
+        assert_eq!(self.n_rows, self.n_cols, "Perron root needs a square matrix");
+        assert!(self.data.iter().all(|&x| x >= 0.0), "matrix must be nonnegative");
+        let n = self.n_rows;
+        if n == 1 {
+            return self.data[0];
+        }
+        let scale = self.data.iter().fold(0.0f64, |m, &x| m.max(x));
+        if scale == 0.0 {
+            return 0.0;
+        }
+        // Shift to guarantee aperiodicity: B = A + shift·I, ρ(B) = ρ(A) + shift.
+        let shift = scale;
+        let mut v = vec![1.0 / n as f64; n];
+        let mut lambda = 0.0;
+        for _ in 0..100_000 {
+            let mut w = self.mul_vec(&v);
+            for (wi, vi) in w.iter_mut().zip(&v) {
+                *wi += shift * vi;
+            }
+            let norm: f64 = w.iter().sum();
+            if norm == 0.0 {
+                return 0.0;
+            }
+            for x in w.iter_mut() {
+                *x /= norm;
+            }
+            let new_lambda = norm;
+            let done = (new_lambda - lambda).abs() <= 1e-14 * new_lambda.abs().max(1.0);
+            lambda = new_lambda;
+            v = w;
+            if done {
+                break;
+            }
+        }
+        lambda - shift
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        assert!(i < self.n_rows && j < self.n_cols, "index out of bounds");
+        &self.data[i * self.n_cols + j]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        assert!(i < self.n_rows && j < self.n_cols, "index out of bounds");
+        &mut self.data[i * self.n_cols + j]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn mul_vec_works() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        assert_eq!(m.mul_vec(&[1.0, 1.0]), vec![3.0, 7.0]);
+    }
+
+    #[test]
+    fn perron_of_stochastic_matrix_is_one() {
+        let m = Matrix::from_rows(&[vec![0.9, 0.1], vec![0.4, 0.6]]);
+        assert!((m.perron_root() - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn perron_of_diagonal_is_max_entry() {
+        let m = Matrix::from_rows(&[vec![2.0, 0.0], vec![0.0, 5.0]]);
+        assert!((m.perron_root() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn perron_of_periodic_matrix_converges() {
+        // [[0,1],[1,0]] has eigenvalues ±1; plain power iteration
+        // oscillates, the shifted iteration must return 1.
+        let m = Matrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]);
+        assert!((m.perron_root() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn perron_of_known_2x2() {
+        // [[2,1],[1,2]]: eigenvalues 3 and 1.
+        let m = Matrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 2.0]]);
+        assert!((m.perron_root() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn perron_of_zero_matrix() {
+        let m = Matrix::zeros(3, 3);
+        assert_eq!(m.perron_root(), 0.0);
+    }
+
+    #[test]
+    fn identity_and_indexing() {
+        let mut m = Matrix::identity(2);
+        m[(0, 1)] = 7.0;
+        assert_eq!(m[(0, 0)], 1.0);
+        assert_eq!(m[(0, 1)], 7.0);
+        assert!((m.perron_root() - 1.0).abs() < 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_rows_rejected() {
+        Matrix::from_rows(&[vec![1.0], vec![1.0, 2.0]]);
+    }
+
+    proptest! {
+        /// ρ(A) of a row-substochastic nonnegative matrix lies between the
+        /// min and max row sums.
+        #[test]
+        fn perron_bounded_by_row_sums(
+            rows in proptest::collection::vec(
+                proptest::collection::vec(0.0..1.0f64, 3), 3),
+        ) {
+            let m = Matrix::from_rows(&rows);
+            let sums: Vec<f64> = rows.iter().map(|r| r.iter().sum()).collect();
+            let lo = sums.iter().cloned().fold(f64::INFINITY, f64::min);
+            let hi = sums.iter().cloned().fold(0.0, f64::max);
+            let rho = m.perron_root();
+            prop_assert!(rho >= lo - 1e-6, "rho {rho} below min row sum {lo}");
+            prop_assert!(rho <= hi + 1e-6, "rho {rho} above max row sum {hi}");
+        }
+    }
+}

@@ -1,0 +1,274 @@
+//! Advance reservations — Section III-A2.
+//!
+//! "If all systems in the network share a common time base, advance
+//! reservations could be done for some or all of the data stream." A
+//! stored-video source knows its whole renegotiation schedule before the
+//! first bit is sent, so instead of renegotiating on the fly (and risking
+//! failures), it can *book* the entire piecewise-CBR profile ahead of
+//! time. [`AdvanceBook`] is that per-port booking ledger: a timeline of
+//! future reservations, admission-checked against the port capacity at
+//! every instant.
+
+use serde::{Deserialize, Serialize};
+
+/// One booked interval: `[start, end)` at `rate` for `vci`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+struct Booking {
+    vci: u32,
+    start: f64,
+    end: f64,
+    rate: f64,
+}
+
+/// A port's advance-reservation ledger.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AdvanceBook {
+    capacity: f64,
+    bookings: Vec<Booking>,
+}
+
+/// Outcome of a booking attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum BookingOutcome {
+    /// The whole profile fits; it is now booked.
+    Booked,
+    /// The profile would exceed capacity; nothing was booked. Carries the
+    /// earliest time at which it conflicts.
+    Conflict {
+        /// First instant at which the residual capacity is insufficient.
+        at: f64,
+    },
+}
+
+impl AdvanceBook {
+    /// Create a ledger for a port of the given capacity (bits/second).
+    ///
+    /// # Panics
+    /// Panics unless `capacity > 0`.
+    pub fn new(capacity: f64) -> Self {
+        assert!(capacity > 0.0 && capacity.is_finite(), "capacity must be positive");
+        Self { capacity, bookings: Vec::new() }
+    }
+
+    /// Port capacity, bits/second.
+    pub fn capacity(&self) -> f64 {
+        self.capacity
+    }
+
+    /// Total booked rate at time `t`.
+    pub fn booked_at(&self, t: f64) -> f64 {
+        self.bookings
+            .iter()
+            .filter(|b| b.start <= t && t < b.end)
+            .map(|b| b.rate)
+            .sum()
+    }
+
+    /// The peak booked rate within `[start, end)`.
+    pub fn peak_booked(&self, start: f64, end: f64) -> f64 {
+        // Evaluate at every breakpoint inside the window plus the start.
+        let mut peak = self.booked_at(start);
+        for b in &self.bookings {
+            for &edge in &[b.start, b.end] {
+                if edge > start && edge < end {
+                    peak = peak.max(self.booked_at(edge));
+                }
+            }
+        }
+        peak
+    }
+
+    /// Try to book a piecewise-constant profile for `vci` starting at
+    /// `start`: `segments` are `(duration_seconds, rate)` pairs played
+    /// back to back. All-or-nothing.
+    ///
+    /// # Panics
+    /// Panics on empty or malformed profiles.
+    pub fn book_profile(
+        &mut self,
+        vci: u32,
+        start: f64,
+        segments: &[(f64, f64)],
+    ) -> BookingOutcome {
+        assert!(!segments.is_empty(), "profile must be nonempty");
+        assert!(
+            segments.iter().all(|&(d, r)| d > 0.0 && r >= 0.0 && d.is_finite() && r.is_finite()),
+            "profile durations must be positive and rates nonnegative"
+        );
+        // Feasibility check against every breakpoint the profile spans.
+        let mut t = start;
+        for &(dur, rate) in segments {
+            let end = t + dur;
+            if rate > 0.0 {
+                let available = self.capacity - self.peak_booked(t, end);
+                if rate > available + 1e-9 {
+                    // Locate the earliest conflicting instant for the error.
+                    let mut at = t;
+                    let mut probe = self.booked_at(t);
+                    if rate <= self.capacity - probe + 1e-9 {
+                        for b in &self.bookings {
+                            for &edge in &[b.start, b.end] {
+                                if edge > t && edge < end {
+                                    probe = self.booked_at(edge);
+                                    if rate > self.capacity - probe + 1e-9 {
+                                        at = edge;
+                                        break;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    return BookingOutcome::Conflict { at };
+                }
+            }
+            t = end;
+        }
+        // Commit.
+        let mut t = start;
+        for &(dur, rate) in segments {
+            if rate > 0.0 {
+                self.bookings.push(Booking { vci, start: t, end: t + dur, rate });
+            }
+            t += dur;
+        }
+        BookingOutcome::Booked
+    }
+
+    /// Cancel every booking of `vci`; returns how many intervals were
+    /// released.
+    pub fn cancel(&mut self, vci: u32) -> usize {
+        let before = self.bookings.len();
+        self.bookings.retain(|b| b.vci != vci);
+        before - self.bookings.len()
+    }
+
+    /// Drop bookings that ended at or before `now` (ledger hygiene).
+    pub fn expire(&mut self, now: f64) {
+        self.bookings.retain(|b| b.end > now);
+    }
+
+    /// Number of live booked intervals.
+    pub fn len(&self) -> usize {
+        self.bookings.len()
+    }
+
+    /// Whether the ledger is empty.
+    pub fn is_empty(&self) -> bool {
+        self.bookings.is_empty()
+    }
+}
+
+/// Convert a [`rcbr_schedule::Schedule`]-like segment list (as produced by
+/// `Schedule::segments()` with its slot duration) into the
+/// `(duration, rate)` profile [`AdvanceBook::book_profile`] takes.
+pub fn profile_from_segments(
+    segments: &[(usize, f64)],
+    num_slots: usize,
+    slot_duration: f64,
+) -> Vec<(f64, f64)> {
+    assert!(!segments.is_empty(), "need at least one segment");
+    let mut out = Vec::with_capacity(segments.len());
+    for (i, &(start, rate)) in segments.iter().enumerate() {
+        let end = segments.get(i + 1).map_or(num_slots, |&(s, _)| s);
+        out.push(((end - start) as f64 * slot_duration, rate));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn booking_and_queries() {
+        let mut book = AdvanceBook::new(1000.0);
+        assert_eq!(
+            book.book_profile(1, 10.0, &[(5.0, 300.0), (5.0, 600.0)]),
+            BookingOutcome::Booked
+        );
+        assert_eq!(book.booked_at(0.0), 0.0);
+        assert_eq!(book.booked_at(12.0), 300.0);
+        assert_eq!(book.booked_at(17.0), 600.0);
+        assert_eq!(book.booked_at(20.0), 0.0); // end-exclusive
+        assert_eq!(book.peak_booked(0.0, 30.0), 600.0);
+    }
+
+    #[test]
+    fn conflicting_profile_is_rejected_atomically() {
+        let mut book = AdvanceBook::new(1000.0);
+        book.book_profile(1, 0.0, &[(10.0, 700.0)]);
+        // Fits at first, conflicts in the middle.
+        let out = book.book_profile(2, 5.0, &[(2.0, 200.0), (4.0, 400.0)]);
+        assert!(matches!(out, BookingOutcome::Conflict { .. }));
+        // Nothing of VCI 2 leaked into the ledger.
+        assert_eq!(book.cancel(2), 0);
+        // A profile that dodges the overlap fits.
+        assert_eq!(
+            book.book_profile(2, 10.0, &[(2.0, 200.0), (4.0, 400.0)]),
+            BookingOutcome::Booked
+        );
+    }
+
+    #[test]
+    fn conflict_reports_a_sensible_time() {
+        let mut book = AdvanceBook::new(1000.0);
+        book.book_profile(1, 20.0, &[(10.0, 900.0)]);
+        match book.book_profile(2, 0.0, &[(40.0, 200.0)]) {
+            BookingOutcome::Conflict { at } => {
+                assert!((at - 20.0).abs() < 1e-9, "conflict at {at}");
+            }
+            other => panic!("expected conflict, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn zero_rate_segments_need_no_capacity() {
+        let mut book = AdvanceBook::new(100.0);
+        book.book_profile(1, 0.0, &[(10.0, 100.0)]);
+        // A silent profile coexists with a full link.
+        assert_eq!(
+            book.book_profile(2, 0.0, &[(10.0, 0.0)]),
+            BookingOutcome::Booked
+        );
+        assert_eq!(book.len(), 1, "zero-rate intervals are not stored");
+    }
+
+    #[test]
+    fn cancel_and_expire() {
+        let mut book = AdvanceBook::new(1000.0);
+        book.book_profile(1, 0.0, &[(10.0, 100.0), (10.0, 200.0)]);
+        book.book_profile(2, 5.0, &[(10.0, 300.0)]);
+        assert_eq!(book.len(), 3);
+        assert_eq!(book.cancel(1), 2);
+        assert_eq!(book.booked_at(6.0), 300.0);
+        book.expire(20.0);
+        assert!(book.is_empty());
+    }
+
+    #[test]
+    fn whole_rcbr_schedules_can_be_booked_back_to_back() {
+        // Two stored-video sources book full piecewise profiles whose
+        // peaks interleave; a third whose peak collides is refused.
+        let mut book = AdvanceBook::new(1000.0);
+        let a = profile_from_segments(&[(0, 300.0), (50, 800.0)], 100, 1.0);
+        let b = profile_from_segments(&[(0, 600.0), (50, 100.0)], 100, 1.0);
+        assert_eq!(book.book_profile(1, 0.0, &a), BookingOutcome::Booked);
+        assert_eq!(book.book_profile(2, 0.0, &b), BookingOutcome::Booked);
+        // Peak total: max(300+600, 800+100) = 900 <= 1000. A third 200 b/s
+        // constant stream pushes the second half to 1100.
+        let c = vec![(100.0, 200.0)];
+        assert!(matches!(
+            book.book_profile(3, 0.0, &c),
+            BookingOutcome::Conflict { .. }
+        ));
+        // But it fits once source 1 is cancelled.
+        book.cancel(1);
+        assert_eq!(book.book_profile(3, 0.0, &c), BookingOutcome::Booked);
+    }
+
+    #[test]
+    fn profile_conversion_matches_segment_semantics() {
+        let p = profile_from_segments(&[(0, 10.0), (4, 20.0), (6, 5.0)], 10, 0.5);
+        assert_eq!(p, vec![(2.0, 10.0), (1.0, 20.0), (2.0, 5.0)]);
+    }
+}

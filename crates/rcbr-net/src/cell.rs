@@ -1,0 +1,65 @@
+//! ATM cell arithmetic.
+//!
+//! ATM carries everything in 53-byte cells with 48-byte payloads. RCBR's
+//! data path never needs more than "some cell level buffering" (Fig. 3(c)),
+//! because every stream entering the network is CBR; these helpers quantify
+//! that.
+
+/// Bits in one ATM cell (53 bytes).
+pub const CELL_BITS: f64 = 53.0 * 8.0;
+
+/// Payload bits in one ATM cell (48 bytes).
+pub const CELL_PAYLOAD_BITS: f64 = 48.0 * 8.0;
+
+/// Number of whole cells needed to carry `bits` of payload.
+pub fn cells_for_bits(bits: f64) -> u64 {
+    assert!(bits >= 0.0, "bit volume must be nonnegative");
+    (bits / CELL_PAYLOAD_BITS).ceil() as u64
+}
+
+/// Line rate (bits/s of cells on the wire) needed to carry a payload rate
+/// of `payload_bps` — the 53/48 cell tax.
+pub fn line_rate_for_payload(payload_bps: f64) -> f64 {
+    assert!(payload_bps >= 0.0, "rate must be nonnegative");
+    payload_bps * CELL_BITS / CELL_PAYLOAD_BITS
+}
+
+/// Worst-case cell-scale buffering for `n` CBR streams multiplexed FIFO
+/// onto one link: each stream can contribute at most one cell of
+/// simultaneous arrival, so `n` cells bounds the FIFO depth (the classical
+/// CBR multiplexing bound; cf. the paper's claim that CBR "requires minimal
+/// buffering ... in switches").
+pub fn cbr_mux_buffer_bits(n_streams: usize) -> f64 {
+    n_streams as f64 * CELL_BITS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cell_sizes() {
+        assert_eq!(CELL_BITS, 424.0);
+        assert_eq!(CELL_PAYLOAD_BITS, 384.0);
+    }
+
+    #[test]
+    fn cells_round_up() {
+        assert_eq!(cells_for_bits(0.0), 0);
+        assert_eq!(cells_for_bits(1.0), 1);
+        assert_eq!(cells_for_bits(384.0), 1);
+        assert_eq!(cells_for_bits(385.0), 2);
+    }
+
+    #[test]
+    fn line_rate_includes_header_tax() {
+        let lr = line_rate_for_payload(384_000.0);
+        assert!((lr - 424_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mux_buffer_is_linear_in_streams() {
+        assert_eq!(cbr_mux_buffer_bits(0), 0.0);
+        assert_eq!(cbr_mux_buffer_bits(100), 42_400.0);
+    }
+}

@@ -1,0 +1,151 @@
+//! Cell-level FIFO multiplexing of CBR streams.
+//!
+//! The paper's case for CBR inside the network: "because traffic entering
+//! the network is smooth, internal buffers can be small and packet
+//! scheduling need only be first-in first-out". This module checks that
+//! claim at cell granularity: `N` CBR streams emit back-to-back 53-byte
+//! cells at their reserved rates with arbitrary phases into one FIFO
+//! output port; the port needs at most ~`N` cells of buffer, independent
+//! of the streams' rates — the classical CBR-multiplexing bound that
+//! [`crate::cell::cbr_mux_buffer_bits`] quotes.
+
+use crate::cell::CELL_BITS;
+
+/// Result of a cell-level multiplexing run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CellMuxReport {
+    /// Largest FIFO depth observed, cells.
+    pub max_queue_cells: usize,
+    /// Total cells forwarded.
+    pub cells_forwarded: u64,
+    /// Largest per-cell queueing delay observed, seconds.
+    pub max_delay: f64,
+}
+
+/// Simulate `duration` seconds of `N` phase-shifted CBR streams (given as
+/// bits/second each) multiplexed FIFO onto a link of `link_rate`
+/// bits/second. Each stream emits one cell every `CELL_BITS/rate` seconds
+/// starting at its phase offset.
+///
+/// # Panics
+/// Panics if the total input rate exceeds the link rate (an unstable FIFO
+/// has no meaningful bound), or on nonpositive parameters.
+pub fn simulate_cbr_mux(
+    stream_rates: &[f64],
+    phases: &[f64],
+    link_rate: f64,
+    duration: f64,
+) -> CellMuxReport {
+    assert_eq!(stream_rates.len(), phases.len(), "one phase per stream");
+    assert!(!stream_rates.is_empty(), "need at least one stream");
+    assert!(link_rate > 0.0 && duration > 0.0, "invalid link or duration");
+    assert!(
+        stream_rates.iter().all(|&r| r > 0.0),
+        "stream rates must be positive"
+    );
+    let total: f64 = stream_rates.iter().sum();
+    assert!(
+        total <= link_rate * (1.0 + 1e-9),
+        "offered load {total} exceeds link rate {link_rate}"
+    );
+
+    // Gather all cell arrival instants.
+    let mut arrivals: Vec<f64> = Vec::new();
+    for (&rate, &phase) in stream_rates.iter().zip(phases) {
+        let period = CELL_BITS / rate;
+        let mut t = phase % period;
+        while t < duration {
+            arrivals.push(t);
+            t += period;
+        }
+    }
+    arrivals.sort_by(|a, b| a.partial_cmp(b).expect("times are finite"));
+
+    // FIFO with deterministic service: one cell takes CELL_BITS/link_rate.
+    let service_time = CELL_BITS / link_rate;
+    let mut departures: Vec<f64> = Vec::with_capacity(arrivals.len());
+    let mut max_queue = 0usize;
+    let mut max_delay: f64 = 0.0;
+    let mut next_free = 0.0f64;
+    for (i, &t) in arrivals.iter().enumerate() {
+        let start = next_free.max(t);
+        let done = start + service_time;
+        next_free = done;
+        departures.push(done);
+        max_delay = max_delay.max(done - t);
+        // Queue depth at this arrival: cells that arrived but have not yet
+        // departed (including this one). Departures are sorted because the
+        // queue is FIFO with a single server.
+        let served_before = departures.partition_point(|&d| d <= t);
+        max_queue = max_queue.max(i + 1 - served_before);
+    }
+    CellMuxReport {
+        max_queue_cells: max_queue,
+        cells_forwarded: arrivals.len() as u64,
+        max_delay,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcbr_sim::SimRng;
+
+    #[test]
+    fn single_stream_needs_one_cell() {
+        let r = simulate_cbr_mux(&[1_000_000.0], &[0.0], 10_000_000.0, 1.0);
+        assert_eq!(r.max_queue_cells, 1);
+        assert!(r.cells_forwarded > 2000);
+    }
+
+    #[test]
+    fn n_streams_need_at_most_n_cells() {
+        // The classical bound: N simultaneous arrivals is the worst case.
+        let n = 20;
+        let rates = vec![500_000.0; n];
+        let phases = vec![0.0; n]; // adversarial: all aligned
+        let link = 1.2 * 500_000.0 * n as f64;
+        let r = simulate_cbr_mux(&rates, &phases, link, 2.0);
+        assert!(
+            r.max_queue_cells <= n,
+            "queue {} exceeds the N-cell bound",
+            r.max_queue_cells
+        );
+        assert!(r.max_queue_cells >= n / 2, "aligned phases should pile up");
+    }
+
+    #[test]
+    fn random_phases_respect_the_bound_too() {
+        let mut rng = SimRng::from_seed(13);
+        let n = 32;
+        let rates: Vec<f64> =
+            (0..n).map(|_| rng.uniform_in(100_000.0, 2_000_000.0)).collect();
+        let total: f64 = rates.iter().sum();
+        let phases: Vec<f64> = (0..n).map(|_| rng.uniform_in(0.0, 0.01)).collect();
+        let r = simulate_cbr_mux(&rates, &phases, 1.05 * total, 1.0);
+        assert!(
+            r.max_queue_cells <= n + 1,
+            "queue {} exceeds the bound for N = {n}",
+            r.max_queue_cells
+        );
+        // Minimal buffering == tiny delay: under ~N cell times.
+        let cell_time = crate::cell::CELL_BITS / (1.05 * total);
+        assert!(r.max_delay <= (n + 1) as f64 * cell_time * 1.01);
+    }
+
+    #[test]
+    fn delay_scales_with_cell_time_not_with_rate_granularity() {
+        // Doubling the link rate halves the worst-case delay.
+        let rates = vec![400_000.0; 10];
+        let phases = vec![0.0; 10];
+        let slow = simulate_cbr_mux(&rates, &phases, 8_000_000.0, 1.0);
+        let fast = simulate_cbr_mux(&rates, &phases, 16_000_000.0, 1.0);
+        assert!(fast.max_delay < 0.6 * slow.max_delay);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds link rate")]
+    fn overload_rejected() {
+        simulate_cbr_mux(&[600_000.0, 600_000.0], &[0.0, 0.0], 1_000_000.0, 1.0);
+    }
+}

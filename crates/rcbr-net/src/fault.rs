@@ -1,0 +1,117 @@
+//! Signaling fault injection.
+//!
+//! Footnote 2 of the paper: delta-encoded ER fields suffer "parameter
+//! drift in case of RM cell loss", repaired by periodic absolute-rate
+//! resync. [`FaultInjector`] drops signaling messages with a configured
+//! probability so tests and examples can demonstrate the drift and its
+//! repair (in the spirit of smoltcp's `--drop-chance` example option).
+
+use rcbr_sim::SimRng;
+
+/// Drops messages with a fixed probability.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    drop_probability: f64,
+    rng: SimRng,
+    dropped: u64,
+    passed: u64,
+}
+
+impl FaultInjector {
+    /// Create an injector.
+    ///
+    /// # Panics
+    /// Panics unless `drop_probability ∈ [0, 1]`.
+    pub fn new(drop_probability: f64, rng: SimRng) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&drop_probability),
+            "drop probability must be in [0, 1]"
+        );
+        Self { drop_probability, rng, dropped: 0, passed: 0 }
+    }
+
+    /// A pass-through injector (never drops).
+    pub fn transparent() -> Self {
+        Self::new(0.0, SimRng::from_seed(0))
+    }
+
+    /// Decide the fate of one message: `true` = delivered.
+    pub fn deliver(&mut self) -> bool {
+        if self.rng.chance(self.drop_probability) {
+            self.dropped += 1;
+            false
+        } else {
+            self.passed += 1;
+            true
+        }
+    }
+
+    /// Messages dropped so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Messages delivered so far.
+    pub fn passed(&self) -> u64 {
+        self.passed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rm::RmCell;
+    use crate::switch::Switch;
+
+    #[test]
+    fn transparent_never_drops() {
+        let mut f = FaultInjector::transparent();
+        for _ in 0..1000 {
+            assert!(f.deliver());
+        }
+        assert_eq!(f.dropped(), 0);
+        assert_eq!(f.passed(), 1000);
+    }
+
+    #[test]
+    fn drop_rate_is_respected() {
+        let mut f = FaultInjector::new(0.25, SimRng::from_seed(9));
+        for _ in 0..20_000 {
+            f.deliver();
+        }
+        let frac = f.dropped() as f64 / 20_000.0;
+        assert!((frac - 0.25).abs() < 0.02, "drop fraction {frac}");
+    }
+
+    #[test]
+    fn drift_and_resync_scenario() {
+        // A source sends +delta cells through a lossy channel; the switch's
+        // view drifts below the source's, then a resync repairs it exactly.
+        let mut sw = Switch::new(&[1_000_000.0]);
+        sw.setup(1, 0, 100_000.0).unwrap();
+        let mut faults = FaultInjector::new(0.5, SimRng::from_seed(3));
+        let mut source_view = 100_000.0;
+        for _ in 0..20 {
+            let delta = 10_000.0;
+            source_view += delta; // source assumes success optimistically
+            if faults.deliver() {
+                sw.process_rm(RmCell::delta(1, delta)).unwrap();
+            }
+        }
+        let switch_view = sw.vci_rate(1).unwrap();
+        assert!(faults.dropped() > 0, "seed should drop something");
+        assert!(
+            switch_view < source_view,
+            "drift expected: switch {switch_view} vs source {source_view}"
+        );
+        // Resync with the true rate repairs the drift.
+        sw.process_rm(RmCell::resync(1, source_view)).unwrap();
+        assert_eq!(sw.vci_rate(1), Some(source_view));
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn invalid_probability_rejected() {
+        FaultInjector::new(1.5, SimRng::from_seed(0));
+    }
+}

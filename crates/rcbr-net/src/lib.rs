@@ -1,0 +1,50 @@
+#![warn(missing_docs)]
+
+//! # rcbr-net — the ATM-style network substrate (Section III)
+//!
+//! RCBR's whole point is that it needs almost nothing from switches:
+//! traffic entering the network is CBR, so "internal buffers can be small
+//! and packet scheduling need only be FIFO", and renegotiation signaling is
+//! two table lookups per hop. This crate models exactly that machinery:
+//!
+//! * [`cell`] — ATM cell arithmetic (53-byte cells, 48-byte payloads) and
+//!   the small cell-scale FIFO buffering CBR multiplexing needs.
+//! * [`rm`] — resource-management cells reused for lightweight
+//!   renegotiation signaling (Section III-B): the ER field carries the
+//!   *difference* between old and new rates so the fast path needs no
+//!   per-VCI state, with periodic absolute-rate resync cells repairing the
+//!   parameter drift that delta-encoding suffers when RM cells are lost.
+//!   Cells have a real wire encoding (exercised by the `bytes` crate).
+//! * [`port`] — an output port: capacity, aggregate reservation, the
+//!   two-lookup admission check (`utilization + delta <= capacity`), and
+//!   slow-path per-VCI accounting for resync.
+//! * [`switch`] — a switch: VCI table plus ports; processes RM cells by
+//!   port lookup + reservation check, denying by clearing the ER field.
+//! * [`path`] — multi-hop renegotiation: every hop is a possible point of
+//!   failure (Section III-C); a denial at hop `k` rolls back reservations
+//!   made at hops `1..k`. Per-hop latency accumulates into the
+//!   request/confirm round-trip time.
+//! * [`fault`] — signaling-loss injection, demonstrating drift and its
+//!   repair by resync.
+
+pub mod advance;
+pub mod cell;
+pub mod cellmux;
+pub mod fault;
+pub mod path;
+pub mod port;
+pub mod rm;
+pub mod rsvp;
+pub mod switch;
+pub mod topology;
+
+pub use advance::{profile_from_segments, AdvanceBook, BookingOutcome};
+pub use cell::{cells_for_bits, CELL_BITS, CELL_PAYLOAD_BITS};
+pub use cellmux::{simulate_cbr_mux, CellMuxReport};
+pub use fault::FaultInjector;
+pub use path::{Path, RenegotiationOutcome};
+pub use port::OutputPort;
+pub use rm::RmCell;
+pub use rsvp::{FlowSpec, ResvOutcome, RsvpRouter};
+pub use switch::{Switch, SwitchError};
+pub use topology::{Link, Topology};

@@ -1,0 +1,208 @@
+//! Switch output ports.
+//!
+//! The RCBR fast path at a port is two lookups and one comparison
+//! (Section III-B): "it checks if the current port utilization plus the
+//! rate difference is less than the port capacity. If this is true, then
+//! the renegotiation request succeeds, and the VCI and port statistics are
+//! updated."
+//!
+//! The port also keeps per-VCI reservations. The paper notes the fast path
+//! does not *need* them ("RCBR support does not require per-VCI state");
+//! here they serve the slow path — absolute-rate resync cells and
+//! connection teardown — and let tests audit that the aggregate never
+//! drifts from the sum of its parts.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+/// One output port of a switch.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct OutputPort {
+    capacity: f64,
+    reserved: f64,
+    per_vci: HashMap<u32, f64>,
+}
+
+impl OutputPort {
+    /// Create a port with the given capacity in bits/second.
+    ///
+    /// # Panics
+    /// Panics unless `capacity > 0` and finite.
+    pub fn new(capacity: f64) -> Self {
+        assert!(capacity > 0.0 && capacity.is_finite(), "port capacity must be positive");
+        Self { capacity, reserved: 0.0, per_vci: HashMap::new() }
+    }
+
+    /// Port capacity, bits/second.
+    pub fn capacity(&self) -> f64 {
+        self.capacity
+    }
+
+    /// Aggregate reserved bandwidth, bits/second.
+    pub fn reserved(&self) -> f64 {
+        self.reserved
+    }
+
+    /// Utilization fraction `reserved / capacity`.
+    pub fn utilization(&self) -> f64 {
+        self.reserved / self.capacity
+    }
+
+    /// Unreserved headroom, bits/second.
+    pub fn headroom(&self) -> f64 {
+        (self.capacity - self.reserved).max(0.0)
+    }
+
+    /// Current reservation of a VCI (0 if unknown).
+    pub fn vci_rate(&self, vci: u32) -> f64 {
+        self.per_vci.get(&vci).copied().unwrap_or(0.0)
+    }
+
+    /// Number of VCIs with a nonzero reservation record.
+    pub fn active_vcis(&self) -> usize {
+        self.per_vci.len()
+    }
+
+    /// The fast-path check-and-update: apply a rate `delta` for `vci`.
+    ///
+    /// Succeeds iff the new aggregate fits the capacity and the VCI's own
+    /// reservation stays nonnegative (a stale negative delta after drift
+    /// must not push a reservation below zero). Rate decreases always
+    /// succeed at the aggregate level.
+    pub fn try_reserve_delta(&mut self, vci: u32, delta: f64) -> bool {
+        assert!(delta.is_finite(), "rate delta must be finite");
+        let old = self.vci_rate(vci);
+        let new = old + delta;
+        if new < -1e-9 {
+            return false;
+        }
+        let new = new.max(0.0);
+        if delta > 0.0 && self.reserved + delta > self.capacity + 1e-9 {
+            return false;
+        }
+        self.apply(vci, old, new);
+        true
+    }
+
+    /// The slow path: set `vci`'s reservation to an absolute rate
+    /// (resync). Succeeds iff the resulting aggregate fits.
+    pub fn try_set_absolute(&mut self, vci: u32, rate: f64) -> bool {
+        assert!(rate >= 0.0 && rate.is_finite(), "absolute rate must be nonnegative");
+        let old = self.vci_rate(vci);
+        if self.reserved - old + rate > self.capacity + 1e-9 {
+            return false;
+        }
+        self.apply(vci, old, rate);
+        true
+    }
+
+    /// Release everything reserved by `vci` (teardown). Returns the rate
+    /// released.
+    pub fn release(&mut self, vci: u32) -> f64 {
+        let old = self.vci_rate(vci);
+        self.apply(vci, old, 0.0);
+        old
+    }
+
+    fn apply(&mut self, vci: u32, old: f64, new: f64) {
+        self.reserved = (self.reserved - old + new).max(0.0);
+        if new == 0.0 {
+            self.per_vci.remove(&vci);
+        } else {
+            self.per_vci.insert(vci, new);
+        }
+    }
+
+    /// Audit: aggregate equals the sum of per-VCI reservations (used by
+    /// tests and debug assertions to catch drift bugs in the switch).
+    pub fn is_consistent(&self) -> bool {
+        let sum: f64 = self.per_vci.values().sum();
+        (self.reserved - sum).abs() <= 1e-6 * self.reserved.abs().max(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn reserve_and_release() {
+        let mut p = OutputPort::new(1000.0);
+        assert!(p.try_reserve_delta(1, 400.0));
+        assert!(p.try_reserve_delta(2, 500.0));
+        assert_eq!(p.reserved(), 900.0);
+        assert!((p.utilization() - 0.9).abs() < 1e-12);
+        assert!(!p.try_reserve_delta(3, 200.0)); // would exceed capacity
+        assert_eq!(p.release(1), 400.0);
+        assert!(p.try_reserve_delta(3, 200.0));
+        assert!(p.is_consistent());
+    }
+
+    #[test]
+    fn decreases_always_fit() {
+        let mut p = OutputPort::new(100.0);
+        assert!(p.try_reserve_delta(1, 100.0));
+        assert!(p.try_reserve_delta(1, -40.0));
+        assert_eq!(p.vci_rate(1), 60.0);
+        assert_eq!(p.headroom(), 40.0);
+    }
+
+    #[test]
+    fn vci_cannot_go_negative() {
+        let mut p = OutputPort::new(100.0);
+        assert!(p.try_reserve_delta(1, 30.0));
+        assert!(!p.try_reserve_delta(1, -50.0));
+        assert_eq!(p.vci_rate(1), 30.0);
+    }
+
+    #[test]
+    fn absolute_resync_repairs_state() {
+        let mut p = OutputPort::new(1000.0);
+        assert!(p.try_reserve_delta(1, 300.0));
+        // Drift: suppose the source believes 500 (a +200 delta was lost).
+        assert!(p.try_set_absolute(1, 500.0));
+        assert_eq!(p.vci_rate(1), 500.0);
+        assert_eq!(p.reserved(), 500.0);
+        assert!(p.is_consistent());
+    }
+
+    #[test]
+    fn absolute_resync_respects_capacity() {
+        let mut p = OutputPort::new(1000.0);
+        assert!(p.try_reserve_delta(1, 600.0));
+        assert!(p.try_reserve_delta(2, 300.0));
+        assert!(!p.try_set_absolute(2, 500.0)); // 600 + 500 > 1000
+        assert_eq!(p.vci_rate(2), 300.0);
+    }
+
+    #[test]
+    fn release_unknown_vci_is_noop() {
+        let mut p = OutputPort::new(10.0);
+        assert_eq!(p.release(99), 0.0);
+        assert!(p.is_consistent());
+    }
+
+    proptest! {
+        /// Random operation sequences keep the port consistent and within
+        /// capacity.
+        #[test]
+        fn port_invariants_hold(
+            ops in proptest::collection::vec(
+                (0u32..5, -500.0..500.0f64, any::<bool>()), 1..200),
+        ) {
+            let mut p = OutputPort::new(1000.0);
+            for (vci, rate, absolute) in ops {
+                if absolute {
+                    p.try_set_absolute(vci, rate.abs());
+                } else {
+                    p.try_reserve_delta(vci, rate);
+                }
+                prop_assert!(p.is_consistent());
+                prop_assert!(p.reserved() <= p.capacity() + 1e-6);
+                prop_assert!(p.reserved() >= -1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,171 @@
+//! Resource-management (RM) cells reused for renegotiation signaling.
+//!
+//! Section III-B: "An RCBR source sets the explicit rate (ER) field in the
+//! RM cell to the *difference* between its old and new rates" — so the
+//! switch fast path needs only the port's utilization and capacity, not
+//! per-VCI state. Delta encoding drifts if an RM cell is lost, so the
+//! source "periodically sends an RM cell with the true explicit rate,
+//! instead of a difference" to resynchronize.
+//!
+//! The wire format here is a compact 16-byte encoding (VCI, kind, flags,
+//! rate field) — deliberately simpler than the real I.371 RM payload, but a
+//! genuine byte-level codec so that loss, truncation, and corruption are
+//! representable.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use serde::{Deserialize, Serialize};
+
+/// What the rate field of an [`RmCell`] means.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum RateField {
+    /// Fast path: signed change to the current reservation, bits/second.
+    Delta(f64),
+    /// Slow path: the absolute reservation, bits/second (resync).
+    Absolute(f64),
+}
+
+/// A renegotiation RM cell.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RmCell {
+    /// Virtual channel identifier.
+    pub vci: u32,
+    /// The rate request.
+    pub rate: RateField,
+    /// Set by a switch to deny the request (the "modify the ER field"
+    /// denial of Section III-B).
+    pub denied: bool,
+}
+
+impl RmCell {
+    /// A fast-path delta request.
+    pub fn delta(vci: u32, delta_bps: f64) -> Self {
+        Self { vci, rate: RateField::Delta(delta_bps), denied: false }
+    }
+
+    /// A slow-path absolute resync.
+    pub fn resync(vci: u32, rate_bps: f64) -> Self {
+        assert!(rate_bps >= 0.0, "absolute rate must be nonnegative");
+        Self { vci, rate: RateField::Absolute(rate_bps), denied: false }
+    }
+
+    /// Encode to the 16-byte wire format.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(16);
+        buf.put_u32(self.vci);
+        let kind: u8 = match self.rate {
+            RateField::Delta(_) => 0,
+            RateField::Absolute(_) => 1,
+        };
+        buf.put_u8(kind);
+        buf.put_u8(u8::from(self.denied));
+        buf.put_u16(0); // reserved
+        let v = match self.rate {
+            RateField::Delta(d) | RateField::Absolute(d) => d,
+        };
+        buf.put_f64(v);
+        buf.freeze()
+    }
+
+    /// Decode from the wire format.
+    ///
+    /// Returns `None` for short buffers, unknown kinds, or rate fields that
+    /// are not finite (a corrupted cell must not crash the switch).
+    pub fn decode(mut buf: Bytes) -> Option<Self> {
+        if buf.len() < 16 {
+            return None;
+        }
+        let vci = buf.get_u32();
+        let kind = buf.get_u8();
+        let denied = buf.get_u8() != 0;
+        let _reserved = buf.get_u16();
+        let v = buf.get_f64();
+        if !v.is_finite() {
+            return None;
+        }
+        let rate = match kind {
+            0 => RateField::Delta(v),
+            1 => {
+                if v < 0.0 {
+                    return None;
+                }
+                RateField::Absolute(v)
+            }
+            _ => return None,
+        };
+        Some(Self { vci, rate, denied })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn roundtrip_delta() {
+        let cell = RmCell::delta(42, -64_000.0);
+        let back = RmCell::decode(cell.encode()).unwrap();
+        assert_eq!(cell, back);
+    }
+
+    #[test]
+    fn roundtrip_resync_and_denial() {
+        let mut cell = RmCell::resync(7, 374_000.0);
+        cell.denied = true;
+        let back = RmCell::decode(cell.encode()).unwrap();
+        assert_eq!(cell, back);
+        assert!(back.denied);
+    }
+
+    #[test]
+    fn short_buffer_rejected() {
+        let cell = RmCell::delta(1, 1.0);
+        let bytes = cell.encode();
+        assert!(RmCell::decode(bytes.slice(0..10)).is_none());
+    }
+
+    #[test]
+    fn unknown_kind_rejected() {
+        let mut raw = BytesMut::from(&RmCell::delta(1, 1.0).encode()[..]);
+        raw[4] = 99;
+        assert!(RmCell::decode(raw.freeze()).is_none());
+    }
+
+    #[test]
+    fn non_finite_rate_rejected() {
+        let mut raw = BytesMut::from(&RmCell::delta(1, 1.0).encode()[..]);
+        for (i, b) in f64::NAN.to_be_bytes().iter().enumerate() {
+            raw[8 + i] = *b;
+        }
+        assert!(RmCell::decode(raw.freeze()).is_none());
+    }
+
+    #[test]
+    fn negative_absolute_rejected() {
+        let mut raw = BytesMut::from(&RmCell::resync(1, 5.0).encode()[..]);
+        for (i, b) in (-5.0f64).to_be_bytes().iter().enumerate() {
+            raw[8 + i] = *b;
+        }
+        assert!(RmCell::decode(raw.freeze()).is_none());
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip_any_cell(
+            vci in any::<u32>(),
+            v in -1e12..1e12f64,
+            absolute in any::<bool>(),
+            denied in any::<bool>(),
+        ) {
+            let rate = if absolute { RateField::Absolute(v.abs()) } else { RateField::Delta(v) };
+            let cell = RmCell { vci, rate, denied };
+            prop_assert_eq!(RmCell::decode(cell.encode()), Some(cell));
+        }
+
+        /// Decoding arbitrary bytes never panics.
+        #[test]
+        fn decode_is_total(raw in proptest::collection::vec(any::<u8>(), 0..64)) {
+            let _ = RmCell::decode(Bytes::from(raw));
+        }
+    }
+}

@@ -1,0 +1,244 @@
+//! RSVP-style soft-state reservations — the Integrated Services Internet
+//! side of Section III-B.
+//!
+//! "Sources and receivers periodically refresh their network reservation
+//! state using the RSVP signaling protocol. A source periodically emits a
+//! PATH message describing its characteristics, and each receiver
+//! periodically emits a RESV message requesting a reservation. To
+//! renegotiate its service rate, a source should change its traffic
+//! description (flowspec) in the PATH message, and the receivers should
+//! correspondingly change their reservation in the RESV message."
+//!
+//! This module models exactly that: per-session soft state at a router
+//! that *expires unless refreshed*, refreshes that carry the current
+//! flowspec (so renegotiation rides the refresh for free), and the
+//! paper's observation that RSVP refreshes were "viewed primarily as a
+//! mechanism for state management, rather than for rate adaptation" — a
+//! session that never changes its flowspec just re-asserts its old rate.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+/// A session's traffic description: for RCBR, just a rate (the paper's
+/// point is that the descriptor can be trivially simple).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FlowSpec {
+    /// Requested reservation, bits/second.
+    pub rate: f64,
+}
+
+/// Outcome of processing a RESV (refresh or renegotiation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ResvOutcome {
+    /// Reservation installed or updated to the requested rate.
+    Installed,
+    /// The update did not fit; the previous reservation (if any) remains.
+    Rejected,
+}
+
+#[derive(Debug, Clone)]
+struct SoftState {
+    rate: f64,
+    expires_at: f64,
+}
+
+/// Per-router RSVP soft state with a capacity-checked reservation table.
+///
+/// State not refreshed within `timeout` seconds is garbage-collected by
+/// [`RsvpRouter::expire`], releasing its bandwidth — the soft-state
+/// property that distinguishes this from the ATM hard state in
+/// [`crate::switch`].
+#[derive(Debug, Clone)]
+pub struct RsvpRouter {
+    capacity: f64,
+    timeout: f64,
+    sessions: HashMap<u64, SoftState>,
+    reserved: f64,
+}
+
+impl RsvpRouter {
+    /// Create a router with the given link capacity (bits/second) and
+    /// soft-state timeout (seconds).
+    ///
+    /// # Panics
+    /// Panics unless both are positive and finite.
+    pub fn new(capacity: f64, timeout: f64) -> Self {
+        assert!(capacity > 0.0 && capacity.is_finite(), "capacity must be positive");
+        assert!(timeout > 0.0 && timeout.is_finite(), "timeout must be positive");
+        Self { capacity, timeout, sessions: HashMap::new(), reserved: 0.0 }
+    }
+
+    /// Link capacity, bits/second.
+    pub fn capacity(&self) -> f64 {
+        self.capacity
+    }
+
+    /// Currently reserved bandwidth, bits/second.
+    pub fn reserved(&self) -> f64 {
+        self.reserved
+    }
+
+    /// Number of live sessions.
+    pub fn sessions(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// The rate currently reserved for a session, if any.
+    pub fn session_rate(&self, session: u64) -> Option<f64> {
+        self.sessions.get(&session).map(|s| s.rate)
+    }
+
+    /// Process a RESV message at time `now`: install, refresh, or
+    /// renegotiate the session's reservation to `spec.rate`.
+    ///
+    /// A pure refresh (same rate) always succeeds and only extends the
+    /// lifetime. A change is admission-checked: if the *delta* does not
+    /// fit, the old reservation stays installed and keeps its (extended)
+    /// lifetime — the RCBR semantics that a failed renegotiation does not
+    /// evict the source.
+    pub fn resv(&mut self, now: f64, session: u64, spec: FlowSpec) -> ResvOutcome {
+        assert!(spec.rate >= 0.0 && spec.rate.is_finite(), "rate must be nonnegative");
+        let expires_at = now + self.timeout;
+        match self.sessions.get_mut(&session) {
+            Some(state) => {
+                // Refresh always extends the lifetime, even if a rate
+                // change is rejected.
+                state.expires_at = expires_at;
+                let old = state.rate;
+                if spec.rate == old {
+                    return ResvOutcome::Installed;
+                }
+                if self.reserved - old + spec.rate > self.capacity + 1e-9 {
+                    return ResvOutcome::Rejected;
+                }
+                state.rate = spec.rate;
+                self.reserved += spec.rate - old;
+                ResvOutcome::Installed
+            }
+            None => {
+                if self.reserved + spec.rate > self.capacity + 1e-9 {
+                    return ResvOutcome::Rejected;
+                }
+                self.sessions.insert(session, SoftState { rate: spec.rate, expires_at });
+                self.reserved += spec.rate;
+                ResvOutcome::Installed
+            }
+        }
+    }
+
+    /// Explicit teardown (RSVP `ResvTear`). Returns the released rate.
+    pub fn teardown(&mut self, session: u64) -> f64 {
+        match self.sessions.remove(&session) {
+            Some(state) => {
+                self.reserved = (self.reserved - state.rate).max(0.0);
+                state.rate
+            }
+            None => 0.0,
+        }
+    }
+
+    /// Garbage-collect state whose lifetime has lapsed at `now`; returns
+    /// the number of sessions expired.
+    pub fn expire(&mut self, now: f64) -> usize {
+        let before = self.sessions.len();
+        let mut released = 0.0;
+        self.sessions.retain(|_, s| {
+            if s.expires_at <= now {
+                released += s.rate;
+                false
+            } else {
+                true
+            }
+        });
+        self.reserved = (self.reserved - released).max(0.0);
+        before - self.sessions.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn install_refresh_renegotiate() {
+        let mut r = RsvpRouter::new(1_000_000.0, 30.0);
+        assert_eq!(r.resv(0.0, 1, FlowSpec { rate: 300_000.0 }), ResvOutcome::Installed);
+        assert_eq!(r.session_rate(1), Some(300_000.0));
+        // Pure refresh: same rate, later time.
+        assert_eq!(r.resv(10.0, 1, FlowSpec { rate: 300_000.0 }), ResvOutcome::Installed);
+        // Renegotiation rides the refresh.
+        assert_eq!(r.resv(20.0, 1, FlowSpec { rate: 500_000.0 }), ResvOutcome::Installed);
+        assert_eq!(r.reserved(), 500_000.0);
+    }
+
+    #[test]
+    fn rejected_change_keeps_old_state_alive() {
+        let mut r = RsvpRouter::new(1_000_000.0, 30.0);
+        r.resv(0.0, 1, FlowSpec { rate: 600_000.0 });
+        r.resv(0.0, 2, FlowSpec { rate: 300_000.0 });
+        // Session 2 asks for more than fits.
+        assert_eq!(r.resv(5.0, 2, FlowSpec { rate: 500_000.0 }), ResvOutcome::Rejected);
+        assert_eq!(r.session_rate(2), Some(300_000.0));
+        // But the rejection still refreshed the lifetime: expiry at 35,
+        // not 30.
+        assert_eq!(r.expire(31.0), 1, "only session 1 (refreshed at 0) expires");
+        assert_eq!(r.session_rate(2), Some(300_000.0));
+    }
+
+    #[test]
+    fn soft_state_expires_and_frees_bandwidth() {
+        let mut r = RsvpRouter::new(1_000_000.0, 30.0);
+        r.resv(0.0, 1, FlowSpec { rate: 900_000.0 });
+        // A newcomer is blocked while the state lives...
+        assert_eq!(r.resv(10.0, 2, FlowSpec { rate: 400_000.0 }), ResvOutcome::Rejected);
+        // ...the holder dies silently (no teardown), state expires...
+        assert_eq!(r.expire(30.0), 1);
+        assert_eq!(r.reserved(), 0.0);
+        // ...and the newcomer fits.
+        assert_eq!(r.resv(31.0, 2, FlowSpec { rate: 400_000.0 }), ResvOutcome::Installed);
+    }
+
+    #[test]
+    fn refresh_keeps_state_alive_indefinitely() {
+        let mut r = RsvpRouter::new(1_000_000.0, 30.0);
+        r.resv(0.0, 1, FlowSpec { rate: 100_000.0 });
+        for i in 1..20 {
+            let now = i as f64 * 25.0; // refresh inside every timeout window
+            assert_eq!(r.expire(now), 0);
+            assert_eq!(r.resv(now, 1, FlowSpec { rate: 100_000.0 }), ResvOutcome::Installed);
+        }
+        assert_eq!(r.sessions(), 1);
+    }
+
+    #[test]
+    fn explicit_teardown() {
+        let mut r = RsvpRouter::new(1_000_000.0, 30.0);
+        r.resv(0.0, 1, FlowSpec { rate: 250_000.0 });
+        assert_eq!(r.teardown(1), 250_000.0);
+        assert_eq!(r.teardown(1), 0.0);
+        assert_eq!(r.reserved(), 0.0);
+    }
+
+    #[test]
+    fn renegotiation_cadence_vs_refresh_cadence() {
+        // The paper's RCBR-over-RSVP sizing argument: renegotiations every
+        // ~10 s piggyback on refreshes for free. Simulate 2 minutes of a
+        // source refreshing every 5 s and changing its flowspec every
+        // other refresh; the router sees no extra messages.
+        let mut r = RsvpRouter::new(10_000_000.0, 30.0);
+        let mut messages = 0;
+        let mut rate = 300_000.0;
+        for i in 0..24 {
+            let now = i as f64 * 5.0;
+            if i % 2 == 1 {
+                rate = if rate == 300_000.0 { 500_000.0 } else { 300_000.0 };
+            }
+            assert_eq!(r.resv(now, 7, FlowSpec { rate }), ResvOutcome::Installed);
+            messages += 1;
+            r.expire(now);
+        }
+        assert_eq!(messages, 24); // one per refresh period, renegotiation included
+        assert_eq!(r.sessions(), 1);
+    }
+}

@@ -1,0 +1,219 @@
+//! Switches: a VCI table plus output ports.
+//!
+//! Processing an RM cell is the two-lookup fast path of Section III-B:
+//! "a switch-controller ... determines the output port of the VCI in one
+//! lookup, and the utilization and capacity of the output port in a second
+//! lookup" — then the check-and-update lives in [`OutputPort`]. A denial is
+//! signalled by setting the cell's `denied` flag (the paper's "the
+//! controller modifies the ER field to deny the request").
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::port::OutputPort;
+use crate::rm::{RateField, RmCell};
+
+/// Errors from switch management operations.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SwitchError {
+    /// The VCI is not in the routing table.
+    UnknownVci(u32),
+    /// The port index does not exist.
+    UnknownPort(usize),
+    /// The VCI is already routed.
+    VciInUse(u32),
+}
+
+impl std::fmt::Display for SwitchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SwitchError::UnknownVci(v) => write!(f, "unknown VCI {v}"),
+            SwitchError::UnknownPort(p) => write!(f, "unknown port {p}"),
+            SwitchError::VciInUse(v) => write!(f, "VCI {v} already routed"),
+        }
+    }
+}
+
+impl std::error::Error for SwitchError {}
+
+/// An ATM switch with RCBR renegotiation support.
+///
+/// ```
+/// use rcbr_net::{RmCell, Switch};
+///
+/// let mut switch = Switch::new(&[1_000_000.0]);
+/// switch.setup(1, 0, 300_000.0).unwrap();
+/// // Fast-path renegotiation: +200 kb/s fits.
+/// let cell = switch.process_rm(RmCell::delta(1, 200_000.0)).unwrap();
+/// assert!(!cell.denied);
+/// assert_eq!(switch.vci_rate(1), Some(500_000.0));
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Switch {
+    ports: Vec<OutputPort>,
+    vci_table: HashMap<u32, usize>,
+}
+
+impl Switch {
+    /// Create a switch with one port per capacity entry (bits/second).
+    ///
+    /// # Panics
+    /// Panics if `port_capacities` is empty or contains an invalid
+    /// capacity.
+    pub fn new(port_capacities: &[f64]) -> Self {
+        assert!(!port_capacities.is_empty(), "switch needs at least one port");
+        Self {
+            ports: port_capacities.iter().map(|&c| OutputPort::new(c)).collect(),
+            vci_table: HashMap::new(),
+        }
+    }
+
+    /// Number of ports.
+    pub fn num_ports(&self) -> usize {
+        self.ports.len()
+    }
+
+    /// Inspect a port.
+    pub fn port(&self, idx: usize) -> Option<&OutputPort> {
+        self.ports.get(idx)
+    }
+
+    /// Route `vci` to `port` with an initial reservation of `rate` b/s —
+    /// the call-setup step, which unlike renegotiation *does* allocate a
+    /// connection identifier and housekeeping records.
+    ///
+    /// Fails (without side effects) if the VCI is taken, the port does not
+    /// exist, or the rate does not fit.
+    pub fn setup(&mut self, vci: u32, port: usize, rate: f64) -> Result<bool, SwitchError> {
+        if self.vci_table.contains_key(&vci) {
+            return Err(SwitchError::VciInUse(vci));
+        }
+        let p = self.ports.get_mut(port).ok_or(SwitchError::UnknownPort(port))?;
+        if !p.try_reserve_delta(vci, rate) {
+            return Ok(false);
+        }
+        self.vci_table.insert(vci, port);
+        Ok(true)
+    }
+
+    /// Tear down `vci`, releasing its reservation. Returns the rate
+    /// released.
+    pub fn teardown(&mut self, vci: u32) -> Result<f64, SwitchError> {
+        let port = self.vci_table.remove(&vci).ok_or(SwitchError::UnknownVci(vci))?;
+        Ok(self.ports[port].release(vci))
+    }
+
+    /// Process a renegotiation RM cell: the fast path. Returns the cell,
+    /// with `denied` set if this switch (or an upstream one) denied it.
+    ///
+    /// A cell already marked denied passes through untouched — downstream
+    /// switches must not reserve for a request that has already failed.
+    pub fn process_rm(&mut self, mut cell: RmCell) -> Result<RmCell, SwitchError> {
+        if cell.denied {
+            return Ok(cell);
+        }
+        let port = *self.vci_table.get(&cell.vci).ok_or(SwitchError::UnknownVci(cell.vci))?;
+        let ok = match cell.rate {
+            RateField::Delta(d) => self.ports[port].try_reserve_delta(cell.vci, d),
+            RateField::Absolute(r) => self.ports[port].try_set_absolute(cell.vci, r),
+        };
+        cell.denied = !ok;
+        Ok(cell)
+    }
+
+    /// Undo a previously applied delta (used by multi-hop rollback when a
+    /// downstream switch denies).
+    pub fn rollback_delta(&mut self, vci: u32, delta: f64) -> Result<(), SwitchError> {
+        let port = *self.vci_table.get(&vci).ok_or(SwitchError::UnknownVci(vci))?;
+        // Reversing a previously granted delta always fits.
+        let ok = self.ports[port].try_reserve_delta(vci, -delta);
+        debug_assert!(ok, "rollback of a granted delta must succeed");
+        Ok(())
+    }
+
+    /// The reservation this switch holds for `vci`.
+    pub fn vci_rate(&self, vci: u32) -> Option<f64> {
+        let port = *self.vci_table.get(&vci)?;
+        Some(self.ports[port].vci_rate(vci))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn one_port_switch(cap: f64) -> Switch {
+        Switch::new(&[cap])
+    }
+
+    #[test]
+    fn setup_process_teardown() {
+        let mut sw = one_port_switch(1000.0);
+        assert_eq!(sw.setup(1, 0, 300.0), Ok(true));
+        let cell = sw.process_rm(RmCell::delta(1, 200.0)).unwrap();
+        assert!(!cell.denied);
+        assert_eq!(sw.vci_rate(1), Some(500.0));
+        assert_eq!(sw.teardown(1), Ok(500.0));
+        assert_eq!(sw.port(0).unwrap().reserved(), 0.0);
+    }
+
+    #[test]
+    fn denial_sets_flag_and_keeps_state() {
+        let mut sw = one_port_switch(1000.0);
+        sw.setup(1, 0, 900.0).unwrap();
+        let cell = sw.process_rm(RmCell::delta(1, 200.0)).unwrap();
+        assert!(cell.denied);
+        // "Even if the renegotiation fails, the source can keep whatever
+        // bandwidth it already has."
+        assert_eq!(sw.vci_rate(1), Some(900.0));
+    }
+
+    #[test]
+    fn already_denied_cells_pass_through() {
+        let mut sw = one_port_switch(1000.0);
+        sw.setup(1, 0, 100.0).unwrap();
+        let mut cell = RmCell::delta(1, 200.0);
+        cell.denied = true;
+        let out = sw.process_rm(cell).unwrap();
+        assert!(out.denied);
+        assert_eq!(sw.vci_rate(1), Some(100.0)); // nothing reserved
+    }
+
+    #[test]
+    fn unknown_vci_is_an_error() {
+        let mut sw = one_port_switch(10.0);
+        assert_eq!(
+            sw.process_rm(RmCell::delta(9, 1.0)),
+            Err(SwitchError::UnknownVci(9))
+        );
+        assert_eq!(sw.teardown(9), Err(SwitchError::UnknownVci(9)));
+    }
+
+    #[test]
+    fn setup_conflicts() {
+        let mut sw = one_port_switch(100.0);
+        assert_eq!(sw.setup(1, 0, 10.0), Ok(true));
+        assert_eq!(sw.setup(1, 0, 10.0), Err(SwitchError::VciInUse(1)));
+        assert_eq!(sw.setup(2, 5, 10.0), Err(SwitchError::UnknownPort(5)));
+        assert_eq!(sw.setup(3, 0, 1000.0), Ok(false)); // doesn't fit
+    }
+
+    #[test]
+    fn resync_cell_is_processed_on_slow_path() {
+        let mut sw = one_port_switch(1000.0);
+        sw.setup(1, 0, 300.0).unwrap();
+        let out = sw.process_rm(RmCell::resync(1, 450.0)).unwrap();
+        assert!(!out.denied);
+        assert_eq!(sw.vci_rate(1), Some(450.0));
+    }
+
+    #[test]
+    fn rollback_restores_reservation() {
+        let mut sw = one_port_switch(1000.0);
+        sw.setup(1, 0, 300.0).unwrap();
+        sw.process_rm(RmCell::delta(1, 200.0)).unwrap();
+        sw.rollback_delta(1, 200.0).unwrap();
+        assert_eq!(sw.vci_rate(1), Some(300.0));
+    }
+}

@@ -1,0 +1,241 @@
+//! Network topology: wiring switches into a graph and routing over it.
+//!
+//! Section III-C discusses RCBR at network scale — hop counts, alternate
+//! routes, and call-level load balancing. [`Topology`] provides the
+//! minimal substrate for those experiments: a graph over switches with
+//! per-link output-port assignment, shortest-path routing (BFS), and
+//! least-loaded route selection among equal-length alternatives.
+
+use std::collections::VecDeque;
+
+use serde::{Deserialize, Serialize};
+
+use crate::path::Path;
+use crate::switch::Switch;
+
+/// A directed link from one switch to a neighbor, leaving through a
+/// specific output port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Link {
+    /// Destination switch index.
+    pub to: usize,
+    /// Output port on the source switch carrying this link.
+    pub port: usize,
+}
+
+/// A switch-level topology.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Topology {
+    adjacency: Vec<Vec<Link>>,
+    hop_latency: f64,
+}
+
+impl Topology {
+    /// Create a topology over `n` switches with the given one-way per-hop
+    /// latency in seconds.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or the latency is negative.
+    pub fn new(n: usize, hop_latency: f64) -> Self {
+        assert!(n > 0, "topology needs at least one switch");
+        assert!(hop_latency >= 0.0 && hop_latency.is_finite(), "invalid hop latency");
+        Self { adjacency: vec![Vec::new(); n], hop_latency }
+    }
+
+    /// Number of switches.
+    pub fn num_switches(&self) -> usize {
+        self.adjacency.len()
+    }
+
+    /// Add a unidirectional link `from -> to` via `port` on `from`.
+    ///
+    /// # Panics
+    /// Panics on out-of-range switch indices or a duplicate link.
+    pub fn add_link(&mut self, from: usize, to: usize, port: usize) {
+        let n = self.num_switches();
+        assert!(from < n && to < n, "switch index out of range");
+        assert!(from != to, "self-links are not allowed");
+        assert!(
+            !self.adjacency[from].iter().any(|l| l.to == to),
+            "duplicate link {from} -> {to}"
+        );
+        self.adjacency[from].push(Link { to, port });
+    }
+
+    /// Add a bidirectional link using `port` on both ends.
+    pub fn add_duplex(&mut self, a: usize, b: usize, port: usize) {
+        self.add_link(a, b, port);
+        self.add_link(b, a, port);
+    }
+
+    /// Neighbors of a switch.
+    pub fn links(&self, from: usize) -> &[Link] {
+        &self.adjacency[from]
+    }
+
+    /// Shortest route (fewest hops) from `src` to `dst` as the list of
+    /// traversed switches (including both endpoints), or `None` if
+    /// unreachable.
+    pub fn shortest_route(&self, src: usize, dst: usize) -> Option<Vec<usize>> {
+        let n = self.num_switches();
+        assert!(src < n && dst < n, "switch index out of range");
+        if src == dst {
+            return Some(vec![src]);
+        }
+        let mut prev = vec![usize::MAX; n];
+        let mut queue = VecDeque::from([src]);
+        prev[src] = src;
+        while let Some(u) = queue.pop_front() {
+            for l in &self.adjacency[u] {
+                if prev[l.to] == usize::MAX {
+                    prev[l.to] = u;
+                    if l.to == dst {
+                        let mut route = vec![dst];
+                        let mut cur = dst;
+                        while cur != src {
+                            cur = prev[cur];
+                            route.push(cur);
+                        }
+                        route.reverse();
+                        return Some(route);
+                    }
+                    queue.push_back(l.to);
+                }
+            }
+        }
+        None
+    }
+
+    /// Turn a switch route into a signaling [`Path`] (the hops a
+    /// renegotiation must clear: every switch along the route).
+    pub fn route_to_path(&self, route: &[usize]) -> Path {
+        assert!(!route.is_empty(), "route must be nonempty");
+        Path::new(route.to_vec(), self.hop_latency)
+    }
+
+    /// Among all fewest-hop routes from `src` to `dst`, pick the one whose
+    /// bottleneck (most-utilized port along the route) is least utilized —
+    /// the call-level load balancing Section III-C hopes for. Returns the
+    /// route, or `None` if unreachable.
+    pub fn least_loaded_route(
+        &self,
+        switches: &[Switch],
+        src: usize,
+        dst: usize,
+    ) -> Option<Vec<usize>> {
+        let shortest = self.shortest_route(src, dst)?;
+        let target_len = shortest.len();
+        // Enumerate all routes of the shortest length with a bounded DFS.
+        // Routes are ranked by (bottleneck utilization, total utilization):
+        // the sum tie-breaks routes whose bottleneck is a shared endpoint.
+        let mut best: Option<((f64, f64), Vec<usize>)> = None;
+        let mut stack = vec![(vec![src], src)];
+        while let Some((route, u)) = stack.pop() {
+            if route.len() == target_len {
+                if u == dst {
+                    let utils: Vec<f64> = route
+                        .iter()
+                        .map(|&s| {
+                            switches[s]
+                                .port(0)
+                                .map(|p| p.utilization())
+                                .unwrap_or(1.0)
+                        })
+                        .collect();
+                    let key = (
+                        utils.iter().cloned().fold(0.0f64, f64::max),
+                        utils.iter().sum::<f64>(),
+                    );
+                    if best.as_ref().map_or(true, |(b, _)| key < *b) {
+                        best = Some((key, route));
+                    }
+                }
+                continue;
+            }
+            for l in &self.adjacency[u] {
+                if !route.contains(&l.to) {
+                    let mut next = route.clone();
+                    next.push(l.to);
+                    stack.push((next, l.to));
+                }
+            }
+        }
+        best.map(|(_, r)| r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A 2x2 grid: 0-1 / 2-3 with vertical links 0-2 and 1-3.
+    fn grid() -> Topology {
+        let mut t = Topology::new(4, 0.001);
+        t.add_duplex(0, 1, 0);
+        t.add_duplex(2, 3, 0);
+        t.add_duplex(0, 2, 0);
+        t.add_duplex(1, 3, 0);
+        t
+    }
+
+    #[test]
+    fn bfs_finds_shortest() {
+        let t = grid();
+        let r = t.shortest_route(0, 3).unwrap();
+        assert_eq!(r.len(), 3);
+        assert_eq!(r[0], 0);
+        assert_eq!(r[2], 3);
+        assert_eq!(t.shortest_route(1, 1).unwrap(), vec![1]);
+    }
+
+    #[test]
+    fn unreachable_is_none() {
+        let mut t = Topology::new(3, 0.0);
+        t.add_link(0, 1, 0);
+        assert!(t.shortest_route(0, 2).is_none());
+        assert!(t.shortest_route(2, 0).is_none());
+    }
+
+    #[test]
+    fn route_to_path_has_right_latency() {
+        let t = grid();
+        let r = t.shortest_route(0, 3).unwrap();
+        let p = t.route_to_path(&r);
+        assert_eq!(p.len(), 3);
+        assert!((p.one_way_latency() - 0.003).abs() < 1e-12);
+    }
+
+    #[test]
+    fn load_balancing_avoids_the_hot_route() {
+        let t = grid();
+        let mut switches: Vec<Switch> = (0..4).map(|_| Switch::new(&[1000.0])).collect();
+        // Congest switch 1: routes 0-1-3 become unattractive vs 0-2-3.
+        switches[1].setup(9, 0, 900.0).unwrap();
+        let r = t.least_loaded_route(&switches, 0, 3).unwrap();
+        assert_eq!(r, vec![0, 2, 3], "should route around the hot switch");
+        // Congest switch 2 more: flips back.
+        switches[2].setup(8, 0, 950.0).unwrap();
+        let r = t.least_loaded_route(&switches, 0, 3).unwrap();
+        assert_eq!(r, vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn end_to_end_setup_over_routed_path() {
+        let t = grid();
+        let mut switches: Vec<Switch> = (0..4).map(|_| Switch::new(&[1000.0])).collect();
+        let route = t.shortest_route(0, 3).unwrap();
+        let path = t.route_to_path(&route);
+        assert_eq!(path.setup(&mut switches, 5, 0, 400.0).unwrap(), Ok(()));
+        for &s in &route {
+            assert_eq!(switches[s].vci_rate(5), Some(400.0));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn duplicate_links_rejected() {
+        let mut t = Topology::new(2, 0.0);
+        t.add_link(0, 1, 0);
+        t.add_link(0, 1, 1);
+    }
+}

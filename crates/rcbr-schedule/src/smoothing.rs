@@ -1,0 +1,224 @@
+//! Optimal smoothing: the classic stored-video baseline.
+//!
+//! The smoothing literature the paper builds on (its Section VIII
+//! discussion of work-ahead and bandwidth-allocation schemes) transmits
+//! stored video along the *shortest path* through the corridor between
+//! the cumulative-arrival curve `A(t)` and the buffer envelope
+//! `A(t) − B`: the resulting piecewise-linear plan has the **minimum
+//! possible peak rate** for the given buffer, and among minimum-peak
+//! plans it also minimizes rate variability.
+//!
+//! RCBR differs in objective — it minimizes `α·(renegotiations) +
+//! β·(reserved volume)` over a *discrete* rate grid — so the smoother is
+//! the natural baseline for the ablation benches: it answers "how much of
+//! RCBR's gain is just smoothing, and how much is the pricing-driven
+//! schedule shape?".
+//!
+//! The implementation is the O(T) "taut string" (funnel) algorithm over
+//! slot boundaries: feasible transmission totals `S(t)` satisfy
+//! `max(A(t) − B, 0) ≤ S(t) ≤ A(t)` with `S(0) = 0` and `S(T) = A(T)`
+//! (everything delivered by the end).
+
+use rcbr_traffic::FrameTrace;
+
+use crate::schedule::Schedule;
+
+/// Compute the minimum-peak-rate transmission schedule for `trace` with a
+/// sender buffer of `buffer` bits.
+///
+/// The returned schedule serves the whole trace with zero loss through a
+/// `buffer`-bit queue and drains it completely by the end.
+///
+/// # Panics
+/// Panics if `buffer < 0`.
+pub fn optimal_smoothing(trace: &FrameTrace, buffer: f64) -> Schedule {
+    assert!(buffer >= 0.0 && buffer.is_finite(), "buffer must be nonnegative");
+    let t_len = trace.len();
+    let cum = trace.cumulative(); // cum[t] = arrivals through slot t-1 .. length T+1
+    let total = cum[t_len];
+
+    // Envelopes at slot boundaries 0..=T. The plan value S(t) is the
+    // cumulative service by the end of slot t.
+    let upper = |t: usize| if t == t_len { total } else { cum[t] };
+    let lower = |t: usize| if t == t_len { total } else { (cum[t] - buffer).max(0.0) };
+
+    let mut service = vec![0.0f64; t_len + 1];
+    let mut start = 0usize; // boundary where the current segment begins
+    let mut s_val = 0.0f64; // plan value at `start`
+
+    while start < t_len {
+        // Extend the horizon, tracking the tightest slopes. Slopes are in
+        // bits per slot.
+        let mut max_lo = f64::NEG_INFINITY;
+        let mut arg_lo = start + 1;
+        let mut min_hi = f64::INFINITY;
+        let mut arg_hi = start + 1;
+        let mut bend: Option<(usize, f64)> = None; // (new start, value there)
+        for h in start + 1..=t_len {
+            let dt = (h - start) as f64;
+            let lo_slope = (lower(h) - s_val) / dt;
+            let hi_slope = (upper(h) - s_val) / dt;
+            if lo_slope > min_hi {
+                // Must bend downward earlier: ride the upper envelope's
+                // tightest slope and pin the segment at its argmin.
+                bend = Some((arg_hi, upper(arg_hi)));
+                break;
+            }
+            if hi_slope < max_lo {
+                // Must bend upward earlier: pin at the lower envelope.
+                bend = Some((arg_lo, lower(arg_lo)));
+                break;
+            }
+            if lo_slope > max_lo {
+                max_lo = lo_slope;
+                arg_lo = h;
+            }
+            if hi_slope < min_hi {
+                min_hi = hi_slope;
+                arg_hi = h;
+            }
+        }
+        let (seg_end, end_val) = match bend {
+            Some(pin) => pin,
+            None => {
+                // Reached the horizon: finish with the exact-delivery
+                // slope (feasible because T's envelopes coincide at the
+                // total and were part of the slope tracking).
+                (t_len, total)
+            }
+        };
+        let slope = (end_val - s_val) / (seg_end - start) as f64;
+        for h in start + 1..=seg_end {
+            service[h] = s_val + slope * (h - start) as f64;
+        }
+        start = seg_end;
+        s_val = end_val;
+    }
+
+    let tau = trace.frame_interval();
+    let rates: Vec<f64> =
+        (1..=t_len).map(|t| ((service[t] - service[t - 1]) / tau).max(0.0)).collect();
+    Schedule::from_rates(tau, &rates)
+}
+
+/// The information-theoretic lower bound on the peak rate of *any*
+/// feasible plan: the steepest slope forced between an upper-envelope
+/// point and a later lower-envelope point (O(T²); used by tests and
+/// ablations).
+pub fn min_peak_rate_bound(trace: &FrameTrace, buffer: f64) -> f64 {
+    let t_len = trace.len();
+    let cum = trace.cumulative();
+    let total = cum[t_len];
+    let upper = |t: usize| if t == t_len { total } else { cum[t] };
+    let lower = |t: usize| if t == t_len { total } else { (cum[t] - buffer).max(0.0) };
+    let mut best: f64 = 0.0;
+    for t1 in 0..t_len {
+        let u = if t1 == 0 { 0.0 } else { upper(t1) };
+        for t2 in t1 + 1..=t_len {
+            let slope = (lower(t2) - u) / (t2 - t1) as f64;
+            best = best.max(slope);
+        }
+    }
+    best / trace.frame_interval()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn constant_input_yields_constant_plan() {
+        let tr = FrameTrace::new(1.0, vec![100.0; 50]);
+        let s = optimal_smoothing(&tr, 1000.0);
+        assert_eq!(s.num_renegotiations(), 0);
+        assert!((s.rate_at(0) - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_buffer_tracks_the_input() {
+        let tr = FrameTrace::new(1.0, vec![10.0, 50.0, 20.0, 80.0]);
+        let s = optimal_smoothing(&tr, 0.0);
+        assert_eq!(s.to_rates(), vec![10.0, 50.0, 20.0, 80.0]);
+    }
+
+    #[test]
+    fn huge_buffer_smooths_to_one_line() {
+        // With an effectively infinite buffer the only constraints are
+        // S(t) <= A(t) and full delivery; the max prefix-average rate
+        // bounds the single slope.
+        let tr = FrameTrace::new(1.0, vec![100.0, 0.0, 0.0, 0.0]);
+        let s = optimal_smoothing(&tr, 1e9);
+        // Must still respect causality: slot 0 can serve at most 100.
+        assert!(s.rate_at(0) <= 100.0 + 1e-9);
+        let m = s.replay(&tr, 1e9);
+        assert_eq!(m.loss_fraction, 0.0);
+        assert!(m.final_backlog < 1e-9);
+    }
+
+    #[test]
+    fn plan_achieves_the_min_peak_bound() {
+        let bits: Vec<f64> =
+            (0..120).map(|i| if i % 30 < 6 { 900.0 } else { 50.0 + (i % 11) as f64 }).collect();
+        let tr = FrameTrace::new(0.5, bits);
+        for &buffer in &[0.0, 200.0, 1000.0, 4000.0] {
+            let s = optimal_smoothing(&tr, buffer);
+            let bound = min_peak_rate_bound(&tr, buffer);
+            let peak = s.peak_service_rate();
+            assert!(
+                (peak - bound).abs() <= 1e-6 * bound.max(1.0),
+                "buffer {buffer}: peak {peak} vs bound {bound}"
+            );
+            // And the plan is actually feasible.
+            let m = s.replay(&tr, buffer + 1e-6);
+            assert_eq!(m.loss_fraction, 0.0, "buffer {buffer}");
+            assert!(m.final_backlog <= 1e-6, "buffer {buffer}");
+        }
+    }
+
+    #[test]
+    fn smoothing_peak_beats_trellis_peak() {
+        use crate::{CostModel, OfflineOptimizer, RateGrid, TrellisConfig};
+        let bits: Vec<f64> =
+            (0..200).map(|i| if i % 40 < 8 { 700.0 } else { 60.0 }).collect();
+        let tr = FrameTrace::new(1.0, bits);
+        let buffer = 1500.0;
+        let smooth = optimal_smoothing(&tr, buffer);
+        let grid = RateGrid::uniform(0.0, 800.0, 15);
+        let trellis = OfflineOptimizer::new(
+            TrellisConfig::new(grid, CostModel::from_ratio(100.0), buffer).with_drain_at_end(),
+        )
+        .optimize(&tr)
+        .unwrap();
+        // The smoother minimizes the peak; the trellis minimizes cost on a
+        // grid — its peak can only be at least as high.
+        assert!(
+            smooth.peak_service_rate() <= trellis.peak_service_rate() + 1e-9,
+            "smooth {} vs trellis {}",
+            smooth.peak_service_rate(),
+            trellis.peak_service_rate()
+        );
+    }
+
+    proptest! {
+        /// Feasibility, full delivery, and peak optimality on random
+        /// workloads.
+        #[test]
+        fn smoothing_invariants(
+            bits in proptest::collection::vec(0.0..1000.0f64, 2..80),
+            buffer in 0.0..5000.0f64,
+        ) {
+            let tr = FrameTrace::new(0.25, bits);
+            let s = optimal_smoothing(&tr, buffer);
+            let m = s.replay(&tr, buffer + 1e-6);
+            prop_assert!(m.loss_fraction <= 1e-12, "loss {}", m.loss_fraction);
+            prop_assert!(m.final_backlog <= 1e-6, "residual {}", m.final_backlog);
+            let bound = min_peak_rate_bound(&tr, buffer);
+            prop_assert!(
+                s.peak_service_rate() <= bound * (1.0 + 1e-9) + 1e-9,
+                "peak {} above bound {bound}",
+                s.peak_service_rate()
+            );
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! Statistics substrate.
+//!
+//! Everything the experiments need to estimate probabilities and decide when
+//! to stop sampling:
+//!
+//! * [`RunningStats`] — numerically stable streaming moments (Welford).
+//! * [`ConfidenceInterval`] and [`StoppingRule`] — the paper's replication
+//!   rules: "we repeat the simulations until the sample standard deviation
+//!   of the estimate is less than 20% of the estimate" (Section V-B), and
+//!   the Section VI early-exit "stop if the target failure probability lies
+//!   to the right of the confidence interval".
+//! * [`TimeWeighted`] — time averages of piecewise-constant signals
+//!   (utilization, reserved bandwidth).
+//! * [`Histogram`] — fixed-bin histograms with quantiles, plus
+//!   [`DiscreteDistribution`], the normalized distribution over discrete
+//!   bandwidth levels used as the traffic descriptor in Section VI.
+
+mod ci;
+mod histogram;
+mod running;
+mod timeweighted;
+
+pub use ci::{ConfidenceInterval, StopDecision, StoppingRule};
+pub use histogram::{DiscreteDistribution, Histogram};
+pub use running::RunningStats;
+pub use timeweighted::TimeWeighted;

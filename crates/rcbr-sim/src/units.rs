@@ -1,0 +1,78 @@
+//! Unit helpers and conversions.
+//!
+//! The whole workspace uses `f64` bits, bits/second, and seconds. The paper
+//! reports rates in "kb/s" and buffers in "kb" where k = 1000 (SI), not
+//! 1024; these helpers keep call sites honest about that convention.
+
+/// Bits per kilobit (SI convention used throughout the paper).
+pub const KILO: f64 = 1_000.0;
+/// Bits per megabit.
+pub const MEGA: f64 = 1_000_000.0;
+/// Bits per gigabit.
+pub const GIGA: f64 = 1_000_000_000.0;
+
+/// Convert kilobits (or kb/s) to bits (or bits/s).
+#[inline]
+pub fn kb(v: f64) -> f64 {
+    v * KILO
+}
+
+/// Convert megabits (or Mb/s) to bits (or bits/s).
+#[inline]
+pub fn mb(v: f64) -> f64 {
+    v * MEGA
+}
+
+/// Convert a rate in kilobits/second to bits/second. Alias of [`kb`] that
+/// reads better at rate call sites.
+#[inline]
+pub fn kbps(v: f64) -> f64 {
+    kb(v)
+}
+
+/// Convert a rate in megabits/second to bits/second. Alias of [`mb`].
+#[inline]
+pub fn mbps(v: f64) -> f64 {
+    mb(v)
+}
+
+/// Render a bit quantity with an adaptive unit, e.g. `374.0 kb`.
+pub fn fmt_bits(bits: f64) -> String {
+    let a = bits.abs();
+    if a >= GIGA {
+        format!("{:.3} Gb", bits / GIGA)
+    } else if a >= MEGA {
+        format!("{:.3} Mb", bits / MEGA)
+    } else if a >= KILO {
+        format!("{:.3} kb", bits / KILO)
+    } else {
+        format!("{bits:.1} b")
+    }
+}
+
+/// Render a rate with an adaptive unit, e.g. `374.0 kb/s`.
+pub fn fmt_rate(bps: f64) -> String {
+    format!("{}/s", fmt_bits(bps))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_use_si_kilo() {
+        assert_eq!(kb(374.0), 374_000.0);
+        assert_eq!(mb(2.4), 2_400_000.0);
+        assert_eq!(kbps(64.0), 64_000.0);
+        assert_eq!(mbps(1.5), 1_500_000.0);
+    }
+
+    #[test]
+    fn formatting_picks_adaptive_units() {
+        assert_eq!(fmt_bits(300.0 * KILO), "300.000 kb");
+        assert_eq!(fmt_bits(100.0 * MEGA), "100.000 Mb");
+        assert_eq!(fmt_bits(2.5 * GIGA), "2.500 Gb");
+        assert_eq!(fmt_bits(12.0), "12.0 b");
+        assert_eq!(fmt_rate(374.0 * KILO), "374.000 kb/s");
+    }
+}

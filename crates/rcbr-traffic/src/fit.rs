@@ -1,0 +1,296 @@
+//! Fitting a multiple-time-scale model to a measured trace.
+//!
+//! Section V-A analyzes video with the subchain model of Fig. 4 but the
+//! paper fits no model — it cites the modeling literature ([40], [31]).
+//! This module closes the loop: given any [`FrameTrace`], estimate an
+//! [`MtsModel`] whose slow scale is a scene-level activity chain and whose
+//! fast scale is a per-scene two-state fluctuation:
+//!
+//! 1. aggregate the trace to scene-scale slots (a GoP or a second);
+//! 2. cluster slot rates into `K` activity classes (1-D k-means seeded at
+//!    quantiles);
+//! 3. slow scale: per-class departure frequencies give the rare-transition
+//!    probabilities `ε_k` and the switch matrix;
+//! 4. fast scale: each class becomes a symmetric two-state subchain at
+//!    `mean ± std` of its rates, flip probability matched to the
+//!    within-class lag-1 autocorrelation.
+//!
+//! The result plugs straight into the analysis machinery: the fitted
+//! model's eq. (9) equivalent bandwidth predicts the trace's static-CBR
+//! cost, and its slow-scale marginal feeds the Chernoff estimates.
+
+use serde::{Deserialize, Serialize};
+
+use crate::markov::MarkovChain;
+use crate::mts::{MtsModel, Subchain};
+use crate::trace::FrameTrace;
+
+/// Configuration of the fit.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct MtsFitConfig {
+    /// Number of activity classes (subchains), ≥ 2.
+    pub num_subchains: usize,
+    /// Frames per scene-scale slot (e.g. one GoP, or one second's worth).
+    pub slot_frames: usize,
+}
+
+impl Default for MtsFitConfig {
+    fn default() -> Self {
+        Self { num_subchains: 3, slot_frames: 24 }
+    }
+}
+
+/// A fitted model plus its diagnostics.
+#[derive(Debug, Clone)]
+pub struct MtsFit {
+    /// The fitted multiple-time-scale model.
+    pub model: MtsModel,
+    /// Class centroids, bits/second, ascending.
+    pub centroids: Vec<f64>,
+    /// Class index of each aggregated slot.
+    pub class_of_slot: Vec<usize>,
+    /// Empirical fraction of slots in each class.
+    pub occupancy: Vec<f64>,
+}
+
+/// Fit an MTS model to `trace`.
+///
+/// # Panics
+/// Panics if the config is degenerate or the trace has fewer than
+/// `2 * num_subchains` aggregated slots.
+pub fn fit_mts(trace: &FrameTrace, config: MtsFitConfig) -> MtsFit {
+    let k = config.num_subchains;
+    assert!(k >= 2, "an MTS model needs at least two subchains");
+    assert!(config.slot_frames >= 1, "slot aggregation must be at least one frame");
+    let agg = trace.aggregate(config.slot_frames);
+    let n = agg.len();
+    assert!(n >= 2 * k, "trace too short to fit {k} subchains ({n} scene slots)");
+    let rates: Vec<f64> = (0..n).map(|t| agg.rate(t)).collect();
+
+    let centroids = kmeans_1d(&rates, k);
+    let class_of_slot: Vec<usize> = rates.iter().map(|&r| nearest(&centroids, r)).collect();
+
+    // Slow scale: departure counts per class.
+    let mut departures = vec![vec![0usize; k]; k];
+    let mut stays = vec![0usize; k];
+    for w in class_of_slot.windows(2) {
+        let (a, b) = (w[0], w[1]);
+        if a == b {
+            stays[a] += 1;
+        } else {
+            departures[a][b] += 1;
+        }
+    }
+    let mut occupancy = vec![0.0; k];
+    for &c in &class_of_slot {
+        occupancy[c] += 1.0;
+    }
+    for o in occupancy.iter_mut() {
+        *o /= n as f64;
+    }
+
+    let mut eps = Vec::with_capacity(k);
+    let mut switch = vec![vec![0.0; k]; k];
+    for a in 0..k {
+        let out: usize = departures[a].iter().sum();
+        let total = out + stays[a];
+        // Clamp ε into (0, 0.5]: an unvisited or never-departing class
+        // still needs valid dynamics.
+        let e = if total > 0 {
+            (out as f64 / total as f64).clamp(1.0 / (n as f64 + 1.0), 0.5)
+        } else {
+            1.0 / (n as f64 + 1.0)
+        };
+        eps.push(e);
+        if out > 0 {
+            for b in 0..k {
+                switch[a][b] = departures[a][b] as f64 / out as f64;
+            }
+        } else {
+            // Never observed departing: uniform over the other classes.
+            for b in 0..k {
+                if b != a {
+                    switch[a][b] = 1.0 / (k - 1) as f64;
+                }
+            }
+        }
+    }
+
+    // Fast scale: symmetric two-state subchains at mean ± std per class,
+    // flip probability from the within-class lag-1 autocorrelation.
+    let slot = agg.frame_interval();
+    let mut subchains = Vec::with_capacity(k);
+    for c in 0..k {
+        let class_rates: Vec<f64> =
+            rates.iter().zip(&class_of_slot).filter(|&(_, &cc)| cc == c).map(|(&r, _)| r).collect();
+        if class_rates.is_empty() {
+            // Unvisited class: a constant emitter at its centroid.
+            subchains.push(Subchain::constant(centroids[c] * slot));
+            continue;
+        }
+        let mean = class_rates.iter().sum::<f64>() / class_rates.len() as f64;
+        let var = class_rates.iter().map(|r| (r - mean) * (r - mean)).sum::<f64>()
+            / class_rates.len() as f64;
+        let std = var.sqrt();
+        if std < 1e-9 * mean.max(1.0) {
+            subchains.push(Subchain::constant(mean * slot));
+            continue;
+        }
+        // Lag-1 autocorrelation over within-class consecutive pairs.
+        let mut cov = 0.0;
+        let mut pairs = 0.0;
+        for (w, cls) in rates.windows(2).zip(class_of_slot.windows(2)) {
+            if cls[0] == c && cls[1] == c {
+                cov += (w[0] - mean) * (w[1] - mean);
+                pairs += 1.0;
+            }
+        }
+        let rho = if pairs > 0.0 { (cov / pairs / var).clamp(-0.9, 0.9) } else { 0.0 };
+        // Symmetric two-state chain: lag-1 autocorrelation = 1 − 2p.
+        let p = ((1.0 - rho) / 2.0).clamp(0.05, 0.95);
+        let lo = (mean - std).max(0.0);
+        let hi = 2.0 * mean - lo; // symmetric stationary (1/2, 1/2) preserves the class mean
+        subchains.push(Subchain::new(
+            MarkovChain::two_state(p, p),
+            vec![lo * slot, hi * slot],
+        ));
+    }
+
+    let model = MtsModel::new(subchains, switch, eps, slot);
+    MtsFit { model, centroids, class_of_slot, occupancy }
+}
+
+/// One-dimensional k-means, seeded at evenly spaced quantiles; returns
+/// ascending centroids.
+fn kmeans_1d(xs: &[f64], k: usize) -> Vec<f64> {
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("rates are finite"));
+    let mut centroids: Vec<f64> = (0..k)
+        .map(|i| sorted[((i as f64 + 0.5) / k as f64 * (sorted.len() - 1) as f64) as usize])
+        .collect();
+    for _ in 0..100 {
+        let mut sums = vec![0.0; k];
+        let mut counts = vec![0usize; k];
+        for &x in xs {
+            let c = nearest(&centroids, x);
+            sums[c] += x;
+            counts[c] += 1;
+        }
+        let mut moved = 0.0;
+        for c in 0..k {
+            if counts[c] > 0 {
+                let next = sums[c] / counts[c] as f64;
+                moved += (next - centroids[c]).abs();
+                centroids[c] = next;
+            }
+        }
+        centroids.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        if moved < 1e-9 {
+            break;
+        }
+    }
+    centroids
+}
+
+fn nearest(centroids: &[f64], x: f64) -> usize {
+    let mut best = 0;
+    let mut best_d = f64::INFINITY;
+    for (i, &c) in centroids.iter().enumerate() {
+        let d = (x - c).abs();
+        if d < best_d {
+            best_d = d;
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mpeg::SyntheticMpegSource;
+    use rcbr_sim::SimRng;
+
+    fn video(seed: u64, frames: usize) -> FrameTrace {
+        let mut rng = SimRng::from_seed(seed);
+        SyntheticMpegSource::star_wars_like().generate(frames, &mut rng)
+    }
+
+    #[test]
+    fn kmeans_finds_separated_levels() {
+        let xs: Vec<f64> = (0..300)
+            .map(|i| match i % 3 {
+                0 => 100.0 + (i % 7) as f64,
+                1 => 500.0 + (i % 5) as f64,
+                _ => 1500.0 + (i % 11) as f64,
+            })
+            .collect();
+        let c = kmeans_1d(&xs, 3);
+        assert!((c[0] - 103.0).abs() < 10.0, "{c:?}");
+        assert!((c[1] - 502.0).abs() < 10.0, "{c:?}");
+        assert!((c[2] - 1505.0).abs() < 10.0, "{c:?}");
+    }
+
+    #[test]
+    fn fit_preserves_mean_rate() {
+        let trace = video(1, 48_000);
+        let fit = fit_mts(&trace, MtsFitConfig::default());
+        let model_mean = fit.model.mean_rate();
+        let rel = (model_mean - trace.mean_rate()).abs() / trace.mean_rate();
+        assert!(rel < 0.15, "model mean {model_mean} vs trace {} ({rel:.2})", trace.mean_rate());
+    }
+
+    #[test]
+    fn fit_occupancy_matches_subchain_probs() {
+        let trace = video(2, 48_000);
+        let fit = fit_mts(&trace, MtsFitConfig::default());
+        let probs = fit.model.subchain_probs();
+        for (k, (&emp, &p)) in fit.occupancy.iter().zip(&probs).enumerate() {
+            assert!(
+                (emp - p).abs() < 0.15,
+                "class {k}: empirical {emp} vs model {p}"
+            );
+        }
+    }
+
+    #[test]
+    fn fit_recovers_a_known_model() {
+        // Generate from a known MTS model; the fitted subchain means must
+        // land near the true class means.
+        let truth = MtsModel::fig4_example(5e-3, 1.0 / 24.0);
+        let mut rng = SimRng::from_seed(3);
+        let trace = truth.flatten().generate(200_000, &mut rng);
+        let fit = fit_mts(&trace, MtsFitConfig { num_subchains: 3, slot_frames: 12 });
+        for k in 0..3 {
+            let want = truth.subchain_mean_rate(k);
+            let got = fit.model.subchain_mean_rate(k);
+            assert!(
+                (got - want).abs() / want < 0.3,
+                "subchain {k}: fitted {got} vs true {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn fitted_model_regenerates_multiscale_traffic() {
+        let trace = video(4, 48_000);
+        let fit = fit_mts(&trace, MtsFitConfig::default());
+        let mut rng = SimRng::from_seed(5);
+        let synth = fit.model.flatten().generate(48_000 / 24, &mut rng);
+        // Scene-scale slots: the regenerated stream must show sustained
+        // high-rate episodes if the source did.
+        let stats = crate::stats::TraceStats::compute(&synth);
+        assert!(stats.mean_rate > 0.0);
+        assert!(
+            synth.peak_rate() > 1.5 * synth.mean_rate(),
+            "regenerated traffic lost its burstiness"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "too short")]
+    fn short_trace_rejected() {
+        let trace = FrameTrace::new(1.0, vec![1.0; 10]);
+        fit_mts(&trace, MtsFitConfig { num_subchains: 3, slot_frames: 4 });
+    }
+}

@@ -1,0 +1,247 @@
+//! Interactive (VCR) viewing behavior over stored video.
+//!
+//! Section VI's reason why a-priori descriptors go stale: "Even for stored
+//! video, where the empirical bandwidth distribution could be computed in
+//! advance, user interactivity (fast forward, pause, etc.) reduces the
+//! accuracy of this descriptor." This module models a viewer as a Markov
+//! process over `Play` / `Pause` / `FastForward` and rewrites a stored
+//! trace into the traffic the network *actually* sees, so admission
+//! experiments can quantify the descriptor drift that motivates
+//! measurement-based admission control.
+
+use rcbr_sim::SimRng;
+use serde::{Deserialize, Serialize};
+
+use crate::trace::FrameTrace;
+
+/// Viewer states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum VcrState {
+    /// Normal playback: frames stream at their encoded sizes.
+    Play,
+    /// Paused: nothing streams, the playout position freezes.
+    Pause,
+    /// Fast forward: the position advances `ff_speed` frames per slot but
+    /// only a subsampled, reduced-size stream is sent.
+    FastForward,
+}
+
+/// Configuration of the viewer process.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct InteractiveConfig {
+    /// Mean playback episode, seconds.
+    pub mean_play: f64,
+    /// Mean pause, seconds.
+    pub mean_pause: f64,
+    /// Mean fast-forward episode, seconds.
+    pub mean_ff: f64,
+    /// Probability that a non-play episode is a pause (vs. fast forward).
+    pub pause_bias: f64,
+    /// Position advance per slot while fast-forwarding (frames).
+    pub ff_speed: usize,
+    /// Fraction of the skipped frames' bits actually sent during fast
+    /// forward (an FF stream is subsampled, typically to I frames).
+    pub ff_bit_fraction: f64,
+}
+
+impl Default for InteractiveConfig {
+    fn default() -> Self {
+        Self {
+            mean_play: 120.0,
+            mean_pause: 8.0,
+            mean_ff: 6.0,
+            pause_bias: 0.6,
+            ff_speed: 8,
+            ff_bit_fraction: 0.25,
+        }
+    }
+}
+
+impl InteractiveConfig {
+    fn validate(&self) {
+        assert!(
+            self.mean_play > 0.0 && self.mean_pause > 0.0 && self.mean_ff > 0.0,
+            "episode means must be positive"
+        );
+        assert!((0.0..=1.0).contains(&self.pause_bias), "pause bias must be in [0, 1]");
+        assert!(self.ff_speed >= 2, "fast forward must be faster than play");
+        assert!(
+            (0.0..=1.0).contains(&self.ff_bit_fraction),
+            "FF bit fraction must be in [0, 1]"
+        );
+    }
+}
+
+/// The result of an interactive session.
+#[derive(Debug, Clone)]
+pub struct InteractiveSession {
+    /// What the network carried, slot by slot.
+    pub trace: FrameTrace,
+    /// Viewer state in each slot.
+    pub states: Vec<VcrState>,
+    /// Fraction of slots spent in each of play/pause/ff.
+    pub time_shares: [f64; 3],
+}
+
+/// Play `movie` through an interactive viewer for `session_frames` slots.
+/// The playout position wraps at the end of the movie (continuous-loop
+/// semantics keep session length independent of viewing speed).
+///
+/// # Panics
+/// Panics on an invalid config or `session_frames == 0`.
+pub fn interactive_session(
+    movie: &FrameTrace,
+    config: InteractiveConfig,
+    session_frames: usize,
+    rng: &mut SimRng,
+) -> InteractiveSession {
+    config.validate();
+    assert!(session_frames > 0, "session must be at least one slot");
+    let tau = movie.frame_interval();
+    let fps = 1.0 / tau;
+    let mut bits = Vec::with_capacity(session_frames);
+    let mut states = Vec::with_capacity(session_frames);
+    let mut counts = [0usize; 3];
+
+    let mut pos = 0usize;
+    let mut state = VcrState::Play;
+    let mut remaining = (rng.exponential(1.0 / config.mean_play) * fps).ceil().max(1.0) as usize;
+
+    for _ in 0..session_frames {
+        match state {
+            VcrState::Play => {
+                bits.push(movie.bits(pos % movie.len()));
+                pos += 1;
+                counts[0] += 1;
+            }
+            VcrState::Pause => {
+                bits.push(0.0);
+                counts[1] += 1;
+            }
+            VcrState::FastForward => {
+                // The bits of the skipped stretch, subsampled.
+                let mut chunk = 0.0;
+                for k in 0..config.ff_speed {
+                    chunk += movie.bits((pos + k) % movie.len());
+                }
+                bits.push(chunk * config.ff_bit_fraction);
+                pos += config.ff_speed;
+                counts[2] += 1;
+            }
+        }
+        states.push(state);
+        remaining -= 1;
+        if remaining == 0 {
+            let (next, mean) = match state {
+                VcrState::Play => {
+                    if rng.chance(config.pause_bias) {
+                        (VcrState::Pause, config.mean_pause)
+                    } else {
+                        (VcrState::FastForward, config.mean_ff)
+                    }
+                }
+                _ => (VcrState::Play, config.mean_play),
+            };
+            state = next;
+            remaining = (rng.exponential(1.0 / mean) * fps).ceil().max(1.0) as usize;
+        }
+    }
+
+    let n = session_frames as f64;
+    InteractiveSession {
+        trace: FrameTrace::new(tau, bits),
+        states,
+        time_shares: [counts[0] as f64 / n, counts[1] as f64 / n, counts[2] as f64 / n],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mpeg::SyntheticMpegSource;
+
+    fn movie(frames: usize) -> FrameTrace {
+        let mut rng = SimRng::from_seed(77);
+        SyntheticMpegSource::star_wars_like().generate(frames, &mut rng)
+    }
+
+    #[test]
+    fn session_has_all_three_behaviors() {
+        let m = movie(24_000);
+        let mut rng = SimRng::from_seed(1);
+        let s = interactive_session(&m, InteractiveConfig::default(), 48_000, &mut rng);
+        assert_eq!(s.trace.len(), 48_000);
+        assert!(s.time_shares[0] > 0.5, "mostly playing: {:?}", s.time_shares);
+        assert!(s.time_shares[1] > 0.0, "some pausing");
+        assert!(s.time_shares[2] > 0.0, "some fast forward");
+        assert!((s.time_shares.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pauses_are_silent_and_ff_is_loud() {
+        let m = movie(24_000);
+        let mut rng = SimRng::from_seed(2);
+        let cfg = InteractiveConfig::default();
+        let s = interactive_session(&m, cfg, 48_000, &mut rng);
+        let mut ff_rate = 0.0;
+        let mut ff_n = 0.0;
+        for (b, st) in s.trace.frames().iter().zip(&s.states) {
+            match st {
+                VcrState::Pause => assert_eq!(*b, 0.0),
+                VcrState::FastForward => {
+                    ff_rate += *b;
+                    ff_n += 1.0;
+                }
+                VcrState::Play => {}
+            }
+        }
+        // FF sends a subsampled chunk of 8 frames at 25%: about 2x the
+        // per-frame mean.
+        let mean_frame = m.total_bits() / m.len() as f64;
+        let ff_mean = ff_rate / ff_n;
+        assert!(
+            ff_mean > 1.2 * mean_frame,
+            "FF should be louder than play on average: {ff_mean} vs {mean_frame}"
+        );
+    }
+
+    #[test]
+    fn interactivity_degrades_the_a_priori_descriptor() {
+        // The Section VI point: the session's bandwidth statistics differ
+        // from the pristine movie's, so a descriptor computed in advance
+        // is wrong.
+        let m = movie(24_000);
+        let mut rng = SimRng::from_seed(3);
+        let cfg = InteractiveConfig {
+            mean_play: 30.0,
+            mean_pause: 15.0,
+            ..InteractiveConfig::default()
+        };
+        let s = interactive_session(&m, cfg, 96_000, &mut rng);
+        let drift = (s.trace.mean_rate() - m.mean_rate()).abs() / m.mean_rate();
+        assert!(
+            drift > 0.05,
+            "heavy interactivity must shift the mean rate: drift {drift:.3}"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let m = movie(2400);
+        let mut r1 = SimRng::from_seed(9);
+        let mut r2 = SimRng::from_seed(9);
+        let a = interactive_session(&m, InteractiveConfig::default(), 4800, &mut r1);
+        let b = interactive_session(&m, InteractiveConfig::default(), 4800, &mut r2);
+        assert_eq!(a.trace.frames(), b.trace.frames());
+        assert_eq!(a.states, b.states);
+    }
+
+    #[test]
+    #[should_panic(expected = "faster than play")]
+    fn slow_ff_rejected() {
+        let m = movie(240);
+        let mut rng = SimRng::from_seed(0);
+        let cfg = InteractiveConfig { ff_speed: 1, ..InteractiveConfig::default() };
+        interactive_session(&m, cfg, 100, &mut rng);
+    }
+}

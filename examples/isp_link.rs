@@ -1,0 +1,72 @@
+//! An ISP video link, end to end: the full system with nothing abstracted.
+//!
+//! Live-video subscribers arrive at a shared link; each runs the online
+//! AR(1) renegotiation policy against the port at frame granularity, and
+//! a measurement-based controller decides who gets in. Compare three
+//! admission strategies on the same arrival process.
+//!
+//! Run with: `cargo run --release --example isp_link [capacity_mbps]`
+//! (default 15 Mb/s — roughly 40x the per-source mean, a small link where
+//! admission control genuinely matters).
+
+use rcbr_suite::core::system::{SystemConfig, SystemSim};
+use rcbr_suite::prelude::*;
+
+fn main() {
+    let capacity_mbps: f64 = std::env::args()
+        .nth(1)
+        .map(|s| s.parse().expect("capacity in Mb/s"))
+        .unwrap_or(15.0);
+    let capacity = capacity_mbps * 1e6;
+
+    let mut rng = SimRng::from_seed(404);
+    let movie = SyntheticMpegSource::star_wars_like().generate(4800, &mut rng);
+    let tau = movie.frame_interval();
+    let config = SystemConfig {
+        capacity,
+        buffer: 300_000.0,
+        arrival_rate: 0.25,
+        hold_time: 90.0,
+        policy: Ar1Config::fig2(64_000.0, movie.mean_rate(), tau),
+        seed: 7,
+    };
+    let duration = 600.0;
+
+    println!(
+        "ISP link: {} | subscribers ~{:.0}x mean rate each | {:.0} s of operation",
+        units::fmt_rate(capacity),
+        capacity / movie.mean_rate(),
+        duration
+    );
+    println!(
+        "{:<14} {:>8} {:>9} {:>9} {:>9} {:>10} {:>10}",
+        "admission", "offered", "admitted", "requests", "denials", "loss", "util"
+    );
+
+    let sim = SystemSim::new(&movie, config);
+    let mut peak = PeakRate::new(movie.peak_rate());
+    let mut memoryless = Memoryless::new(1e-3);
+    let mut memory = WithMemory::new(1e-3, 600.0);
+    let controllers: Vec<&mut dyn rcbr_suite::admission::AdmissionController> =
+        vec![&mut peak, &mut memoryless, &mut memory];
+    for ctl in controllers {
+        let name = ctl.name();
+        let r = sim.run(ctl, duration);
+        println!(
+            "{:<14} {:>8} {:>9} {:>9} {:>9} {:>10.2e} {:>9.1}%",
+            name,
+            r.offered,
+            r.admitted,
+            r.requests,
+            r.denials,
+            r.loss_fraction,
+            100.0 * r.utilization
+        );
+    }
+
+    println!(
+        "\nReading: peak-rate admits few subscribers and wastes the link; memoryless\n\
+         packs it but lets renegotiations fail; memory-based admission holds the\n\
+         middle ground — the Section VI story, now with every protocol layer live."
+    );
+}

@@ -1,0 +1,81 @@
+//! A video-gateway admission-control bakeoff (Section VI).
+//!
+//! Calls — randomly shifted copies of one RCBR schedule — arrive at a
+//! shared link as a Poisson process. Four controllers compete: peak-rate
+//! allocation, the perfect-knowledge Chernoff controller, the memoryless
+//! certainty-equivalent MBAC, and the memory-based MBAC. The output shows
+//! the paper's qualitative result: the memoryless scheme blows through the
+//! QoS target on small links, while memory restores robustness at nearly
+//! the same utilization.
+//!
+//! Run with: `cargo run --release --example mbac_gateway`
+
+use rcbr_suite::prelude::*;
+
+fn main() {
+    // Base call: a 2-minute RCBR schedule from a synthetic video trace.
+    let mut rng = SimRng::from_seed(3);
+    let trace = SyntheticMpegSource::star_wars_like().generate(2880, &mut rng);
+    let buffer = 300_000.0;
+    let grid = RateGrid::uniform(48_000.0, 2_400_000.0, 12);
+    let schedule = OfflineOptimizer::new(
+        TrellisConfig::new(grid, CostModel::from_ratio(2e5), buffer)
+            .with_drain_at_end()
+            .with_q_resolution(buffer / 1000.0),
+    )
+    .optimize(&trace)
+    .expect("grid covers trace peak");
+    let dist = schedule.empirical_distribution();
+    println!(
+        "call: duration {:.0} s, mean {}, peak {}",
+        schedule.duration(),
+        units::fmt_rate(dist.mean()),
+        units::fmt_rate(dist.peak())
+    );
+
+    let target = 1e-3;
+    // A small link (20x the call mean): the regime where measurement error
+    // hurts the most (Fig. 7's leftmost curves).
+    let capacity = 20.0 * dist.mean();
+    // Offered load ~1.5x capacity so the controller is always the binding
+    // constraint.
+    let arrival_rate = 1.5 * capacity / dist.mean() / schedule.duration();
+    let config = CallSimConfig::new(capacity, arrival_rate, target, 42).with_max_windows(40);
+    let sim = CallSim::new(&schedule, config);
+
+    println!(
+        "\nlink {} | target failure {:.0e} | offered load 1.5x",
+        units::fmt_rate(capacity),
+        target
+    );
+    println!(
+        "{:<18} {:>14} {:>12} {:>10} {:>9}",
+        "controller", "failure prob", "utilization", "blocking", "windows"
+    );
+
+    let mut peak = PeakRate::new(dist.peak());
+    let mut perfect = PerfectKnowledge::new(dist.clone(), target);
+    let mut memoryless = Memoryless::new(target);
+    let mut memory = WithMemory::new(target, 10.0 * schedule.duration());
+    let controllers: Vec<&mut dyn rcbr_suite::admission::AdmissionController> =
+        vec![&mut peak, &mut perfect, &mut memoryless, &mut memory];
+
+    for controller in controllers {
+        let name = controller.name();
+        let report = sim.run(controller);
+        println!(
+            "{:<18} {:>14.3e} {:>11.1}% {:>9.1}% {:>9}",
+            name,
+            report.failure_probability,
+            100.0 * report.utilization,
+            100.0 * report.blocking_probability,
+            report.windows
+        );
+    }
+
+    println!(
+        "\nReading: 'memoryless' exceeds the {target:.0e} target by orders of magnitude on a\n\
+         link this small; 'with-memory' holds the target at comparable utilization,\n\
+         and 'peak-rate' is safe but wastes the statistical multiplexing gain."
+    );
+}

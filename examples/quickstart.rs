@@ -1,0 +1,75 @@
+//! Quickstart: smooth a bursty video source with RCBR.
+//!
+//! Generates a Star-Wars-like synthetic MPEG trace, computes the optimal
+//! offline renegotiation schedule (Section IV-A) and the online AR(1)
+//! heuristic schedule (Section IV-B) for the paper's 300 kb buffer, and
+//! compares them with static CBR.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use rcbr_suite::prelude::*;
+
+fn main() {
+    // ~10 minutes of 24 fps video, calibrated to the paper's trace
+    // statistics (mean 374 kb/s, sustained multi-second peaks).
+    let mut rng = SimRng::from_seed(2026);
+    let source = SyntheticMpegSource::star_wars_like();
+    let trace = source.generate(14_400, &mut rng);
+    let stats = TraceStats::compute(&trace);
+
+    println!("trace: {} frames, {:.0} s", trace.len(), trace.duration());
+    println!("  mean rate        : {}", units::fmt_rate(trace.mean_rate()));
+    println!("  peak rate        : {}", units::fmt_rate(trace.peak_rate()));
+    println!(
+        "  sustained peak   : {:.1} s above 2.5x the mean",
+        stats.longest_sustained_peak(2.5)
+    );
+
+    let buffer = 300_000.0; // the paper's codec-scale buffer (300 kb)
+
+    // Static CBR baseline: the minimum fixed rate for loss <= 1e-6.
+    let cbr_rate = min_rate_for_buffer(&trace, buffer, 1e-6);
+    println!("\nstatic CBR at the same buffer:");
+    println!(
+        "  required rate    : {} ({:.2}x mean)",
+        units::fmt_rate(cbr_rate),
+        cbr_rate / trace.mean_rate()
+    );
+
+    // Offline optimum (Section IV-A): 20 uniform levels, cost ratio chosen
+    // for ~10 s renegotiation intervals.
+    let grid = RateGrid::uniform(48_000.0, 2_400_000.0, 20);
+    let config =
+        TrellisConfig::new(grid, CostModel::from_ratio(1e6), buffer).with_q_resolution(300.0);
+    let schedule = OfflineOptimizer::new(config)
+        .optimize(&trace)
+        .expect("the 2.4 Mb/s grid covers the trace peak");
+    assert!(schedule.is_feasible(&trace, buffer));
+    println!("\noffline optimal RCBR schedule:");
+    println!("  bandwidth efficiency      : {:.1}%", 100.0 * schedule.bandwidth_efficiency(&trace));
+    println!("  renegotiations            : {}", schedule.num_renegotiations());
+    println!("  mean renegotiation interval: {:.1} s", schedule.mean_renegotiation_interval());
+    println!("  mean reserved rate        : {}", units::fmt_rate(schedule.mean_service_rate()));
+
+    // Online heuristic (Section IV-B) with the paper's Fig. 2 parameters.
+    let tau = trace.frame_interval();
+    let ar1 = Ar1Config::fig2(64_000.0, trace.mean_rate(), tau);
+    let mut policy = Ar1Policy::new(ar1, tau);
+    let run = rcbr_suite::schedule::online::run_online(&trace, &mut policy, buffer);
+    println!("\nonline AR(1) heuristic (delta = 64 kb/s):");
+    println!(
+        "  bandwidth efficiency      : {:.1}%",
+        100.0 * run.schedule.bandwidth_efficiency(&trace)
+    );
+    println!("  renegotiations            : {}", run.requests);
+    println!(
+        "  mean renegotiation interval: {:.2} s",
+        run.schedule.mean_renegotiation_interval()
+    );
+    println!("  loss fraction             : {:.2e}", run.loss_fraction);
+
+    println!(
+        "\nRCBR reserves {:.1}x less bandwidth than static CBR for the same buffer.",
+        cbr_rate / schedule.mean_service_rate()
+    );
+}

@@ -1,0 +1,71 @@
+//! Trace analysis: from a measured trace to the Section V-A model and back.
+//!
+//! Fits a multiple-time-scale Markov model to a video trace (scene
+//! clustering + per-scene fast dynamics), prints the fitted structure,
+//! and cross-checks the theory: the fitted model's eq. (9) equivalent
+//! bandwidth should track the trace's *measured* (σ, ρ) requirement at
+//! the same buffer.
+//!
+//! Run with: `cargo run --release --example trace_analysis [trace.txt]`
+//! (with no argument a synthetic Star-Wars-like trace is analyzed; a
+//! one-frame-size-per-line text trace at 24 frames/s can be supplied).
+
+use rcbr_suite::core::sigma_rho::min_rate_for_buffer;
+use rcbr_suite::prelude::*;
+use rcbr_suite::traffic::fit::{fit_mts, MtsFitConfig};
+
+fn main() {
+    let trace = match std::env::args().nth(1) {
+        Some(path) => rcbr_suite::traffic::io::load_text(path.as_ref(), 1.0 / 24.0)
+            .expect("load one-size-per-line trace"),
+        None => {
+            let mut rng = SimRng::from_seed(12);
+            SyntheticMpegSource::star_wars_like().generate(43_200, &mut rng)
+        }
+    };
+    let stats = TraceStats::compute(&trace);
+    println!("trace: {} frames ({:.0} s)", trace.len(), trace.duration());
+    println!("  mean rate     : {}", units::fmt_rate(trace.mean_rate()));
+    println!("  peak rate     : {}", units::fmt_rate(trace.peak_rate()));
+    println!("  rate CV       : frame {:.2} / 1 s {:.2} / 10 s {:.2}", stats.frame_cv, stats.second_cv, stats.ten_second_cv);
+    println!("  sustained peak: {:.1} s above 2.5x mean", stats.longest_sustained_peak(2.5));
+
+    // Fit the multiple-time-scale model (scene slots of one second).
+    let fit = fit_mts(&trace, MtsFitConfig { num_subchains: 3, slot_frames: 24 });
+    println!("\nfitted MTS model (3 subchains, 1 s scene slots):");
+    for (k, _) in fit.model.subchains().iter().enumerate() {
+        println!(
+            "  subchain {k}: mean {:>12}, time share {:>5.1}%, mean scene {:>6.1} s",
+            units::fmt_rate(fit.model.subchain_mean_rate(k)),
+            100.0 * fit.occupancy[k],
+            fit.model.mean_sojourn(k)
+        );
+    }
+    println!(
+        "  model mean rate {} (trace: {})",
+        units::fmt_rate(fit.model.mean_rate()),
+        units::fmt_rate(trace.mean_rate())
+    );
+
+    // Theory vs. measurement: eq. (9) EB vs. the trace's sigma-rho value.
+    let buffer = 300_000.0;
+    let qos = QosTarget::new(buffer, 1e-6);
+    let (eb, dominating) = mts_equivalent_bandwidth(&fit.model, qos);
+    let measured = min_rate_for_buffer(&trace, buffer, 1e-6);
+    println!("\nstatic-CBR requirement at B = 300 kb, eps = 1e-6:");
+    println!(
+        "  eq. (9) from the fitted model : {} (dominated by subchain {dominating})",
+        units::fmt_rate(eb)
+    );
+    println!("  measured (sigma, rho) value   : {}", units::fmt_rate(measured));
+    println!(
+        "  ratio model/measured          : {:.2}",
+        eb / measured
+    );
+    println!(
+        "\nBoth are far above the mean ({:.1}x and {:.1}x): the slow time scale defeats\n\
+         buffering, which is the paper's case for renegotiation.",
+        eb / trace.mean_rate(),
+        measured / trace.mean_rate()
+    );
+}

@@ -1,0 +1,199 @@
+//! Section VI end-to-end: the four admission controllers under dynamic
+//! call arrivals, reproducing the paper's qualitative findings.
+
+use rcbr_suite::prelude::*;
+
+/// A compact RCBR "call": 90 s, three bandwidth levels.
+fn base_schedule() -> Schedule {
+    let mut rates = vec![150_000.0; 50];
+    rates.extend(vec![450_000.0; 25]);
+    rates.extend(vec![150_000.0; 10]);
+    rates.extend(vec![900_000.0; 5]);
+    Schedule::from_rates(1.0, &rates)
+}
+
+fn run(
+    controller: &mut dyn rcbr_suite::admission::AdmissionController,
+    capacity_x_mean: f64,
+    seed: u64,
+) -> rcbr_suite::admission::CallSimReport {
+    let schedule = base_schedule();
+    let dist = schedule.empirical_distribution();
+    let capacity = capacity_x_mean * dist.mean();
+    // Offered load 1.5x so admission is binding.
+    let arrival = 1.5 * capacity / dist.mean() / schedule.duration();
+    let cfg = CallSimConfig::new(capacity, arrival, 1e-3, seed).with_max_windows(50);
+    CallSim::new(&schedule, cfg).run(controller)
+}
+
+#[test]
+fn memoryless_misses_target_on_small_links_but_improves_with_size() {
+    // Fig. 7's shape: gross violation at small capacity, much better at
+    // large capacity.
+    let mut small = Memoryless::new(1e-3);
+    let r_small = run(&mut small, 15.0, 1);
+    assert!(
+        r_small.failure_probability > 1e-2,
+        "small link should violate grossly, got {}",
+        r_small.failure_probability
+    );
+
+    let mut large = Memoryless::new(1e-3);
+    let r_large = run(&mut large, 300.0, 2);
+    assert!(
+        r_large.failure_probability < r_small.failure_probability / 5.0,
+        "large link must be far closer to target: {} vs {}",
+        r_large.failure_probability,
+        r_small.failure_probability
+    );
+}
+
+#[test]
+fn memory_restores_robustness_at_comparable_utilization() {
+    let mut ml = Memoryless::new(1e-3);
+    let r_ml = run(&mut ml, 15.0, 3);
+    let mut wm = WithMemory::new(1e-3, 300.0);
+    let r_wm = run(&mut wm, 15.0, 3);
+    assert!(
+        r_wm.failure_probability < r_ml.failure_probability / 3.0,
+        "memory must cut failures: {} vs {}",
+        r_wm.failure_probability,
+        r_ml.failure_probability
+    );
+    // It should not give away the multiplexing gain to do so: utilization
+    // within a factor of the perfect controller's.
+    let dist = base_schedule().empirical_distribution();
+    let mut pk = PerfectKnowledge::new(dist, 1e-3);
+    let r_pk = run(&mut pk, 15.0, 3);
+    assert!(
+        r_wm.utilization > 0.6 * r_pk.utilization,
+        "memory utilization {} too far below perfect {}",
+        r_wm.utilization,
+        r_pk.utilization
+    );
+}
+
+#[test]
+fn perfect_knowledge_meets_the_target_within_noise() {
+    let dist = base_schedule().empirical_distribution();
+    let mut pk = PerfectKnowledge::new(dist, 1e-3);
+    let r = run(&mut pk, 50.0, 4);
+    assert!(
+        r.failure_probability <= 2e-2,
+        "perfect knowledge should be near target, got {}",
+        r.failure_probability
+    );
+    assert!(r.utilization > 0.2, "and it must actually admit calls: {r:?}");
+}
+
+#[test]
+fn peak_rate_is_safe_but_wasteful() {
+    let dist = base_schedule().empirical_distribution();
+    let mut peak = PeakRate::new(dist.peak());
+    let r_peak = run(&mut peak, 50.0, 5);
+    assert_eq!(r_peak.failure_probability, 0.0);
+    let mut pk = PerfectKnowledge::new(dist, 1e-3);
+    let r_pk = run(&mut pk, 50.0, 5);
+    assert!(
+        r_pk.utilization > 1.3 * r_peak.utilization,
+        "statistical admission must beat peak-rate utilization: {} vs {}",
+        r_pk.utilization,
+        r_peak.utilization
+    );
+}
+
+#[test]
+fn failure_probability_rises_with_offered_load() {
+    // The paper: "the renegotiation failure probability increases with the
+    // offered load ... more opportunities to go wrong".
+    let schedule = base_schedule();
+    let dist = schedule.empirical_distribution();
+    let capacity = 15.0 * dist.mean();
+    let mut probs = Vec::new();
+    for load in [0.5, 1.5, 3.0] {
+        let arrival = load * capacity / dist.mean() / schedule.duration();
+        let cfg = CallSimConfig::new(capacity, arrival, 1e-3, 6).with_max_windows(40);
+        let mut ml = Memoryless::new(1e-3);
+        let r = CallSim::new(&schedule, cfg).run(&mut ml);
+        probs.push(r.failure_probability);
+    }
+    assert!(
+        probs[2] >= probs[0],
+        "failure must not fall with load: {probs:?}"
+    );
+}
+
+/// Section VI's opening argument, end-to-end: interactivity makes an
+/// a-priori descriptor stale, and a measurement-based controller recovers
+/// the capacity a conservative static descriptor wastes.
+#[test]
+fn interactivity_makes_static_descriptors_stale_and_mbac_recovers() {
+    use rcbr_suite::traffic::interactive::{interactive_session, InteractiveConfig};
+
+    // The pristine movie and its RCBR schedule (the a-priori descriptor).
+    let mut rng = SimRng::from_seed(100);
+    let movie = SyntheticMpegSource::star_wars_like().generate(2880, &mut rng);
+    let buffer = 300_000.0;
+    let grid = RateGrid::uniform(48_000.0, 2_400_000.0, 12);
+    let mk_schedule = |trace: &FrameTrace| {
+        OfflineOptimizer::new(
+            TrellisConfig::new(grid.clone(), CostModel::from_ratio(2e5), buffer)
+                .with_drain_at_end()
+                .with_q_resolution(buffer / 1000.0),
+        )
+        .optimize(trace)
+        .expect("grid covers trace")
+    };
+    let pristine = mk_schedule(&movie);
+    let stale_descriptor = pristine.empirical_distribution();
+
+    // What viewers actually do: pause-heavy interactive sessions, which
+    // demand *less* than the pristine schedule promises.
+    let cfg = InteractiveConfig {
+        mean_play: 20.0,
+        mean_pause: 20.0,
+        pause_bias: 0.9,
+        ..InteractiveConfig::default()
+    };
+    let mut mix = Vec::new();
+    for seed in 0..3 {
+        let mut vr = SimRng::from_seed(200 + seed);
+        let session = interactive_session(&movie, cfg, 2880, &mut vr);
+        mix.push((mk_schedule(&session.trace), 1.0));
+    }
+    let true_mean: f64 = mix
+        .iter()
+        .map(|(s, _)| s.empirical_distribution().mean())
+        .sum::<f64>()
+        / mix.len() as f64;
+    assert!(
+        true_mean < 0.85 * stale_descriptor.mean(),
+        "interactive sessions must be materially lighter: {true_mean} vs {}",
+        stale_descriptor.mean()
+    );
+
+    // Run the mixed workload under (a) the static controller with the
+    // stale descriptor and (b) the memory-based MBAC.
+    let target = 1e-3;
+    let capacity = 25.0 * stale_descriptor.mean();
+    let arrival = 2.0 * capacity / true_mean / pristine.duration();
+    let sim_cfg = CallSimConfig::new(capacity, arrival, target, 300).with_max_windows(40);
+    let sim = CallSim::new_mixed(&mix, sim_cfg);
+
+    let mut stale = PerfectKnowledge::new(stale_descriptor, target);
+    let r_stale = sim.run(&mut stale);
+    let mut mbac = WithMemory::new(target, 300.0);
+    let r_mbac = sim.run(&mut mbac);
+
+    // Both meet the target comfortably (the workload is lighter than the
+    // stale descriptor claims)...
+    assert!(r_stale.failure_probability <= 10.0 * target, "{r_stale:?}");
+    assert!(r_mbac.failure_probability <= 10.0 * target, "{r_mbac:?}");
+    // ...but measurement recovers utilization the stale descriptor wastes.
+    assert!(
+        r_mbac.utilization > 1.1 * r_stale.utilization,
+        "MBAC should recover wasted capacity: {} vs {}",
+        r_mbac.utilization,
+        r_stale.utilization
+    );
+}

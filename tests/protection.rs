@@ -1,0 +1,110 @@
+//! Section II's motivation, reproduced as tests: the four-way bind of
+//! one-shot descriptors, and RCBR's protection property.
+//!
+//! "With VBR or guaranteed service, we can deal with sustained bursts by
+//! choosing a large token bucket ... The problem with this approach is
+//! that ... sources have no assurance that their data will not be lost if
+//! bursts coincide. We call this loss of protection."
+
+use rcbr_suite::prelude::*;
+
+/// A well-behaved source: constant 100 kb/s.
+fn smooth_source(frames: usize) -> FrameTrace {
+    FrameTrace::new(1.0 / 24.0, vec![100_000.0 / 24.0; frames])
+}
+
+/// A misbehaving source: long sustained bursts at 1 Mb/s.
+fn bursty_source(frames: usize) -> FrameTrace {
+    let bits: Vec<f64> = (0..frames)
+        .map(|i| if (i / 240) % 2 == 0 { 1_000_000.0 / 24.0 } else { 10_000.0 / 24.0 })
+        .collect();
+    FrameTrace::new(1.0 / 24.0, bits)
+}
+
+#[test]
+fn unrestricted_sharing_loses_protection() {
+    // Both sources feed one shared buffer drained at the sum of their
+    // "fair" rates. The burster's overload spills onto the smooth source:
+    // shared-queue loss is indiscriminate.
+    let frames = 4800;
+    let smooth = smooth_source(frames);
+    let bursty = bursty_source(frames);
+    let tau = smooth.frame_interval();
+    // Fair shares: smooth gets its exact rate, bursty gets 1.2x its mean.
+    let service = (100_000.0 + 1.2 * bursty.mean_rate()) * tau;
+    let mut shared = FluidQueue::new(400_000.0);
+    let mut lost_total = 0.0;
+    for t in 0..frames {
+        let out = shared.offer(smooth.bits(t) + bursty.bits(t), service);
+        lost_total += out.lost;
+    }
+    // Losses happen, and in a FIFO fluid queue they are proportionally
+    // shared — the smooth source loses bits *through no fault of its own*.
+    assert!(lost_total > 0.0, "the shared queue must overflow");
+    let smooth_share = smooth.total_bits() / (smooth.total_bits() + bursty.total_bits());
+    let smooth_lost = lost_total * smooth_share;
+    assert!(
+        smooth_lost > 0.001 * smooth.total_bits(),
+        "the smooth source must suffer collateral loss: {smooth_lost}"
+    );
+}
+
+#[test]
+fn rcbr_isolates_the_well_behaved_source() {
+    // Same pair under RCBR: each source's traffic enters the network at
+    // its own granted CBR rate; the burster's overload lands in its *own*
+    // buffer. The smooth source never loses a bit.
+    let frames = 4800;
+    let smooth = smooth_source(frames);
+    let bursty = bursty_source(frames);
+
+    // The smooth source reserves its constant rate; the burster reserves
+    // 1.2x its mean and must eat its own overload.
+    let smooth_sched = Schedule::constant(smooth.frame_interval(), frames, 100_000.0);
+    let bursty_sched =
+        Schedule::constant(bursty.frame_interval(), frames, 1.2 * bursty.mean_rate());
+
+    let m_smooth = smooth_sched.replay(&smooth, 50_000.0);
+    let m_bursty = bursty_sched.replay(&bursty, 400_000.0);
+    assert_eq!(m_smooth.loss_fraction, 0.0, "protection: smooth source untouched");
+    assert!(m_bursty.loss_fraction > 0.0, "the burster pays for its own burst");
+}
+
+#[test]
+fn one_shot_descriptor_forces_a_bad_choice() {
+    // The Section II bind for a multiple-time-scale source with a single
+    // drain rate: near-mean rate needs huge buffers; small buffers need
+    // near-peak rate. RCBR escapes with both small.
+    let mut rng = SimRng::from_seed(31);
+    let trace = SyntheticMpegSource::star_wars_like().generate(14_400, &mut rng);
+    let eps = 1e-6;
+    let codec_buffer = 300_000.0;
+
+    // Choice 1: small buffer => rate must be several times the mean.
+    let rho_small = min_rate_for_buffer(&trace, codec_buffer, eps);
+    assert!(rho_small > 3.0 * trace.mean_rate());
+
+    // Choice 2: near-mean rate => the buffer must grow by orders of
+    // magnitude.
+    let near_mean = 1.1 * trace.mean_rate();
+    assert!(
+        scenario_a_loss(&trace, 30.0 * codec_buffer, near_mean) > eps,
+        "even 30x the codec buffer is not enough near the mean rate"
+    );
+
+    // RCBR: the codec buffer and a modest mean reservation suffice.
+    let grid = RateGrid::uniform(48_000.0, 2_400_000.0, 20);
+    let schedule = OfflineOptimizer::new(
+        TrellisConfig::new(grid, CostModel::from_ratio(3e5), codec_buffer)
+            .with_q_resolution(codec_buffer / 1000.0),
+    )
+    .optimize(&trace)
+    .unwrap();
+    assert!(schedule.is_feasible(&trace, codec_buffer));
+    assert!(
+        schedule.mean_service_rate() < 1.1 * trace.mean_rate(),
+        "RCBR mean reservation {} should be within 10% of the source mean {}",
+        schedule.mean_service_rate(),
+        trace.mean_rate()
+    );
+}

@@ -1,0 +1,114 @@
+//! A miniature Fig. 6: the per-stream capacity needed by the three
+//! scenarios must order the way the paper's SMG analysis predicts.
+
+use rcbr_suite::prelude::*;
+
+/// A deliberately multiple-time-scale workload: scenes alternate between
+/// quiet and action with GoP-scale jitter on top.
+fn mts_video(seed: u64, frames: usize) -> FrameTrace {
+    let mut rng = SimRng::from_seed(seed);
+    SyntheticMpegSource::star_wars_like().generate(frames, &mut rng)
+}
+
+#[test]
+fn rcbr_captures_most_of_the_multiplexing_gain() {
+    let buffer = 300_000.0;
+    let trace = mts_video(7, 4800); // 200 s
+    let eps = 1e-4; // loose target so the short trace resolves it
+
+    // Scenario (a): static CBR — the sigma-rho value, independent of N.
+    let c_a = min_rate_for_buffer(&trace, buffer, eps);
+
+    // The offline schedule for scenario (c).
+    let grid = RateGrid::uniform(48_000.0, 2_400_000.0, 12);
+    let schedule = OfflineOptimizer::new(
+        TrellisConfig::new(grid, CostModel::from_ratio(1e6), buffer)
+            .with_drain_at_end()
+            .with_q_resolution(buffer / 500.0),
+    )
+    .optimize(&trace)
+    .expect("grid covers the trace");
+
+    let n = 24;
+    let search = SearchConfig {
+        target_loss: eps,
+        relative_precision: 0.2,
+        min_replications: 4,
+        max_replications: 12,
+        rate_tolerance: 0.05,
+    };
+    let mean = trace.mean_rate();
+
+    // Scenario (b): shared buffer.
+    let sim_b = SharedBufferSim::new(
+        &trace,
+        ScenarioBConfig { num_sources: n, buffer_per_source: buffer },
+    );
+    let point_b = search_capacity(mean, c_a, &search, |rate, rep| {
+        let mut rng = SimRng::from_seed(1000 + rep);
+        sim_b.loss_with_random_phasing(rate, &mut rng)
+    });
+
+    // Scenario (c): RCBR bufferless multiplexing.
+    let sim_c = StepwiseCbrMuxSim::new(
+        &trace,
+        &schedule,
+        ScenarioCConfig { num_sources: n, buffer_per_source: buffer },
+    );
+    let peak_sched = schedule.peak_service_rate();
+    let point_c = search_capacity(mean, peak_sched.max(c_a), &search, |rate, rep| {
+        let mut rng = SimRng::from_seed(2000 + rep);
+        sim_c.run_with_random_phasing(rate, &mut rng).loss_fraction
+    });
+
+    // Orderings: multiplexing always beats static CBR, and the shared
+    // buffer (which also captures fast-time-scale gain) beats RCBR.
+    assert!(
+        point_c.rate < 0.8 * c_a,
+        "RCBR must need far less than static CBR: c_c = {} vs c_a = {}",
+        point_c.rate,
+        c_a
+    );
+    assert!(
+        point_b.rate <= point_c.rate * 1.1,
+        "the shared buffer cannot be worse: c_b = {} vs c_c = {}",
+        point_b.rate,
+        point_c.rate
+    );
+    // RCBR's asymptote is the inverse bandwidth efficiency of the
+    // schedule; with N = 24 it should already be within ~2.2x of it.
+    let asymptote = schedule.mean_service_rate();
+    assert!(
+        point_c.rate < 2.2 * asymptote,
+        "c_c = {} vs asymptote {}",
+        point_c.rate,
+        asymptote
+    );
+    assert!(point_c.rate >= 0.95 * mean, "cannot beat the mean rate");
+}
+
+#[test]
+fn scenario_losses_fall_with_capacity() {
+    let buffer = 200_000.0;
+    let trace = mts_video(9, 2400);
+    let grid = RateGrid::uniform(48_000.0, 2_400_000.0, 8);
+    let schedule = OfflineOptimizer::new(
+        TrellisConfig::new(grid, CostModel::from_ratio(1e6), buffer)
+            .with_drain_at_end()
+            .with_q_resolution(buffer / 500.0),
+    )
+    .optimize(&trace)
+    .unwrap();
+    let sim = StepwiseCbrMuxSim::new(
+        &trace,
+        &schedule,
+        ScenarioCConfig { num_sources: 10, buffer_per_source: buffer },
+    );
+    let mut rng = SimRng::from_seed(77);
+    let offsets: Vec<usize> = (0..10).map(|_| rng.index(trace.len())).collect();
+    let lo = sim.run(0.8 * trace.mean_rate(), &offsets);
+    let hi = sim.run(schedule.peak_service_rate(), &offsets);
+    assert!(lo.loss_fraction > hi.loss_fraction);
+    assert_eq!(hi.failures, 0);
+    assert!(lo.failures > 0);
+}

@@ -1,0 +1,153 @@
+//! Section V-A's theory checked against simulation:
+//!
+//! * the equivalent bandwidth bounds the simulated overflow probability;
+//! * eq. (9): the whole MTS stream needs (almost) the drain rate of its
+//!   worst subchain — buffering alone cannot exploit the slow time scale;
+//! * the Chernoff estimate (eqs. (10)–(12)) upper-bounds the simulated
+//!   bufferless-multiplexing failure frequency.
+
+use rcbr_suite::prelude::*;
+use rcbr_suite::sim::stats::DiscreteDistribution;
+
+#[test]
+fn equivalent_bandwidth_bounds_simulated_overflow() {
+    // On/off source, 1 Mb/s peak, 30% duty cycle, 40 ms slots.
+    let src = OnOffSource::new(0.12, 0.28, 1_000_000.0, 0.04).as_source();
+    let buffer = 40_000.0;
+    let qos = QosTarget::new(buffer, 1e-3);
+    let eb = equivalent_bandwidth(&src, qos);
+    assert!(eb > src.mean_rate() && eb < src.peak_rate());
+
+    // Simulate the source through a buffer drained at the EB and measure
+    // the fraction of time the backlog would exceed the buffer (infinite
+    // queue, threshold-crossing frequency — the quantity the asymptotic
+    // bounds).
+    let mut rng = SimRng::from_seed(5);
+    let trace = src.generate(400_000, &mut rng);
+    let mut q = FluidQueue::unbounded();
+    let mut over = 0u64;
+    for t in 0..trace.len() {
+        let out = q.offer(trace.bits(t), eb * 0.04);
+        if out.backlog > buffer {
+            over += 1;
+        }
+    }
+    let p_over = over as f64 / trace.len() as f64;
+    assert!(
+        p_over <= 5.0 * 1e-3,
+        "overflow probability {p_over} far above the 1e-3 design point"
+    );
+}
+
+#[test]
+fn mts_stream_needs_its_worst_subchain_rate() {
+    // eq. (9): simulate the flattened MTS source at a drain rate slightly
+    // above the max subchain mean but below the dominating subchain's EB:
+    // overflow must be frequent. At the eq. (9) EB it must be rare.
+    let slot = 1.0 / 24.0;
+    let model = MtsModel::fig4_example(2e-3, slot);
+    let buffer = 100_000.0;
+    let qos = QosTarget::new(buffer, 1e-2);
+    let (eb9, k) = mts_equivalent_bandwidth(&model, qos);
+    assert_eq!(k, 2, "the high-action subchain dominates");
+
+    let flat = model.flatten();
+    let mut rng = SimRng::from_seed(11);
+    let trace = flat.generate(600_000, &mut rng);
+
+    let overflow_frequency = |rate: f64| {
+        let mut q = FluidQueue::unbounded();
+        let mut over = 0u64;
+        for t in 0..trace.len() {
+            let out = q.offer(trace.bits(t), rate * slot);
+            if out.backlog > buffer {
+                over += 1;
+            }
+        }
+        over as f64 / trace.len() as f64
+    };
+
+    // Below the worst subchain's mean: every long high-action scene
+    // overflows, so the frequency is large despite being above the
+    // whole-stream mean rate.
+    let starved = overflow_frequency(1.1 * model.mean_rate());
+    assert!(
+        starved > 0.05,
+        "draining at 1.1x the stream mean must overflow often, got {starved}"
+    );
+    // At the eq. (9) equivalent bandwidth: rare.
+    let provisioned = overflow_frequency(eb9);
+    assert!(
+        provisioned < 5e-2,
+        "draining at the eq. (9) EB must be near the design point, got {provisioned}"
+    );
+    assert!(provisioned < starved / 3.0);
+}
+
+#[test]
+fn chernoff_estimate_bounds_bufferless_failure() {
+    // N iid two-level sources; capacity set so the Chernoff estimate is
+    // ~1e-2; the simulated exceedance frequency must not exceed the
+    // estimate (it is an upper bound up to sub-exponential factors, and
+    // for two-level sources it is conservative).
+    let levels = DiscreteDistribution::from_weights(&[(100_000.0, 0.75), (500_000.0, 0.25)]);
+    let n = 40;
+    // Find capacity where the estimate crosses 1e-2.
+    let c = min_capacity_per_source(&levels, n, 1e-2);
+    let capacity = c * n as f64;
+    let estimate = chernoff_failure_probability(&levels, n, capacity * 1.0001);
+    assert!(estimate <= 1e-2 * 1.1);
+
+    // Simulate: each source is iid at its level each epoch (the slow
+    // time-scale marginal), and we measure P(total demand > capacity).
+    let mut rng = SimRng::from_seed(3);
+    let mut exceed = 0u64;
+    let epochs = 200_000;
+    for _ in 0..epochs {
+        let mut total = 0.0;
+        for _ in 0..n {
+            total += if rng.chance(0.25) { 500_000.0 } else { 100_000.0 };
+        }
+        if total > capacity {
+            exceed += 1;
+        }
+    }
+    let p_sim = exceed as f64 / epochs as f64;
+    assert!(
+        p_sim <= estimate * 1.2,
+        "simulated exceedance {p_sim} above the Chernoff estimate {estimate}"
+    );
+    // And the estimate is not absurdly loose for this regime.
+    assert!(
+        p_sim >= estimate / 300.0,
+        "estimate {estimate} too far from simulation {p_sim}"
+    );
+}
+
+#[test]
+fn admission_count_is_safe_in_simulation() {
+    // eq. (12): admit max calls for a 1e-3 target, then verify by
+    // simulation that the exceedance probability is at most the target.
+    let levels = DiscreteDistribution::from_weights(&[(0.0, 0.5), (1_000_000.0, 0.5)]);
+    let capacity = 30_000_000.0;
+    let target = 1e-3;
+    let n = max_admissible_calls(&levels, capacity, target);
+    assert!(n > 30, "must beat peak-rate allocation (30), got {n}");
+
+    let mut rng = SimRng::from_seed(9);
+    let epochs = 300_000;
+    let mut exceed = 0u64;
+    for _ in 0..epochs {
+        let mut on = 0u64;
+        for _ in 0..n {
+            if rng.chance(0.5) {
+                on += 1;
+            }
+        }
+        if on as f64 * 1_000_000.0 > capacity {
+            exceed += 1;
+        }
+    }
+    let p_sim = exceed as f64 / epochs as f64;
+    assert!(p_sim <= target, "simulated failure {p_sim} above target {target}");
+}

@@ -1,0 +1,55 @@
+//! Collection strategies.
+
+use crate::strategy::Strategy;
+use crate::TestRng;
+use std::ops::Range;
+
+/// Something usable as a vector-length specification: a fixed `usize` or a
+/// half-open `Range<usize>`.
+pub trait IntoLenRange {
+    /// Lower length bound (inclusive).
+    fn lo(&self) -> usize;
+    /// Upper length bound (exclusive).
+    fn hi(&self) -> usize;
+}
+
+impl IntoLenRange for usize {
+    fn lo(&self) -> usize {
+        *self
+    }
+    fn hi(&self) -> usize {
+        *self + 1
+    }
+}
+
+impl IntoLenRange for Range<usize> {
+    fn lo(&self) -> usize {
+        self.start
+    }
+    fn hi(&self) -> usize {
+        self.end
+    }
+}
+
+/// Strategy generating `Vec`s of another strategy's values.
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    lo: usize,
+    hi: usize,
+}
+
+/// Vectors of `element` values with a length drawn from `len`.
+pub fn vec<S: Strategy>(element: S, len: impl IntoLenRange) -> VecStrategy<S> {
+    let (lo, hi) = (len.lo(), len.hi());
+    assert!(lo < hi, "empty length range");
+    VecStrategy { element, lo, hi }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let n = self.lo + rng.below((self.hi - self.lo) as u64) as usize;
+        (0..n).map(|_| self.element.sample(rng)).collect()
+    }
+}

@@ -1,0 +1,263 @@
+#![warn(missing_docs)]
+
+//! # proptest (offline stand-in)
+//!
+//! The build container has no registry access, so the real `proptest`
+//! crate cannot be fetched. This crate reimplements the macro surface the
+//! workspace's property tests use:
+//!
+//! * `proptest! { #[test] fn name(x in strategy, ...) { body } }` with an
+//!   optional leading `#![proptest_config(ProptestConfig::with_cases(n))]`;
+//! * range strategies (`0u32..5`, `-1.0..1.0f64`), `any::<T>()`, tuples of
+//!   strategies, and `proptest::collection::vec(strategy, len)`;
+//! * `prop_assert!`, `prop_assert_eq!`, `prop_assume!`.
+//!
+//! Unlike the real proptest there is **no shrinking** and **no persistence
+//! file**: inputs are generated from a deterministic per-case RNG
+//! (SplitMix64 seeded by the case index), so a failure reproduces exactly
+//! on re-run and the failing case index printed in the panic message is a
+//! stable identifier.
+
+/// Generation strategies.
+pub mod strategy;
+
+/// Collection strategies (`vec`).
+pub mod collection;
+
+pub use strategy::{any, Any, Strategy};
+
+/// One-stop import for property tests, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::strategy::{any, Any, Strategy};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assume, proptest, ProptestConfig, TestCaseError,
+        TestCaseResult,
+    };
+}
+
+/// Why a property-test case failed. Property bodies may `return
+/// Err(TestCaseError::fail(..))` to reject the case with a message, as
+/// with the real proptest.
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Fail the current case with `reason`.
+    pub fn fail(reason: impl Into<String>) -> Self {
+        Self {
+            message: reason.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// What a property body evaluates to.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Number of cases to run per property.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// How many generated inputs each property is checked against.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Run each property against `cases` generated inputs.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // The real proptest defaults to 256; 128 keeps the workspace's
+        // many property tests fast while still exploring broadly.
+        Self { cases: 128 }
+    }
+}
+
+/// Deterministic per-case random source (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// The RNG for case number `case` of a property.
+    pub fn for_case(case: u32) -> Self {
+        // Fixed base so runs are reproducible; golden-ratio stride
+        // decorrelates consecutive cases.
+        Self {
+            state: 0x9e3779b97f4a7c15u64.wrapping_mul(case as u64 + 1) ^ 0x5851f42d4c957f2d,
+        }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[0, n)`; `n` must be positive.
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        self.next_u64() % n
+    }
+}
+
+/// The `proptest!` block: one or more property-test functions.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Internal expansion of [`proptest!`] — not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr)
+      $(
+        $(#[$attr:meta])*
+        fn $name:ident ( $( $arg:pat in $strat:expr ),+ $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let __config: $crate::ProptestConfig = $cfg;
+                for __case in 0..__config.cases {
+                    let mut __rng = $crate::TestRng::for_case(__case);
+                    $( let $arg = $crate::Strategy::sample(&($strat), &mut __rng); )+
+                    let __run = || -> $crate::TestCaseResult {
+                        $body
+                        #[allow(unreachable_code)]
+                        ::std::result::Result::Ok(())
+                    };
+                    let __outcome = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(__run),
+                    );
+                    match __outcome {
+                        ::std::result::Result::Ok(::std::result::Result::Ok(())) => {}
+                        ::std::result::Result::Ok(::std::result::Result::Err(__err)) => {
+                            ::std::panic!(
+                                "proptest case {} of {} failed for property `{}`: {}",
+                                __case,
+                                __config.cases,
+                                ::std::stringify!($name),
+                                __err,
+                            );
+                        }
+                        ::std::result::Result::Err(__panic) => {
+                            ::std::eprintln!(
+                                "proptest case {} of {} failed for property `{}`",
+                                __case,
+                                __config.cases,
+                                ::std::stringify!($name),
+                            );
+                            ::std::panic::resume_unwind(__panic);
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Assert inside a property; panics (failing the case) when false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { ::std::assert!($($tt)*) };
+}
+
+/// Equality assert inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { ::std::assert_eq!($($tt)*) };
+}
+
+/// Skip the current case when its inputs don't satisfy a precondition.
+///
+/// Expands to an early `Ok` return from the case closure, so it must
+/// appear at the top level of the property body (which is how the
+/// workspace uses it).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Ok(());
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = crate::TestRng::for_case(3);
+        let mut b = crate::TestRng::for_case(3);
+        for _ in 0..10 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(
+            x in -5.0..7.0f64,
+            n in 1u32..10,
+            i in 0usize..3,
+            b in any::<bool>(),
+        ) {
+            prop_assert!((-5.0..7.0).contains(&x));
+            prop_assert!((1..10).contains(&n));
+            prop_assert!(i < 3);
+            let _ = b;
+        }
+
+        #[test]
+        fn vec_strategy_respects_length(
+            xs in collection::vec(0.0..1.0f64, 1..20),
+            fixed in collection::vec(any::<u8>(), 4),
+            nested in collection::vec(collection::vec(0u32..5, 2), 3),
+        ) {
+            prop_assert!((1..20).contains(&xs.len()));
+            prop_assert_eq!(fixed.len(), 4);
+            prop_assert_eq!(nested.len(), 3);
+            for inner in &nested {
+                prop_assert_eq!(inner.len(), 2);
+            }
+        }
+
+        #[test]
+        fn tuples_and_assume(
+            (a, b, c) in (0u32..5, -1.0..1.0f64, any::<bool>()),
+        ) {
+            prop_assume!(c);
+            prop_assert!(a < 5);
+            prop_assert!((-1.0..1.0).contains(&b));
+        }
+    }
+}

@@ -124,7 +124,11 @@ struct CallClass {
 impl CallClass {
     fn from_schedule(schedule: &Schedule, weight: f64) -> Self {
         Self {
-            segments: schedule.segments().iter().map(|s| (s.start, s.rate)).collect(),
+            segments: schedule
+                .segments()
+                .iter()
+                .map(|s| (s.start, s.rate))
+                .collect(),
             num_slots: schedule.num_slots(),
             slot: schedule.slot_duration(),
             weight,
@@ -172,7 +176,10 @@ impl CallSim {
     /// Create a simulator whose calls are random circular shifts of
     /// `schedule`.
     pub fn new(schedule: &Schedule, config: CallSimConfig) -> Self {
-        Self { classes: vec![CallClass::from_schedule(schedule, 1.0)], config }
+        Self {
+            classes: vec![CallClass::from_schedule(schedule, 1.0)],
+            config,
+        }
     }
 
     /// Create a simulator over a weighted mix of call classes: an arriving
@@ -182,7 +189,10 @@ impl CallSim {
     /// Panics if `mix` is empty or any weight is nonpositive.
     pub fn new_mixed(mix: &[(Schedule, f64)], config: CallSimConfig) -> Self {
         assert!(!mix.is_empty(), "need at least one call class");
-        assert!(mix.iter().all(|&(_, w)| w > 0.0), "class weights must be positive");
+        assert!(
+            mix.iter().all(|&(_, w)| w > 0.0),
+            "class weights must be positive"
+        );
         Self {
             classes: mix
                 .iter()
@@ -195,7 +205,10 @@ impl CallSim {
     /// Duration of the longest call class (= one measurement window),
     /// seconds.
     pub fn call_duration(&self) -> f64 {
-        self.classes.iter().map(|c| c.duration()).fold(0.0f64, f64::max)
+        self.classes
+            .iter()
+            .map(|c| c.duration())
+            .fold(0.0f64, f64::max)
     }
 
     #[cfg(test)]
@@ -253,8 +266,11 @@ impl CallSim {
                 Event::Arrival => {
                     sched.schedule_in(rng.exponential(cfg.arrival_rate), Event::Arrival);
                     arrivals_total += 1;
-                    let reservations: Vec<f64> =
-                        calls.iter().filter(|c| c.alive).map(|c| c.granted).collect();
+                    let reservations: Vec<f64> = calls
+                        .iter()
+                        .filter(|c| c.alive)
+                        .map(|c| c.granted)
+                        .collect();
                     let snapshot = AdmissionSnapshot {
                         capacity: cfg.capacity,
                         time: now,
@@ -265,8 +281,7 @@ impl CallSim {
                         blocked_total += 1;
                         continue;
                     }
-                    let weights: Vec<f64> =
-                        self.classes.iter().map(|c| c.weight).collect();
+                    let weights: Vec<f64> = self.classes.iter().map(|c| c.weight).collect();
                     let class = &self.classes[rng.discrete(&weights)];
                     let offset = rng.index(class.num_slots);
                     let (initial_rate, events) = class.shifted_events(offset);
@@ -281,7 +296,10 @@ impl CallSim {
                     for (k, &(lt, _)) in events.iter().enumerate() {
                         sched.schedule_at(
                             now + lt,
-                            Event::Renegotiate { call: id, event_idx: k },
+                            Event::Renegotiate {
+                                call: id,
+                                event_idx: k,
+                            },
                         );
                     }
                     sched.schedule_at(now + class.duration(), Event::Departure { call: id });
@@ -418,9 +436,16 @@ impl CallSim {
         now: f64,
         capacity: f64,
     ) {
-        let reservations: Vec<f64> =
-            calls.iter().filter(|c| c.alive).map(|c| c.granted).collect();
-        controller.observe(&AdmissionSnapshot { capacity, time: now, reservations: &reservations });
+        let reservations: Vec<f64> = calls
+            .iter()
+            .filter(|c| c.alive)
+            .map(|c| c.granted)
+            .collect();
+        controller.observe(&AdmissionSnapshot {
+            capacity,
+            time: now,
+            reservations: &reservations,
+        });
     }
 }
 

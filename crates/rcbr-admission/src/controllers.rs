@@ -26,7 +26,11 @@ impl PerfectKnowledge {
     /// Panics unless `0 < target < 1`.
     pub fn new(dist: DiscreteDistribution, target: f64) -> Self {
         assert!(target > 0.0 && target < 1.0, "target must be in (0, 1)");
-        Self { dist, target, cached: None }
+        Self {
+            dist,
+            target,
+            cached: None,
+        }
     }
 
     /// The maximum call count for the given capacity (cached).
@@ -120,7 +124,12 @@ impl WithMemory {
     pub fn new(target: f64, min_history: f64) -> Self {
         assert!(target > 0.0 && target < 1.0, "target must be in (0, 1)");
         assert!(min_history >= 0.0, "min history must be nonnegative");
-        Self { target, history: Vec::new(), last_time: None, min_history }
+        Self {
+            target,
+            history: Vec::new(),
+            last_time: None,
+            min_history,
+        }
     }
 
     /// Total accumulated call·seconds of history.
@@ -206,7 +215,11 @@ mod tests {
     }
 
     fn snapshot(reservations: &[f64], capacity: f64) -> AdmissionSnapshot<'_> {
-        AdmissionSnapshot { capacity, time: 0.0, reservations }
+        AdmissionSnapshot {
+            capacity,
+            time: 0.0,
+            reservations,
+        }
     }
 
     #[test]
@@ -273,12 +286,24 @@ mod tests {
         let low = vec![100_000.0; 10];
         let high = vec![500_000.0; 10];
         let mut t = 0.0;
-        wm.observe(&AdmissionSnapshot { capacity: cap, time: t, reservations: &low });
+        wm.observe(&AdmissionSnapshot {
+            capacity: cap,
+            time: t,
+            reservations: &low,
+        });
         for _ in 0..100 {
             t += 0.7;
-            wm.observe(&AdmissionSnapshot { capacity: cap, time: t, reservations: &high });
+            wm.observe(&AdmissionSnapshot {
+                capacity: cap,
+                time: t,
+                reservations: &high,
+            });
             t += 0.3;
-            wm.observe(&AdmissionSnapshot { capacity: cap, time: t, reservations: &low });
+            wm.observe(&AdmissionSnapshot {
+                capacity: cap,
+                time: t,
+                reservations: &low,
+            });
         }
         // Now the quiet-snapshot trick no longer fools it.
         let n_max_true = pk.max_calls(cap);

@@ -18,8 +18,7 @@ pub fn quantize_to_grid(dist: &DiscreteDistribution, grid: &RateGrid) -> Discret
         let idx = grid.ceil_index(r).unwrap_or(grid.len() - 1);
         weights[idx] += p;
     }
-    let pairs: Vec<(f64, f64)> =
-        grid.levels().iter().copied().zip(weights).collect();
+    let pairs: Vec<(f64, f64)> = grid.levels().iter().copied().zip(weights).collect();
     DiscreteDistribution::from_weights(&pairs)
 }
 

@@ -65,7 +65,11 @@ mod tests {
     #[test]
     fn snapshot_accessors() {
         let r = [100.0, 200.0, 300.0];
-        let s = AdmissionSnapshot { capacity: 1000.0, time: 5.0, reservations: &r };
+        let s = AdmissionSnapshot {
+            capacity: 1000.0,
+            time: 5.0,
+            reservations: &r,
+        };
         assert_eq!(s.num_calls(), 3);
         assert_eq!(s.total_reserved(), 600.0);
         let mut c = AdmitAll;

@@ -18,8 +18,13 @@ fn bench_fig6(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig6");
     group.sample_size(10);
 
-    let sim_b =
-        SharedBufferSim::new(&trace, ScenarioBConfig { num_sources: n, buffer_per_source: PAPER_BUFFER });
+    let sim_b = SharedBufferSim::new(
+        &trace,
+        ScenarioBConfig {
+            num_sources: n,
+            buffer_per_source: PAPER_BUFFER,
+        },
+    );
     group.bench_function("scenario_b_replication_n20", |b| {
         let mut rng = SimRng::from_seed(7);
         b.iter(|| sim_b.loss_with_random_phasing(500_000.0, &mut rng))
@@ -28,7 +33,10 @@ fn bench_fig6(c: &mut Criterion) {
     let sim_c = StepwiseCbrMuxSim::new(
         &trace,
         &schedule,
-        ScenarioCConfig { num_sources: n, buffer_per_source: PAPER_BUFFER },
+        ScenarioCConfig {
+            num_sources: n,
+            buffer_per_source: PAPER_BUFFER,
+        },
     );
     group.bench_function("scenario_c_replication_n20", |b| {
         let mut rng = SimRng::from_seed(7);
@@ -44,10 +52,15 @@ fn bench_fig6(c: &mut Criterion) {
             rate_tolerance: 0.1,
         };
         b.iter(|| {
-            search_capacity(trace.mean_rate(), schedule.peak_service_rate(), &search, |rate, rep| {
-                let mut rng = SimRng::from_seed(100 + rep);
-                sim_c.run_with_random_phasing(rate, &mut rng).loss_fraction
-            })
+            search_capacity(
+                trace.mean_rate(),
+                schedule.peak_service_rate(),
+                &search,
+                |rate, rep| {
+                    let mut rng = SimRng::from_seed(100 + rep);
+                    sim_c.run_with_random_phasing(rate, &mut rng).loss_fraction
+                },
+            )
         })
     });
 

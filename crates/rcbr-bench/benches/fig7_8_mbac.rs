@@ -17,8 +17,8 @@ fn bench_mbac(c: &mut Criterion) {
 
     group.bench_function("memoryless_10_windows", |b| {
         b.iter(|| {
-            let cfg = CallSimConfig::new(capacity, arrival, PAPER_FAILURE_TARGET, 5)
-                .with_max_windows(10);
+            let cfg =
+                CallSimConfig::new(capacity, arrival, PAPER_FAILURE_TARGET, 5).with_max_windows(10);
             let mut ctl = Memoryless::new(PAPER_FAILURE_TARGET);
             CallSim::new(&schedule, cfg).run(&mut ctl)
         })
@@ -26,8 +26,8 @@ fn bench_mbac(c: &mut Criterion) {
 
     group.bench_function("perfect_10_windows", |b| {
         b.iter(|| {
-            let cfg = CallSimConfig::new(capacity, arrival, PAPER_FAILURE_TARGET, 5)
-                .with_max_windows(10);
+            let cfg =
+                CallSimConfig::new(capacity, arrival, PAPER_FAILURE_TARGET, 5).with_max_windows(10);
             let mut ctl = PerfectKnowledge::new(dist.clone(), PAPER_FAILURE_TARGET);
             CallSim::new(&schedule, cfg).run(&mut ctl)
         })
@@ -35,8 +35,8 @@ fn bench_mbac(c: &mut Criterion) {
 
     group.bench_function("with_memory_10_windows", |b| {
         b.iter(|| {
-            let cfg = CallSimConfig::new(capacity, arrival, PAPER_FAILURE_TARGET, 5)
-                .with_max_windows(10);
+            let cfg =
+                CallSimConfig::new(capacity, arrival, PAPER_FAILURE_TARGET, 5).with_max_windows(10);
             let mut ctl = WithMemory::new(PAPER_FAILURE_TARGET, 10.0 * schedule.duration());
             CallSim::new(&schedule, cfg).run(&mut ctl)
         })

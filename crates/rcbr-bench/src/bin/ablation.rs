@@ -59,17 +59,22 @@ fn main() {
     let cost_model = CostModel::from_ratio(ratio);
 
     let base = TrellisConfig::new(grid.clone(), cost_model, buffer);
-    let mut rows = vec![
-        measure("exact".into(), &trace, &cost_model, || {
-            OfflineOptimizer::new(base.clone()).optimize(&trace).expect("feasible")
-        }),
-    ];
+    let mut rows = vec![measure("exact".into(), &trace, &cost_model, || {
+        OfflineOptimizer::new(base.clone())
+            .optimize(&trace)
+            .expect("feasible")
+    })];
     for res_div in [100.0, 1000.0, 10_000.0] {
-        rows.push(measure(format!("quantized B/{res_div}"), &trace, &cost_model, || {
-            OfflineOptimizer::new(base.clone().with_q_resolution(buffer / res_div))
-                .optimize(&trace)
-                .expect("feasible")
-        }));
+        rows.push(measure(
+            format!("quantized B/{res_div}"),
+            &trace,
+            &cost_model,
+            || {
+                OfflineOptimizer::new(base.clone().with_q_resolution(buffer / res_div))
+                    .optimize(&trace)
+                    .expect("feasible")
+            },
+        ));
     }
     for beam in [64usize, 512] {
         rows.push(measure(format!("beam {beam}"), &trace, &cost_model, || {
@@ -78,9 +83,12 @@ fn main() {
                 .expect("feasible")
         }));
     }
-    rows.push(measure("smoothing (baseline)".into(), &trace, &cost_model, || {
-        optimal_smoothing(&trace, buffer)
-    }));
+    rows.push(measure(
+        "smoothing (baseline)".into(),
+        &trace,
+        &cost_model,
+        || optimal_smoothing(&trace, buffer),
+    ));
 
     let exact_cost = rows[0].cost;
     for r in rows.iter_mut() {

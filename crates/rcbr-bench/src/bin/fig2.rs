@@ -33,8 +33,16 @@ fn main() {
     let mut points = Vec::new();
 
     println!("# Fig. 2 — bandwidth efficiency vs. mean renegotiation interval");
-    println!("# trace: {} frames ({:.0} s), mean {:.0} kb/s", frames, trace.duration(), trace.mean_rate() / 1e3);
-    println!("{:<10} {:>12} {:>14} {:>12} {:>8} {:>10}", "series", "param", "interval (s)", "efficiency", "renegs", "loss");
+    println!(
+        "# trace: {} frames ({:.0} s), mean {:.0} kb/s",
+        frames,
+        trace.duration(),
+        trace.mean_rate() / 1e3
+    );
+    println!(
+        "{:<10} {:>12} {:>14} {:>12} {:>8} {:>10}",
+        "series", "param", "interval (s)", "efficiency", "renegs", "loss"
+    );
 
     // OPT: the offline optimum across cost ratios.
     let grid = RateGrid::uniform(48_000.0, 2_400_000.0, 20);
@@ -42,7 +50,9 @@ fn main() {
         let cfg = TrellisConfig::new(grid.clone(), CostModel::from_ratio(ratio), buffer)
             .with_drain_at_end() // else unserved final backlog shows as >100% efficiency
             .with_q_resolution(buffer / 1000.0);
-        let schedule = OfflineOptimizer::new(cfg).optimize(&trace).expect("feasible");
+        let schedule = OfflineOptimizer::new(cfg)
+            .optimize(&trace)
+            .expect("feasible");
         let p = Point {
             series: "OPT",
             parameter: ratio,

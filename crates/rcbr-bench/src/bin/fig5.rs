@@ -35,14 +35,15 @@ fn main() {
     );
     println!("{:>14} {:>14} {:>12}", "sigma", "rho (kb/s)", "rho/mean");
 
-    let sigmas: Vec<f64> = [
-        10e3, 30e3, 100e3, 300e3, 1e6, 3e6, 10e6, 30e6, 100e6, 300e6,
-    ]
-    .to_vec();
+    let sigmas: Vec<f64> = [10e3, 30e3, 100e3, 300e3, 1e6, 3e6, 10e6, 30e6, 100e6, 300e6].to_vec();
     let mut rows = Vec::new();
     for &sigma in &sigmas {
         let rho = min_rate_for_buffer(&trace, sigma, PAPER_LOSS_TARGET);
-        let row = Row { sigma_bits: sigma, rho_bps: rho, rho_over_mean: rho / mean };
+        let row = Row {
+            sigma_bits: sigma,
+            rho_bps: rho,
+            rho_over_mean: rho / mean,
+        };
         println!(
             "{:>14} {:>14.1} {:>12.2}",
             rcbr_sim::units::fmt_bits(sigma),
@@ -53,6 +54,9 @@ fn main() {
     }
 
     let codec = min_rate_for_buffer(&trace, 300e3, PAPER_LOSS_TARGET);
-    println!("#\n# Anchors: rho(300 kb) = {:.2}x mean (paper: 4.06x).", codec / mean);
+    println!(
+        "#\n# Anchors: rho(300 kb) = {:.2}x mean (paper: 4.06x).",
+        codec / mean
+    );
     write_json(&args.out_dir(), "fig5.json", &rows);
 }

@@ -72,17 +72,28 @@ fn main() {
     for &n in &[1usize, 2, 5, 10, 20, 50, 100] {
         let sim_b = SharedBufferSim::new(
             &trace,
-            ScenarioBConfig { num_sources: n, buffer_per_source: buffer },
+            ScenarioBConfig {
+                num_sources: n,
+                buffer_per_source: buffer,
+            },
         );
-        let point_b = search_capacity(mean, c_a.max(trace.peak_rate() / n as f64), &search, |rate, rep| {
-            let mut rng = SimRng::from_seed(seed * 10_000 + n as u64 * 100 + rep);
-            sim_b.loss_with_random_phasing(rate, &mut rng)
-        });
+        let point_b = search_capacity(
+            mean,
+            c_a.max(trace.peak_rate() / n as f64),
+            &search,
+            |rate, rep| {
+                let mut rng = SimRng::from_seed(seed * 10_000 + n as u64 * 100 + rep);
+                sim_b.loss_with_random_phasing(rate, &mut rng)
+            },
+        );
 
         let sim_c = StepwiseCbrMuxSim::new(
             &trace,
             &schedule,
-            ScenarioCConfig { num_sources: n, buffer_per_source: buffer },
+            ScenarioCConfig {
+                num_sources: n,
+                buffer_per_source: buffer,
+            },
         );
         let hi_c = schedule.peak_service_rate();
         let point_c = search_capacity(mean, hi_c, &search, |rate, rep| {

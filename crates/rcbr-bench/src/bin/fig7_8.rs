@@ -12,7 +12,9 @@
 //! Usage: `fig7_8 [--frames 2880] [--seed 1] [--windows 60] [--out results/]`
 
 use rcbr_admission::{CallSim, CallSimConfig, Memoryless, PerfectKnowledge, WithMemory};
-use rcbr_bench::{paper_schedule, paper_trace, write_json, Args, PAPER_BUFFER, PAPER_FAILURE_TARGET};
+use rcbr_bench::{
+    paper_schedule, paper_trace, write_json, Args, PAPER_BUFFER, PAPER_FAILURE_TARGET,
+};
 use serde::Serialize;
 
 #[derive(Debug, Serialize)]

@@ -38,7 +38,9 @@ fn main() {
     for ratio in [3e4, 1e5, 3e5, 1e6] {
         let cfg = TrellisConfig::new(grid.clone(), CostModel::from_ratio(ratio), buffer)
             .with_q_resolution(buffer / 1000.0);
-        let s = OfflineOptimizer::new(cfg).optimize(&trace).expect("feasible");
+        let s = OfflineOptimizer::new(cfg)
+            .optimize(&trace)
+            .expect("feasible");
         let overhead = s.mean_service_rate() / mean - 1.0;
         let interval = s.mean_renegotiation_interval();
         eprintln!(
@@ -76,7 +78,10 @@ fn main() {
         buffer_ratio: static_buffer / buffer,
     };
 
-    println!("mean source rate              : {:.0} kb/s (paper: 374 kb/s)", mean / 1e3);
+    println!(
+        "mean source rate              : {:.0} kb/s (paper: 374 kb/s)",
+        mean / 1e3
+    );
     println!(
         "RCBR @ {:.1}% rate overhead     : buffer {} + one renegotiation every {:.1} s (ratio {ratio:.0})",
         100.0 * overhead,
@@ -87,6 +92,9 @@ fn main() {
         "static service, same rate     : needs {} of buffering (paper: ~100 Mb)",
         rcbr_sim::units::fmt_bits(static_buffer)
     );
-    println!("buffer ratio (static / RCBR)  : {:.0}x", result.buffer_ratio);
+    println!(
+        "buffer ratio (static / RCBR)  : {:.0}x",
+        result.buffer_ratio
+    );
     write_json(&args.out_dir(), "headline.json", &result);
 }

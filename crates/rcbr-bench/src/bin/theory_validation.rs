@@ -12,8 +12,10 @@
 //!
 //! Usage: `theory_validation [--seed 1] [--out results/]`
 
-use rcbr_ldt::{equivalent_bandwidth, mts_equivalent_bandwidth, min_capacity_per_source, QosTarget};
 use rcbr_bench::{write_json, Args};
+use rcbr_ldt::{
+    equivalent_bandwidth, min_capacity_per_source, mts_equivalent_bandwidth, QosTarget,
+};
 use rcbr_sim::stats::DiscreteDistribution;
 use rcbr_sim::{FluidQueue, SimRng};
 use rcbr_traffic::MtsModel;
@@ -50,7 +52,10 @@ fn main() {
         .collect();
     let (stream_eb, k_dom) = mts_equivalent_bandwidth(&model, qos);
     println!("# Theory validation — Fig. 4 source, B = 100 kb, eps = 1e-2");
-    println!("{:>10} {:>12} {:>12} {:>10}", "subchain", "mean (kb/s)", "EB (kb/s)", "p_k");
+    println!(
+        "{:>10} {:>12} {:>12} {:>10}",
+        "subchain", "mean (kb/s)", "EB (kb/s)", "p_k"
+    );
     for k in 0..3 {
         println!(
             "{:>10} {:>12.0} {:>12.0} {:>10.3}",
@@ -60,7 +65,10 @@ fn main() {
             probs[k]
         );
     }
-    println!("eq. (9): stream EB = {:.0} kb/s (subchain {k_dom})", stream_eb / 1e3);
+    println!(
+        "eq. (9): stream EB = {:.0} kb/s (subchain {k_dom})",
+        stream_eb / 1e3
+    );
 
     // Simulate the flattened stream at two rates.
     let flat = model.flatten();
@@ -110,7 +118,10 @@ fn main() {
 
     // 3. eq. (10) vs. (11): capacity per stream.
     let eb_marginal = DiscreteDistribution::from_weights(
-        &ebs.iter().zip(&probs).map(|(&e, &p)| (e, p)).collect::<Vec<_>>(),
+        &ebs.iter()
+            .zip(&probs)
+            .map(|(&e, &p)| (e, p))
+            .collect::<Vec<_>>(),
     );
     let c_shared = min_capacity_per_source(&marginal, n, 1e-3);
     let c_rcbr = min_capacity_per_source(&eb_marginal, n, 1e-3);

@@ -50,7 +50,9 @@ impl Args {
         let mut it = raw.into_iter();
         while let Some(k) = it.next() {
             let k = k.strip_prefix("--").unwrap_or(&k).to_string();
-            let v = it.next().unwrap_or_else(|| panic!("missing value for --{k}"));
+            let v = it
+                .next()
+                .unwrap_or_else(|| panic!("missing value for --{k}"));
             pairs.push((k, v));
         }
         Self { pairs }
@@ -71,7 +73,11 @@ impl Args {
 
     /// Optional output directory (`--out`).
     pub fn out_dir(&self) -> Option<PathBuf> {
-        self.pairs.iter().rev().find(|(k, _)| k == "out").map(|(_, v)| PathBuf::from(v))
+        self.pairs
+            .iter()
+            .rev()
+            .find(|(k, _)| k == "out")
+            .map(|(_, v)| PathBuf::from(v))
     }
 }
 
@@ -101,8 +107,11 @@ pub fn write_json<T: Serialize>(dir: &Option<PathBuf>, name: &str, value: &T) {
     if let Some(dir) = dir {
         std::fs::create_dir_all(dir).expect("create output dir");
         let path = dir.join(name);
-        std::fs::write(&path, serde_json::to_string_pretty(value).expect("serialize"))
-            .expect("write JSON");
+        std::fs::write(
+            &path,
+            serde_json::to_string_pretty(value).expect("serialize"),
+        )
+        .expect("write JSON");
         eprintln!("wrote {}", path.display());
     }
 }

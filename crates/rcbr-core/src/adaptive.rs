@@ -42,7 +42,10 @@ impl AdaptiveConfig {
             min_scale > 0.0 && min_scale <= 1.0,
             "minimum scale must be in (0, 1]"
         );
-        Self { degrade_above, min_scale }
+        Self {
+            degrade_above,
+            min_scale,
+        }
     }
 }
 
@@ -60,8 +63,17 @@ impl AdaptiveSource {
     /// Wrap `inner` (whose end-system buffer is `buffer` bits — the same
     /// value it was constructed with).
     pub fn new(inner: RcbrSource, buffer: f64, config: AdaptiveConfig) -> Self {
-        assert!(buffer > 0.0 && buffer.is_finite(), "buffer must be positive");
-        Self { inner, config, buffer, offered_bits: 0.0, degraded_bits: 0.0 }
+        assert!(
+            buffer > 0.0 && buffer.is_finite(),
+            "buffer must be positive"
+        );
+        Self {
+            inner,
+            config,
+            buffer,
+            offered_bits: 0.0,
+            degraded_bits: 0.0,
+        }
     }
 
     /// The wrapped source.
@@ -133,12 +145,10 @@ mod tests {
     /// A starved setting: the network grants nothing above the mean rate.
     fn starved(trace: &FrameTrace, buffer: f64, adaptive: bool) -> (f64, f64) {
         let frames = trace.len();
-        let schedule =
-            Schedule::constant(trace.frame_interval(), frames, trace.mean_rate());
+        let schedule = Schedule::constant(trace.frame_interval(), frames, trace.mean_rate());
         if adaptive {
             let inner = RcbrSource::offline(schedule, buffer);
-            let mut src =
-                AdaptiveSource::new(inner, buffer, AdaptiveConfig::new(0.5, 0.3));
+            let mut src = AdaptiveSource::new(inner, buffer, AdaptiveConfig::new(0.5, 0.3));
             for t in 0..frames {
                 src.step(trace.bits(t), |_, _| false);
             }
@@ -196,7 +206,10 @@ mod tests {
         for t in 0..trace.len() {
             let s = src.current_scale();
             assert!((0.25..=1.0).contains(&s), "scale {s} out of range");
-            assert!(s <= last_scale + 1e-9, "scale rises only when the buffer drains");
+            assert!(
+                s <= last_scale + 1e-9,
+                "scale rises only when the buffer drains"
+            );
             last_scale = s;
             src.step(trace.bits(t), |_, _| false);
         }

@@ -33,7 +33,10 @@ pub struct SearchConfig {
 impl SearchConfig {
     /// The paper's settings with a bounded replication budget.
     pub fn paper(target_loss: f64) -> Self {
-        assert!(target_loss > 0.0 && target_loss < 1.0, "target must be in (0, 1)");
+        assert!(
+            target_loss > 0.0 && target_loss < 1.0,
+            "target must be in (0, 1)"
+        );
         Self {
             target_loss,
             relative_precision: 0.2,
@@ -115,7 +118,11 @@ pub fn search_capacity(
     let mut evaluations = 0u64;
     let (loss_lo, ok_lo) = estimate_loss(lo, cfg, &mut estimator, &mut evaluations);
     if ok_lo {
-        return CapacityPoint { rate: lo, loss: loss_lo, evaluations };
+        return CapacityPoint {
+            rate: lo,
+            loss: loss_lo,
+            evaluations,
+        };
     }
     let mut a = lo;
     let mut b = hi;
@@ -125,7 +132,11 @@ pub fn search_capacity(
     let (lb, ok_hi) = estimate_loss(hi, cfg, &mut estimator, &mut evaluations);
     loss_b = lb;
     if !ok_hi {
-        return CapacityPoint { rate: hi, loss: loss_b, evaluations };
+        return CapacityPoint {
+            rate: hi,
+            loss: loss_b,
+            evaluations,
+        };
     }
     while b - a > cfg.rate_tolerance * b {
         let mid = 0.5 * (a + b);
@@ -137,7 +148,11 @@ pub fn search_capacity(
             a = mid;
         }
     }
-    CapacityPoint { rate: b, loss: loss_b, evaluations }
+    CapacityPoint {
+        rate: b,
+        loss: loss_b,
+        evaluations,
+    }
 }
 
 #[cfg(test)]
@@ -149,14 +164,23 @@ mod tests {
         // Deterministic estimator: loss 1e-3 below rate 500, 1e-9 at or
         // above it.
         let cfg = SearchConfig::paper(1e-6);
-        let point = search_capacity(100.0, 1000.0, &cfg, |rate, _| {
-            if rate >= 500.0 {
-                1e-9
-            } else {
-                1e-3
-            }
-        });
-        assert!(point.rate >= 500.0 && point.rate <= 520.0, "rate {}", point.rate);
+        let point = search_capacity(
+            100.0,
+            1000.0,
+            &cfg,
+            |rate, _| {
+                if rate >= 500.0 {
+                    1e-9
+                } else {
+                    1e-3
+                }
+            },
+        );
+        assert!(
+            point.rate >= 500.0 && point.rate <= 520.0,
+            "rate {}",
+            point.rate
+        );
         assert!(point.loss <= 1e-6);
     }
 

@@ -47,7 +47,10 @@ pub fn online_with_latency(
     buffer: f64,
     delay: f64,
 ) -> LatencyOutcome {
-    assert!(delay >= 0.0 && delay.is_finite(), "delay must be nonnegative");
+    assert!(
+        delay >= 0.0 && delay.is_finite(),
+        "delay must be nonnegative"
+    );
     let tau = trace.frame_interval();
     let delay_slots = (delay / tau).ceil() as usize;
     let mut queue = FluidQueue::new(buffer);
@@ -103,8 +106,15 @@ pub fn offline_with_latency(
     buffer: f64,
     delay: f64,
 ) -> LatencyOutcome {
-    assert_eq!(schedule.num_slots(), trace.len(), "schedule must cover the trace");
-    assert!(delay >= 0.0 && delay.is_finite(), "delay must be nonnegative");
+    assert_eq!(
+        schedule.num_slots(),
+        trace.len(),
+        "schedule must cover the trace"
+    );
+    assert!(
+        delay >= 0.0 && delay.is_finite(),
+        "delay must be nonnegative"
+    );
     // Anticipation makes the granted-rate trajectory equal the scheduled
     // one; replay directly.
     let metrics = schedule.replay(trace, buffer);

@@ -48,22 +48,31 @@ impl<'a> SharedBufferSim<'a> {
     /// Panics if `num_sources == 0` or the buffer is negative.
     pub fn new(trace: &'a FrameTrace, config: ScenarioBConfig) -> Self {
         assert!(config.num_sources > 0, "need at least one source");
-        assert!(config.buffer_per_source >= 0.0, "buffer must be nonnegative");
+        assert!(
+            config.buffer_per_source >= 0.0,
+            "buffer must be nonnegative"
+        );
         Self { trace, config }
     }
 
     /// Fraction of bits lost with the given per-source rate and explicit
     /// phase offsets (one per source, in slots).
     pub fn loss_fraction(&self, rate_per_source: f64, offsets: &[usize]) -> f64 {
-        assert_eq!(offsets.len(), self.config.num_sources, "one offset per source");
+        assert_eq!(
+            offsets.len(),
+            self.config.num_sources,
+            "one offset per source"
+        );
         let n = self.config.num_sources;
         let t_len = self.trace.len();
         let tau = self.trace.frame_interval();
         let service = rate_per_source * n as f64 * tau;
         let mut queue = FluidQueue::new(self.config.buffer_per_source * n as f64);
         for t in 0..t_len {
-            let arrivals: f64 =
-                offsets.iter().map(|&o| self.trace.bits((t + o) % t_len)).sum();
+            let arrivals: f64 = offsets
+                .iter()
+                .map(|&o| self.trace.bits((t + o) % t_len))
+                .sum();
             queue.offer(arrivals, service);
         }
         queue.loss_fraction()
@@ -71,8 +80,9 @@ impl<'a> SharedBufferSim<'a> {
 
     /// One replication with uniformly random phasing.
     pub fn loss_with_random_phasing(&self, rate_per_source: f64, rng: &mut SimRng) -> f64 {
-        let offsets: Vec<usize> =
-            (0..self.config.num_sources).map(|_| rng.index(self.trace.len())).collect();
+        let offsets: Vec<usize> = (0..self.config.num_sources)
+            .map(|_| rng.index(self.trace.len()))
+            .collect();
         self.loss_fraction(rate_per_source, &offsets)
     }
 }
@@ -140,9 +150,16 @@ impl<'a> StepwiseCbrMuxSim<'a> {
     /// Panics if the schedule does not cover the trace or the config is
     /// degenerate.
     pub fn new(trace: &'a FrameTrace, schedule: &Schedule, config: ScenarioCConfig) -> Self {
-        assert_eq!(schedule.num_slots(), trace.len(), "schedule must cover the trace");
+        assert_eq!(
+            schedule.num_slots(),
+            trace.len(),
+            "schedule must cover the trace"
+        );
         assert!(config.num_sources > 0, "need at least one source");
-        assert!(config.buffer_per_source >= 0.0, "buffer must be nonnegative");
+        assert!(
+            config.buffer_per_source >= 0.0,
+            "buffer must be nonnegative"
+        );
         let sched_rates = schedule.to_rates();
         let tau = trace.frame_interval();
         let buffer = config.buffer_per_source;
@@ -152,7 +169,12 @@ impl<'a> StepwiseCbrMuxSim<'a> {
             q = (q + trace.bits(t) - r * tau).max(0.0).min(buffer);
             base_backlog.push(q);
         }
-        Self { trace, sched_rates, base_backlog, config }
+        Self {
+            trace,
+            sched_rates,
+            base_backlog,
+            config,
+        }
     }
 
     /// Run one replication with explicit phase offsets.
@@ -257,8 +279,9 @@ impl<'a> StepwiseCbrMuxSim<'a> {
         rate_per_source: f64,
         rng: &mut SimRng,
     ) -> ScenarioCOutcome {
-        let offsets: Vec<usize> =
-            (0..self.config.num_sources).map(|_| rng.index(self.trace.len())).collect();
+        let offsets: Vec<usize> = (0..self.config.num_sources)
+            .map(|_| rng.index(self.trace.len()))
+            .collect();
         self.run(rate_per_source, &offsets)
     }
 }
@@ -271,8 +294,9 @@ mod tests {
     /// A two-level synthetic workload: long quiet phases at 100 b/s with
     /// bursts at 1000 b/s for 1/6 of the time.
     fn workload() -> FrameTrace {
-        let bits: Vec<f64> =
-            (0..1200).map(|i| if i % 120 < 20 { 1000.0 } else { 100.0 }).collect();
+        let bits: Vec<f64> = (0..1200)
+            .map(|i| if i % 120 < 20 { 1000.0 } else { 100.0 })
+            .collect();
         FrameTrace::new(1.0, bits)
     }
 
@@ -289,7 +313,10 @@ mod tests {
         let tr = workload();
         let sim = SharedBufferSim::new(
             &tr,
-            ScenarioBConfig { num_sources: 10, buffer_per_source: 500.0 },
+            ScenarioBConfig {
+                num_sources: 10,
+                buffer_per_source: 500.0,
+            },
         );
         let offsets: Vec<usize> = (0..10).map(|i| i * 117).collect();
         let lo = sim.loss_fraction(150.0, &offsets);
@@ -308,7 +335,10 @@ mod tests {
         let a_loss = scenario_a_loss(&tr, buffer, rate);
         let sim = SharedBufferSim::new(
             &tr,
-            ScenarioBConfig { num_sources: 12, buffer_per_source: buffer },
+            ScenarioBConfig {
+                num_sources: 12,
+                buffer_per_source: buffer,
+            },
         );
         let offsets: Vec<usize> = (0..12).map(|i| i * 100).collect();
         let b_loss = sim.loss_fraction(rate, &offsets);
@@ -325,7 +355,10 @@ mod tests {
         let sim = StepwiseCbrMuxSim::new(
             &tr,
             &sched,
-            ScenarioCConfig { num_sources: 8, buffer_per_source: 2000.0 },
+            ScenarioCConfig {
+                num_sources: 8,
+                buffer_per_source: 2000.0,
+            },
         );
         let offsets: Vec<usize> = (0..8).map(|i| i * 150).collect();
         // Capacity = peak schedule rate per source: every request granted.
@@ -342,7 +375,10 @@ mod tests {
         let sim = StepwiseCbrMuxSim::new(
             &tr,
             &sched,
-            ScenarioCConfig { num_sources: 8, buffer_per_source: 2000.0 },
+            ScenarioCConfig {
+                num_sources: 8,
+                buffer_per_source: 2000.0,
+            },
         );
         // All sources in phase: bursts collide, and per-source capacity
         // below the schedule peak guarantees up-renegotiation failures.
@@ -364,7 +400,10 @@ mod tests {
         let sim = StepwiseCbrMuxSim::new(
             &tr,
             &sched,
-            ScenarioCConfig { num_sources: n, buffer_per_source: 2000.0 },
+            ScenarioCConfig {
+                num_sources: n,
+                buffer_per_source: 2000.0,
+            },
         );
         let mut rng = SimRng::from_seed(5);
         let c = 0.55 * sched.peak_service_rate();
@@ -389,7 +428,10 @@ mod tests {
         let sim = StepwiseCbrMuxSim::new(
             &tr,
             &sched,
-            ScenarioCConfig { num_sources: 4, buffer_per_source: 2000.0 },
+            ScenarioCConfig {
+                num_sources: 4,
+                buffer_per_source: 2000.0,
+            },
         );
         for &off in &[[0usize, 0, 0, 0], [0, 300, 600, 900], [5, 5, 700, 700]] {
             let out = sim.run(sched.peak_service_rate(), &off);

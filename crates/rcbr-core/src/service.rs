@@ -128,7 +128,10 @@ impl RcbrConnection {
         faults: &mut FaultInjector,
         new_rate: f64,
     ) -> Result<bool, ServiceError> {
-        assert!(new_rate >= 0.0 && new_rate.is_finite(), "rate must be nonnegative");
+        assert!(
+            new_rate >= 0.0 && new_rate.is_finite(),
+            "rate must be nonnegative"
+        );
         let delta = new_rate - self.believed_rate;
         self.renegotiations += 1;
         let mut ok = true;
@@ -143,7 +146,9 @@ impl RcbrConnection {
             // proceeds at the new rate while switches lag — drift.
             self.believed_rate = new_rate;
         }
-        if self.config.resync_every > 0 && self.renegotiations % self.config.resync_every == 0 {
+        if self.config.resync_every > 0
+            && self.renegotiations.is_multiple_of(self.config.resync_every)
+        {
             self.resync(switches)?;
         }
         Ok(ok)
@@ -161,9 +166,7 @@ impl RcbrConnection {
         self.path
             .hops()
             .iter()
-            .map(|&h| {
-                (switches[h].vci_rate(self.vci).unwrap_or(0.0) - self.believed_rate).abs()
-            })
+            .map(|&h| (switches[h].vci_rate(self.vci).unwrap_or(0.0) - self.believed_rate).abs())
             .fold(0.0f64, f64::max)
     }
 
@@ -190,8 +193,7 @@ mod tests {
     #[test]
     fn lossless_signaling_stays_synchronized() {
         let mut sw = network();
-        let mut conn =
-            RcbrConnection::establish(&mut sw, path(), 1, 100_000.0).unwrap();
+        let mut conn = RcbrConnection::establish(&mut sw, path(), 1, 100_000.0).unwrap();
         let mut faults = FaultInjector::transparent();
         for rate in [200_000.0, 150_000.0, 400_000.0] {
             assert!(conn.renegotiate(&mut sw, &mut faults, rate).unwrap());
@@ -251,8 +253,7 @@ mod tests {
     fn denied_renegotiation_returns_false() {
         let mut sw = network();
         sw[2].setup(50, 0, 800_000.0).unwrap();
-        let mut conn =
-            RcbrConnection::establish(&mut sw, path(), 1, 100_000.0).unwrap();
+        let mut conn = RcbrConnection::establish(&mut sw, path(), 1, 100_000.0).unwrap();
         let mut faults = FaultInjector::transparent();
         let ok = conn.renegotiate(&mut sw, &mut faults, 500_000.0).unwrap();
         assert!(!ok);

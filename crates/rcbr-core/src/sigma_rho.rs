@@ -99,7 +99,10 @@ pub fn min_rate_for_buffer(trace: &FrameTrace, buffer: f64, epsilon: f64) -> f64
 pub fn sigma_rho_curve(trace: &FrameTrace, sigmas: &[f64], epsilon: f64) -> Vec<SigmaRhoPoint> {
     sigmas
         .iter()
-        .map(|&sigma| SigmaRhoPoint { sigma, rho: min_rate_for_buffer(trace, sigma, epsilon) })
+        .map(|&sigma| SigmaRhoPoint {
+            sigma,
+            rho: min_rate_for_buffer(trace, sigma, epsilon),
+        })
         .collect()
 }
 
@@ -111,8 +114,9 @@ mod tests {
 
     fn bursty_trace() -> FrameTrace {
         // 100 b/s background with periodic 10-slot bursts at 1000 b/s.
-        let bits: Vec<f64> =
-            (0..600).map(|i| if i % 60 < 10 { 1000.0 } else { 100.0 }).collect();
+        let bits: Vec<f64> = (0..600)
+            .map(|i| if i % 60 < 10 { 1000.0 } else { 100.0 })
+            .collect();
         FrameTrace::new(1.0, bits)
     }
 
@@ -152,7 +156,11 @@ mod tests {
         // With an infinite-like buffer and eps=0, the constraint is that
         // the queue drains by the end: rate >= total/duration.
         let rho = min_rate_for_buffer(&tr, 1e12, 0.0);
-        assert!(rho <= tr.mean_rate() * 1.01, "rho {rho} vs mean {}", tr.mean_rate());
+        assert!(
+            rho <= tr.mean_rate() * 1.01,
+            "rho {rho} vs mean {}",
+            tr.mean_rate()
+        );
     }
 
     #[test]

@@ -128,7 +128,9 @@ impl RcbrSource {
         arrived_bits: f64,
         network: impl FnOnce(f64, f64) -> bool,
     ) -> SourceEvent {
-        let out = self.queue.offer(arrived_bits, self.current_rate * self.slot_duration);
+        let out = self
+            .queue
+            .offer(arrived_bits, self.current_rate * self.slot_duration);
         let request = match &mut self.driver {
             Driver::Offline { schedule, slot } => {
                 // Anticipate the next slot's scheduled rate.

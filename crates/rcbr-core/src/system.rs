@@ -82,11 +82,7 @@ impl<'a> SystemSim<'a> {
     }
 
     /// Run for `duration` seconds under `controller`.
-    pub fn run(
-        &self,
-        controller: &mut dyn AdmissionController,
-        duration: f64,
-    ) -> SystemReport {
+    pub fn run(&self, controller: &mut dyn AdmissionController, duration: f64) -> SystemReport {
         let cfg = &self.config;
         let tau = self.movie.frame_interval();
         let total_slots = (duration / tau).ceil() as usize;
@@ -112,8 +108,7 @@ impl<'a> SystemSim<'a> {
             while next_arrival <= now {
                 next_arrival += rng.exponential(cfg.arrival_rate);
                 offered += 1;
-                let reservations: Vec<f64> =
-                    sources.iter().map(|s| port.vci_rate(s.vci)).collect();
+                let reservations: Vec<f64> = sources.iter().map(|s| port.vci_rate(s.vci)).collect();
                 let snapshot = AdmissionSnapshot {
                     capacity: cfg.capacity,
                     time: now,
@@ -180,7 +175,11 @@ impl<'a> SystemSim<'a> {
             admitted,
             requests,
             denials,
-            loss_fraction: if arrived_bits > 0.0 { lost_bits / arrived_bits } else { 0.0 },
+            loss_fraction: if arrived_bits > 0.0 {
+                lost_bits / arrived_bits
+            } else {
+                0.0
+            },
             utilization: util_integral / (total_slots as f64 * tau),
         }
     }
@@ -252,7 +251,10 @@ mod tests {
     fn peak_rate_admission_protects_the_system() {
         let m = movie();
         let capacity = 8.0 * m.peak_rate();
-        let cfg = SystemConfig { arrival_rate: 0.5, ..config(&m, capacity, 3) };
+        let cfg = SystemConfig {
+            arrival_rate: 0.5,
+            ..config(&m, capacity, 3)
+        };
         let sim = SystemSim::new(&m, cfg);
         let mut ctl = PeakRate::new(m.peak_rate());
         let report = sim.run(&mut ctl, 240.0);

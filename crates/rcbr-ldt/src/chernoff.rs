@@ -33,11 +33,7 @@ use crate::numerics::bisect;
 ///
 /// # Panics
 /// Panics if `n == 0` or `capacity < 0`.
-pub fn chernoff_failure_probability(
-    dist: &DiscreteDistribution,
-    n: usize,
-    capacity: f64,
-) -> f64 {
+pub fn chernoff_failure_probability(dist: &DiscreteDistribution, n: usize, capacity: f64) -> f64 {
     assert!(n > 0, "need at least one call");
     assert!(capacity >= 0.0, "capacity must be nonnegative");
     let per_source = capacity / n as f64;
@@ -202,7 +198,10 @@ mod tests {
         // Leaves slack: admitted mean load is below capacity, and peak
         // allocation would admit exactly 20.
         assert!(n as f64 * d.mean() < capacity);
-        assert!(n > 20, "statistical gain should beat peak allocation, n={n}");
+        assert!(
+            n > 20,
+            "statistical gain should beat peak allocation, n={n}"
+        );
     }
 
     #[test]

@@ -46,7 +46,10 @@ impl QosTarget {
     /// # Panics
     /// Panics unless `buffer > 0` and `0 < epsilon < 1`.
     pub fn new(buffer: f64, epsilon: f64) -> Self {
-        assert!(buffer > 0.0 && buffer.is_finite(), "buffer must be positive");
+        assert!(
+            buffer > 0.0 && buffer.is_finite(),
+            "buffer must be positive"
+        );
         assert!(epsilon > 0.0 && epsilon < 1.0, "epsilon must be in (0, 1)");
         Self { buffer, epsilon }
     }
@@ -137,7 +140,10 @@ mod tests {
         let small = log_spectral_mgf(&s, 1e-9) / 1e-9;
         let large = log_spectral_mgf(&s, 1.0) / 1.0;
         assert!((small - 500.0).abs() < 1.0, "small-θ slope {small}");
-        assert!(large > 900.0 && large <= 1000.0 + 1e-9, "large-θ slope {large}");
+        assert!(
+            large > 900.0 && large <= 1000.0 + 1e-9,
+            "large-θ slope {large}"
+        );
     }
 
     #[test]
@@ -198,8 +204,9 @@ mod tests {
         let m = MtsModel::fig4_example(1e-4, 1.0 / 24.0);
         let qos = QosTarget::new(50_000.0, 1e-6);
         let (eb, _) = mts_equivalent_bandwidth(&m, qos);
-        let max_mean =
-            (0..3).map(|k| m.subchain_mean_rate(k)).fold(0.0f64, f64::max);
+        let max_mean = (0..3)
+            .map(|k| m.subchain_mean_rate(k))
+            .fold(0.0f64, f64::max);
         assert!(eb > max_mean, "eb {eb} <= max subchain mean {max_mean}");
     }
 

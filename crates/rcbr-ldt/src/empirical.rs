@@ -30,14 +30,19 @@ pub fn empirical_log_mgf(trace: &FrameTrace, theta: f64, block_slots: usize) -> 
     let blocks = trace.len() / block_slots;
     assert!(blocks > 0, "trace shorter than one block");
     let sums: Vec<f64> = (0..blocks)
-        .map(|k| (0..block_slots).map(|i| trace.bits(k * block_slots + i)).sum())
+        .map(|k| {
+            (0..block_slots)
+                .map(|i| trace.bits(k * block_slots + i))
+                .sum()
+        })
         .collect();
-    let peak = sums.iter().fold(f64::NEG_INFINITY, |m, &x| m.max(theta * x));
+    let peak = sums
+        .iter()
+        .fold(f64::NEG_INFINITY, |m, &x| m.max(theta * x));
     if !peak.is_finite() {
         return peak;
     }
-    let mean_exp: f64 =
-        sums.iter().map(|&x| (theta * x - peak).exp()).sum::<f64>() / blocks as f64;
+    let mean_exp: f64 = sums.iter().map(|&x| (theta * x - peak).exp()).sum::<f64>() / blocks as f64;
     (peak + mean_exp.ln()) / block_slots as f64
 }
 

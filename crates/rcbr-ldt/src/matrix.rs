@@ -21,8 +21,15 @@ impl Matrix {
     /// # Panics
     /// Panics if either dimension is zero.
     pub fn zeros(n_rows: usize, n_cols: usize) -> Self {
-        assert!(n_rows > 0 && n_cols > 0, "matrix dimensions must be positive");
-        Self { n_rows, n_cols, data: vec![0.0; n_rows * n_cols] }
+        assert!(
+            n_rows > 0 && n_cols > 0,
+            "matrix dimensions must be positive"
+        );
+        Self {
+            n_rows,
+            n_cols,
+            data: vec![0.0; n_rows * n_cols],
+        }
     }
 
     /// Build from nested rows.
@@ -30,14 +37,21 @@ impl Matrix {
     /// # Panics
     /// Panics if rows are empty or ragged.
     pub fn from_rows(rows: &[Vec<f64>]) -> Self {
-        assert!(!rows.is_empty() && !rows[0].is_empty(), "matrix must be nonempty");
+        assert!(
+            !rows.is_empty() && !rows[0].is_empty(),
+            "matrix must be nonempty"
+        );
         let n_cols = rows[0].len();
         let mut data = Vec::with_capacity(rows.len() * n_cols);
         for row in rows {
             assert_eq!(row.len(), n_cols, "ragged rows");
             data.extend_from_slice(row);
         }
-        Self { n_rows: rows.len(), n_cols, data }
+        Self {
+            n_rows: rows.len(),
+            n_cols,
+            data,
+        }
     }
 
     /// Identity matrix.
@@ -85,8 +99,14 @@ impl Matrix {
     /// # Panics
     /// Panics if the matrix is not square or has a negative entry.
     pub fn perron_root(&self) -> f64 {
-        assert_eq!(self.n_rows, self.n_cols, "Perron root needs a square matrix");
-        assert!(self.data.iter().all(|&x| x >= 0.0), "matrix must be nonnegative");
+        assert_eq!(
+            self.n_rows, self.n_cols,
+            "Perron root needs a square matrix"
+        );
+        assert!(
+            self.data.iter().all(|&x| x >= 0.0),
+            "matrix must be nonnegative"
+        );
         let n = self.n_rows;
         if n == 1 {
             return self.data[0];

@@ -46,8 +46,14 @@ impl AdvanceBook {
     /// # Panics
     /// Panics unless `capacity > 0`.
     pub fn new(capacity: f64) -> Self {
-        assert!(capacity > 0.0 && capacity.is_finite(), "capacity must be positive");
-        Self { capacity, bookings: Vec::new() }
+        assert!(
+            capacity > 0.0 && capacity.is_finite(),
+            "capacity must be positive"
+        );
+        Self {
+            capacity,
+            bookings: Vec::new(),
+        }
     }
 
     /// Port capacity, bits/second.
@@ -92,7 +98,9 @@ impl AdvanceBook {
     ) -> BookingOutcome {
         assert!(!segments.is_empty(), "profile must be nonempty");
         assert!(
-            segments.iter().all(|&(d, r)| d > 0.0 && r >= 0.0 && d.is_finite() && r.is_finite()),
+            segments
+                .iter()
+                .all(|&(d, r)| d > 0.0 && r >= 0.0 && d.is_finite() && r.is_finite()),
             "profile durations must be positive and rates nonnegative"
         );
         // Feasibility check against every breakpoint the profile spans.
@@ -127,7 +135,12 @@ impl AdvanceBook {
         let mut t = start;
         for &(dur, rate) in segments {
             if rate > 0.0 {
-                self.bookings.push(Booking { vci, start: t, end: t + dur, rate });
+                self.bookings.push(Booking {
+                    vci,
+                    start: t,
+                    end: t + dur,
+                    rate,
+                });
             }
             t += dur;
         }

@@ -38,7 +38,10 @@ pub fn simulate_cbr_mux(
 ) -> CellMuxReport {
     assert_eq!(stream_rates.len(), phases.len(), "one phase per stream");
     assert!(!stream_rates.is_empty(), "need at least one stream");
-    assert!(link_rate > 0.0 && duration > 0.0, "invalid link or duration");
+    assert!(
+        link_rate > 0.0 && duration > 0.0,
+        "invalid link or duration"
+    );
     assert!(
         stream_rates.iter().all(|&r| r > 0.0),
         "stream rates must be positive"
@@ -118,8 +121,9 @@ mod tests {
     fn random_phases_respect_the_bound_too() {
         let mut rng = SimRng::from_seed(13);
         let n = 32;
-        let rates: Vec<f64> =
-            (0..n).map(|_| rng.uniform_in(100_000.0, 2_000_000.0)).collect();
+        let rates: Vec<f64> = (0..n)
+            .map(|_| rng.uniform_in(100_000.0, 2_000_000.0))
+            .collect();
         let total: f64 = rates.iter().sum();
         let phases: Vec<f64> = (0..n).map(|_| rng.uniform_in(0.0, 0.01)).collect();
         let r = simulate_cbr_mux(&rates, &phases, 1.05 * total, 1.0);

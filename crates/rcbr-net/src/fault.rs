@@ -27,7 +27,12 @@ impl FaultInjector {
             (0.0..=1.0).contains(&drop_probability),
             "drop probability must be in [0, 1]"
         );
-        Self { drop_probability, rng, dropped: 0, passed: 0 }
+        Self {
+            drop_probability,
+            rng,
+            dropped: 0,
+            passed: 0,
+        }
     }
 
     /// A pass-through injector (never drops).

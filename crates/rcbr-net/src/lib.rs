@@ -44,7 +44,7 @@ pub use cellmux::{simulate_cbr_mux, CellMuxReport};
 pub use fault::FaultInjector;
 pub use path::{Path, RenegotiationOutcome};
 pub use port::OutputPort;
-pub use rm::RmCell;
+pub use rm::{RateField, RmCell, RM_CELL_BYTES};
 pub use rsvp::{FlowSpec, ResvOutcome, RsvpRouter};
 pub use switch::{Switch, SwitchError};
 pub use topology::{Link, Topology};

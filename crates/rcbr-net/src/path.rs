@@ -42,7 +42,10 @@ impl Path {
     /// Panics if the path is empty or the latency is negative.
     pub fn new(hops: Vec<usize>, hop_latency: f64) -> Self {
         assert!(!hops.is_empty(), "path must have at least one hop");
-        assert!(hop_latency >= 0.0 && hop_latency.is_finite(), "invalid hop latency");
+        assert!(
+            hop_latency >= 0.0 && hop_latency.is_finite(),
+            "invalid hop latency"
+        );
         Self { hops, hop_latency }
     }
 

@@ -30,8 +30,15 @@ impl OutputPort {
     /// # Panics
     /// Panics unless `capacity > 0` and finite.
     pub fn new(capacity: f64) -> Self {
-        assert!(capacity > 0.0 && capacity.is_finite(), "port capacity must be positive");
-        Self { capacity, reserved: 0.0, per_vci: HashMap::new() }
+        assert!(
+            capacity > 0.0 && capacity.is_finite(),
+            "port capacity must be positive"
+        );
+        Self {
+            capacity,
+            reserved: 0.0,
+            per_vci: HashMap::new(),
+        }
     }
 
     /// Port capacity, bits/second.
@@ -88,7 +95,10 @@ impl OutputPort {
     /// The slow path: set `vci`'s reservation to an absolute rate
     /// (resync). Succeeds iff the resulting aggregate fits.
     pub fn try_set_absolute(&mut self, vci: u32, rate: f64) -> bool {
-        assert!(rate >= 0.0 && rate.is_finite(), "absolute rate must be nonnegative");
+        assert!(
+            rate >= 0.0 && rate.is_finite(),
+            "absolute rate must be nonnegative"
+        );
         let old = self.vci_rate(vci);
         if self.reserved - old + rate > self.capacity + 1e-9 {
             return false;

@@ -12,8 +12,10 @@
 //! genuine byte-level codec so that loss, truncation, and corruption are
 //! representable.
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
 use serde::{Deserialize, Serialize};
+
+/// Size of an encoded [`RmCell`] on the wire.
+pub const RM_CELL_BYTES: usize = 16;
 
 /// What the rate field of an [`RmCell`] means.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -39,46 +41,53 @@ pub struct RmCell {
 impl RmCell {
     /// A fast-path delta request.
     pub fn delta(vci: u32, delta_bps: f64) -> Self {
-        Self { vci, rate: RateField::Delta(delta_bps), denied: false }
+        Self {
+            vci,
+            rate: RateField::Delta(delta_bps),
+            denied: false,
+        }
     }
 
     /// A slow-path absolute resync.
     pub fn resync(vci: u32, rate_bps: f64) -> Self {
         assert!(rate_bps >= 0.0, "absolute rate must be nonnegative");
-        Self { vci, rate: RateField::Absolute(rate_bps), denied: false }
+        Self {
+            vci,
+            rate: RateField::Absolute(rate_bps),
+            denied: false,
+        }
     }
 
-    /// Encode to the 16-byte wire format.
-    pub fn encode(&self) -> Bytes {
-        let mut buf = BytesMut::with_capacity(16);
-        buf.put_u32(self.vci);
-        let kind: u8 = match self.rate {
+    /// Encode to the 16-byte big-endian wire format.
+    pub fn encode(&self) -> [u8; RM_CELL_BYTES] {
+        let mut buf = [0u8; RM_CELL_BYTES];
+        buf[0..4].copy_from_slice(&self.vci.to_be_bytes());
+        buf[4] = match self.rate {
             RateField::Delta(_) => 0,
             RateField::Absolute(_) => 1,
         };
-        buf.put_u8(kind);
-        buf.put_u8(u8::from(self.denied));
-        buf.put_u16(0); // reserved
+        buf[5] = u8::from(self.denied);
+        // buf[6..8] reserved, zero.
         let v = match self.rate {
             RateField::Delta(d) | RateField::Absolute(d) => d,
         };
-        buf.put_f64(v);
-        buf.freeze()
+        buf[8..16].copy_from_slice(&v.to_be_bytes());
+        buf
     }
 
     /// Decode from the wire format.
     ///
     /// Returns `None` for short buffers, unknown kinds, or rate fields that
     /// are not finite (a corrupted cell must not crash the switch).
-    pub fn decode(mut buf: Bytes) -> Option<Self> {
-        if buf.len() < 16 {
+    pub fn decode(buf: &[u8]) -> Option<Self> {
+        if buf.len() < RM_CELL_BYTES {
             return None;
         }
-        let vci = buf.get_u32();
-        let kind = buf.get_u8();
-        let denied = buf.get_u8() != 0;
-        let _reserved = buf.get_u16();
-        let v = buf.get_f64();
+        let vci = u32::from_be_bytes(buf[0..4].try_into().expect("length checked"));
+        let kind = buf[4];
+        let denied = buf[5] != 0;
+        // buf[6..8] reserved, ignored.
+        let v = f64::from_be_bytes(buf[8..16].try_into().expect("length checked"));
         if !v.is_finite() {
             return None;
         }
@@ -104,7 +113,7 @@ mod tests {
     #[test]
     fn roundtrip_delta() {
         let cell = RmCell::delta(42, -64_000.0);
-        let back = RmCell::decode(cell.encode()).unwrap();
+        let back = RmCell::decode(&cell.encode()).unwrap();
         assert_eq!(cell, back);
     }
 
@@ -112,7 +121,7 @@ mod tests {
     fn roundtrip_resync_and_denial() {
         let mut cell = RmCell::resync(7, 374_000.0);
         cell.denied = true;
-        let back = RmCell::decode(cell.encode()).unwrap();
+        let back = RmCell::decode(&cell.encode()).unwrap();
         assert_eq!(cell, back);
         assert!(back.denied);
     }
@@ -121,32 +130,28 @@ mod tests {
     fn short_buffer_rejected() {
         let cell = RmCell::delta(1, 1.0);
         let bytes = cell.encode();
-        assert!(RmCell::decode(bytes.slice(0..10)).is_none());
+        assert!(RmCell::decode(&bytes[0..10]).is_none());
     }
 
     #[test]
     fn unknown_kind_rejected() {
-        let mut raw = BytesMut::from(&RmCell::delta(1, 1.0).encode()[..]);
+        let mut raw = RmCell::delta(1, 1.0).encode();
         raw[4] = 99;
-        assert!(RmCell::decode(raw.freeze()).is_none());
+        assert!(RmCell::decode(&raw).is_none());
     }
 
     #[test]
     fn non_finite_rate_rejected() {
-        let mut raw = BytesMut::from(&RmCell::delta(1, 1.0).encode()[..]);
-        for (i, b) in f64::NAN.to_be_bytes().iter().enumerate() {
-            raw[8 + i] = *b;
-        }
-        assert!(RmCell::decode(raw.freeze()).is_none());
+        let mut raw = RmCell::delta(1, 1.0).encode();
+        raw[8..16].copy_from_slice(&f64::NAN.to_be_bytes());
+        assert!(RmCell::decode(&raw).is_none());
     }
 
     #[test]
     fn negative_absolute_rejected() {
-        let mut raw = BytesMut::from(&RmCell::resync(1, 5.0).encode()[..]);
-        for (i, b) in (-5.0f64).to_be_bytes().iter().enumerate() {
-            raw[8 + i] = *b;
-        }
-        assert!(RmCell::decode(raw.freeze()).is_none());
+        let mut raw = RmCell::resync(1, 5.0).encode();
+        raw[8..16].copy_from_slice(&(-5.0f64).to_be_bytes());
+        assert!(RmCell::decode(&raw).is_none());
     }
 
     proptest! {
@@ -159,13 +164,13 @@ mod tests {
         ) {
             let rate = if absolute { RateField::Absolute(v.abs()) } else { RateField::Delta(v) };
             let cell = RmCell { vci, rate, denied };
-            prop_assert_eq!(RmCell::decode(cell.encode()), Some(cell));
+            prop_assert_eq!(RmCell::decode(&cell.encode()), Some(cell));
         }
 
         /// Decoding arbitrary bytes never panics.
         #[test]
         fn decode_is_total(raw in proptest::collection::vec(any::<u8>(), 0..64)) {
-            let _ = RmCell::decode(Bytes::from(raw));
+            let _ = RmCell::decode(&raw);
         }
     }
 }

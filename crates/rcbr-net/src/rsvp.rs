@@ -64,9 +64,20 @@ impl RsvpRouter {
     /// # Panics
     /// Panics unless both are positive and finite.
     pub fn new(capacity: f64, timeout: f64) -> Self {
-        assert!(capacity > 0.0 && capacity.is_finite(), "capacity must be positive");
-        assert!(timeout > 0.0 && timeout.is_finite(), "timeout must be positive");
-        Self { capacity, timeout, sessions: HashMap::new(), reserved: 0.0 }
+        assert!(
+            capacity > 0.0 && capacity.is_finite(),
+            "capacity must be positive"
+        );
+        assert!(
+            timeout > 0.0 && timeout.is_finite(),
+            "timeout must be positive"
+        );
+        Self {
+            capacity,
+            timeout,
+            sessions: HashMap::new(),
+            reserved: 0.0,
+        }
     }
 
     /// Link capacity, bits/second.
@@ -98,7 +109,10 @@ impl RsvpRouter {
     /// lifetime — the RCBR semantics that a failed renegotiation does not
     /// evict the source.
     pub fn resv(&mut self, now: f64, session: u64, spec: FlowSpec) -> ResvOutcome {
-        assert!(spec.rate >= 0.0 && spec.rate.is_finite(), "rate must be nonnegative");
+        assert!(
+            spec.rate >= 0.0 && spec.rate.is_finite(),
+            "rate must be nonnegative"
+        );
         let expires_at = now + self.timeout;
         match self.sessions.get_mut(&session) {
             Some(state) => {
@@ -120,7 +134,13 @@ impl RsvpRouter {
                 if self.reserved + spec.rate > self.capacity + 1e-9 {
                     return ResvOutcome::Rejected;
                 }
-                self.sessions.insert(session, SoftState { rate: spec.rate, expires_at });
+                self.sessions.insert(
+                    session,
+                    SoftState {
+                        rate: spec.rate,
+                        expires_at,
+                    },
+                );
                 self.reserved += spec.rate;
                 ResvOutcome::Installed
             }
@@ -163,12 +183,21 @@ mod tests {
     #[test]
     fn install_refresh_renegotiate() {
         let mut r = RsvpRouter::new(1_000_000.0, 30.0);
-        assert_eq!(r.resv(0.0, 1, FlowSpec { rate: 300_000.0 }), ResvOutcome::Installed);
+        assert_eq!(
+            r.resv(0.0, 1, FlowSpec { rate: 300_000.0 }),
+            ResvOutcome::Installed
+        );
         assert_eq!(r.session_rate(1), Some(300_000.0));
         // Pure refresh: same rate, later time.
-        assert_eq!(r.resv(10.0, 1, FlowSpec { rate: 300_000.0 }), ResvOutcome::Installed);
+        assert_eq!(
+            r.resv(10.0, 1, FlowSpec { rate: 300_000.0 }),
+            ResvOutcome::Installed
+        );
         // Renegotiation rides the refresh.
-        assert_eq!(r.resv(20.0, 1, FlowSpec { rate: 500_000.0 }), ResvOutcome::Installed);
+        assert_eq!(
+            r.resv(20.0, 1, FlowSpec { rate: 500_000.0 }),
+            ResvOutcome::Installed
+        );
         assert_eq!(r.reserved(), 500_000.0);
     }
 
@@ -178,7 +207,10 @@ mod tests {
         r.resv(0.0, 1, FlowSpec { rate: 600_000.0 });
         r.resv(0.0, 2, FlowSpec { rate: 300_000.0 });
         // Session 2 asks for more than fits.
-        assert_eq!(r.resv(5.0, 2, FlowSpec { rate: 500_000.0 }), ResvOutcome::Rejected);
+        assert_eq!(
+            r.resv(5.0, 2, FlowSpec { rate: 500_000.0 }),
+            ResvOutcome::Rejected
+        );
         assert_eq!(r.session_rate(2), Some(300_000.0));
         // But the rejection still refreshed the lifetime: expiry at 35,
         // not 30.
@@ -191,12 +223,18 @@ mod tests {
         let mut r = RsvpRouter::new(1_000_000.0, 30.0);
         r.resv(0.0, 1, FlowSpec { rate: 900_000.0 });
         // A newcomer is blocked while the state lives...
-        assert_eq!(r.resv(10.0, 2, FlowSpec { rate: 400_000.0 }), ResvOutcome::Rejected);
+        assert_eq!(
+            r.resv(10.0, 2, FlowSpec { rate: 400_000.0 }),
+            ResvOutcome::Rejected
+        );
         // ...the holder dies silently (no teardown), state expires...
         assert_eq!(r.expire(30.0), 1);
         assert_eq!(r.reserved(), 0.0);
         // ...and the newcomer fits.
-        assert_eq!(r.resv(31.0, 2, FlowSpec { rate: 400_000.0 }), ResvOutcome::Installed);
+        assert_eq!(
+            r.resv(31.0, 2, FlowSpec { rate: 400_000.0 }),
+            ResvOutcome::Installed
+        );
     }
 
     #[test]
@@ -206,7 +244,10 @@ mod tests {
         for i in 1..20 {
             let now = i as f64 * 25.0; // refresh inside every timeout window
             assert_eq!(r.expire(now), 0);
-            assert_eq!(r.resv(now, 1, FlowSpec { rate: 100_000.0 }), ResvOutcome::Installed);
+            assert_eq!(
+                r.resv(now, 1, FlowSpec { rate: 100_000.0 }),
+                ResvOutcome::Installed
+            );
         }
         assert_eq!(r.sessions(), 1);
     }
@@ -232,7 +273,11 @@ mod tests {
         for i in 0..24 {
             let now = i as f64 * 5.0;
             if i % 2 == 1 {
-                rate = if rate == 300_000.0 { 500_000.0 } else { 300_000.0 };
+                rate = if rate == 300_000.0 {
+                    500_000.0
+                } else {
+                    300_000.0
+                };
             }
             assert_eq!(r.resv(now, 7, FlowSpec { rate }), ResvOutcome::Installed);
             messages += 1;

@@ -62,9 +62,15 @@ impl Switch {
     /// Panics if `port_capacities` is empty or contains an invalid
     /// capacity.
     pub fn new(port_capacities: &[f64]) -> Self {
-        assert!(!port_capacities.is_empty(), "switch needs at least one port");
+        assert!(
+            !port_capacities.is_empty(),
+            "switch needs at least one port"
+        );
         Self {
-            ports: port_capacities.iter().map(|&c| OutputPort::new(c)).collect(),
+            ports: port_capacities
+                .iter()
+                .map(|&c| OutputPort::new(c))
+                .collect(),
             vci_table: HashMap::new(),
         }
     }
@@ -89,7 +95,10 @@ impl Switch {
         if self.vci_table.contains_key(&vci) {
             return Err(SwitchError::VciInUse(vci));
         }
-        let p = self.ports.get_mut(port).ok_or(SwitchError::UnknownPort(port))?;
+        let p = self
+            .ports
+            .get_mut(port)
+            .ok_or(SwitchError::UnknownPort(port))?;
         if !p.try_reserve_delta(vci, rate) {
             return Ok(false);
         }
@@ -100,7 +109,10 @@ impl Switch {
     /// Tear down `vci`, releasing its reservation. Returns the rate
     /// released.
     pub fn teardown(&mut self, vci: u32) -> Result<f64, SwitchError> {
-        let port = self.vci_table.remove(&vci).ok_or(SwitchError::UnknownVci(vci))?;
+        let port = self
+            .vci_table
+            .remove(&vci)
+            .ok_or(SwitchError::UnknownVci(vci))?;
         Ok(self.ports[port].release(vci))
     }
 
@@ -113,7 +125,10 @@ impl Switch {
         if cell.denied {
             return Ok(cell);
         }
-        let port = *self.vci_table.get(&cell.vci).ok_or(SwitchError::UnknownVci(cell.vci))?;
+        let port = *self
+            .vci_table
+            .get(&cell.vci)
+            .ok_or(SwitchError::UnknownVci(cell.vci))?;
         let ok = match cell.rate {
             RateField::Delta(d) => self.ports[port].try_reserve_delta(cell.vci, d),
             RateField::Absolute(r) => self.ports[port].try_set_absolute(cell.vci, r),
@@ -125,7 +140,10 @@ impl Switch {
     /// Undo a previously applied delta (used by multi-hop rollback when a
     /// downstream switch denies).
     pub fn rollback_delta(&mut self, vci: u32, delta: f64) -> Result<(), SwitchError> {
-        let port = *self.vci_table.get(&vci).ok_or(SwitchError::UnknownVci(vci))?;
+        let port = *self
+            .vci_table
+            .get(&vci)
+            .ok_or(SwitchError::UnknownVci(vci))?;
         // Reversing a previously granted delta always fits.
         let ok = self.ports[port].try_reserve_delta(vci, -delta);
         debug_assert!(ok, "rollback of a granted delta must succeed");

@@ -38,8 +38,14 @@ impl Topology {
     /// Panics if `n == 0` or the latency is negative.
     pub fn new(n: usize, hop_latency: f64) -> Self {
         assert!(n > 0, "topology needs at least one switch");
-        assert!(hop_latency >= 0.0 && hop_latency.is_finite(), "invalid hop latency");
-        Self { adjacency: vec![Vec::new(); n], hop_latency }
+        assert!(
+            hop_latency >= 0.0 && hop_latency.is_finite(),
+            "invalid hop latency"
+        );
+        Self {
+            adjacency: vec![Vec::new(); n],
+            hop_latency,
+        }
     }
 
     /// Number of switches.
@@ -135,18 +141,13 @@ impl Topology {
                 if u == dst {
                     let utils: Vec<f64> = route
                         .iter()
-                        .map(|&s| {
-                            switches[s]
-                                .port(0)
-                                .map(|p| p.utilization())
-                                .unwrap_or(1.0)
-                        })
+                        .map(|&s| switches[s].port(0).map(|p| p.utilization()).unwrap_or(1.0))
                         .collect();
                     let key = (
                         utils.iter().cloned().fold(0.0f64, f64::max),
                         utils.iter().sum::<f64>(),
                     );
-                    if best.as_ref().map_or(true, |(b, _)| key < *b) {
+                    if best.as_ref().is_none_or(|(b, _)| key < *b) {
                         best = Some((key, route));
                     }
                 }

@@ -1,0 +1,106 @@
+//! Satellite property tests: the RM-cell wire codec round-trips, and
+//! delta-encoded reservations — after arbitrary cell loss — are restored
+//! to the absolute ground truth by a single resync cell (Section III-B's
+//! drift-repair argument).
+
+use proptest::prelude::*;
+use rcbr_net::{RateField, RmCell, Switch, RM_CELL_BYTES};
+
+/// The sharded runtime moves switches and ports across threads; these
+/// bounds are load-bearing, so break the build if they regress.
+#[test]
+fn switch_state_is_send() {
+    fn assert_send_sync<T: Send + Sync + 'static>() {}
+    assert_send_sync::<Switch>();
+    assert_send_sync::<rcbr_net::OutputPort>();
+    assert_send_sync::<RmCell>();
+}
+
+proptest! {
+    /// Every representable cell survives encode → decode bit-exactly, even
+    /// with trailing garbage after the 16 wire bytes.
+    #[test]
+    fn wire_roundtrip(
+        vci in any::<u32>(),
+        magnitude in 0.0..1e12f64,
+        negative in any::<bool>(),
+        absolute in any::<bool>(),
+        denied in any::<bool>(),
+        trailing in proptest::collection::vec(any::<u8>(), 0..16),
+    ) {
+        let rate = if absolute {
+            RateField::Absolute(magnitude)
+        } else {
+            RateField::Delta(if negative { -magnitude } else { magnitude })
+        };
+        let cell = RmCell { vci, rate, denied };
+        let mut wire = cell.encode().to_vec();
+        prop_assert_eq!(wire.len(), RM_CELL_BYTES);
+        wire.extend(trailing);
+        prop_assert_eq!(RmCell::decode(&wire), Some(cell));
+    }
+
+    /// Drift repair: play an arbitrary sequence of delta renegotiations
+    /// over a multi-hop path where each cell may be dropped mid-path (the
+    /// hops before the drop apply the delta, the rest never see it), then
+    /// send one absolute resync cell. Every hop must end bit-equal to the
+    /// source's believed rate — the absolute ground truth — regardless of
+    /// what was lost.
+    #[test]
+    fn one_resync_repairs_arbitrary_loss(
+        hops in 1usize..5,
+        initial in 1e3..1e6f64,
+        ops in proptest::collection::vec((-5e4..5e4f64, any::<u8>()), 0..40),
+    ) {
+        let vci = 9;
+        let mut switches: Vec<Switch> =
+            (0..hops).map(|_| Switch::new(&[1e15])).collect();
+        for sw in &mut switches {
+            prop_assert!(sw.setup(vci, 0, initial).unwrap());
+        }
+
+        // The source applies each delta to its own belief unconditionally:
+        // with ample capacity nothing is denied, so only loss causes the
+        // network to disagree.
+        let mut believed = initial;
+        for &(raw_delta, loss) in &ops {
+            // Keep every reservation legal: hops that missed a positive
+            // delta sit below the source's belief, so clamp against the
+            // lowest rate anywhere (and the belief itself), flipping the
+            // delta upward when it would drive either negative.
+            let floor = switches
+                .iter()
+                .map(|s| s.vci_rate(vci).unwrap())
+                .fold(believed, f64::min);
+            let delta = if floor + raw_delta < 0.0 { raw_delta.abs() } else { raw_delta };
+            believed += delta;
+            // loss selects the hop the cell dies at; >= hops means it
+            // survives the whole path.
+            let lost_at = (loss as usize) % (hops + 1);
+            let mut cell = RmCell::delta(vci, delta);
+            for sw in switches.iter_mut().take(lost_at.min(hops)) {
+                // Cross each hop through the wire codec, as a real cell would.
+                cell = RmCell::decode(&cell.encode()).expect("codec total on own output");
+                cell = sw.process_rm(cell).unwrap();
+                prop_assert!(!cell.denied, "ample capacity must never deny");
+            }
+        }
+
+        // One absolute resync cell traverses the full path...
+        let mut cell = RmCell::resync(vci, believed);
+        for sw in &mut switches {
+            cell = RmCell::decode(&cell.encode()).expect("codec total on own output");
+            cell = sw.process_rm(cell).unwrap();
+            prop_assert!(!cell.denied);
+        }
+        // ...and every hop now agrees with the ground truth bit-exactly,
+        // with no residue from the delta sums it accumulated before.
+        for (k, sw) in switches.iter().enumerate() {
+            let got = sw.vci_rate(vci).unwrap();
+            prop_assert!(
+                got.to_bits() == believed.to_bits(),
+                "hop {k}: {got} != ground truth {believed}"
+            );
+        }
+    }
+}

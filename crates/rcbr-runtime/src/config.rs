@@ -1,0 +1,146 @@
+//! Runtime configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// Configuration of a signaling-plane run.
+///
+/// The same configuration drives both [`run`](crate::run) (sharded, one
+/// worker thread per shard) and [`run_sequential`](crate::run_sequential)
+/// (single-threaded replay); by construction the two produce identical
+/// accept/deny/rollback counters, and so does the sharded engine at any
+/// shard count.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct RuntimeConfig {
+    /// Worker threads; switch `h` is owned by shard `h % num_shards` and
+    /// VC `v` by shard `v % num_shards`.
+    pub num_shards: usize,
+    /// Virtual channels (each an independent MPEG-like source driving the
+    /// AR(1) renegotiation heuristic).
+    pub num_vcs: usize,
+    /// Switches in the population; each has one output port.
+    pub num_switches: usize,
+    /// Hops per VC path (consecutive switches starting at
+    /// `vci % num_switches`). Must not exceed `num_switches`.
+    pub hops_per_vc: usize,
+    /// Output-port capacity, bits/second. Size this against
+    /// `num_vcs * hops_per_vc / num_switches` flows at `initial_rate`:
+    /// tight capacity produces denials and rollbacks, loose capacity
+    /// mostly grants.
+    pub port_capacity: f64,
+    /// Initial per-VC reservation (and the AR(1) policy's initial rate),
+    /// bits/second.
+    pub initial_rate: f64,
+    /// End-system buffer per VC, bits (the paper's `B = 300 kb`).
+    pub buffer: f64,
+    /// Renegotiation granularity `Δ`, bits/second; finer means more
+    /// frequent requests.
+    pub granularity: f64,
+    /// Per-VC synthetic trace length; the trace is replayed cyclically.
+    pub trace_frames: usize,
+    /// Traffic slots each VC advances per round before the signaling
+    /// pipeline drains.
+    pub slots_per_round: usize,
+    /// Stop once this many signaling requests have completed (granted,
+    /// denied, or lost).
+    pub target_requests: u64,
+    /// Hard cap on rounds (guards against a workload that stops
+    /// renegotiating before reaching `target_requests`).
+    pub max_rounds: u64,
+    /// Every `loss_period`-th delta cell (by global sequence number) is
+    /// dropped mid-path, leaving upstream hops holding the new rate —
+    /// the drift that absolute resync repairs. `0` disables loss.
+    pub loss_period: u64,
+    /// Every `resync_interval`-th request a VC emits is sent as an
+    /// absolute-rate resync cell instead of a delta. `0` disables resync.
+    pub resync_interval: u64,
+    /// One-way per-hop signaling latency, seconds (for the modeled
+    /// round-trip latency histogram).
+    pub hop_latency: f64,
+    /// Master seed; all traffic and policy randomness derives from it.
+    pub seed: u64,
+}
+
+impl RuntimeConfig {
+    /// A balanced configuration for `num_shards` shards and `num_vcs`
+    /// VCs: 4-hop paths over `num_vcs / 8` switches (at least 8), with
+    /// ~1.5x capacity headroom over the *most-loaded* port's initial
+    /// admission. (The maximum, not the average: with fewer VCs than
+    /// switches the consecutive-hop paths overlap unevenly, and an
+    /// average-sized port would reject the initial admission.) The
+    /// MPEG-like sources demand well above their mean for sustained
+    /// stretches, so a long run saturates the ports — the sweep
+    /// exercises every signaling path: grants, denials, multi-hop
+    /// rollbacks, loss, and resync.
+    pub fn balanced(num_shards: usize, num_vcs: usize) -> Self {
+        let num_switches = (num_vcs / 8).max(8);
+        let hops_per_vc = 4.min(num_switches);
+        let initial_rate = 374_000.0; // the Star Wars trace mean
+        let mut flows = vec![0u64; num_switches];
+        for vci in 0..num_vcs {
+            for k in 0..hops_per_vc {
+                flows[(vci + k) % num_switches] += 1;
+            }
+        }
+        let flows_per_switch = flows.iter().copied().max().unwrap_or(1) as f64;
+        Self {
+            num_shards,
+            num_vcs,
+            num_switches,
+            hops_per_vc,
+            port_capacity: flows_per_switch * initial_rate * 1.5,
+            initial_rate,
+            buffer: 300_000.0,
+            granularity: 50_000.0,
+            trace_frames: 2048,
+            slots_per_round: 64,
+            target_requests: 100_000,
+            max_rounds: 1_000_000,
+            loss_period: 17,
+            resync_interval: 8,
+            hop_latency: 1e-3,
+            seed: 7,
+        }
+    }
+
+    /// Panic on an inconsistent configuration.
+    pub fn validate(&self) {
+        assert!(self.num_shards >= 1, "need at least one shard");
+        assert!(self.num_vcs >= 1, "need at least one VC");
+        assert!(self.num_switches >= 1, "need at least one switch");
+        assert!(
+            (1..=self.num_switches).contains(&self.hops_per_vc),
+            "hops_per_vc must be in 1..=num_switches"
+        );
+        assert!(
+            self.port_capacity > 0.0 && self.port_capacity.is_finite(),
+            "bad capacity"
+        );
+        assert!(
+            self.initial_rate > 0.0 && self.initial_rate.is_finite(),
+            "bad initial rate"
+        );
+        assert!(self.buffer > 0.0, "bad buffer");
+        assert!(self.granularity > 0.0, "bad granularity");
+        assert!(self.trace_frames >= 1, "need a nonempty trace");
+        assert!(
+            self.slots_per_round >= 1,
+            "need at least one slot per round"
+        );
+        assert!(self.max_rounds >= 1, "need at least one round");
+        assert!(
+            self.hop_latency >= 0.0 && self.hop_latency.is_finite(),
+            "bad hop latency"
+        );
+    }
+
+    /// The switch indices VC `vci` traverses: `hops_per_vc` consecutive
+    /// switches starting at `vci % num_switches`. Pure function of the
+    /// config, so every shard (and the sequential replay) derives the
+    /// same routing without coordination.
+    pub fn path_of(&self, vci: u32) -> Vec<usize> {
+        let start = vci as usize % self.num_switches;
+        (0..self.hops_per_vc)
+            .map(|k| (start + k) % self.num_switches)
+            .collect()
+    }
+}

@@ -1,0 +1,327 @@
+//! The hop-by-hop job state machine shared by the sharded engine and the
+//! sequential replay.
+//!
+//! A renegotiation request is a [`Job`] that visits its path's switches
+//! one hop per superstep. All engine-visible effects of one hop —
+//! reservation updates, counter increments, outcome delivery, latency
+//! recording — live in [`advance_job`], so the two engines cannot drift
+//! apart semantically: they differ only in *where* switches live and *how*
+//! jobs travel between hops.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use rcbr_net::{RateField, RmCell, Switch};
+use rcbr_sim::{Histogram, RunningStats};
+use serde::{Deserialize, Serialize};
+
+use crate::config::RuntimeConfig;
+
+/// What kind of RM cell a job carries.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum JobKind {
+    /// Fast path: a signed rate change.
+    Delta(f64),
+    /// Slow path: absolute-rate resync. `expected_prior` is the rate the
+    /// source believes every hop currently holds; a hop holding anything
+    /// else has drifted (a lost delta upstream) and gets repaired here.
+    Resync {
+        /// The absolute rate being installed.
+        rate: f64,
+        /// The source's belief of the current end-to-end reservation.
+        expected_prior: f64,
+    },
+    /// A denial is unwinding previously granted hops, one per superstep.
+    Rollback(f64),
+}
+
+/// One in-flight signaling operation.
+#[derive(Debug, Clone, Copy)]
+pub struct Job {
+    /// Global sequence number: `slot * num_vcs + vci`. Unique per request,
+    /// and the total order switches process concurrent cells in —
+    /// regardless of how switches are partitioned into shards.
+    pub seq: u64,
+    /// The VC being renegotiated.
+    pub vci: u32,
+    /// Index into the VC's path (for [`JobKind::Rollback`] it walks
+    /// backwards).
+    pub hop: usize,
+    /// The cell being carried.
+    pub kind: JobKind,
+}
+
+/// Terminal fate of a request, reported back to the source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// Every hop granted.
+    Granted,
+    /// Some hop denied (already-granted hops are rolled back for deltas;
+    /// resyncs keep their partial progress).
+    Denied,
+    /// The cell was dropped mid-path; the source times out, upstream hops
+    /// keep the half-applied delta (drift).
+    Lost,
+}
+
+/// Per-VCI slow-path state, guarded by a mutex: the pipeline's completion
+/// side writes the outcome here and the load generator consumes it at the
+/// next round boundary.
+#[derive(Debug, Default)]
+pub struct VciSlot {
+    /// The fate of the VC's outstanding request, if it completed.
+    pub outcome: Option<Outcome>,
+}
+
+/// Shared atomic counters. All increments use relaxed ordering — the
+/// engine's barriers provide the synchronization; the atomics only make
+/// the increments themselves race-free.
+#[derive(Debug, Default)]
+pub struct Counters {
+    /// Requests injected into the pipeline.
+    pub injected: AtomicU64,
+    /// Requests granted at every hop.
+    pub accepted: AtomicU64,
+    /// Requests denied at some hop.
+    pub denied: AtomicU64,
+    /// Denied requests that had upstream reservations to unwind.
+    pub rollbacks: AtomicU64,
+    /// Individual hop reservations unwound by rollback.
+    pub rolled_back_hops: AtomicU64,
+    /// Delta cells dropped mid-path.
+    pub lost: AtomicU64,
+    /// Absolute-rate resync cells injected.
+    pub resyncs: AtomicU64,
+    /// Hops whose reservation disagreed with the source's belief when a
+    /// resync cell arrived — i.e. drift actually repaired.
+    pub resync_repairs: AtomicU64,
+    /// Requests that reached a terminal fate (granted + denied + lost).
+    pub completed: AtomicU64,
+    /// Jobs currently in the pipeline (including rollbacks still
+    /// unwinding).
+    pub in_flight: AtomicU64,
+}
+
+/// A point-in-time copy of [`Counters`], comparable and serializable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CounterSnapshot {
+    /// Requests injected into the pipeline.
+    pub injected: u64,
+    /// Requests granted at every hop.
+    pub accepted: u64,
+    /// Requests denied at some hop.
+    pub denied: u64,
+    /// Denied requests that required rollback.
+    pub rollbacks: u64,
+    /// Individual hop reservations unwound.
+    pub rolled_back_hops: u64,
+    /// Delta cells dropped mid-path.
+    pub lost: u64,
+    /// Resync cells injected.
+    pub resyncs: u64,
+    /// Drifted hops repaired by resync.
+    pub resync_repairs: u64,
+    /// Requests that reached a terminal fate.
+    pub completed: u64,
+}
+
+impl Counters {
+    /// Copy the current values.
+    pub fn snapshot(&self) -> CounterSnapshot {
+        let ld = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        CounterSnapshot {
+            injected: ld(&self.injected),
+            accepted: ld(&self.accepted),
+            denied: ld(&self.denied),
+            rollbacks: ld(&self.rollbacks),
+            rolled_back_hops: ld(&self.rolled_back_hops),
+            lost: ld(&self.lost),
+            resyncs: ld(&self.resyncs),
+            resync_repairs: ld(&self.resync_repairs),
+            completed: ld(&self.completed),
+        }
+    }
+}
+
+/// Where a completing job records its modeled latency.
+pub(crate) struct CompletionSink<'a> {
+    pub latency: &'a mut Histogram,
+    pub moments: &'a mut RunningStats,
+}
+
+/// The hop at which delta cell `seq` is dropped, if it is lossy. Losses
+/// are deterministic in the sequence number so every engine and shard
+/// count drops exactly the same cells; dropping at hop >= 1 guarantees
+/// real drift (some hops applied, some did not) on multi-hop paths.
+fn loss_hop(cfg: &RuntimeConfig, seq: u64, path_len: usize) -> Option<usize> {
+    if cfg.loss_period == 0 || !seq.is_multiple_of(cfg.loss_period) {
+        return None;
+    }
+    if path_len == 1 {
+        Some(0)
+    } else {
+        Some(1 + (seq % (path_len as u64 - 1)) as usize)
+    }
+}
+
+/// Process `job` at the switch for its current hop. Returns the follow-up
+/// job to route (the next hop forward, or the previous hop of a rollback),
+/// or `None` when the job has left the pipeline.
+///
+/// `sw` must be the switch at `path[job.hop]` for the job's VC.
+pub(crate) fn advance_job(
+    job: Job,
+    sw: &mut Switch,
+    path_len: usize,
+    cfg: &RuntimeConfig,
+    counters: &Counters,
+    vci_states: &[Mutex<VciSlot>],
+    sink: &mut CompletionSink<'_>,
+) -> Option<Job> {
+    let complete = |outcome: Outcome,
+                    hops_touched: usize,
+                    counters: &Counters,
+                    sink: &mut CompletionSink<'_>| {
+        if outcome != Outcome::Lost {
+            let rtt = cfg.hop_latency * 2.0 * hops_touched as f64;
+            sink.latency.record(rtt);
+            sink.moments.push(rtt);
+        }
+        counters.completed.fetch_add(1, Ordering::Relaxed);
+        vci_states[job.vci as usize]
+            .lock()
+            .expect("vci lock")
+            .outcome = Some(outcome);
+    };
+
+    match job.kind {
+        JobKind::Delta(delta) => {
+            if loss_hop(cfg, job.seq, path_len) == Some(job.hop) {
+                // The cell vanishes: hops 0..hop keep the applied delta
+                // (drift), the source will time out.
+                counters.lost.fetch_add(1, Ordering::Relaxed);
+                complete(Outcome::Lost, job.hop, counters, sink);
+                counters.in_flight.fetch_sub(1, Ordering::Relaxed);
+                return None;
+            }
+            let cell = sw
+                .process_rm(RmCell {
+                    vci: job.vci,
+                    rate: RateField::Delta(delta),
+                    denied: false,
+                })
+                .expect("VC is routed through this switch");
+            if !cell.denied {
+                if job.hop + 1 == path_len {
+                    counters.accepted.fetch_add(1, Ordering::Relaxed);
+                    complete(Outcome::Granted, path_len, counters, sink);
+                    counters.in_flight.fetch_sub(1, Ordering::Relaxed);
+                    None
+                } else {
+                    Some(Job {
+                        hop: job.hop + 1,
+                        ..job
+                    })
+                }
+            } else {
+                counters.denied.fetch_add(1, Ordering::Relaxed);
+                // The source learns of the denial now (round trip to the
+                // denying hop); the unwind continues in-pipeline.
+                complete(Outcome::Denied, job.hop + 1, counters, sink);
+                if job.hop == 0 {
+                    counters.in_flight.fetch_sub(1, Ordering::Relaxed);
+                    None
+                } else {
+                    counters.rollbacks.fetch_add(1, Ordering::Relaxed);
+                    Some(Job {
+                        hop: job.hop - 1,
+                        kind: JobKind::Rollback(delta),
+                        ..job
+                    })
+                }
+            }
+        }
+        JobKind::Resync {
+            rate,
+            expected_prior,
+        } => {
+            let prior = sw
+                .vci_rate(job.vci)
+                .expect("VC is routed through this switch");
+            if prior != expected_prior {
+                counters.resync_repairs.fetch_add(1, Ordering::Relaxed);
+            }
+            let cell = sw
+                .process_rm(RmCell {
+                    vci: job.vci,
+                    rate: RateField::Absolute(rate),
+                    denied: false,
+                })
+                .expect("VC is routed through this switch");
+            if cell.denied {
+                // No rollback for resync (Path::resync semantics): hops
+                // already synchronized stay synchronized.
+                counters.denied.fetch_add(1, Ordering::Relaxed);
+                complete(Outcome::Denied, job.hop + 1, counters, sink);
+                counters.in_flight.fetch_sub(1, Ordering::Relaxed);
+                None
+            } else if job.hop + 1 == path_len {
+                counters.accepted.fetch_add(1, Ordering::Relaxed);
+                complete(Outcome::Granted, path_len, counters, sink);
+                counters.in_flight.fetch_sub(1, Ordering::Relaxed);
+                None
+            } else {
+                Some(Job {
+                    hop: job.hop + 1,
+                    ..job
+                })
+            }
+        }
+        JobKind::Rollback(delta) => {
+            sw.rollback_delta(job.vci, delta)
+                .expect("VC is routed through this switch");
+            counters.rolled_back_hops.fetch_add(1, Ordering::Relaxed);
+            if job.hop == 0 {
+                counters.in_flight.fetch_sub(1, Ordering::Relaxed);
+                None
+            } else {
+                Some(Job {
+                    hop: job.hop - 1,
+                    ..job
+                })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_cfg() -> RuntimeConfig {
+        let mut cfg = RuntimeConfig::balanced(1, 8);
+        cfg.loss_period = 5;
+        cfg
+    }
+
+    #[test]
+    fn loss_hop_is_deterministic_and_mid_path() {
+        let cfg = tiny_cfg();
+        for seq in 0..100u64 {
+            match loss_hop(&cfg, seq, 4) {
+                Some(h) => {
+                    assert_eq!(seq % 5, 0);
+                    assert!((1..4).contains(&h), "loss hop {h} not mid-path");
+                }
+                None => assert_ne!(seq % 5, 0),
+            }
+        }
+    }
+
+    #[test]
+    fn loss_disabled_when_period_zero() {
+        let mut cfg = tiny_cfg();
+        cfg.loss_period = 0;
+        assert_eq!(loss_hop(&cfg, 0, 4), None);
+    }
+}

@@ -1,0 +1,284 @@
+//! The sharded signaling-plane engine.
+//!
+//! ## Execution model: bulk-synchronous supersteps
+//!
+//! Switch `h` lives on shard `h % num_shards`; VC `v`'s load generator on
+//! shard `v % num_shards`. Each **round** has two phases:
+//!
+//! 1. **Generate** — every shard steps its VCs through `slots_per_round`
+//!    traffic slots in parallel; emitted requests are batched into the
+//!    first hop's shard channel.
+//! 2. **Drain** — the pipeline runs in supersteps until no job is in
+//!    flight. In each superstep a shard drains its inbox, sorts the batch
+//!    by global sequence number, advances every job one hop (reserve /
+//!    deny / roll back one hop / drop), and sends follow-up jobs to the
+//!    next hop's shard.
+//!
+//! ## Why the outcome is shard-count invariant
+//!
+//! A job injected in round `r` reaches hop `k` in superstep `k` (rollbacks
+//! walk back one hop per superstep) — *independent of the partition*. So
+//! the set of jobs meeting at a switch in a given superstep is fixed, and
+//! the sort-by-`seq` before processing fixes their order. Every switch
+//! therefore processes exactly the same cell sequence whether there is one
+//! shard or eight — which is what makes the accept/deny/rollback counters
+//! bit-identical across shard counts and equal to the single-threaded
+//! [`run_sequential`](crate::run_sequential) replay.
+//!
+//! Barriers separate the drain / process phases, so a channel is never
+//! written while its owner drains it; `std::sync::mpsc` carries the
+//! batches and a `std::sync::Mutex` guards each VC's slow-path completion
+//! slot.
+
+use std::sync::atomic::Ordering;
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{mpsc, Barrier, Mutex};
+use std::time::Instant;
+
+use rcbr_net::Switch;
+use rcbr_sim::{Histogram, RunningStats};
+
+use crate::config::RuntimeConfig;
+use crate::core::{advance_job, CompletionSink, Counters, Job, JobKind, VciSlot};
+use crate::gen::VcRunner;
+use crate::report::{latency_histogram, summarize_latency, RunReport, ShardReport};
+
+/// What each worker hands back when the run ends.
+struct ShardResult {
+    shard: usize,
+    latency: Histogram,
+    moments: RunningStats,
+    processed: u64,
+    injected: u64,
+    max_batch: u64,
+    rounds: u64,
+}
+
+/// Run the sharded engine to completion and report.
+pub fn run(cfg: &RuntimeConfig) -> RunReport {
+    cfg.validate();
+    let started = Instant::now();
+    let shards = cfg.num_shards;
+
+    let counters = Counters::default();
+    let vci_states: Vec<Mutex<VciSlot>> = (0..cfg.num_vcs)
+        .map(|_| Mutex::new(VciSlot::default()))
+        .collect();
+    let barrier = Barrier::new(shards);
+
+    let mut senders: Vec<Sender<Vec<Job>>> = Vec::with_capacity(shards);
+    let mut receivers: Vec<Option<Receiver<Vec<Job>>>> = Vec::with_capacity(shards);
+    for _ in 0..shards {
+        let (tx, rx) = mpsc::channel();
+        senders.push(tx);
+        receivers.push(Some(rx));
+    }
+
+    let mut results: Vec<ShardResult> = std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(shards);
+        for (shard, rx_slot) in receivers.iter_mut().enumerate() {
+            let rx = rx_slot.take().expect("receiver taken once");
+            let txs = senders.clone();
+            let counters = &counters;
+            let vci_states = &vci_states;
+            let barrier = &barrier;
+            handles.push(
+                scope.spawn(move || worker(shard, cfg, rx, txs, counters, vci_states, barrier)),
+            );
+        }
+        // Drop the main thread's senders so workers hold the only handles.
+        senders.clear();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
+    });
+    results.sort_by_key(|r| r.shard);
+
+    let wall = started.elapsed().as_secs_f64();
+    let mut latency = latency_histogram(cfg);
+    let mut moments = RunningStats::new();
+    let mut shard_reports = Vec::with_capacity(shards);
+    for r in &results {
+        latency.merge(&r.latency);
+        moments.merge(&r.moments);
+        shard_reports.push(ShardReport {
+            shard: r.shard,
+            processed: r.processed,
+            injected: r.injected,
+            max_batch: r.max_batch,
+        });
+    }
+    let counters = counters.snapshot();
+    debug_assert_eq!(
+        counters.completed,
+        counters.accepted + counters.denied + counters.lost
+    );
+    RunReport {
+        num_shards: shards,
+        num_vcs: cfg.num_vcs,
+        num_switches: cfg.num_switches,
+        hops_per_vc: cfg.hops_per_vc,
+        rounds: results[0].rounds,
+        wall_seconds: wall,
+        throughput_per_sec: if wall > 0.0 {
+            counters.completed as f64 / wall
+        } else {
+            0.0
+        },
+        counters,
+        latency: summarize_latency(&latency, &moments),
+        shards: shard_reports,
+    }
+}
+
+/// Build the switches owned by `shard` plus the `global index -> local
+/// slot` mapping implied by the strided partition.
+fn build_local_switches(cfg: &RuntimeConfig, shard: usize) -> Vec<Switch> {
+    let mut local = Vec::new();
+    let mut h = shard;
+    while h < cfg.num_switches {
+        local.push(Switch::new(&[cfg.port_capacity]));
+        h += cfg.num_shards;
+    }
+    local
+}
+
+fn worker(
+    shard: usize,
+    cfg: &RuntimeConfig,
+    rx: Receiver<Vec<Job>>,
+    txs: Vec<Sender<Vec<Job>>>,
+    counters: &Counters,
+    vci_states: &[Mutex<VciSlot>],
+    barrier: &Barrier,
+) -> ShardResult {
+    let shards = cfg.num_shards;
+    let mut switches = build_local_switches(cfg, shard);
+
+    // Initial admission: every VC's base rate is reserved on each of its
+    // hops, in ascending VCI order per switch (the same order the
+    // sequential replay uses, so per-port float accumulation matches).
+    for vci in 0..cfg.num_vcs as u32 {
+        for &h in &cfg.path_of(vci) {
+            if h % shards == shard {
+                let admitted = switches[h / shards]
+                    .setup(vci, 0, cfg.initial_rate)
+                    .expect("fresh VCI");
+                assert!(admitted, "initial admission must fit; raise port_capacity");
+            }
+        }
+    }
+
+    let mut runners: Vec<VcRunner> = (0..cfg.num_vcs as u32)
+        .filter(|v| *v as usize % shards == shard)
+        .map(|v| VcRunner::new(cfg, v))
+        .collect();
+
+    let mut latency = latency_histogram(cfg);
+    let mut moments = RunningStats::new();
+    let mut processed = 0u64;
+    let mut injected = 0u64;
+    let mut max_batch = 0u64;
+    let mut rounds = 0u64;
+
+    let mut staging: Vec<Job> = Vec::new();
+    let mut out_batches: Vec<Vec<Job>> = (0..shards).map(|_| Vec::new()).collect();
+    let path_len = cfg.hops_per_vc;
+
+    for round in 0..cfg.max_rounds {
+        rounds = round + 1;
+        // Phase 1: generate. Deliver last round's verdicts, then step the
+        // traffic slots.
+        for runner in &mut runners {
+            let outcome = vci_states[runner.vci() as usize]
+                .lock()
+                .expect("vci lock")
+                .outcome
+                .take();
+            if let Some(o) = outcome {
+                runner.apply_outcome(o);
+            }
+            runner.step_round(cfg, round, &mut staging);
+        }
+        for job in staging.drain(..) {
+            counters.injected.fetch_add(1, Ordering::Relaxed);
+            counters.in_flight.fetch_add(1, Ordering::Relaxed);
+            if matches!(job.kind, JobKind::Resync { .. }) {
+                counters.resyncs.fetch_add(1, Ordering::Relaxed);
+            }
+            injected += 1;
+            let first_hop = cfg.path_of(job.vci)[0];
+            out_batches[first_hop % shards].push(job);
+        }
+        send_batches(&mut out_batches, &txs);
+        barrier.wait(); // all injections delivered
+
+        // Phase 2: drain the pipeline in supersteps.
+        loop {
+            let mut jobs: Vec<Job> = Vec::new();
+            while let Ok(batch) = rx.try_recv() {
+                jobs.extend(batch);
+            }
+            max_batch = max_batch.max(jobs.len() as u64);
+            // Safe read window: in_flight is only written while shards
+            // process, and every shard is draining right now.
+            let quiescent = counters.in_flight.load(Ordering::Relaxed) == 0;
+            barrier.wait(); // all inboxes drained
+            if quiescent {
+                break;
+            }
+            jobs.sort_unstable_by_key(|j| j.seq);
+            let mut sink = CompletionSink {
+                latency: &mut latency,
+                moments: &mut moments,
+            };
+            for job in jobs {
+                processed += 1;
+                let h = cfg.path_of(job.vci)[job.hop];
+                let next = advance_job(
+                    job,
+                    &mut switches[h / shards],
+                    path_len,
+                    cfg,
+                    counters,
+                    vci_states,
+                    &mut sink,
+                );
+                if let Some(nj) = next {
+                    let nh = cfg.path_of(nj.vci)[nj.hop];
+                    out_batches[nh % shards].push(nj);
+                }
+            }
+            send_batches(&mut out_batches, &txs);
+            barrier.wait(); // all follow-up sends delivered
+        }
+
+        // Stable here: the pipeline is quiescent and nothing is written
+        // until the next generate phase, so every shard sees the same
+        // totals and takes the same branch.
+        if counters.completed.load(Ordering::Relaxed) >= cfg.target_requests {
+            break;
+        }
+    }
+
+    ShardResult {
+        shard,
+        latency,
+        moments,
+        processed,
+        injected,
+        max_batch,
+        rounds,
+    }
+}
+
+fn send_batches(out: &mut [Vec<Job>], txs: &[Sender<Vec<Job>>]) {
+    for (shard, batch) in out.iter_mut().enumerate() {
+        if !batch.is_empty() {
+            txs[shard]
+                .send(std::mem::take(batch))
+                .expect("receiver alive");
+        }
+    }
+}

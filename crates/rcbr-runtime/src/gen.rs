@@ -1,0 +1,159 @@
+//! The open-loop load generator: one [`VcRunner`] per virtual channel.
+//!
+//! Each VC owns a synthetic MPEG trace (derived from the master seed and
+//! its VCI, so generation is identical no matter which shard hosts it), an
+//! end-system buffer, and the AR(1) renegotiation heuristic, packaged in
+//! [`rcbr_schedule::VcDriver`]. Stepping a runner produces [`Job`]s tagged
+//! with globally unique, shard-invariant sequence numbers.
+
+use rcbr_schedule::online::{Ar1Config, Ar1Policy};
+use rcbr_schedule::VcDriver;
+use rcbr_sim::SimRng;
+use rcbr_traffic::SyntheticMpegSource;
+
+use crate::config::RuntimeConfig;
+use crate::core::{Job, JobKind, Outcome};
+
+/// One VC's source-side state.
+pub(crate) struct VcRunner {
+    vci: u32,
+    driver: VcDriver<Ar1Policy>,
+    /// Requests emitted so far (drives the resync cadence).
+    emitted: u64,
+}
+
+impl VcRunner {
+    /// Build the runner for `vci`. Deterministic in `(cfg.seed, vci)`.
+    pub fn new(cfg: &RuntimeConfig, vci: u32) -> Self {
+        let mut rng = SimRng::from_seed(cfg.seed).substream(vci as u64 + 1);
+        let trace = SyntheticMpegSource::star_wars_like().generate(cfg.trace_frames, &mut rng);
+        let tau = trace.frame_interval();
+        let policy_cfg = Ar1Config::fig2(cfg.granularity, cfg.initial_rate, tau);
+        let policy = Ar1Policy::new(policy_cfg, tau);
+        Self {
+            vci,
+            driver: VcDriver::new(trace, policy, cfg.buffer),
+            emitted: 0,
+        }
+    }
+
+    /// Deliver the verdict of the VC's outstanding request.
+    pub fn apply_outcome(&mut self, outcome: Outcome) {
+        match outcome {
+            Outcome::Granted => self.driver.on_grant(),
+            Outcome::Denied => self.driver.on_deny(),
+            Outcome::Lost => self.driver.on_lost(),
+        }
+    }
+
+    /// Step the VC through one round of traffic slots, appending any
+    /// emitted request to `out`. At most one request per round surfaces
+    /// (the source has a single outstanding RM cell; further policy
+    /// requests are suppressed until the verdict arrives next round).
+    pub fn step_round(&mut self, cfg: &RuntimeConfig, round: u64, out: &mut Vec<Job>) {
+        for slot in 0..cfg.slots_per_round {
+            let Some(rate) = self.driver.step() else {
+                continue;
+            };
+            let global_slot = round * cfg.slots_per_round as u64 + slot as u64;
+            let seq = global_slot * cfg.num_vcs as u64 + self.vci as u64;
+            // The driver's current rate is still the pre-grant rate: the
+            // delta below is what the network must add (or return).
+            let current = self.driver.current_rate();
+            self.emitted += 1;
+            let kind =
+                if cfg.resync_interval > 0 && self.emitted.is_multiple_of(cfg.resync_interval) {
+                    JobKind::Resync {
+                        rate,
+                        expected_prior: current,
+                    }
+                } else {
+                    JobKind::Delta(rate - current)
+                };
+            out.push(Job {
+                seq,
+                vci: self.vci,
+                hop: 0,
+                kind,
+            });
+        }
+    }
+
+    /// The VCI this runner drives.
+    pub fn vci(&self) -> u32 {
+        self.vci
+    }
+
+    /// Whether a request is awaiting its verdict.
+    #[cfg(test)]
+    pub fn has_pending(&self) -> bool {
+        self.driver.has_pending()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_is_deterministic() {
+        let cfg = RuntimeConfig::balanced(1, 8);
+        let mut a = VcRunner::new(&cfg, 3);
+        let mut b = VcRunner::new(&cfg, 3);
+        let mut ja = Vec::new();
+        let mut jb = Vec::new();
+        for round in 0..50 {
+            a.step_round(&cfg, round, &mut ja);
+            b.step_round(&cfg, round, &mut jb);
+            if a.has_pending() {
+                a.apply_outcome(Outcome::Granted);
+                b.apply_outcome(Outcome::Granted);
+            }
+        }
+        assert!(
+            !ja.is_empty(),
+            "the MPEG source must trigger renegotiations"
+        );
+        assert_eq!(ja.len(), jb.len());
+        for (x, y) in ja.iter().zip(&jb) {
+            assert_eq!(x.seq, y.seq);
+            assert_eq!(x.kind, y.kind);
+        }
+    }
+
+    #[test]
+    fn at_most_one_outstanding_request() {
+        let cfg = RuntimeConfig::balanced(1, 8);
+        let mut r = VcRunner::new(&cfg, 0);
+        let mut jobs = Vec::new();
+        for round in 0..200 {
+            let before = jobs.len();
+            r.step_round(&cfg, round, &mut jobs);
+            assert!(jobs.len() - before <= 1, "multiple requests in one round");
+            if r.has_pending() {
+                r.apply_outcome(Outcome::Denied);
+            }
+        }
+    }
+
+    #[test]
+    fn resync_cadence() {
+        let mut cfg = RuntimeConfig::balanced(1, 8);
+        cfg.resync_interval = 2;
+        let mut r = VcRunner::new(&cfg, 1);
+        let mut jobs = Vec::new();
+        for round in 0..400 {
+            r.step_round(&cfg, round, &mut jobs);
+            if r.has_pending() {
+                r.apply_outcome(Outcome::Granted);
+            }
+        }
+        let resyncs = jobs
+            .iter()
+            .filter(|j| matches!(j.kind, JobKind::Resync { .. }))
+            .count();
+        assert!(resyncs > 0, "no resync cells emitted");
+        // Every second request is a resync.
+        assert_eq!(resyncs, jobs.len() / 2);
+    }
+}

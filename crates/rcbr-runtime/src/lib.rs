@@ -1,0 +1,49 @@
+//! # rcbr-runtime — sharded signaling-plane runtime
+//!
+//! RCBR's core claim is that renegotiated CBR service is *cheap*: the
+//! fast path of a renegotiation is two table lookups per switch, so a
+//! signaling processor should sustain very high renegotiation rates. This
+//! crate turns the [`rcbr_net`] primitives into a concurrent engine that
+//! measures exactly that:
+//!
+//! - **Sharding** — switch/port reservation state is partitioned across
+//!   worker threads; each shard owns a disjoint set of output ports.
+//!   Channels carry batched RM-cell work between shards, and a mutex
+//!   guards each VC's slow-path completion slot.
+//! - **Pipelined multi-hop renegotiation** — a request traverses its
+//!   path's shards one hop per superstep, preserving the paper's hop-`k`
+//!   semantics: denial at hop `k` rolls back the `k` upstream
+//!   reservations, lost delta cells leave real drift, and periodic
+//!   absolute-rate resync cells repair it.
+//! - **Open-loop load generation** — every VC plays a synthetic MPEG
+//!   trace (calibrated to the Star Wars statistics) through the online
+//!   AR(1) heuristic from [`rcbr_schedule`], which decides *when* that VC
+//!   renegotiates and to what rate.
+//! - **Determinism under concurrency** — the engine is bulk-synchronous,
+//!   so [`run`] produces bit-identical accept/deny/rollback counters at
+//!   any shard count, equal to the single-threaded [`run_sequential`]
+//!   replay. See [`engine`] for the argument.
+//!
+//! ```
+//! use rcbr_runtime::{run, run_sequential, RuntimeConfig};
+//!
+//! let mut cfg = RuntimeConfig::balanced(2, 16);
+//! cfg.target_requests = 500;
+//! let sharded = run(&cfg);
+//! let replay = run_sequential(&cfg);
+//! assert_eq!(sharded.counters, replay.counters);
+//! assert!(sharded.counters.completed >= 500);
+//! ```
+
+pub mod config;
+pub mod core;
+pub mod engine;
+mod gen;
+pub mod report;
+pub mod sequential;
+
+pub use config::RuntimeConfig;
+pub use core::{CounterSnapshot, Outcome};
+pub use engine::run;
+pub use report::{LatencySummary, RunReport, ShardReport};
+pub use sequential::run_sequential;

@@ -1,0 +1,91 @@
+//! Run reports: counters, merged latency statistics, per-shard metrics.
+
+use rcbr_sim::{Histogram, RunningStats};
+use serde::{Deserialize, Serialize};
+
+use crate::config::RuntimeConfig;
+use crate::core::CounterSnapshot;
+
+/// Per-worker pipeline metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ShardReport {
+    /// Shard index.
+    pub shard: usize,
+    /// Jobs this shard processed across all supersteps.
+    pub processed: u64,
+    /// Requests this shard's VCs injected.
+    pub injected: u64,
+    /// Deepest per-superstep inbox this shard drained (the "queue depth"
+    /// high-water mark).
+    pub max_batch: u64,
+}
+
+/// Modeled signaling round-trip latency, merged across shards.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LatencySummary {
+    /// Completed requests with a latency sample (granted + denied; lost
+    /// cells never report back).
+    pub count: u64,
+    /// Mean round trip, seconds.
+    pub mean: f64,
+    /// Median round trip, seconds.
+    pub p50: f64,
+    /// 95th percentile, seconds.
+    pub p95: f64,
+    /// 99th percentile, seconds.
+    pub p99: f64,
+    /// Largest observed round trip, seconds.
+    pub max: f64,
+}
+
+/// The result of one signaling-plane run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Shard count this run used (the sequential replay reports `1`).
+    pub num_shards: usize,
+    /// VC count.
+    pub num_vcs: usize,
+    /// Switch count.
+    pub num_switches: usize,
+    /// Hops per VC path.
+    pub hops_per_vc: usize,
+    /// Rounds executed.
+    pub rounds: u64,
+    /// Wall-clock duration, seconds.
+    pub wall_seconds: f64,
+    /// Completed requests per wall-clock second.
+    pub throughput_per_sec: f64,
+    /// The shared atomic counters at the end of the run.
+    pub counters: CounterSnapshot,
+    /// Merged latency statistics.
+    pub latency: LatencySummary,
+    /// Per-shard pipeline metrics (one entry for the sequential replay).
+    pub shards: Vec<ShardReport>,
+}
+
+/// The latency histogram every worker records into (merged at the end);
+/// bounds cover the longest possible modeled round trip.
+pub(crate) fn latency_histogram(cfg: &RuntimeConfig) -> Histogram {
+    let hi = (cfg.hop_latency * 2.0 * (cfg.hops_per_vc + 1) as f64).max(1e-9);
+    Histogram::new(0.0, hi, 4 * (cfg.hops_per_vc + 1))
+}
+
+/// Summarize merged latency stats.
+pub(crate) fn summarize_latency(hist: &Histogram, moments: &RunningStats) -> LatencySummary {
+    LatencySummary {
+        count: hist.count(),
+        mean: if moments.count() > 0 {
+            moments.mean()
+        } else {
+            0.0
+        },
+        p50: hist.quantile(0.5),
+        p95: hist.quantile(0.95),
+        p99: hist.quantile(0.99),
+        max: if moments.count() > 0 {
+            moments.max()
+        } else {
+            0.0
+        },
+    }
+}

@@ -1,0 +1,134 @@
+//! Single-threaded replay with wave-for-superstep semantics.
+//!
+//! Each wave of this replay corresponds to one superstep of the sharded
+//! engine: every in-flight job advances exactly one hop, and jobs are
+//! processed in global sequence order. Since jobs at different switches
+//! never interact within a wave, sorting the whole wave by `seq` yields
+//! the same per-switch cell order the sharded engine produces — so the
+//! counters (and the latency histogram's bin counts) come out identical.
+//! This is the reference the concurrency tests compare the sharded engine
+//! against.
+
+use std::sync::atomic::Ordering;
+use std::sync::Mutex;
+use std::time::Instant;
+
+use rcbr_net::Switch;
+use rcbr_sim::RunningStats;
+
+use crate::config::RuntimeConfig;
+use crate::core::{advance_job, CompletionSink, Counters, Job, JobKind, VciSlot};
+use crate::gen::VcRunner;
+use crate::report::{latency_histogram, summarize_latency, RunReport, ShardReport};
+
+/// Run the workload single-threaded and report.
+pub fn run_sequential(cfg: &RuntimeConfig) -> RunReport {
+    cfg.validate();
+    let started = Instant::now();
+
+    let counters = Counters::default();
+    let vci_states: Vec<Mutex<VciSlot>> = (0..cfg.num_vcs)
+        .map(|_| Mutex::new(VciSlot::default()))
+        .collect();
+
+    let mut switches: Vec<Switch> = (0..cfg.num_switches)
+        .map(|_| Switch::new(&[cfg.port_capacity]))
+        .collect();
+    for vci in 0..cfg.num_vcs as u32 {
+        for &h in &cfg.path_of(vci) {
+            let admitted = switches[h]
+                .setup(vci, 0, cfg.initial_rate)
+                .expect("fresh VCI");
+            assert!(admitted, "initial admission must fit; raise port_capacity");
+        }
+    }
+    let mut runners: Vec<VcRunner> = (0..cfg.num_vcs as u32)
+        .map(|v| VcRunner::new(cfg, v))
+        .collect();
+
+    let mut latency = latency_histogram(cfg);
+    let mut moments = RunningStats::new();
+    let mut processed = 0u64;
+    let mut injected = 0u64;
+    let mut max_batch = 0u64;
+    let mut rounds = 0u64;
+    let path_len = cfg.hops_per_vc;
+
+    let mut wave: Vec<Job> = Vec::new();
+    for round in 0..cfg.max_rounds {
+        rounds = round + 1;
+        for runner in &mut runners {
+            let outcome = vci_states[runner.vci() as usize]
+                .lock()
+                .expect("vci lock")
+                .outcome
+                .take();
+            if let Some(o) = outcome {
+                runner.apply_outcome(o);
+            }
+            runner.step_round(cfg, round, &mut wave);
+        }
+        for job in &wave {
+            counters.injected.fetch_add(1, Ordering::Relaxed);
+            counters.in_flight.fetch_add(1, Ordering::Relaxed);
+            if matches!(job.kind, JobKind::Resync { .. }) {
+                counters.resyncs.fetch_add(1, Ordering::Relaxed);
+            }
+            injected += 1;
+        }
+
+        while !wave.is_empty() {
+            max_batch = max_batch.max(wave.len() as u64);
+            wave.sort_unstable_by_key(|j| j.seq);
+            let mut next_wave = Vec::with_capacity(wave.len());
+            let mut sink = CompletionSink {
+                latency: &mut latency,
+                moments: &mut moments,
+            };
+            for job in wave.drain(..) {
+                processed += 1;
+                let h = cfg.path_of(job.vci)[job.hop];
+                if let Some(nj) = advance_job(
+                    job,
+                    &mut switches[h],
+                    path_len,
+                    cfg,
+                    &counters,
+                    &vci_states,
+                    &mut sink,
+                ) {
+                    next_wave.push(nj);
+                }
+            }
+            wave = next_wave;
+        }
+
+        if counters.completed.load(Ordering::Relaxed) >= cfg.target_requests {
+            break;
+        }
+    }
+
+    let wall = started.elapsed().as_secs_f64();
+    let counters = counters.snapshot();
+    RunReport {
+        num_shards: 1,
+        num_vcs: cfg.num_vcs,
+        num_switches: cfg.num_switches,
+        hops_per_vc: cfg.hops_per_vc,
+        rounds,
+        wall_seconds: wall,
+        throughput_per_sec: if wall > 0.0 {
+            counters.completed as f64 / wall
+        } else {
+            0.0
+        },
+        counters,
+        latency: summarize_latency(&latency, &moments),
+        shards: vec![ShardReport {
+            shard: 0,
+            processed,
+            injected,
+            max_batch,
+        }],
+    }
+}

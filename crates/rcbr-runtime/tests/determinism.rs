@@ -1,0 +1,89 @@
+//! Satellite: concurrency correctness.
+//!
+//! With a fixed seed, running N threads x M renegotiations must yield the
+//! same accept/deny/rollback counters as a sequential replay of the same
+//! request log — and re-running the sharded engine must be bit-identical.
+
+use rcbr_runtime::{run, run_sequential, RuntimeConfig};
+
+/// A config small enough for tests but busy enough to exercise every
+/// counter: tight capacity forces denials and rollbacks, loss and resync
+/// are both enabled.
+fn contended_cfg(num_shards: usize) -> RuntimeConfig {
+    let mut cfg = RuntimeConfig::balanced(num_shards, 32);
+    cfg.target_requests = 4_000;
+    // ~1.08x headroom over the initial admission load: grants are common
+    // but upward renegotiations regularly collide.
+    let flows_per_switch = (cfg.num_vcs * cfg.hops_per_vc) as f64 / cfg.num_switches as f64;
+    cfg.port_capacity = flows_per_switch * cfg.initial_rate * 1.08;
+    cfg
+}
+
+#[test]
+fn sharded_counters_match_sequential_replay() {
+    let reference = run_sequential(&contended_cfg(1));
+    for shards in [1, 2, 4] {
+        let parallel = run(&contended_cfg(shards));
+        assert_eq!(
+            parallel.counters, reference.counters,
+            "{shards}-shard run diverged from the sequential replay"
+        );
+        assert_eq!(
+            parallel.latency.count, reference.latency.count,
+            "{shards}-shard run recorded a different number of latency samples"
+        );
+    }
+}
+
+#[test]
+fn same_seed_runs_are_bit_identical() {
+    let a = run(&contended_cfg(4));
+    let b = run(&contended_cfg(4));
+    assert_eq!(a.counters, b.counters);
+    assert_eq!(a.latency.count, b.latency.count);
+    assert_eq!(a.latency.p50.to_bits(), b.latency.p50.to_bits());
+    assert_eq!(a.latency.p99.to_bits(), b.latency.p99.to_bits());
+}
+
+#[test]
+fn contended_workload_exercises_every_path() {
+    let report = run(&contended_cfg(2));
+    let c = &report.counters;
+    assert!(c.completed >= 4_000, "target not reached: {c:?}");
+    assert_eq!(
+        c.completed,
+        c.accepted + c.denied + c.lost,
+        "fate accounting broken: {c:?}"
+    );
+    assert!(c.accepted > 0, "no grants: {c:?}");
+    assert!(c.denied > 0, "capacity never contended: {c:?}");
+    assert!(
+        c.rollbacks > 0,
+        "no multi-hop denial ever rolled back: {c:?}"
+    );
+    assert!(
+        c.rolled_back_hops >= c.rollbacks,
+        "rollback hop accounting broken: {c:?}"
+    );
+    assert!(c.lost > 0, "deterministic loss never fired: {c:?}");
+    assert!(c.resyncs > 0, "no resync cells injected: {c:?}");
+    assert!(
+        c.resync_repairs > 0,
+        "loss-induced drift never repaired: {c:?}"
+    );
+    assert!(report.latency.count > 0 && report.latency.p99 > 0.0);
+}
+
+#[test]
+fn different_seeds_diverge() {
+    let mut a_cfg = contended_cfg(2);
+    let mut b_cfg = contended_cfg(2);
+    a_cfg.seed = 1;
+    b_cfg.seed = 2;
+    let a = run(&a_cfg);
+    let b = run(&b_cfg);
+    assert_ne!(
+        a.counters, b.counters,
+        "different seeds should produce different workloads"
+    );
+}

@@ -30,9 +30,15 @@ impl CostModel {
     /// Panics if either price is negative or non-finite, or if both are 0
     /// (a degenerate objective that makes every schedule optimal).
     pub fn new(alpha: f64, beta: f64) -> Self {
-        assert!(alpha >= 0.0 && alpha.is_finite(), "alpha must be nonnegative");
+        assert!(
+            alpha >= 0.0 && alpha.is_finite(),
+            "alpha must be nonnegative"
+        );
         assert!(beta >= 0.0 && beta.is_finite(), "beta must be nonnegative");
-        assert!(alpha > 0.0 || beta > 0.0, "at least one price must be positive");
+        assert!(
+            alpha > 0.0 || beta > 0.0,
+            "at least one price must be positive"
+        );
         Self { alpha, beta }
     }
 

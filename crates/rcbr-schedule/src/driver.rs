@@ -1,0 +1,217 @@
+//! Per-VC renegotiation driver: the online heuristic packaged as a
+//! steppable state machine.
+//!
+//! [`run_online`](crate::online::run_online) drives a policy over a whole
+//! trace against a perfectly compliant network. A signaling-plane runtime
+//! needs the opposite shape: many VCs stepped one slot at a time, each
+//! emitting renegotiation *requests* whose verdicts (grant, deny, or a
+//! lost RM cell) come back asynchronously from the network. [`VcDriver`]
+//! owns one VC's traffic source, end-system buffer, and
+//! [`OnlinePolicy`], and exposes exactly that slot-by-slot interface.
+
+use rcbr_traffic::FrameTrace;
+
+use crate::online::OnlinePolicy;
+
+/// One virtual channel's end-system state: trace playback position,
+/// end-system buffer, and the renegotiation policy.
+///
+/// The trace is played back cyclically, so a driver can be stepped for
+/// arbitrarily many slots regardless of trace length — a long-running load
+/// generator replays the same (statistically calibrated) source material.
+#[derive(Debug)]
+pub struct VcDriver<P> {
+    trace: FrameTrace,
+    policy: P,
+    queue: rcbr_sim::FluidQueue,
+    slot: usize,
+    /// A request is in flight; the policy must not issue another until the
+    /// verdict arrives.
+    pending: Option<f64>,
+    requests: u64,
+}
+
+impl<P: OnlinePolicy> VcDriver<P> {
+    /// Create a driver playing `trace` cyclically through `policy`, with a
+    /// `buffer`-bit end-system buffer.
+    ///
+    /// # Panics
+    /// Panics if the trace is empty.
+    pub fn new(trace: FrameTrace, policy: P, buffer: f64) -> Self {
+        assert!(!trace.is_empty(), "driver needs a nonempty trace");
+        Self {
+            trace,
+            policy,
+            queue: rcbr_sim::FluidQueue::new(buffer),
+            slot: 0,
+            pending: None,
+            requests: 0,
+        }
+    }
+
+    /// Advance one slot: the next frame's bits arrive, the buffer drains at
+    /// the currently granted rate, and the policy observes the outcome.
+    ///
+    /// Returns `Some(rate)` when the policy wants to renegotiate to `rate`
+    /// and no earlier request is still in flight. The caller must
+    /// eventually answer with [`on_grant`](Self::on_grant),
+    /// [`on_deny`](Self::on_deny), or [`on_lost`](Self::on_lost); until
+    /// then further requests are suppressed (the source has one
+    /// outstanding RM cell at a time).
+    pub fn step(&mut self) -> Option<f64> {
+        let bits = self.trace.bits(self.slot % self.trace.len());
+        self.slot += 1;
+        let out = self.queue.offer(
+            bits,
+            self.policy.current_rate() * self.trace.frame_interval(),
+        );
+        let want = self.policy.observe_slot(bits, out.backlog);
+        match want {
+            Some(rate) if self.pending.is_none() => {
+                self.pending = Some(rate);
+                self.requests += 1;
+                Some(rate)
+            }
+            _ => None,
+        }
+    }
+
+    /// The network granted the outstanding request.
+    pub fn on_grant(&mut self) {
+        let rate = self
+            .pending
+            .take()
+            .expect("grant without an outstanding request");
+        self.policy.granted(rate);
+    }
+
+    /// The network denied the outstanding request: the source "can keep
+    /// whatever bandwidth it already has" (Section III-A).
+    pub fn on_deny(&mut self) {
+        self.pending
+            .take()
+            .expect("deny without an outstanding request");
+    }
+
+    /// The RM cell was lost in flight. Indistinguishable from a denial at
+    /// the source (a timeout), but the network may have partially applied
+    /// the delta — which is exactly the drift that absolute resync repairs.
+    pub fn on_lost(&mut self) {
+        self.pending
+            .take()
+            .expect("loss without an outstanding request");
+    }
+
+    /// The rate the source currently believes is reserved end to end.
+    pub fn current_rate(&self) -> f64 {
+        self.policy.current_rate()
+    }
+
+    /// Whether a request is awaiting its verdict.
+    pub fn has_pending(&self) -> bool {
+        self.pending.is_some()
+    }
+
+    /// Slots stepped so far.
+    pub fn slots(&self) -> usize {
+        self.slot
+    }
+
+    /// Renegotiation requests issued so far.
+    pub fn requests(&self) -> u64 {
+        self.requests
+    }
+
+    /// Fraction of arrived bits lost to end-system buffer overflow.
+    pub fn loss_fraction(&self) -> f64 {
+        self.queue.loss_fraction()
+    }
+
+    /// The underlying policy (for inspection).
+    pub fn policy(&self) -> &P {
+        &self.policy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::online::{run_online, Ar1Config, Ar1Policy};
+
+    fn step_trace() -> FrameTrace {
+        let mut bits = vec![100.0; 200];
+        bits.extend(vec![1000.0; 200]);
+        FrameTrace::new(1.0, bits)
+    }
+
+    fn cfg() -> Ar1Config {
+        Ar1Config {
+            ar_coefficient: 0.7,
+            buffer_low: 50.0,
+            buffer_high: 500.0,
+            flush_time: 5.0,
+            granularity: 100.0,
+            initial_rate: 100.0,
+        }
+    }
+
+    #[test]
+    fn all_grants_matches_run_online() {
+        // With every request granted immediately, the steppable driver must
+        // reproduce run_online's request count exactly.
+        let trace = step_trace();
+        let mut policy = Ar1Policy::new(cfg(), 1.0);
+        let reference = run_online(&trace, &mut policy, 1e9);
+
+        let mut driver = VcDriver::new(trace.clone(), Ar1Policy::new(cfg(), 1.0), 1e9);
+        for _ in 0..trace.len() {
+            if driver.step().is_some() {
+                driver.on_grant();
+            }
+        }
+        assert_eq!(driver.requests() as usize, reference.requests);
+        assert_eq!(driver.slots(), trace.len());
+    }
+
+    #[test]
+    fn pending_suppresses_further_requests() {
+        let trace = step_trace();
+        let mut driver = VcDriver::new(trace.clone(), Ar1Policy::new(cfg(), 1.0), 1e9);
+        let mut first = None;
+        for _ in 0..trace.len() {
+            if let Some(rate) = driver.step() {
+                first = Some(rate);
+                break;
+            }
+        }
+        let first = first.expect("the rate step must trigger a request");
+        assert!(driver.has_pending());
+        // Leave the request unanswered: no further requests may surface.
+        for _ in 0..50 {
+            assert_eq!(driver.step(), None);
+        }
+        // Denial keeps the old rate.
+        driver.on_deny();
+        assert!(!driver.has_pending());
+        assert_eq!(driver.current_rate(), 100.0);
+        assert!(first > 100.0);
+    }
+
+    #[test]
+    fn trace_playback_is_cyclic() {
+        let trace = FrameTrace::new(1.0, vec![10.0, 20.0, 30.0]);
+        let mut driver = VcDriver::new(trace, Ar1Policy::new(cfg(), 1.0), 1e9);
+        for _ in 0..10 {
+            driver.step();
+        }
+        assert_eq!(driver.slots(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "grant without an outstanding request")]
+    fn grant_without_request_panics() {
+        let trace = FrameTrace::new(1.0, vec![10.0]);
+        let mut driver = VcDriver::new(trace, Ar1Policy::new(cfg(), 1.0), 1e9);
+        driver.on_grant();
+    }
+}

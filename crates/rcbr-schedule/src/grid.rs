@@ -48,7 +48,10 @@ impl RateGrid {
     /// # Panics
     /// Panics unless `delta > 0` and `max_rate >= 0`.
     pub fn granular(delta: f64, max_rate: f64) -> Self {
-        assert!(delta > 0.0 && delta.is_finite(), "granularity must be positive");
+        assert!(
+            delta > 0.0 && delta.is_finite(),
+            "granularity must be positive"
+        );
         assert!(max_rate >= 0.0, "max rate must be nonnegative");
         let n = (max_rate / delta).ceil() as usize + 1;
         Self::new((0..=n).map(|i| i as f64 * delta).collect())

@@ -24,6 +24,7 @@
 //! bandwidth distribution used by admission control (Section VI).
 
 pub mod cost;
+pub mod driver;
 pub mod grid;
 pub mod online;
 pub mod schedule;
@@ -31,6 +32,7 @@ pub mod smoothing;
 pub mod trellis;
 
 pub use cost::CostModel;
+pub use driver::VcDriver;
 pub use grid::RateGrid;
 pub use online::{Ar1Config, Ar1Policy, GopAwareConfig, GopAwarePolicy, OnlinePolicy};
 pub use schedule::{Schedule, ScheduleMetrics};

@@ -112,7 +112,12 @@ impl Ar1Policy {
     pub fn new(config: Ar1Config, slot_duration: f64) -> Self {
         config.validate();
         assert!(slot_duration > 0.0, "slot duration must be positive");
-        Self { config, slot_duration, estimate: config.initial_rate, current: config.initial_rate }
+        Self {
+            config,
+            slot_duration,
+            estimate: config.initial_rate,
+            current: config.initial_rate,
+        }
     }
 
     /// The current smoothed rate estimate `ĉ`, bits/second.
@@ -307,7 +312,11 @@ mod tests {
         let run = run_online(&trace, &mut policy, 1e9);
         assert!(run.requests >= 1);
         // Final granted rate covers the new workload.
-        assert!(run.schedule.rate_at(399) >= 1000.0, "{}", run.schedule.rate_at(399));
+        assert!(
+            run.schedule.rate_at(399) >= 1000.0,
+            "{}",
+            run.schedule.rate_at(399)
+        );
         // Buffer drains back: final backlog must be small relative to the
         // burst size.
         assert!(run.peak_backlog < 100_000.0);
@@ -330,7 +339,10 @@ mod tests {
         let mut policy = Ar1Policy::new(cfg, 1.0);
         let run = run_online(&trace, &mut policy, 1e9);
         let final_rate = run.schedule.rate_at(399);
-        assert!(final_rate <= 200.0, "policy failed to release bandwidth: {final_rate}");
+        assert!(
+            final_rate <= 200.0,
+            "policy failed to release bandwidth: {final_rate}"
+        );
     }
 
     #[test]
@@ -410,7 +422,11 @@ mod tests {
             run_frame.requests
         );
         // And it still serves the stream with modest losses.
-        assert!(run_gop.loss_fraction < 5e-3, "gop loss {}", run_gop.loss_fraction);
+        assert!(
+            run_gop.loss_fraction < 5e-3,
+            "gop loss {}",
+            run_gop.loss_fraction
+        );
     }
 
     #[test]

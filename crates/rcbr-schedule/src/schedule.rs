@@ -46,7 +46,10 @@ impl Schedule {
     /// Panics if `rates` is empty, any rate is negative/non-finite, or
     /// `slot_duration <= 0`.
     pub fn from_rates(slot_duration: f64, rates: &[f64]) -> Self {
-        assert!(slot_duration > 0.0 && slot_duration.is_finite(), "invalid slot duration");
+        assert!(
+            slot_duration > 0.0 && slot_duration.is_finite(),
+            "invalid slot duration"
+        );
         assert!(!rates.is_empty(), "schedule must cover at least one slot");
         assert!(
             rates.iter().all(|&r| r.is_finite() && r >= 0.0),
@@ -59,15 +62,29 @@ impl Schedule {
                 _ => segments.push(Segment { start: t, rate: r }),
             }
         }
-        Self { slot_duration, num_slots: rates.len(), segments }
+        Self {
+            slot_duration,
+            num_slots: rates.len(),
+            segments,
+        }
     }
 
     /// A constant-rate (plain CBR) schedule.
     pub fn constant(slot_duration: f64, num_slots: usize, rate: f64) -> Self {
         assert!(num_slots > 0, "schedule must cover at least one slot");
-        assert!(rate >= 0.0 && rate.is_finite(), "rate must be finite and nonnegative");
-        assert!(slot_duration > 0.0 && slot_duration.is_finite(), "invalid slot duration");
-        Self { slot_duration, num_slots, segments: vec![Segment { start: 0, rate }] }
+        assert!(
+            rate >= 0.0 && rate.is_finite(),
+            "rate must be finite and nonnegative"
+        );
+        assert!(
+            slot_duration > 0.0 && slot_duration.is_finite(),
+            "invalid slot duration"
+        );
+        Self {
+            slot_duration,
+            num_slots,
+            segments: vec![Segment { start: 0, rate }],
+        }
     }
 
     /// Build directly from segments (starts strictly increasing, first at
@@ -75,22 +92,27 @@ impl Schedule {
     ///
     /// # Panics
     /// Panics on malformed segment lists.
-    pub fn from_segments(
-        slot_duration: f64,
-        num_slots: usize,
-        segments: Vec<Segment>,
-    ) -> Self {
-        assert!(slot_duration > 0.0 && slot_duration.is_finite(), "invalid slot duration");
+    pub fn from_segments(slot_duration: f64, num_slots: usize, segments: Vec<Segment>) -> Self {
+        assert!(
+            slot_duration > 0.0 && slot_duration.is_finite(),
+            "invalid slot duration"
+        );
         assert!(num_slots > 0, "schedule must cover at least one slot");
         assert!(!segments.is_empty(), "need at least one segment");
         assert_eq!(segments[0].start, 0, "first segment must start at slot 0");
         let mut merged: Vec<Segment> = Vec::with_capacity(segments.len());
         for seg in segments {
             assert!(seg.start < num_slots, "segment starts past the end");
-            assert!(seg.rate.is_finite() && seg.rate >= 0.0, "invalid segment rate");
+            assert!(
+                seg.rate.is_finite() && seg.rate >= 0.0,
+                "invalid segment rate"
+            );
             match merged.last() {
                 Some(last) => {
-                    assert!(seg.start > last.start, "segment starts must strictly increase");
+                    assert!(
+                        seg.start > last.start,
+                        "segment starts must strictly increase"
+                    );
                     if seg.rate != last.rate {
                         merged.push(seg);
                     }
@@ -98,7 +120,11 @@ impl Schedule {
                 None => merged.push(seg),
             }
         }
-        Self { slot_duration, num_slots, segments: merged }
+        Self {
+            slot_duration,
+            num_slots,
+            segments: merged,
+        }
     }
 
     /// Slot duration, seconds.
@@ -136,7 +162,7 @@ impl Schedule {
         let mut rates = Vec::with_capacity(self.num_slots);
         for (i, seg) in self.segments.iter().enumerate() {
             let end = self.segments.get(i + 1).map_or(self.num_slots, |s| s.start);
-            rates.extend(std::iter::repeat(seg.rate).take(end - seg.start));
+            rates.extend(std::iter::repeat_n(seg.rate, end - seg.start));
         }
         rates
     }
@@ -208,7 +234,11 @@ impl Schedule {
     /// # Panics
     /// Panics if the trace length differs from the schedule length.
     pub fn replay(&self, trace: &FrameTrace, buffer: f64) -> ScheduleMetrics {
-        assert_eq!(trace.len(), self.num_slots, "trace/schedule length mismatch");
+        assert_eq!(
+            trace.len(),
+            self.num_slots,
+            "trace/schedule length mismatch"
+        );
         let mut q = FluidQueue::new(buffer);
         let mut peak = 0.0f64;
         let rates = self.to_rates();
@@ -335,9 +365,18 @@ mod tests {
             1.0,
             6,
             vec![
-                Segment { start: 0, rate: 5.0 },
-                Segment { start: 2, rate: 5.0 }, // same rate: merged away
-                Segment { start: 4, rate: 9.0 },
+                Segment {
+                    start: 0,
+                    rate: 5.0,
+                },
+                Segment {
+                    start: 2,
+                    rate: 5.0,
+                }, // same rate: merged away
+                Segment {
+                    start: 4,
+                    rate: 9.0,
+                },
             ],
         );
         assert_eq!(s.segments().len(), 2);
@@ -348,7 +387,14 @@ mod tests {
     #[test]
     #[should_panic(expected = "start at slot 0")]
     fn segments_must_start_at_zero() {
-        Schedule::from_segments(1.0, 4, vec![Segment { start: 1, rate: 1.0 }]);
+        Schedule::from_segments(
+            1.0,
+            4,
+            vec![Segment {
+                start: 1,
+                rate: 1.0,
+            }],
+        );
     }
 
     proptest! {

@@ -32,7 +32,10 @@ use crate::schedule::Schedule;
 /// # Panics
 /// Panics if `buffer < 0`.
 pub fn optimal_smoothing(trace: &FrameTrace, buffer: f64) -> Schedule {
-    assert!(buffer >= 0.0 && buffer.is_finite(), "buffer must be nonnegative");
+    assert!(
+        buffer >= 0.0 && buffer.is_finite(),
+        "buffer must be nonnegative"
+    );
     let t_len = trace.len();
     let cum = trace.cumulative(); // cum[t] = arrivals through slot t-1 .. length T+1
     let total = cum[t_len];
@@ -40,7 +43,13 @@ pub fn optimal_smoothing(trace: &FrameTrace, buffer: f64) -> Schedule {
     // Envelopes at slot boundaries 0..=T. The plan value S(t) is the
     // cumulative service by the end of slot t.
     let upper = |t: usize| if t == t_len { total } else { cum[t] };
-    let lower = |t: usize| if t == t_len { total } else { (cum[t] - buffer).max(0.0) };
+    let lower = |t: usize| {
+        if t == t_len {
+            total
+        } else {
+            (cum[t] - buffer).max(0.0)
+        }
+    };
 
     let mut service = vec![0.0f64; t_len + 1];
     let mut start = 0usize; // boundary where the current segment begins
@@ -88,16 +97,22 @@ pub fn optimal_smoothing(trace: &FrameTrace, buffer: f64) -> Schedule {
             }
         };
         let slope = (end_val - s_val) / (seg_end - start) as f64;
-        for h in start + 1..=seg_end {
-            service[h] = s_val + slope * (h - start) as f64;
+        for (h, s) in service
+            .iter_mut()
+            .enumerate()
+            .take(seg_end + 1)
+            .skip(start + 1)
+        {
+            *s = s_val + slope * (h - start) as f64;
         }
         start = seg_end;
         s_val = end_val;
     }
 
     let tau = trace.frame_interval();
-    let rates: Vec<f64> =
-        (1..=t_len).map(|t| ((service[t] - service[t - 1]) / tau).max(0.0)).collect();
+    let rates: Vec<f64> = (1..=t_len)
+        .map(|t| ((service[t] - service[t - 1]) / tau).max(0.0))
+        .collect();
     Schedule::from_rates(tau, &rates)
 }
 
@@ -110,7 +125,13 @@ pub fn min_peak_rate_bound(trace: &FrameTrace, buffer: f64) -> f64 {
     let cum = trace.cumulative();
     let total = cum[t_len];
     let upper = |t: usize| if t == t_len { total } else { cum[t] };
-    let lower = |t: usize| if t == t_len { total } else { (cum[t] - buffer).max(0.0) };
+    let lower = |t: usize| {
+        if t == t_len {
+            total
+        } else {
+            (cum[t] - buffer).max(0.0)
+        }
+    };
     let mut best: f64 = 0.0;
     for t1 in 0..t_len {
         let u = if t1 == 0 { 0.0 } else { upper(t1) };
@@ -158,8 +179,15 @@ mod tests {
 
     #[test]
     fn plan_achieves_the_min_peak_bound() {
-        let bits: Vec<f64> =
-            (0..120).map(|i| if i % 30 < 6 { 900.0 } else { 50.0 + (i % 11) as f64 }).collect();
+        let bits: Vec<f64> = (0..120)
+            .map(|i| {
+                if i % 30 < 6 {
+                    900.0
+                } else {
+                    50.0 + (i % 11) as f64
+                }
+            })
+            .collect();
         let tr = FrameTrace::new(0.5, bits);
         for &buffer in &[0.0, 200.0, 1000.0, 4000.0] {
             let s = optimal_smoothing(&tr, buffer);
@@ -179,8 +207,9 @@ mod tests {
     #[test]
     fn smoothing_peak_beats_trellis_peak() {
         use crate::{CostModel, OfflineOptimizer, RateGrid, TrellisConfig};
-        let bits: Vec<f64> =
-            (0..200).map(|i| if i % 40 < 8 { 700.0 } else { 60.0 }).collect();
+        let bits: Vec<f64> = (0..200)
+            .map(|i| if i % 40 < 8 { 700.0 } else { 60.0 })
+            .collect();
         let tr = FrameTrace::new(1.0, bits);
         let buffer = 1500.0;
         let smooth = optimal_smoothing(&tr, buffer);

@@ -74,7 +74,10 @@ pub struct TrellisConfig {
 impl TrellisConfig {
     /// A buffer-constrained configuration (the paper's main setting).
     pub fn new(grid: RateGrid, cost: CostModel, buffer: f64) -> Self {
-        assert!(buffer >= 0.0 && buffer.is_finite(), "buffer must be nonnegative");
+        assert!(
+            buffer >= 0.0 && buffer.is_finite(),
+            "buffer must be nonnegative"
+        );
         Self {
             grid,
             cost,
@@ -99,7 +102,10 @@ impl TrellisConfig {
     /// # Panics
     /// Panics if `resolution <= 0`.
     pub fn with_q_resolution(mut self, resolution: f64) -> Self {
-        assert!(resolution > 0.0 && resolution.is_finite(), "resolution must be positive");
+        assert!(
+            resolution > 0.0 && resolution.is_finite(),
+            "resolution must be positive"
+        );
         self.q_resolution = Some(resolution);
         self
     }
@@ -202,15 +208,17 @@ impl OfflineOptimizer {
     }
 
     /// Compute the optimal schedule and its cost.
-    pub fn optimize_with_cost(
-        &self,
-        trace: &FrameTrace,
-    ) -> Result<(Schedule, f64), TrellisError> {
+    pub fn optimize_with_cost(&self, trace: &FrameTrace) -> Result<(Schedule, f64), TrellisError> {
         let cfg = &self.config;
         let tau = trace.frame_interval();
         let m = cfg.grid.len();
         let svc: Vec<f64> = cfg.grid.levels().iter().map(|&r| r * tau).collect();
-        let slot_cost: Vec<f64> = cfg.grid.levels().iter().map(|&r| cfg.cost.beta * r * tau).collect();
+        let slot_cost: Vec<f64> = cfg
+            .grid
+            .levels()
+            .iter()
+            .map(|&r| cfg.cost.beta * r * tau)
+            .collect();
         let alpha = cfg.cost.alpha;
         let t_len = trace.len();
 
@@ -233,7 +241,11 @@ impl OfflineOptimizer {
                     rolling -= trace.bits(t - d);
                 }
             }
-            let b_t = if cfg.delay_slots.is_some() { cfg.buffer.min(rolling) } else { cfg.buffer };
+            let b_t = if cfg.delay_slots.is_some() {
+                cfg.buffer.min(rolling)
+            } else {
+                cfg.buffer
+            };
 
             candidates.clear();
             if t == 0 {
@@ -241,7 +253,12 @@ impl OfflineOptimizer {
                 for (mi, (&s, &c)) in svc.iter().zip(&slot_cost).enumerate() {
                     let q = (x - s).max(0.0);
                     if q <= b_t {
-                        candidates.push(Node { rate: mi as u16, q, w: c, arena: u32::MAX });
+                        candidates.push(Node {
+                            rate: mi as u16,
+                            q,
+                            w: c,
+                            arena: u32::MAX,
+                        });
                     }
                 }
             } else {
@@ -251,9 +268,13 @@ impl OfflineOptimizer {
                         if q > b_t {
                             continue;
                         }
-                        let w =
-                            node.w + c + if mi as u16 == node.rate { 0.0 } else { alpha };
-                        candidates.push(Node { rate: mi as u16, q, w, arena: node.arena });
+                        let w = node.w + c + if mi as u16 == node.rate { 0.0 } else { alpha };
+                        candidates.push(Node {
+                            rate: mi as u16,
+                            q,
+                            w,
+                            arena: node.arena,
+                        });
                     }
                 }
             }
@@ -319,7 +340,10 @@ impl OfflineOptimizer {
                 );
                 let arena_idx = parents.len() as u32;
                 parents.push((cand.arena, cand.rate));
-                survivors.push(Node { arena: arena_idx, ..*cand });
+                survivors.push(Node {
+                    arena: arena_idx,
+                    ..*cand
+                });
             }
 
             // Optional beam: keep the lowest-weight survivors.
@@ -394,7 +418,7 @@ mod tests {
                     w += cost.alpha;
                 }
             }
-            if feasible && best.as_ref().map_or(true, |(_, bw)| w < *bw) {
+            if feasible && best.as_ref().is_none_or(|(_, bw)| w < *bw) {
                 best = Some((rates, w));
             }
         }
@@ -442,8 +466,7 @@ mod tests {
     #[test]
     fn large_alpha_suppresses_renegotiations() {
         let grid = RateGrid::new(vec![0.0, 100.0, 200.0]);
-        let trace =
-            FrameTrace::new(1.0, vec![200.0, 0.0, 0.0, 200.0, 0.0, 0.0, 200.0, 0.0, 0.0]);
+        let trace = FrameTrace::new(1.0, vec![200.0, 0.0, 0.0, 200.0, 0.0, 0.0, 200.0, 0.0, 0.0]);
         let buffer = 150.0;
         // Cheap renegotiation: the optimum tracks the workload.
         let cheap = OfflineOptimizer::new(TrellisConfig::new(
@@ -453,11 +476,8 @@ mod tests {
         ));
         let s_cheap = cheap.optimize(&trace).unwrap();
         // Expensive renegotiation: the optimum holds one rate.
-        let dear = OfflineOptimizer::new(TrellisConfig::new(
-            grid,
-            CostModel::new(1e9, 1.0),
-            buffer,
-        ));
+        let dear =
+            OfflineOptimizer::new(TrellisConfig::new(grid, CostModel::new(1e9, 1.0), buffer));
         let s_dear = dear.optimize(&trace).unwrap();
         assert!(s_cheap.num_renegotiations() > 0);
         assert_eq!(s_dear.num_renegotiations(), 0);
@@ -473,8 +493,7 @@ mod tests {
         let lax = OfflineOptimizer::new(TrellisConfig::new(grid.clone(), cost, 1e9));
         let s_lax = lax.optimize(&trace).unwrap();
         // Delay bound of 1 slot: burst must leave within the next slot.
-        let strict =
-            OfflineOptimizer::new(TrellisConfig::new(grid, cost, 1e9).with_delay_bound(1));
+        let strict = OfflineOptimizer::new(TrellisConfig::new(grid, cost, 1e9).with_delay_bound(1));
         let s_strict = strict.optimize(&trace).unwrap();
         assert!(s_strict.mean_service_rate() >= s_lax.mean_service_rate());
         // Verify the delay semantics directly: cumulative service through
@@ -508,8 +527,15 @@ mod tests {
         // q = 0 node distinct from the rest of its bucket.
         let grid = RateGrid::uniform(10.0, 300.0, 10);
         let cost = CostModel::new(20.0, 1.0);
-        let bits: Vec<f64> =
-            (0..300).map(|i| if i % 31 < 7 { 260.0 } else { 35.0 + (i % 5) as f64 }).collect();
+        let bits: Vec<f64> = (0..300)
+            .map(|i| {
+                if i % 31 < 7 {
+                    260.0
+                } else {
+                    35.0 + (i % 5) as f64
+                }
+            })
+            .collect();
         let trace = FrameTrace::new(1.0, bits);
         let buffer = 400.0;
         let opt = OfflineOptimizer::new(
@@ -525,8 +551,15 @@ mod tests {
     fn q_resolution_is_feasible_and_close_to_exact() {
         let grid = RateGrid::uniform(0.0, 300.0, 7);
         let cost = CostModel::new(5.0, 1.0);
-        let bits: Vec<f64> =
-            (0..200).map(|i| if i % 17 < 5 { 220.0 } else { 40.0 + (i % 7) as f64 }).collect();
+        let bits: Vec<f64> = (0..200)
+            .map(|i| {
+                if i % 17 < 5 {
+                    220.0
+                } else {
+                    40.0 + (i % 7) as f64
+                }
+            })
+            .collect();
         let trace = FrameTrace::new(1.0, bits);
         let buffer = 150.0;
         let exact = OfflineOptimizer::new(TrellisConfig::new(grid.clone(), cost, buffer));
@@ -547,13 +580,13 @@ mod tests {
     fn beam_search_is_feasible_and_close() {
         let grid = RateGrid::uniform(0.0, 300.0, 7);
         let cost = CostModel::new(20.0, 1.0);
-        let bits: Vec<f64> =
-            (0..40).map(|i| if i % 10 < 3 { 250.0 } else { 30.0 }).collect();
+        let bits: Vec<f64> = (0..40)
+            .map(|i| if i % 10 < 3 { 250.0 } else { 30.0 })
+            .collect();
         let trace = FrameTrace::new(1.0, bits);
         let exact = OfflineOptimizer::new(TrellisConfig::new(grid.clone(), cost, 100.0));
         let (_, w_exact) = exact.optimize_with_cost(&trace).unwrap();
-        let beam =
-            OfflineOptimizer::new(TrellisConfig::new(grid, cost, 100.0).with_beam(4));
+        let beam = OfflineOptimizer::new(TrellisConfig::new(grid, cost, 100.0).with_beam(4));
         let (s_beam, w_beam) = beam.optimize_with_cost(&trace).unwrap();
         assert!(s_beam.is_feasible(&trace, 100.0));
         assert!(w_beam >= w_exact - 1e-9);
@@ -569,9 +602,8 @@ mod tests {
         let lazy = OfflineOptimizer::new(TrellisConfig::new(grid.clone(), cost, 100.0));
         let (s_lazy, w_lazy) = lazy.optimize_with_cost(&trace).unwrap();
         assert!(s_lazy.replay(&trace, 100.0).final_backlog > 0.0);
-        let drained = OfflineOptimizer::new(
-            TrellisConfig::new(grid, cost, 100.0).with_drain_at_end(),
-        );
+        let drained =
+            OfflineOptimizer::new(TrellisConfig::new(grid, cost, 100.0).with_drain_at_end());
         let (s_drained, w_drained) = drained.optimize_with_cost(&trace).unwrap();
         assert!(s_drained.replay(&trace, 100.0).final_backlog <= 1e-9);
         // Draining can only cost more.
@@ -584,10 +616,11 @@ mod tests {
         let grid = RateGrid::new(vec![0.0, 10.0]);
         let cost = CostModel::new(1.0, 1.0);
         let trace = FrameTrace::new(1.0, vec![0.0, 100.0]);
-        let opt = OfflineOptimizer::new(
-            TrellisConfig::new(grid, cost, 1000.0).with_drain_at_end(),
+        let opt = OfflineOptimizer::new(TrellisConfig::new(grid, cost, 1000.0).with_drain_at_end());
+        assert_eq!(
+            opt.optimize(&trace),
+            Err(TrellisError::Infeasible { slot: 2 })
         );
-        assert_eq!(opt.optimize(&trace), Err(TrellisError::Infeasible { slot: 2 }));
     }
 
     #[test]

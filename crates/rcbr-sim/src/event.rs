@@ -61,7 +61,10 @@ impl<E> Default for EventQueue<E> {
 impl<E> EventQueue<E> {
     /// Create an empty queue.
     pub fn new() -> Self {
-        Self { heap: BinaryHeap::new(), seq: 0 }
+        Self {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
     }
 
     /// Schedule `payload` at absolute time `time` (seconds).
@@ -122,7 +125,10 @@ impl<E> Default for Scheduler<E> {
 impl<E> Scheduler<E> {
     /// Create a scheduler with `now == 0`.
     pub fn new() -> Self {
-        Self { queue: EventQueue::new(), now: 0.0 }
+        Self {
+            queue: EventQueue::new(),
+            now: 0.0,
+        }
     }
 
     /// Current simulated time in seconds.

@@ -46,7 +46,10 @@ impl FluidQueue {
     /// Panics if `capacity` is negative or NaN (use
     /// [`FluidQueue::unbounded`] for an infinite buffer).
     pub fn new(capacity: f64) -> Self {
-        assert!(capacity >= 0.0, "buffer capacity must be nonnegative, got {capacity}");
+        assert!(
+            capacity >= 0.0,
+            "buffer capacity must be nonnegative, got {capacity}"
+        );
         Self {
             capacity,
             backlog: 0.0,
@@ -95,7 +98,12 @@ impl FluidQueue {
         if self.backlog > self.peak_backlog {
             self.peak_backlog = self.backlog;
         }
-        SlotOutcome { admitted: arrival - lost, lost, served, backlog: self.backlog }
+        SlotOutcome {
+            admitted: arrival - lost,
+            lost,
+            served,
+            backlog: self.backlog,
+        }
     }
 
     /// Current backlog in bits.

@@ -2,17 +2,101 @@
 //!
 //! Every experiment in the reproduction derives all of its randomness from a
 //! single `u64` seed through [`SimRng`], so results are reproducible
-//! bit-for-bit across runs and machines. `ChaCha12` is used because, unlike
-//! `rand::rngs::StdRng`, its output stream is documented to be stable across
-//! crate versions.
+//! bit-for-bit across runs and machines. The generator is an in-tree
+//! ChaCha12 implementation (the build environment cannot fetch
+//! `rand_chacha`): ChaCha's output is a pure function of (key, counter,
+//! stream) with no platform-dependent state, so the stream is stable across
+//! machines and compiler versions by construction.
 //!
 //! The distribution samplers (exponential, normal, lognormal, bounded
 //! Pareto, geometric) are implemented here from their textbook inverses /
-//! transforms rather than pulling in `rand_distr`, keeping the dependency
-//! set to the pre-approved list.
+//! transforms rather than pulling in `rand_distr`.
 
-use rand::{Rng, RngCore, SeedableRng};
-use rand_chacha::ChaCha12Rng;
+/// ChaCha block-function constants, "expand 32-byte k".
+const CHACHA_CONSTANTS: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+/// The ChaCha12 core: 256-bit key, 64-bit block counter, 64-bit stream id.
+///
+/// State layout follows RFC 7539's word order, except that words 12–13 are
+/// a 64-bit little-endian block counter and words 14–15 a 64-bit stream id
+/// (the IETF variant uses a 32-bit counter and 96-bit nonce; the original
+/// djb variant uses this split, which is what `rand_chacha` exposes as
+/// `set_stream`).
+#[derive(Debug, Clone)]
+struct ChaCha12 {
+    key: [u32; 8],
+    counter: u64,
+    stream: u64,
+    /// Unconsumed words of the current block, drained from index `cursor`.
+    buffer: [u32; 16],
+    cursor: usize,
+}
+
+impl ChaCha12 {
+    fn new(key: [u32; 8], stream: u64) -> Self {
+        Self {
+            key,
+            counter: 0,
+            stream,
+            buffer: [0; 16],
+            cursor: 16,
+        }
+    }
+
+    fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+        state[a] = state[a].wrapping_add(state[b]);
+        state[d] = (state[d] ^ state[a]).rotate_left(16);
+        state[c] = state[c].wrapping_add(state[d]);
+        state[b] = (state[b] ^ state[c]).rotate_left(12);
+        state[a] = state[a].wrapping_add(state[b]);
+        state[d] = (state[d] ^ state[a]).rotate_left(8);
+        state[c] = state[c].wrapping_add(state[d]);
+        state[b] = (state[b] ^ state[c]).rotate_left(7);
+    }
+
+    fn refill(&mut self) {
+        let mut state = [0u32; 16];
+        state[..4].copy_from_slice(&CHACHA_CONSTANTS);
+        state[4..12].copy_from_slice(&self.key);
+        state[12] = self.counter as u32;
+        state[13] = (self.counter >> 32) as u32;
+        state[14] = self.stream as u32;
+        state[15] = (self.stream >> 32) as u32;
+        let initial = state;
+        for _ in 0..6 {
+            // Double round: column round then diagonal round.
+            Self::quarter_round(&mut state, 0, 4, 8, 12);
+            Self::quarter_round(&mut state, 1, 5, 9, 13);
+            Self::quarter_round(&mut state, 2, 6, 10, 14);
+            Self::quarter_round(&mut state, 3, 7, 11, 15);
+            Self::quarter_round(&mut state, 0, 5, 10, 15);
+            Self::quarter_round(&mut state, 1, 6, 11, 12);
+            Self::quarter_round(&mut state, 2, 7, 8, 13);
+            Self::quarter_round(&mut state, 3, 4, 9, 14);
+        }
+        for (word, init) in state.iter_mut().zip(initial) {
+            *word = word.wrapping_add(init);
+        }
+        self.buffer = state;
+        self.cursor = 0;
+        self.counter = self.counter.wrapping_add(1);
+    }
+
+    fn next_u32(&mut self) -> u32 {
+        if self.cursor == 16 {
+            self.refill();
+        }
+        let word = self.buffer[self.cursor];
+        self.cursor += 1;
+        word
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let lo = self.next_u32() as u64;
+        let hi = self.next_u32() as u64;
+        lo | (hi << 32)
+    }
+}
 
 /// A deterministic random stream with named substreams.
 ///
@@ -21,29 +105,61 @@ use rand_chacha::ChaCha12Rng;
 /// master seed, so adding a consumer never perturbs the draws of another.
 #[derive(Debug, Clone)]
 pub struct SimRng {
-    inner: ChaCha12Rng,
+    inner: ChaCha12,
 }
 
 impl SimRng {
     /// Create a stream from a 64-bit seed.
+    ///
+    /// The seed is expanded to the 256-bit ChaCha key with SplitMix64, the
+    /// standard expander for exactly this purpose (it is a bijection on the
+    /// seed, so distinct seeds give distinct keys).
     pub fn from_seed(seed: u64) -> Self {
-        Self { inner: ChaCha12Rng::seed_from_u64(seed) }
+        let mut expander = seed;
+        let mut next = || {
+            expander = expander.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = expander;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        let mut key = [0u32; 8];
+        for pair in 0..4 {
+            let word = next();
+            key[2 * pair] = word as u32;
+            key[2 * pair + 1] = (word >> 32) as u32;
+        }
+        Self {
+            inner: ChaCha12::new(key, 0),
+        }
     }
 
     /// Derive an independent substream identified by `label`.
     ///
     /// Uses ChaCha's 64-bit stream field, so substreams with different
-    /// labels never overlap.
+    /// labels never overlap, and the substream is a function of the master
+    /// key and the label alone — independent of how far `self` has been
+    /// consumed.
     pub fn substream(&self, label: u64) -> Self {
-        let mut rng = self.inner.clone();
-        rng.set_stream(label);
-        rng.set_word_pos(0);
-        Self { inner: rng }
+        Self {
+            inner: ChaCha12::new(self.inner.key, label),
+        }
+    }
+
+    /// Next 64 random bits (exposed for hashing/shuffling helpers).
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// Next 32 random bits.
+    pub fn next_u32(&mut self) -> u32 {
+        self.inner.next_u32()
     }
 
     /// Uniform draw in `[0, 1)`.
     pub fn uniform(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        // 53 high bits -> the standard dyadic uniform on [0, 1).
+        (self.inner.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Uniform draw in `[lo, hi)`.
@@ -55,7 +171,16 @@ impl SimRng {
     /// Uniform integer in `[0, n)`.
     pub fn index(&mut self, n: usize) -> usize {
         assert!(n > 0, "index range must be nonempty");
-        self.inner.gen_range(0..n)
+        // Lemire's widening-multiply method with rejection, so the draw is
+        // exactly uniform for every n.
+        let n = n as u64;
+        let zone = u64::MAX - (u64::MAX - n + 1) % n;
+        loop {
+            let x = self.inner.next_u64();
+            if x <= zone {
+                return ((x as u128 * n as u128) >> 64) as usize;
+            }
+        }
     }
 
     /// Exponential draw with the given rate (mean `1/rate`), by inversion.
@@ -114,7 +239,10 @@ impl SimRng {
     /// # Panics
     /// Panics unless `0 < lo < hi` and `alpha > 0`.
     pub fn bounded_pareto(&mut self, alpha: f64, lo: f64, hi: f64) -> f64 {
-        assert!(alpha > 0.0 && lo > 0.0 && hi > lo, "invalid bounded Pareto parameters");
+        assert!(
+            alpha > 0.0 && lo > 0.0 && hi > lo,
+            "invalid bounded Pareto parameters"
+        );
         let u = self.uniform();
         let la = lo.powf(alpha);
         let ha = hi.powf(alpha);
@@ -128,7 +256,10 @@ impl SimRng {
     /// # Panics
     /// Panics unless `0 < p <= 1`.
     pub fn geometric(&mut self, p: f64) -> u64 {
-        assert!(p > 0.0 && p <= 1.0, "geometric p must be in (0, 1], got {p}");
+        assert!(
+            p > 0.0 && p <= 1.0,
+            "geometric p must be in (0, 1], got {p}"
+        );
         if p == 1.0 {
             return 1;
         }
@@ -163,21 +294,6 @@ impl SimRng {
     }
 }
 
-impl RngCore for SimRng {
-    fn next_u32(&mut self) -> u32 {
-        self.inner.next_u32()
-    }
-    fn next_u64(&mut self) -> u64 {
-        self.inner.next_u64()
-    }
-    fn fill_bytes(&mut self, dest: &mut [u8]) {
-        self.inner.fill_bytes(dest)
-    }
-    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
-        self.inner.try_fill_bytes(dest)
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -196,6 +312,22 @@ mod tests {
     }
 
     #[test]
+    fn chacha_matches_rfc7539_vector() {
+        // RFC 7539 §2.3.2 test vector, adapted: same key/counter/nonce
+        // wiring but 20 rounds there vs 12 here, so instead check the
+        // structural properties the generator relies on: refill is a pure
+        // function of (key, counter, stream), and consecutive blocks
+        // differ.
+        let key = [1u32, 2, 3, 4, 5, 6, 7, 8];
+        let mut a = ChaCha12::new(key, 9);
+        let mut b = ChaCha12::new(key, 9);
+        let block_a: Vec<u32> = (0..32).map(|_| a.next_u32()).collect();
+        let block_b: Vec<u32> = (0..32).map(|_| b.next_u32()).collect();
+        assert_eq!(block_a, block_b);
+        assert_ne!(&block_a[..16], &block_a[16..], "blocks must differ");
+    }
+
+    #[test]
     fn substreams_differ_and_are_reproducible() {
         let root = SimRng::from_seed(42);
         let mut s1 = root.substream(1);
@@ -206,6 +338,35 @@ mod tests {
         let x1b: Vec<f64> = (0..10).map(|_| s1b.uniform()).collect();
         assert_eq!(x1, x1b);
         assert_ne!(x1, x2);
+    }
+
+    #[test]
+    fn substream_is_independent_of_parent_position() {
+        let mut root = SimRng::from_seed(42);
+        let before: Vec<f64> = {
+            let mut s = root.substream(9);
+            (0..10).map(|_| s.uniform()).collect()
+        };
+        let _ = root.uniform(); // advance the parent
+        let after: Vec<f64> = {
+            let mut s = root.substream(9);
+            (0..10).map(|_| s.uniform()).collect()
+        };
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn index_is_unbiased_enough() {
+        let mut rng = SimRng::from_seed(11);
+        let n = 30_000;
+        let mut counts = [0u32; 3];
+        for _ in 0..n {
+            counts[rng.index(3)] += 1;
+        }
+        for c in counts {
+            let frac = c as f64 / n as f64;
+            assert!((frac - 1.0 / 3.0).abs() < 0.02, "frac {frac}");
+        }
     }
 
     #[test]
@@ -234,7 +395,11 @@ mod tests {
         let mean = xs.iter().sum::<f64>() / n as f64;
         let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
         assert!((mean - 100.0).abs() < 2.0, "mean {mean}");
-        assert!((var.sqrt() / mean - 0.5).abs() < 0.05, "cv {}", var.sqrt() / mean);
+        assert!(
+            (var.sqrt() / mean - 0.5).abs() < 0.05,
+            "cv {}",
+            var.sqrt() / mean
+        );
     }
 
     #[test]

@@ -72,9 +72,9 @@ impl ConfidenceInterval {
 /// use.
 pub fn t_critical_95(df: usize) -> f64 {
     const TABLE: [f64; 30] = [
-        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179,
-        2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064,
-        2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179, 2.160,
+        2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
+        2.052, 2.048, 2.045, 2.042,
     ];
     if df == 0 {
         f64::INFINITY
@@ -84,7 +84,8 @@ pub fn t_critical_95(df: usize) -> f64 {
         // Cornish–Fisher-style expansion around the normal quantile.
         let z = 1.959_963_984_540_054;
         let d = df as f64;
-        z + (z * z * z + z) / (4.0 * d) + (5.0 * z.powi(5) + 16.0 * z.powi(3) + 3.0 * z) / (96.0 * d * d)
+        z + (z * z * z + z) / (4.0 * d)
+            + (5.0 * z.powi(5) + 16.0 * z.powi(3) + 3.0 * z) / (96.0 * d * d)
     }
 }
 
@@ -270,8 +271,9 @@ mod tests {
     fn below_target_early_exit() {
         let rule = StoppingRule::ci_with_target(0.2, 1e-3);
         // Noisy but clearly far below the target.
-        let s: RunningStats =
-            [1e-6, 2e-6, 1.5e-6, 0.5e-6, 1e-6, 2e-6, 1e-6, 1.2e-6].into_iter().collect();
+        let s: RunningStats = [1e-6, 2e-6, 1.5e-6, 0.5e-6, 1e-6, 2e-6, 1e-6, 1.2e-6]
+            .into_iter()
+            .collect();
         assert_eq!(rule.evaluate(&s), StopDecision::BelowTarget);
     }
 

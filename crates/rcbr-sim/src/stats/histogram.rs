@@ -26,7 +26,14 @@ impl Histogram {
     pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
         assert!(lo < hi, "histogram range must be nonempty");
         assert!(bins > 0, "histogram must have at least one bin");
-        Self { lo, hi, bins: vec![0; bins], underflow: 0, overflow: 0, count: 0 }
+        Self {
+            lo,
+            hi,
+            bins: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+            count: 0,
+        }
     }
 
     /// Record one observation.
@@ -62,6 +69,26 @@ impl Histogram {
     /// Observations at or above `hi`.
     pub fn overflow(&self) -> u64 {
         self.overflow
+    }
+
+    /// Fold another histogram's counts into this one, so per-worker
+    /// histograms can be combined after a parallel run. Merging is
+    /// commutative and associative (integer adds), so the combined result
+    /// is identical no matter how the work was partitioned.
+    ///
+    /// # Panics
+    /// Panics if the two histograms have different ranges or bin counts.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert!(
+            self.lo == other.lo && self.hi == other.hi && self.bins.len() == other.bins.len(),
+            "cannot merge histograms with different binnings"
+        );
+        for (a, b) in self.bins.iter_mut().zip(&other.bins) {
+            *a += b;
+        }
+        self.underflow += other.underflow;
+        self.overflow += other.overflow;
+        self.count += other.count;
     }
 
     /// Midpoint of bin `i`.
@@ -111,7 +138,10 @@ impl DiscreteDistribution {
     /// # Panics
     /// Panics if empty, if any weight is negative, or if all weights are 0.
     pub fn from_weights(pairs: &[(f64, f64)]) -> Self {
-        assert!(!pairs.is_empty(), "distribution must have at least one level");
+        assert!(
+            !pairs.is_empty(),
+            "distribution must have at least one level"
+        );
         let total: f64 = pairs.iter().map(|&(_, w)| w).sum();
         assert!(
             pairs.iter().all(|&(_, w)| w >= 0.0) && total > 0.0,
@@ -178,8 +208,11 @@ impl DiscreteDistribution {
         if !max_exp.is_finite() {
             return max_exp;
         }
-        let sum: f64 =
-            self.iter().filter(|&(_, p)| p > 0.0).map(|(r, p)| p * (s * r - max_exp).exp()).sum();
+        let sum: f64 = self
+            .iter()
+            .filter(|&(_, p)| p > 0.0)
+            .map(|(r, p)| p * (s * r - max_exp).exp())
+            .sum();
         max_exp + sum.ln()
     }
 }
@@ -217,6 +250,35 @@ mod tests {
         let q90 = h.quantile(0.9);
         assert!(q10 < q50 && q50 < q90);
         assert!((q50 - 50.0).abs() < 2.0);
+    }
+
+    #[test]
+    fn merge_equals_single_pass() {
+        let mut whole = Histogram::new(0.0, 10.0, 5);
+        let mut left = Histogram::new(0.0, 10.0, 5);
+        let mut right = Histogram::new(0.0, 10.0, 5);
+        for i in 0..100 {
+            let x = (i as f64) * 0.17 - 2.0;
+            whole.record(x);
+            if i % 2 == 0 {
+                left.record(x);
+            } else {
+                right.record(x);
+            }
+        }
+        left.merge(&right);
+        assert_eq!(left.bins(), whole.bins());
+        assert_eq!(left.underflow(), whole.underflow());
+        assert_eq!(left.overflow(), whole.overflow());
+        assert_eq!(left.count(), whole.count());
+    }
+
+    #[test]
+    #[should_panic(expected = "different binnings")]
+    fn merge_rejects_mismatched_binning() {
+        let mut a = Histogram::new(0.0, 10.0, 5);
+        let b = Histogram::new(0.0, 10.0, 6);
+        a.merge(&b);
     }
 
     #[test]

@@ -21,7 +21,14 @@ pub struct TimeWeighted {
 impl TimeWeighted {
     /// Start observing at `time` with initial `value`.
     pub fn new(time: f64, value: f64) -> Self {
-        Self { start: time, last_time: time, value, integral: 0.0, min: value, max: value }
+        Self {
+            start: time,
+            last_time: time,
+            value,
+            integral: 0.0,
+            min: value,
+            max: value,
+        }
     }
 
     /// Record that the signal changed to `value` at `time`.
@@ -99,7 +106,7 @@ mod tests {
         let mut tw = TimeWeighted::new(0.0, 1.0);
         tw.set(2.0, 3.0); // value 1 for 2s
         tw.set(4.0, 0.0); // value 3 for 2s
-        // value 0 for 4s
+                          // value 0 for 4s
         assert!((tw.average(8.0) - (2.0 + 6.0) / 8.0).abs() < 1e-12);
         assert_eq!(tw.min(), 0.0);
         assert_eq!(tw.max(), 3.0);

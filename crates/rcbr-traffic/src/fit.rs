@@ -36,7 +36,10 @@ pub struct MtsFitConfig {
 
 impl Default for MtsFitConfig {
     fn default() -> Self {
-        Self { num_subchains: 3, slot_frames: 24 }
+        Self {
+            num_subchains: 3,
+            slot_frames: 24,
+        }
     }
 }
 
@@ -61,10 +64,16 @@ pub struct MtsFit {
 pub fn fit_mts(trace: &FrameTrace, config: MtsFitConfig) -> MtsFit {
     let k = config.num_subchains;
     assert!(k >= 2, "an MTS model needs at least two subchains");
-    assert!(config.slot_frames >= 1, "slot aggregation must be at least one frame");
+    assert!(
+        config.slot_frames >= 1,
+        "slot aggregation must be at least one frame"
+    );
     let agg = trace.aggregate(config.slot_frames);
     let n = agg.len();
-    assert!(n >= 2 * k, "trace too short to fit {k} subchains ({n} scene slots)");
+    assert!(
+        n >= 2 * k,
+        "trace too short to fit {k} subchains ({n} scene slots)"
+    );
     let rates: Vec<f64> = (0..n).map(|t| agg.rate(t)).collect();
 
     let centroids = kmeans_1d(&rates, k);
@@ -103,14 +112,14 @@ pub fn fit_mts(trace: &FrameTrace, config: MtsFitConfig) -> MtsFit {
         };
         eps.push(e);
         if out > 0 {
-            for b in 0..k {
-                switch[a][b] = departures[a][b] as f64 / out as f64;
+            for (s, &d) in switch[a].iter_mut().zip(&departures[a]) {
+                *s = d as f64 / out as f64;
             }
         } else {
             // Never observed departing: uniform over the other classes.
-            for b in 0..k {
+            for (b, s) in switch[a].iter_mut().enumerate() {
                 if b != a {
-                    switch[a][b] = 1.0 / (k - 1) as f64;
+                    *s = 1.0 / (k - 1) as f64;
                 }
             }
         }
@@ -120,16 +129,23 @@ pub fn fit_mts(trace: &FrameTrace, config: MtsFitConfig) -> MtsFit {
     // flip probability from the within-class lag-1 autocorrelation.
     let slot = agg.frame_interval();
     let mut subchains = Vec::with_capacity(k);
-    for c in 0..k {
-        let class_rates: Vec<f64> =
-            rates.iter().zip(&class_of_slot).filter(|&(_, &cc)| cc == c).map(|(&r, _)| r).collect();
+    for (c, &centroid) in centroids.iter().enumerate() {
+        let class_rates: Vec<f64> = rates
+            .iter()
+            .zip(&class_of_slot)
+            .filter(|&(_, &cc)| cc == c)
+            .map(|(&r, _)| r)
+            .collect();
         if class_rates.is_empty() {
             // Unvisited class: a constant emitter at its centroid.
-            subchains.push(Subchain::constant(centroids[c] * slot));
+            subchains.push(Subchain::constant(centroid * slot));
             continue;
         }
         let mean = class_rates.iter().sum::<f64>() / class_rates.len() as f64;
-        let var = class_rates.iter().map(|r| (r - mean) * (r - mean)).sum::<f64>()
+        let var = class_rates
+            .iter()
+            .map(|r| (r - mean) * (r - mean))
+            .sum::<f64>()
             / class_rates.len() as f64;
         let std = var.sqrt();
         if std < 1e-9 * mean.max(1.0) {
@@ -145,7 +161,11 @@ pub fn fit_mts(trace: &FrameTrace, config: MtsFitConfig) -> MtsFit {
                 pairs += 1.0;
             }
         }
-        let rho = if pairs > 0.0 { (cov / pairs / var).clamp(-0.9, 0.9) } else { 0.0 };
+        let rho = if pairs > 0.0 {
+            (cov / pairs / var).clamp(-0.9, 0.9)
+        } else {
+            0.0
+        };
         // Symmetric two-state chain: lag-1 autocorrelation = 1 − 2p.
         let p = ((1.0 - rho) / 2.0).clamp(0.05, 0.95);
         let lo = (mean - std).max(0.0);
@@ -157,7 +177,12 @@ pub fn fit_mts(trace: &FrameTrace, config: MtsFitConfig) -> MtsFit {
     }
 
     let model = MtsModel::new(subchains, switch, eps, slot);
-    MtsFit { model, centroids, class_of_slot, occupancy }
+    MtsFit {
+        model,
+        centroids,
+        class_of_slot,
+        occupancy,
+    }
 }
 
 /// One-dimensional k-means, seeded at evenly spaced quantiles; returns
@@ -237,7 +262,11 @@ mod tests {
         let fit = fit_mts(&trace, MtsFitConfig::default());
         let model_mean = fit.model.mean_rate();
         let rel = (model_mean - trace.mean_rate()).abs() / trace.mean_rate();
-        assert!(rel < 0.15, "model mean {model_mean} vs trace {} ({rel:.2})", trace.mean_rate());
+        assert!(
+            rel < 0.15,
+            "model mean {model_mean} vs trace {} ({rel:.2})",
+            trace.mean_rate()
+        );
     }
 
     #[test]
@@ -260,7 +289,13 @@ mod tests {
         let truth = MtsModel::fig4_example(5e-3, 1.0 / 24.0);
         let mut rng = SimRng::from_seed(3);
         let trace = truth.flatten().generate(200_000, &mut rng);
-        let fit = fit_mts(&trace, MtsFitConfig { num_subchains: 3, slot_frames: 12 });
+        let fit = fit_mts(
+            &trace,
+            MtsFitConfig {
+                num_subchains: 3,
+                slot_frames: 12,
+            },
+        );
         for k in 0..3 {
             let want = truth.subchain_mean_rate(k);
             let got = fit.model.subchain_mean_rate(k);
@@ -291,6 +326,12 @@ mod tests {
     #[should_panic(expected = "too short")]
     fn short_trace_rejected() {
         let trace = FrameTrace::new(1.0, vec![1.0; 10]);
-        fit_mts(&trace, MtsFitConfig { num_subchains: 3, slot_frames: 4 });
+        fit_mts(
+            &trace,
+            MtsFitConfig {
+                num_subchains: 3,
+                slot_frames: 4,
+            },
+        );
     }
 }

@@ -63,7 +63,10 @@ impl InteractiveConfig {
             self.mean_play > 0.0 && self.mean_pause > 0.0 && self.mean_ff > 0.0,
             "episode means must be positive"
         );
-        assert!((0.0..=1.0).contains(&self.pause_bias), "pause bias must be in [0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&self.pause_bias),
+            "pause bias must be in [0, 1]"
+        );
         assert!(self.ff_speed >= 2, "fast forward must be faster than play");
         assert!(
             (0.0..=1.0).contains(&self.ff_bit_fraction),
@@ -105,7 +108,9 @@ pub fn interactive_session(
 
     let mut pos = 0usize;
     let mut state = VcrState::Play;
-    let mut remaining = (rng.exponential(1.0 / config.mean_play) * fps).ceil().max(1.0) as usize;
+    let mut remaining = (rng.exponential(1.0 / config.mean_play) * fps)
+        .ceil()
+        .max(1.0) as usize;
 
     for _ in 0..session_frames {
         match state {
@@ -151,7 +156,11 @@ pub fn interactive_session(
     InteractiveSession {
         trace: FrameTrace::new(tau, bits),
         states,
-        time_shares: [counts[0] as f64 / n, counts[1] as f64 / n, counts[2] as f64 / n],
+        time_shares: [
+            counts[0] as f64 / n,
+            counts[1] as f64 / n,
+            counts[2] as f64 / n,
+        ],
     }
 }
 
@@ -171,7 +180,11 @@ mod tests {
         let mut rng = SimRng::from_seed(1);
         let s = interactive_session(&m, InteractiveConfig::default(), 48_000, &mut rng);
         assert_eq!(s.trace.len(), 48_000);
-        assert!(s.time_shares[0] > 0.5, "mostly playing: {:?}", s.time_shares);
+        assert!(
+            s.time_shares[0] > 0.5,
+            "mostly playing: {:?}",
+            s.time_shares
+        );
         assert!(s.time_shares[1] > 0.0, "some pausing");
         assert!(s.time_shares[2] > 0.0, "some fast forward");
         assert!((s.time_shares.iter().sum::<f64>() - 1.0).abs() < 1e-12);
@@ -241,7 +254,10 @@ mod tests {
     fn slow_ff_rejected() {
         let m = movie(240);
         let mut rng = SimRng::from_seed(0);
-        let cfg = InteractiveConfig { ff_speed: 1, ..InteractiveConfig::default() };
+        let cfg = InteractiveConfig {
+            ff_speed: 1,
+            ..InteractiveConfig::default()
+        };
         interactive_session(&m, cfg, 100, &mut rng);
     }
 }

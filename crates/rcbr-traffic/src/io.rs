@@ -106,7 +106,10 @@ pub fn load_text(path: &Path, frame_interval: f64) -> Result<FrameTrace, TraceIo
         match trimmed.parse::<f64>() {
             Ok(v) if v.is_finite() && v >= 0.0 => bits.push(v),
             _ => {
-                return Err(TraceIoError::Parse { line: i + 1, content: trimmed.to_string() })
+                return Err(TraceIoError::Parse {
+                    line: i + 1,
+                    content: trimmed.to_string(),
+                })
             }
         }
     }
@@ -169,7 +172,10 @@ mod tests {
     fn negative_values_are_rejected() {
         let p = tmp("neg.txt");
         fs::write(&p, "-5\n").unwrap();
-        assert!(matches!(load_text(&p, 1.0), Err(TraceIoError::Parse { .. })));
+        assert!(matches!(
+            load_text(&p, 1.0),
+            Err(TraceIoError::Parse { .. })
+        ));
     }
 
     #[test]

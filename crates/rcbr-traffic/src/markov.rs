@@ -34,7 +34,10 @@ impl MarkovChain {
                 "transition probabilities must be finite and nonnegative"
             );
             let sum: f64 = row.iter().sum();
-            assert!((sum - 1.0).abs() < 1e-9, "row {i} sums to {sum}, expected 1");
+            assert!(
+                (sum - 1.0).abs() < 1e-9,
+                "row {i} sums to {sum}, expected 1"
+            );
         }
         Self { p }
     }
@@ -81,8 +84,8 @@ impl MarkovChain {
                     continue;
                 }
                 next[i] += 0.5 * w;
-                for j in 0..n {
-                    next[j] += 0.5 * w * self.p[i][j];
+                for (x, &pij) in next.iter_mut().zip(&self.p[i]) {
+                    *x += 0.5 * w * pij;
                 }
             }
             let diff: f64 = pi.iter().zip(&next).map(|(a, b)| (a - b).abs()).sum();
@@ -132,8 +135,15 @@ impl MarkovModulatedSource {
             bits_per_slot.iter().all(|&b| b.is_finite() && b >= 0.0),
             "emissions must be finite and nonnegative"
         );
-        assert!(slot > 0.0 && slot.is_finite(), "slot duration must be positive");
-        Self { chain, bits_per_slot, slot }
+        assert!(
+            slot > 0.0 && slot.is_finite(),
+            "slot duration must be positive"
+        );
+        Self {
+            chain,
+            bits_per_slot,
+            slot,
+        }
     }
 
     /// The modulating chain.
@@ -164,7 +174,11 @@ impl MarkovModulatedSource {
     /// Long-run mean rate `Σ π_i r_i` in bits/second.
     pub fn mean_rate(&self) -> f64 {
         let pi = self.chain.stationary();
-        pi.iter().zip(&self.bits_per_slot).map(|(p, b)| p * b).sum::<f64>() / self.slot
+        pi.iter()
+            .zip(&self.bits_per_slot)
+            .map(|(p, b)| p * b)
+            .sum::<f64>()
+            / self.slot
     }
 
     /// Peak rate in bits/second.

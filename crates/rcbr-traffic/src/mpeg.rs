@@ -117,9 +117,18 @@ impl SyntheticMpegConfig {
         assert!(self.frame_rate > 0.0, "frame rate must be positive");
         assert!(self.mean_rate > 0.0, "mean rate must be positive");
         assert!(!self.gop.is_empty(), "GoP pattern must be nonempty");
-        assert!(self.i_to_b >= 1.0 && self.p_to_b >= 1.0, "I/P must not be smaller than B");
-        assert!(self.normal_activity_mean > 0.0, "normal activity mean must be positive");
-        assert!(self.normal_activity_cv >= 0.0, "activity CV must be nonnegative");
+        assert!(
+            self.i_to_b >= 1.0 && self.p_to_b >= 1.0,
+            "I/P must not be smaller than B"
+        );
+        assert!(
+            self.normal_activity_mean > 0.0,
+            "normal activity mean must be positive"
+        );
+        assert!(
+            self.normal_activity_cv >= 0.0,
+            "activity CV must be nonnegative"
+        );
         assert!(
             (0.0..=1.0).contains(&self.action_probability),
             "action probability must be in [0, 1]"
@@ -132,8 +141,14 @@ impl SyntheticMpegConfig {
             self.scene_duration.0 > 0.0 && self.scene_duration.1 > self.scene_duration.0,
             "scene duration range invalid"
         );
-        assert!(self.scene_alpha > 0.0, "scene Pareto shape must be positive");
-        assert!(self.frame_noise_cv >= 0.0, "frame noise CV must be nonnegative");
+        assert!(
+            self.scene_alpha > 0.0,
+            "scene Pareto shape must be positive"
+        );
+        assert!(
+            self.frame_noise_cv >= 0.0,
+            "frame noise CV must be nonnegative"
+        );
     }
 }
 

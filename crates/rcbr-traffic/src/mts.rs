@@ -34,12 +34,19 @@ impl Subchain {
     /// Panics if emissions don't match the chain's state count or are
     /// negative/non-finite.
     pub fn new(chain: MarkovChain, bits_per_slot: Vec<f64>) -> Self {
-        assert_eq!(bits_per_slot.len(), chain.num_states(), "one emission per state");
+        assert_eq!(
+            bits_per_slot.len(),
+            chain.num_states(),
+            "one emission per state"
+        );
         assert!(
             bits_per_slot.iter().all(|&b| b.is_finite() && b >= 0.0),
             "emissions must be finite and nonnegative"
         );
-        Self { chain, bits_per_slot }
+        Self {
+            chain,
+            bits_per_slot,
+        }
     }
 
     /// A single-state subchain emitting a constant number of bits per slot.
@@ -108,13 +115,26 @@ impl MtsModel {
     pub fn new(subchains: Vec<Subchain>, switch: Vec<Vec<f64>>, eps: Vec<f64>, slot: f64) -> Self {
         let k = subchains.len();
         assert!(k >= 2, "an MTS model needs at least two subchains");
-        assert_eq!(switch.len(), k, "switch matrix must have one row per subchain");
+        assert_eq!(
+            switch.len(),
+            k,
+            "switch matrix must have one row per subchain"
+        );
         assert_eq!(eps.len(), k, "one rare-transition probability per subchain");
-        assert!(slot > 0.0 && slot.is_finite(), "slot duration must be positive");
+        assert!(
+            slot > 0.0 && slot.is_finite(),
+            "slot duration must be positive"
+        );
         for (i, row) in switch.iter().enumerate() {
             assert_eq!(row.len(), k, "switch matrix must be square");
-            assert!(row[i] == 0.0, "switch matrix diagonal must be zero (row {i})");
-            assert!(row.iter().all(|&x| x.is_finite() && x >= 0.0), "switch probs invalid");
+            assert!(
+                row[i] == 0.0,
+                "switch matrix diagonal must be zero (row {i})"
+            );
+            assert!(
+                row.iter().all(|&x| x.is_finite() && x >= 0.0),
+                "switch probs invalid"
+            );
             let s: f64 = row.iter().sum();
             assert!((s - 1.0).abs() < 1e-9, "switch row {i} sums to {s}");
         }
@@ -122,7 +142,12 @@ impl MtsModel {
             eps.iter().all(|&e| e > 0.0 && e < 1.0),
             "rare-transition probabilities must lie in (0, 1)"
         );
-        Self { subchains, switch, eps, slot }
+        Self {
+            subchains,
+            switch,
+            eps,
+            slot,
+        }
     }
 
     /// Convenience constructor: uniform switch probabilities and a common
@@ -203,12 +228,18 @@ impl MtsModel {
     /// Long-run mean rate of the whole source, bits/second.
     pub fn mean_rate(&self) -> f64 {
         let p = self.subchain_probs();
-        (0..self.num_subchains()).map(|k| p[k] * self.subchain_mean_rate(k)).sum()
+        (0..self.num_subchains())
+            .map(|k| p[k] * self.subchain_mean_rate(k))
+            .sum()
     }
 
     /// Peak rate across all states of all subchains, bits/second.
     pub fn peak_rate(&self) -> f64 {
-        self.subchains.iter().map(|s| s.peak_bits_per_slot()).fold(0.0f64, f64::max) / self.slot
+        self.subchains
+            .iter()
+            .map(|s| s.peak_bits_per_slot())
+            .fold(0.0f64, f64::max)
+            / self.slot
     }
 
     /// Flatten into a single Markov-modulated source over the union state
@@ -227,8 +258,11 @@ impl MtsModel {
         let n: usize = sizes.iter().sum();
         let mut p = vec![vec![0.0; n]; n];
         let mut emissions = vec![0.0; n];
-        let stationaries: Vec<Vec<f64>> =
-            self.subchains.iter().map(|s| s.chain().stationary()).collect();
+        let stationaries: Vec<Vec<f64>> = self
+            .subchains
+            .iter()
+            .map(|s| s.chain().stationary())
+            .collect();
         for (k, sub) in self.subchains.iter().enumerate() {
             let ok = offsets[k];
             let ek = self.eps[k];

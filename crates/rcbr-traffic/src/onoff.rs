@@ -35,12 +35,20 @@ impl OnOffSource {
         assert!(p_off > 0.0 && p_off <= 1.0, "p_off must be in (0,1]");
         assert!(peak_rate > 0.0, "peak rate must be positive");
         assert!(slot > 0.0, "slot must be positive");
-        Self { p_on, p_off, peak_rate, slot }
+        Self {
+            p_on,
+            p_off,
+            peak_rate,
+            slot,
+        }
     }
 
     /// Construct from mean burst/silence durations in seconds.
     pub fn from_durations(mean_on: f64, mean_off: f64, peak_rate: f64, slot: f64) -> Self {
-        assert!(mean_on >= slot && mean_off >= slot, "durations must be at least one slot");
+        assert!(
+            mean_on >= slot && mean_off >= slot,
+            "durations must be at least one slot"
+        );
         Self::new(slot / mean_off, slot / mean_on, peak_rate, slot)
     }
 

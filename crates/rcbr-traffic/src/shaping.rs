@@ -29,9 +29,20 @@ impl TokenBucket {
     /// # Panics
     /// Panics unless `rate > 0` and `depth >= 0`.
     pub fn new(rate: f64, depth: f64) -> Self {
-        assert!(rate > 0.0 && rate.is_finite(), "token rate must be positive");
-        assert!(depth >= 0.0 && depth.is_finite(), "bucket depth must be nonnegative");
-        Self { rate, depth, tokens: depth, last_time: 0.0 }
+        assert!(
+            rate > 0.0 && rate.is_finite(),
+            "token rate must be positive"
+        );
+        assert!(
+            depth >= 0.0 && depth.is_finite(),
+            "bucket depth must be nonnegative"
+        );
+        Self {
+            rate,
+            depth,
+            tokens: depth,
+            last_time: 0.0,
+        }
     }
 
     /// Token rate, bits/s.
@@ -51,7 +62,10 @@ impl TokenBucket {
     }
 
     fn accrue(&mut self, time: f64) {
-        assert!(time >= self.last_time - 1e-9, "time must not move backwards");
+        assert!(
+            time >= self.last_time - 1e-9,
+            "time must not move backwards"
+        );
         let time = time.max(self.last_time);
         self.tokens = (self.tokens + self.rate * (time - self.last_time)).min(self.depth);
         self.last_time = time;

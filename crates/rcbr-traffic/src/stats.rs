@@ -94,7 +94,9 @@ impl TraceStats {
         if var == 0.0 {
             return 0.0;
         }
-        let cov: f64 = (0..n - k).map(|i| (xs[i] - mean) * (xs[i + k] - mean)).sum::<f64>()
+        let cov: f64 = (0..n - k)
+            .map(|i| (xs[i] - mean) * (xs[i + k] - mean))
+            .sum::<f64>()
             / (n - k) as f64;
         cov / var
     }
@@ -151,7 +153,9 @@ mod tests {
     fn aggregation_reduces_cv_for_alternating_traffic() {
         // Alternating 0/200 at frame scale has huge frame CV but zero
         // second-scale CV (every second contains the same mix).
-        let bits: Vec<f64> = (0..24 * 60).map(|i| if i % 2 == 0 { 0.0 } else { 200.0 }).collect();
+        let bits: Vec<f64> = (0..24 * 60)
+            .map(|i| if i % 2 == 0 { 0.0 } else { 200.0 })
+            .collect();
         let tr = FrameTrace::new(1.0 / 24.0, bits);
         let s = TraceStats::compute(&tr);
         assert!(s.frame_cv > 0.9, "frame cv {}", s.frame_cv);
@@ -160,8 +164,9 @@ mod tests {
 
     #[test]
     fn autocorrelation_sees_periodicity() {
-        let bits: Vec<f64> =
-            (0..1200).map(|i| if i % 12 == 0 { 1000.0 } else { 100.0 }).collect();
+        let bits: Vec<f64> = (0..1200)
+            .map(|i| if i % 12 == 0 { 1000.0 } else { 100.0 })
+            .collect();
         let tr = FrameTrace::new(1.0 / 24.0, bits);
         let at_gop = TraceStats::frame_autocorrelation(&tr, 12);
         let off_gop = TraceStats::frame_autocorrelation(&tr, 6);

@@ -36,12 +36,18 @@ impl FrameTrace {
             frame_interval > 0.0 && frame_interval.is_finite(),
             "frame interval must be positive and finite"
         );
-        assert!(!frame_bits.is_empty(), "trace must contain at least one frame");
+        assert!(
+            !frame_bits.is_empty(),
+            "trace must contain at least one frame"
+        );
         assert!(
             frame_bits.iter().all(|b| b.is_finite() && *b >= 0.0),
             "frame sizes must be finite and nonnegative"
         );
-        Self { frame_interval, frame_bits }
+        Self {
+            frame_interval,
+            frame_bits,
+        }
     }
 
     /// Slot duration in seconds.
@@ -109,7 +115,10 @@ impl FrameTrace {
         let mut bits = Vec::with_capacity(n);
         bits.extend_from_slice(&self.frame_bits[k..]);
         bits.extend_from_slice(&self.frame_bits[..k]);
-        FrameTrace { frame_interval: self.frame_interval, frame_bits: bits }
+        FrameTrace {
+            frame_interval: self.frame_interval,
+            frame_bits: bits,
+        }
     }
 
     /// Bits of frame `t` of the trace circularly shifted by `offset`,
@@ -147,7 +156,10 @@ impl FrameTrace {
         let bits = (0..n)
             .map(|i| self.frame_bits[i * factor..(i + 1) * factor].iter().sum())
             .collect();
-        FrameTrace { frame_interval: self.frame_interval * factor as f64, frame_bits: bits }
+        FrameTrace {
+            frame_interval: self.frame_interval * factor as f64,
+            frame_bits: bits,
+        }
     }
 
     /// Cumulative arrivals: `A[t] =` bits in frames `0..t` (so `A[0] = 0`
@@ -171,7 +183,10 @@ impl FrameTrace {
         for _ in 0..times {
             bits.extend_from_slice(&self.frame_bits);
         }
-        FrameTrace { frame_interval: self.frame_interval, frame_bits: bits }
+        FrameTrace {
+            frame_interval: self.frame_interval,
+            frame_bits: bits,
+        }
     }
 }
 
@@ -222,7 +237,10 @@ mod tests {
     fn window_and_repeat() {
         let tr = t(&[1.0, 2.0, 3.0, 4.0]);
         assert_eq!(tr.window(1, 2).frames(), &[2.0, 3.0]);
-        assert_eq!(tr.repeat(2).frames(), &[1.0, 2.0, 3.0, 4.0, 1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(
+            tr.repeat(2).frames(),
+            &[1.0, 2.0, 3.0, 4.0, 1.0, 2.0, 3.0, 4.0]
+        );
     }
 
     #[test]

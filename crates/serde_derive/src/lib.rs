@@ -1,0 +1,383 @@
+//! # serde_derive (offline stand-in)
+//!
+//! Companion to the in-tree `serde` crate: implements
+//! `#[derive(Serialize)]` and `#[derive(Deserialize)]` by parsing the
+//! input token stream by hand (the container has no `syn`/`quote`), then
+//! emitting impls of the in-tree `serde::Serialize`/`serde::Deserialize`
+//! traits as generated source text.
+//!
+//! Supported shapes — exactly what this workspace uses:
+//!
+//! * non-generic structs with named fields;
+//! * non-generic enums whose variants are unit, tuple, or struct-like.
+//!
+//! Anything else (generics, tuple structs, unions) panics at expansion
+//! time with a clear message, which is the desired failure mode: it means
+//! the workspace grew a shape this stand-in must learn about.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::fmt::Write as _;
+use std::iter::Peekable;
+
+/// Derive `serde::Serialize` for a struct or enum.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl must parse")
+}
+
+/// Derive `serde::Deserialize` for a struct or enum.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl must parse")
+}
+
+struct Item {
+    name: String,
+    kind: Kind,
+}
+
+enum Kind {
+    /// Named fields, in declaration order.
+    Struct(Vec<String>),
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    fields: VariantFields,
+}
+
+enum VariantFields {
+    Unit,
+    /// Number of positional fields.
+    Tuple(usize),
+    /// Named fields, in declaration order.
+    Named(Vec<String>),
+}
+
+type TokenIter = Peekable<proc_macro::token_stream::IntoIter>;
+
+/// Skip any number of `#[...]` attributes (including doc comments, which
+/// arrive pre-desugared as attributes).
+fn skip_attributes(iter: &mut TokenIter) {
+    while matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        iter.next();
+        iter.next(); // the [...] group
+    }
+}
+
+/// Skip `pub`, `pub(crate)`, `pub(super)`, etc.
+fn skip_visibility(iter: &mut TokenIter) {
+    if matches!(iter.peek(), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+        iter.next();
+        if matches!(iter.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            iter.next();
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut iter = input.into_iter().peekable();
+    skip_attributes(&mut iter);
+    skip_visibility(&mut iter);
+    let keyword = match iter.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, got {other:?}"),
+    };
+    let name = match iter.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("serde_derive: expected type name, got {other:?}"),
+    };
+    if matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive (offline stand-in): generic type `{name}` is not supported");
+    }
+    let body = match iter.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        other => panic!(
+            "serde_derive (offline stand-in): `{name}` must have a braced body \
+             (tuple structs are not supported), got {other:?}"
+        ),
+    };
+    let kind = match keyword.as_str() {
+        "struct" => Kind::Struct(parse_named_fields(body)),
+        "enum" => Kind::Enum(parse_variants(body)),
+        other => panic!("serde_derive: unsupported item kind `{other}`"),
+    };
+    Item { name, kind }
+}
+
+/// Parse `field: Type, ...` capturing field names. Commas nested inside
+/// angle brackets (e.g. `HashMap<u32, f64>`) are not separators; groups
+/// (parens/brackets/braces) arrive as single tokens so they need no
+/// tracking.
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    loop {
+        skip_attributes(&mut iter);
+        skip_visibility(&mut iter);
+        let name = match iter.next() {
+            None => break,
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => panic!("serde_derive: expected field name, got {other:?}"),
+        };
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde_derive: expected `:` after field `{name}`, got {other:?}"),
+        }
+        fields.push(name);
+        // Consume the type up to the next top-level comma.
+        let mut angle_depth = 0i32;
+        for tt in iter.by_ref() {
+            match tt {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => break,
+                _ => {}
+            }
+        }
+    }
+    fields
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    loop {
+        skip_attributes(&mut iter);
+        let name = match iter.next() {
+            None => break,
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => panic!("serde_derive: expected variant name, got {other:?}"),
+        };
+        let fields = match iter.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_top_level_fields(g.stream());
+                iter.next();
+                VariantFields::Tuple(arity)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let named = parse_named_fields(g.stream());
+                iter.next();
+                VariantFields::Named(named)
+            }
+            _ => VariantFields::Unit,
+        };
+        variants.push(Variant { name, fields });
+        // Consume the separating comma, if any (discriminants unsupported).
+        match iter.next() {
+            None => break,
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+            other => panic!("serde_derive: expected `,` between variants, got {other:?}"),
+        }
+    }
+    variants
+}
+
+/// Count comma-separated fields of a tuple variant at top level.
+fn count_top_level_fields(body: TokenStream) -> usize {
+    let mut angle_depth = 0i32;
+    let mut count = 0usize;
+    let mut saw_token = false;
+    let mut last_was_sep = false;
+    for tt in body {
+        saw_token = true;
+        last_was_sep = false;
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                count += 1;
+                last_was_sep = true;
+            }
+            _ => {}
+        }
+    }
+    match (saw_token, last_was_sep) {
+        (false, _) => 0,
+        (true, true) => count,      // trailing comma
+        (true, false) => count + 1, // no trailing comma
+    }
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "#[automatically_derived] impl ::serde::Serialize for {name} {{ \
+         fn to_json_value(&self) -> ::serde::Value {{ "
+    );
+    match &item.kind {
+        Kind::Struct(fields) => {
+            let _ = write!(out, "::serde::Value::Object(::std::vec![");
+            for f in fields {
+                let _ = write!(
+                    out,
+                    "(::std::string::String::from(\"{f}\"), \
+                     ::serde::Serialize::to_json_value(&self.{f})),"
+                );
+            }
+            let _ = write!(out, "])");
+        }
+        Kind::Enum(variants) => {
+            let _ = write!(out, "match self {{");
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    VariantFields::Unit => {
+                        let _ = write!(
+                            out,
+                            "{name}::{vn} => \
+                             ::serde::Value::Str(::std::string::String::from(\"{vn}\")),"
+                        );
+                    }
+                    VariantFields::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let _ = write!(out, "{name}::{vn}({}) => ", binders.join(", "));
+                        if *n == 1 {
+                            let _ = write!(
+                                out,
+                                "::serde::variant_obj(\"{vn}\", \
+                                 ::serde::Serialize::to_json_value(__f0)),"
+                            );
+                        } else {
+                            let items: Vec<String> = binders
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_json_value({b})"))
+                                .collect();
+                            let _ = write!(
+                                out,
+                                "::serde::variant_obj(\"{vn}\", \
+                                 ::serde::Value::Array(::std::vec![{}])),",
+                                items.join(", ")
+                            );
+                        }
+                    }
+                    VariantFields::Named(fields) => {
+                        let _ = write!(out, "{name}::{vn} {{ {} }} => ", fields.join(", "));
+                        let entries: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(::std::string::String::from(\"{f}\"), \
+                                     ::serde::Serialize::to_json_value({f}))"
+                                )
+                            })
+                            .collect();
+                        let _ = write!(
+                            out,
+                            "::serde::variant_obj(\"{vn}\", \
+                             ::serde::Value::Object(::std::vec![{}])),",
+                            entries.join(", ")
+                        );
+                    }
+                }
+            }
+            let _ = write!(out, "}}");
+        }
+    }
+    let _ = write!(out, " }} }}");
+    out
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "#[automatically_derived] impl ::serde::Deserialize for {name} {{ \
+         fn from_json_value(__v: &::serde::Value) \
+         -> ::std::result::Result<Self, ::serde::DeError> {{ "
+    );
+    match &item.kind {
+        Kind::Struct(fields) => {
+            let _ = write!(out, "::std::result::Result::Ok({name} {{");
+            for f in fields {
+                let _ = write!(out, "{f}: ::serde::from_field(__v, \"{f}\")?,");
+            }
+            let _ = write!(out, "}})");
+        }
+        Kind::Enum(variants) => {
+            let _ = write!(out, "match __v {{");
+            // Unit variants arrive as bare strings.
+            let _ = write!(out, "::serde::Value::Str(__s) => match __s.as_str() {{");
+            for v in variants {
+                if matches!(v.fields, VariantFields::Unit) {
+                    let vn = &v.name;
+                    let _ = write!(out, "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),");
+                }
+            }
+            let _ = write!(
+                out,
+                "__other => ::std::result::Result::Err(::serde::DeError::new(\
+                 ::std::format!(\"unknown {name} variant `{{__other}}`\"))), }},"
+            );
+            // Data-carrying variants arrive as single-entry objects.
+            let _ = write!(
+                out,
+                "::serde::Value::Object(__entries) if __entries.len() == 1 => {{ \
+                 let (__tag, __inner) = &__entries[0]; let _ = __inner; \
+                 match __tag.as_str() {{"
+            );
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    VariantFields::Unit => {}
+                    VariantFields::Tuple(1) => {
+                        let _ = write!(
+                            out,
+                            "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}(\
+                             ::serde::Deserialize::from_json_value(__inner)?)),"
+                        );
+                    }
+                    VariantFields::Tuple(n) => {
+                        let _ = write!(
+                            out,
+                            "\"{vn}\" => {{ \
+                             let __items = __inner.as_array().ok_or_else(|| \
+                             ::serde::DeError::expected(\"array\"))?; \
+                             if __items.len() != {n} {{ return ::std::result::Result::Err(\
+                             ::serde::DeError::expected(\"array of length {n}\")); }} \
+                             ::std::result::Result::Ok({name}::{vn}("
+                        );
+                        for i in 0..*n {
+                            let _ = write!(
+                                out,
+                                "::serde::Deserialize::from_json_value(&__items[{i}])?,"
+                            );
+                        }
+                        let _ = write!(out, ")) }},");
+                    }
+                    VariantFields::Named(fields) => {
+                        let _ =
+                            write!(out, "\"{vn}\" => ::std::result::Result::Ok({name}::{vn} {{");
+                        for f in fields {
+                            let _ = write!(out, "{f}: ::serde::from_field(__inner, \"{f}\")?,");
+                        }
+                        let _ = write!(out, "}}),");
+                    }
+                }
+            }
+            let _ = write!(
+                out,
+                "__other => ::std::result::Result::Err(::serde::DeError::new(\
+                 ::std::format!(\"unknown {name} variant `{{__other}}`\"))), }} }},"
+            );
+            let _ = write!(
+                out,
+                "_ => ::std::result::Result::Err(::serde::DeError::expected(\
+                 \"{name} variant\")), }}"
+            );
+        }
+    }
+    let _ = write!(out, " }} }}");
+    out
+}

@@ -21,9 +21,18 @@ fn main() {
     let model = MtsModel::fig4_example(1e-4, slot);
     let qos = QosTarget::new(300_000.0, 1e-6);
 
-    println!("Fig. 4 multiple-time-scale source (scene change every ~{:.0} s):", model.mean_sojourn(0));
-    println!("  whole-stream mean rate : {}", units::fmt_rate(model.mean_rate()));
-    println!("  whole-stream peak rate : {}", units::fmt_rate(model.peak_rate()));
+    println!(
+        "Fig. 4 multiple-time-scale source (scene change every ~{:.0} s):",
+        model.mean_sojourn(0)
+    );
+    println!(
+        "  whole-stream mean rate : {}",
+        units::fmt_rate(model.mean_rate())
+    );
+    println!(
+        "  whole-stream peak rate : {}",
+        units::fmt_rate(model.peak_rate())
+    );
 
     println!("\nper-subchain equivalent bandwidth (B = 300 kb, eps = 1e-6):");
     let probs = model.subchain_probs();

@@ -16,7 +16,10 @@ fn main() {
         .nth(1)
         .map(|s| s.parse().expect("drop_percent must be a number"))
         .unwrap_or(10.0);
-    assert!((0.0..=100.0).contains(&drop_percent), "drop_percent in [0, 100]");
+    assert!(
+        (0.0..=100.0).contains(&drop_percent),
+        "drop_percent in [0, 100]"
+    );
 
     // 5 minutes of live video.
     let mut rng = SimRng::from_seed(99);
@@ -44,7 +47,8 @@ fn main() {
     let mut max_drift = 0.0f64;
     for t in 0..trace.len() {
         source.step(trace.bits(t), |_, want| {
-            conn.renegotiate(&mut switches, &mut faults, want).unwrap_or(false)
+            conn.renegotiate(&mut switches, &mut faults, want)
+                .unwrap_or(false)
         });
         max_drift = max_drift.max(conn.drift(&switches));
     }
@@ -56,11 +60,17 @@ fn main() {
     println!("  resyncs sent           : {}", conn.resyncs());
     println!("  worst observed drift   : {}", units::fmt_rate(max_drift));
     println!("  end-system loss        : {:.2e}", source.loss_fraction());
-    println!("  final believed rate    : {}", units::fmt_rate(conn.believed_rate()));
+    println!(
+        "  final believed rate    : {}",
+        units::fmt_rate(conn.believed_rate())
+    );
 
     // Final resync: the switches' view converges to the source's.
     conn.resync(&mut switches).expect("final resync");
-    println!("  drift after final resync: {}", units::fmt_rate(conn.drift(&switches)));
+    println!(
+        "  drift after final resync: {}",
+        units::fmt_rate(conn.drift(&switches))
+    );
     assert_eq!(conn.drift(&switches), 0.0);
     conn.teardown(&mut switches).expect("teardown");
 }

@@ -18,8 +18,14 @@ fn main() {
     let stats = TraceStats::compute(&trace);
 
     println!("trace: {} frames, {:.0} s", trace.len(), trace.duration());
-    println!("  mean rate        : {}", units::fmt_rate(trace.mean_rate()));
-    println!("  peak rate        : {}", units::fmt_rate(trace.peak_rate()));
+    println!(
+        "  mean rate        : {}",
+        units::fmt_rate(trace.mean_rate())
+    );
+    println!(
+        "  peak rate        : {}",
+        units::fmt_rate(trace.peak_rate())
+    );
     println!(
         "  sustained peak   : {:.1} s above 2.5x the mean",
         stats.longest_sustained_peak(2.5)
@@ -46,10 +52,22 @@ fn main() {
         .expect("the 2.4 Mb/s grid covers the trace peak");
     assert!(schedule.is_feasible(&trace, buffer));
     println!("\noffline optimal RCBR schedule:");
-    println!("  bandwidth efficiency      : {:.1}%", 100.0 * schedule.bandwidth_efficiency(&trace));
-    println!("  renegotiations            : {}", schedule.num_renegotiations());
-    println!("  mean renegotiation interval: {:.1} s", schedule.mean_renegotiation_interval());
-    println!("  mean reserved rate        : {}", units::fmt_rate(schedule.mean_service_rate()));
+    println!(
+        "  bandwidth efficiency      : {:.1}%",
+        100.0 * schedule.bandwidth_efficiency(&trace)
+    );
+    println!(
+        "  renegotiations            : {}",
+        schedule.num_renegotiations()
+    );
+    println!(
+        "  mean renegotiation interval: {:.1} s",
+        schedule.mean_renegotiation_interval()
+    );
+    println!(
+        "  mean reserved rate        : {}",
+        units::fmt_rate(schedule.mean_service_rate())
+    );
 
     // Online heuristic (Section IV-B) with the paper's Fig. 2 parameters.
     let tau = trace.frame_interval();

@@ -13,8 +13,10 @@ use rcbr_suite::prelude::*;
 use std::path::PathBuf;
 
 fn main() {
-    let out_dir: PathBuf =
-        std::env::args().nth(1).map(Into::into).unwrap_or_else(std::env::temp_dir);
+    let out_dir: PathBuf = std::env::args()
+        .nth(1)
+        .map(Into::into)
+        .unwrap_or_else(std::env::temp_dir);
 
     let mut rng = SimRng::from_seed(11);
     let trace = SyntheticMpegSource::star_wars_like().generate(14_400, &mut rng);
@@ -22,13 +24,18 @@ fn main() {
     let grid = RateGrid::uniform(48_000.0, 2_400_000.0, 20);
 
     println!("price sweep (buffer = 300 kb, M = 20 levels):");
-    println!("{:>12}  {:>12}  {:>10}  {:>8}", "alpha/beta", "interval (s)", "efficiency", "renegs");
+    println!(
+        "{:>12}  {:>12}  {:>10}  {:>8}",
+        "alpha/beta", "interval (s)", "efficiency", "renegs"
+    );
     let mut chosen = None;
     for ratio in [1e4, 1e5, 1e6, 1e7, 1e8] {
         let cfg = TrellisConfig::new(grid.clone(), CostModel::from_ratio(ratio), buffer)
             .with_drain_at_end()
             .with_q_resolution(buffer / 1000.0);
-        let schedule = OfflineOptimizer::new(cfg).optimize(&trace).expect("grid covers peak");
+        let schedule = OfflineOptimizer::new(cfg)
+            .optimize(&trace)
+            .expect("grid covers peak");
         println!(
             "{:>12.0}  {:>12.1}  {:>9.1}%  {:>8}",
             ratio,
@@ -43,7 +50,10 @@ fn main() {
     }
     let schedule = chosen.expect("some ratio yields >= 10 s intervals");
 
-    println!("\nchosen schedule ({} segments):", schedule.segments().len());
+    println!(
+        "\nchosen schedule ({} segments):",
+        schedule.segments().len()
+    );
     println!("  traffic descriptor (Section VI): fraction of time per level");
     for (rate, prob) in schedule.empirical_distribution().iter() {
         if prob > 0.0 {
@@ -55,9 +65,16 @@ fn main() {
     let trace_path = out_dir.join("star_wars_like.trace.json");
     rcbr_suite::traffic::io::save_json(&trace, &trace_path).expect("write trace");
     let sched_path = out_dir.join("star_wars_like.schedule.json");
-    std::fs::write(&sched_path, serde_json::to_string(&schedule).expect("serialize"))
-        .expect("write schedule");
-    println!("\nwrote {} and {}", trace_path.display(), sched_path.display());
+    std::fs::write(
+        &sched_path,
+        serde_json::to_string(&schedule).expect("serialize"),
+    )
+    .expect("write schedule");
+    println!(
+        "\nwrote {} and {}",
+        trace_path.display(),
+        sched_path.display()
+    );
 
     // A downstream player can verify feasibility before streaming.
     let metrics = schedule.replay(&trace, buffer);

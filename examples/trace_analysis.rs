@@ -27,11 +27,23 @@ fn main() {
     println!("trace: {} frames ({:.0} s)", trace.len(), trace.duration());
     println!("  mean rate     : {}", units::fmt_rate(trace.mean_rate()));
     println!("  peak rate     : {}", units::fmt_rate(trace.peak_rate()));
-    println!("  rate CV       : frame {:.2} / 1 s {:.2} / 10 s {:.2}", stats.frame_cv, stats.second_cv, stats.ten_second_cv);
-    println!("  sustained peak: {:.1} s above 2.5x mean", stats.longest_sustained_peak(2.5));
+    println!(
+        "  rate CV       : frame {:.2} / 1 s {:.2} / 10 s {:.2}",
+        stats.frame_cv, stats.second_cv, stats.ten_second_cv
+    );
+    println!(
+        "  sustained peak: {:.1} s above 2.5x mean",
+        stats.longest_sustained_peak(2.5)
+    );
 
     // Fit the multiple-time-scale model (scene slots of one second).
-    let fit = fit_mts(&trace, MtsFitConfig { num_subchains: 3, slot_frames: 24 });
+    let fit = fit_mts(
+        &trace,
+        MtsFitConfig {
+            num_subchains: 3,
+            slot_frames: 24,
+        },
+    );
     println!("\nfitted MTS model (3 subchains, 1 s scene slots):");
     for (k, _) in fit.model.subchains().iter().enumerate() {
         println!(
@@ -57,11 +69,11 @@ fn main() {
         "  eq. (9) from the fitted model : {} (dominated by subchain {dominating})",
         units::fmt_rate(eb)
     );
-    println!("  measured (sigma, rho) value   : {}", units::fmt_rate(measured));
     println!(
-        "  ratio model/measured          : {:.2}",
-        eb / measured
+        "  measured (sigma, rho) value   : {}",
+        units::fmt_rate(measured)
     );
+    println!("  ratio model/measured          : {:.2}", eb / measured);
     println!(
         "\nBoth are far above the mean ({:.1}x and {:.1}x): the slow time scale defeats\n\
          buffering, which is the paper's case for renegotiation.",

@@ -18,6 +18,7 @@
 //! | [`schedule`] | `rcbr-schedule` | offline trellis optimum, online AR(1) heuristic |
 //! | [`admission`] | `rcbr-admission` | MBAC controllers, call-level simulation |
 //! | [`core`] | `rcbr` | source endpoints, the Fig. 3 scenarios, capacity search |
+//! | [`runtime`] | `rcbr-runtime` | sharded signaling-plane engine, load generator |
 //!
 //! See `DESIGN.md` for the system inventory and the experiment index, and
 //! `EXPERIMENTS.md` for paper-vs-measured results.
@@ -44,6 +45,7 @@ pub use rcbr as core;
 pub use rcbr_admission as admission;
 pub use rcbr_ldt as ldt;
 pub use rcbr_net as net;
+pub use rcbr_runtime as runtime;
 pub use rcbr_schedule as schedule;
 pub use rcbr_sim as sim;
 pub use rcbr_traffic as traffic;
@@ -52,8 +54,8 @@ pub use rcbr_traffic as traffic;
 pub mod prelude {
     pub use rcbr::{
         min_rate_for_buffer, scenario_a_loss, search_capacity, sigma_rho_curve, RcbrConnection,
-        RcbrSource, ScenarioBConfig, ScenarioCConfig, SearchConfig, ServiceConfig,
-        SharedBufferSim, StepwiseCbrMuxSim,
+        RcbrSource, ScenarioBConfig, ScenarioCConfig, SearchConfig, ServiceConfig, SharedBufferSim,
+        StepwiseCbrMuxSim,
     };
     pub use rcbr_admission::{
         CallSim, CallSimConfig, Memoryless, PeakRate, PerfectKnowledge, WithMemory,
@@ -63,9 +65,10 @@ pub mod prelude {
         min_capacity_per_source, mts_equivalent_bandwidth, rate_function, QosTarget,
     };
     pub use rcbr_net::{FaultInjector, Path, RmCell, Switch};
+    pub use rcbr_runtime::{run as run_signaling, run_sequential, RunReport, RuntimeConfig};
     pub use rcbr_schedule::{
         Ar1Config, Ar1Policy, CostModel, GopAwareConfig, GopAwarePolicy, OfflineOptimizer,
-        OnlinePolicy, RateGrid, Schedule, TrellisConfig,
+        OnlinePolicy, RateGrid, Schedule, TrellisConfig, VcDriver,
     };
     pub use rcbr_sim::{units, FluidQueue, SimRng};
     pub use rcbr_traffic::{

@@ -20,7 +20,13 @@ fn fitted_model_predicts_the_measured_cbr_requirement() {
     // land near the trace's measured (sigma, rho) requirement.
     let trace = video(12, 43_200);
     let buffer = 300_000.0;
-    let fit = fit_mts(&trace, MtsFitConfig { num_subchains: 3, slot_frames: 24 });
+    let fit = fit_mts(
+        &trace,
+        MtsFitConfig {
+            num_subchains: 3,
+            slot_frames: 24,
+        },
+    );
     let qos = QosTarget::new(buffer, 1e-6);
     let (eb, _) = mts_equivalent_bandwidth(&fit.model, qos);
     let measured = min_rate_for_buffer(&trace, buffer, 1e-6);
@@ -65,7 +71,10 @@ fn smoothed_schedule_multiplexes_in_scenario_c() {
     let sim = StepwiseCbrMuxSim::new(
         &trace,
         &schedule,
-        ScenarioCConfig { num_sources: 8, buffer_per_source: buffer + 1e-3 },
+        ScenarioCConfig {
+            num_sources: 8,
+            buffer_per_source: buffer + 1e-3,
+        },
     );
     let mut rng = SimRng::from_seed(3);
     let out = sim.run_with_random_phasing(schedule.peak_service_rate(), &mut rng);
@@ -95,7 +104,10 @@ fn routed_connections_over_a_topology() {
     // heavily utilized now).
     let r2 = topo.least_loaded_route(&switches, 0, 3).unwrap();
     assert_eq!(r1.len(), r2.len());
-    assert_ne!(r1[1], r2[1], "load balancing should pick the other middle hop");
+    assert_ne!(
+        r1[1], r2[1],
+        "load balancing should pick the other middle hop"
+    );
     let p2 = topo.route_to_path(&r2);
     let c2 = RcbrConnection::establish(&mut switches, p2, 2, 800_000.0).unwrap();
     assert_eq!(c1.drift(&switches), 0.0);

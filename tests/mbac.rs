@@ -83,7 +83,10 @@ fn perfect_knowledge_meets_the_target_within_noise() {
         "perfect knowledge should be near target, got {}",
         r.failure_probability
     );
-    assert!(r.utilization > 0.2, "and it must actually admit calls: {r:?}");
+    assert!(
+        r.utilization > 0.2,
+        "and it must actually admit calls: {r:?}"
+    );
 }
 
 #[test]

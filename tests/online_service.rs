@@ -19,8 +19,7 @@ fn online_source_over_clean_network_keeps_losses_low() {
     let buffer = 300_000.0;
     let mut switches = vec![Switch::new(&[155_000_000.0])];
     let path = Path::new(vec![0], 0.0);
-    let mut conn =
-        RcbrConnection::establish(&mut switches, path, 1, trace.mean_rate()).unwrap();
+    let mut conn = RcbrConnection::establish(&mut switches, path, 1, trace.mean_rate()).unwrap();
     let mut faults = FaultInjector::transparent();
     let policy = fig2_policy(&trace, 64_000.0);
     let mut source = RcbrSource::online(Box::new(policy), trace.frame_interval(), buffer);
@@ -56,7 +55,8 @@ fn signaling_loss_drifts_and_resync_repairs() {
     let mut saw_drift = false;
     for t in 0..trace.len() {
         source.step(trace.bits(t), |_, want| {
-            conn.renegotiate(&mut switches, &mut faults, want).unwrap_or(false)
+            conn.renegotiate(&mut switches, &mut faults, want)
+                .unwrap_or(false)
         });
         if conn.drift(&switches) > 0.0 {
             saw_drift = true;
@@ -118,7 +118,9 @@ fn token_bucket_policing_passes_scheduled_traffic() {
     .unwrap();
     // The network-facing stream: rate_at(t) * tau bits per slot.
     let tau = trace.frame_interval();
-    let shaped: Vec<f64> = (0..trace.len()).map(|t| schedule.rate_at(t) * tau).collect();
+    let shaped: Vec<f64> = (0..trace.len())
+        .map(|t| schedule.rate_at(t) * tau)
+        .collect();
     let shaped_trace = FrameTrace::new(tau, shaped);
     let peak = schedule.peak_service_rate();
     let mut bucket = TokenBucket::new(peak, peak * tau + 1.0);

@@ -16,7 +16,13 @@ fn smooth_source(frames: usize) -> FrameTrace {
 /// A misbehaving source: long sustained bursts at 1 Mb/s.
 fn bursty_source(frames: usize) -> FrameTrace {
     let bits: Vec<f64> = (0..frames)
-        .map(|i| if (i / 240) % 2 == 0 { 1_000_000.0 / 24.0 } else { 10_000.0 / 24.0 })
+        .map(|i| {
+            if (i / 240) % 2 == 0 {
+                1_000_000.0 / 24.0
+            } else {
+                10_000.0 / 24.0
+            }
+        })
         .collect();
     FrameTrace::new(1.0 / 24.0, bits)
 }
@@ -66,8 +72,14 @@ fn rcbr_isolates_the_well_behaved_source() {
 
     let m_smooth = smooth_sched.replay(&smooth, 50_000.0);
     let m_bursty = bursty_sched.replay(&bursty, 400_000.0);
-    assert_eq!(m_smooth.loss_fraction, 0.0, "protection: smooth source untouched");
-    assert!(m_bursty.loss_fraction > 0.0, "the burster pays for its own burst");
+    assert_eq!(
+        m_smooth.loss_fraction, 0.0,
+        "protection: smooth source untouched"
+    );
+    assert!(
+        m_bursty.loss_fraction > 0.0,
+        "the burster pays for its own burst"
+    );
 }
 
 #[test]

@@ -42,7 +42,10 @@ fn rcbr_captures_most_of_the_multiplexing_gain() {
     // Scenario (b): shared buffer.
     let sim_b = SharedBufferSim::new(
         &trace,
-        ScenarioBConfig { num_sources: n, buffer_per_source: buffer },
+        ScenarioBConfig {
+            num_sources: n,
+            buffer_per_source: buffer,
+        },
     );
     let point_b = search_capacity(mean, c_a, &search, |rate, rep| {
         let mut rng = SimRng::from_seed(1000 + rep);
@@ -53,7 +56,10 @@ fn rcbr_captures_most_of_the_multiplexing_gain() {
     let sim_c = StepwiseCbrMuxSim::new(
         &trace,
         &schedule,
-        ScenarioCConfig { num_sources: n, buffer_per_source: buffer },
+        ScenarioCConfig {
+            num_sources: n,
+            buffer_per_source: buffer,
+        },
     );
     let peak_sched = schedule.peak_service_rate();
     let point_c = search_capacity(mean, peak_sched.max(c_a), &search, |rate, rep| {
@@ -102,7 +108,10 @@ fn scenario_losses_fall_with_capacity() {
     let sim = StepwiseCbrMuxSim::new(
         &trace,
         &schedule,
-        ScenarioCConfig { num_sources: 10, buffer_per_source: buffer },
+        ScenarioCConfig {
+            num_sources: 10,
+            buffer_per_source: buffer,
+        },
     );
     let mut rng = SimRng::from_seed(77);
     let offsets: Vec<usize> = (0..10).map(|_| rng.index(trace.len())).collect();

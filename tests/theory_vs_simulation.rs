@@ -106,7 +106,11 @@ fn chernoff_estimate_bounds_bufferless_failure() {
     for _ in 0..epochs {
         let mut total = 0.0;
         for _ in 0..n {
-            total += if rng.chance(0.25) { 500_000.0 } else { 100_000.0 };
+            total += if rng.chance(0.25) {
+                500_000.0
+            } else {
+                100_000.0
+            };
         }
         if total > capacity {
             exceed += 1;
@@ -149,5 +153,8 @@ fn admission_count_is_safe_in_simulation() {
         }
     }
     let p_sim = exceed as f64 / epochs as f64;
-    assert!(p_sim <= target, "simulated failure {p_sim} above target {target}");
+    assert!(
+        p_sim <= target,
+        "simulated failure {p_sim} above target {target}"
+    );
 }

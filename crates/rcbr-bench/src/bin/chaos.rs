@@ -1,0 +1,254 @@
+//! Chaos sweep — recovery behavior vs. fault intensity.
+//!
+//! Sweeps the deterministic fault plane's intensity against the recovery
+//! knobs (resync cadence, retry budget, backoff base) and records, per
+//! cell, what the signaling plane did about it: grants, denials, retries,
+//! timeouts, degraded VCs, and drift detected/repaired. A determinism
+//! probe then arms *every* fault mode at once — drop + delay + duplicate +
+//! corrupt + a switch crash/restart + a shard-group stall — and checks
+//! that 1/2/4-shard runs and the sequential replay still produce
+//! bit-identical counters with zero residual drift.
+//!
+//! Usage: `chaos [--smoke] [--seed 7] [--out results/]`. The full sweep
+//! writes `chaos_sweep.json`; `--smoke` runs a <60 s subset (for CI) and
+//! writes `chaos_smoke.json`.
+
+use rcbr_bench::{write_json, Args};
+use rcbr_net::{CrashSpec, StallSpec};
+use rcbr_runtime::{run, run_sequential, RunReport, RuntimeConfig};
+use serde::Serialize;
+use std::path::PathBuf;
+
+/// One (fault intensity x recovery parameters) sweep cell.
+#[derive(Debug, Serialize)]
+struct Cell {
+    /// Total fault probability in basis points, split 40% drop / 30%
+    /// delay / 15% duplicate / 15% corrupt.
+    intensity_bp: u32,
+    resync_interval: u64,
+    retry_budget: u32,
+    backoff_base: u64,
+    completed: u64,
+    accepted: u64,
+    denied: u64,
+    retries: u64,
+    timeouts: u64,
+    exhausted: u64,
+    degraded_vcs: u64,
+    cells_dropped: u64,
+    cells_delayed: u64,
+    cells_duplicated: u64,
+    cells_corrupted: u64,
+    resync_repairs: u64,
+    audit_drift: u64,
+    drift_repaired: u64,
+    final_drift: u64,
+    mean_source_loss: f64,
+    wall_seconds: f64,
+}
+
+/// The all-modes-at-once determinism check.
+#[derive(Debug, Serialize)]
+struct Probe {
+    shard_counts: Vec<usize>,
+    counters_identical_with_sequential: bool,
+    final_drift_zero: bool,
+    completed: u64,
+}
+
+#[derive(Debug, Serialize)]
+struct Report {
+    smoke: bool,
+    seed: u64,
+    requests_per_cell: u64,
+    total_requests: u64,
+    cells: Vec<Cell>,
+    probe: Probe,
+}
+
+/// (resync_interval, retry_budget, backoff_base).
+type Recovery = (u64, u32, u64);
+
+fn sweep_cfg(seed: u64, target: u64, intensity_bp: u32) -> RuntimeConfig {
+    let mut cfg = RuntimeConfig::balanced(2, 64);
+    cfg.target_requests = target;
+    cfg.seed = seed;
+    // Tight enough that contention and fault recovery interact, loose
+    // enough that grants stay common.
+    let flows_per_switch = (cfg.num_vcs * cfg.hops_per_vc) as f64 / cfg.num_switches as f64;
+    cfg.port_capacity = flows_per_switch * cfg.initial_rate * 2.0;
+    cfg.audit_interval = 32;
+    cfg.fault.seed = seed ^ 0xc4a05;
+    cfg.fault.drop_bp = intensity_bp * 40 / 100;
+    cfg.fault.delay_bp = intensity_bp * 30 / 100;
+    cfg.fault.max_delay = 3;
+    cfg.fault.dup_bp = intensity_bp * 15 / 100;
+    cfg.fault.corrupt_bp = intensity_bp * 15 / 100;
+    cfg
+}
+
+fn cell(cfg: &RuntimeConfig, intensity_bp: u32) -> Cell {
+    let report = run(cfg);
+    let c = &report.counters;
+    assert_eq!(
+        c.completed,
+        c.accepted + c.exhausted,
+        "fate accounting broken: {c:?}"
+    );
+    assert_eq!(
+        report.audit.final_drift, 0,
+        "recovery left residual drift: {:?}",
+        report.audit
+    );
+    Cell {
+        intensity_bp,
+        resync_interval: cfg.resync_interval,
+        retry_budget: cfg.retry_budget,
+        backoff_base: cfg.backoff_base,
+        completed: c.completed,
+        accepted: c.accepted,
+        denied: c.denied,
+        retries: c.retries,
+        timeouts: c.timeouts,
+        exhausted: c.exhausted,
+        degraded_vcs: report.degraded_vcs,
+        cells_dropped: c.cells_dropped,
+        cells_delayed: c.cells_delayed,
+        cells_duplicated: c.cells_duplicated,
+        cells_corrupted: c.cells_corrupted,
+        resync_repairs: c.resync_repairs,
+        audit_drift: c.audit_drift,
+        drift_repaired: report.audit.drift_repaired,
+        final_drift: report.audit.final_drift,
+        mean_source_loss: report.mean_source_loss,
+        wall_seconds: report.wall_seconds,
+    }
+}
+
+/// Arm every fault mode at once and compare 1/2/4 shards + sequential.
+fn probe(seed: u64, target: u64) -> Probe {
+    let mut cfg = sweep_cfg(seed, target, 500);
+    cfg.timeout_supersteps = 24;
+    cfg.fault.crashes = vec![CrashSpec {
+        switch: 1,
+        at_superstep: 40,
+        down_supersteps: 30,
+    }];
+    cfg.fault.stall = Some(StallSpec {
+        groups: 3,
+        group: 1,
+        at_superstep: 25,
+        supersteps: 12,
+    });
+
+    let reference = run_sequential(&cfg);
+    let shard_counts = vec![1usize, 2, 4];
+    let mut identical = true;
+    let mut drift_zero = reference.audit.final_drift == 0;
+    for &shards in &shard_counts {
+        let mut scfg = cfg.clone();
+        scfg.num_shards = shards;
+        let report: RunReport = run(&scfg);
+        if report.counters != reference.counters {
+            identical = false;
+            eprintln!("!! {shards}-shard counters diverge from the sequential replay");
+        }
+        if report.audit.final_drift != 0 {
+            drift_zero = false;
+            eprintln!("!! {shards}-shard run left residual drift");
+        }
+    }
+    Probe {
+        shard_counts,
+        counters_identical_with_sequential: identical,
+        final_drift_zero: drift_zero,
+        completed: reference.counters.completed,
+    }
+}
+
+fn main() {
+    let args = Args::parse();
+    let smoke = args.flag("smoke");
+    let seed: u64 = args.get("seed", 7);
+    let out = args.out_dir().or_else(|| Some(PathBuf::from("results")));
+
+    let (intensities, recoveries, target, probe_target): (&[u32], &[Recovery], u64, u64) = if smoke
+    {
+        (&[0, 400], &[(8, 3, 4)], 1_500, 800)
+    } else {
+        (
+            &[0, 150, 400, 800],
+            &[(8, 3, 4), (2, 3, 4), (8, 1, 4), (8, 5, 1)],
+            12_000,
+            4_000,
+        )
+    };
+
+    println!("# Chaos sweep — fault intensity x recovery parameters, seed {seed}");
+    println!(
+        "{:>9} {:>6} {:>6} {:>7} {:>9} {:>8} {:>8} {:>8} {:>8} {:>9} {:>9}",
+        "intensity",
+        "resync",
+        "budget",
+        "backoff",
+        "accepted",
+        "denied",
+        "retries",
+        "timeouts",
+        "degraded",
+        "repaired",
+        "drift_end"
+    );
+
+    let mut cells = Vec::new();
+    for &bp in intensities {
+        for &(resync_interval, retry_budget, backoff_base) in recoveries {
+            let mut cfg = sweep_cfg(seed, target, bp);
+            cfg.resync_interval = resync_interval;
+            cfg.retry_budget = retry_budget;
+            cfg.backoff_base = backoff_base;
+            let c = cell(&cfg, bp);
+            println!(
+                "{:>9} {:>6} {:>6} {:>7} {:>9} {:>8} {:>8} {:>8} {:>8} {:>9} {:>9}",
+                c.intensity_bp,
+                c.resync_interval,
+                c.retry_budget,
+                c.backoff_base,
+                c.accepted,
+                c.denied,
+                c.retries,
+                c.timeouts,
+                c.degraded_vcs,
+                c.drift_repaired,
+                c.final_drift
+            );
+            cells.push(c);
+        }
+    }
+
+    let probe = probe(seed, probe_target);
+    println!(
+        "# all-modes probe over shards {:?}: counters identical = {}, final drift zero = {}",
+        probe.shard_counts, probe.counters_identical_with_sequential, probe.final_drift_zero
+    );
+    assert!(probe.counters_identical_with_sequential);
+    assert!(probe.final_drift_zero);
+
+    let total: u64 = cells.iter().map(|c| c.completed).sum::<u64>() + probe.completed;
+    println!("# total requests swept: {total}");
+
+    let report = Report {
+        smoke,
+        seed,
+        requests_per_cell: target,
+        total_requests: total,
+        cells,
+        probe,
+    };
+    let name = if smoke {
+        "chaos_smoke.json"
+    } else {
+        "chaos_sweep.json"
+    };
+    write_json(&out, name, &report);
+}

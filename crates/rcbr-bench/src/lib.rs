@@ -33,29 +33,34 @@ pub const PAPER_LOSS_TARGET: f64 = 1e-6;
 /// The paper's MBAC QoS target (Section VI).
 pub const PAPER_FAILURE_TARGET: f64 = 1e-3;
 
-/// Minimal CLI parsing shared by the figure binaries: `--key value` pairs.
+/// Minimal CLI parsing shared by the figure binaries: `--key value` pairs
+/// plus bare boolean flags (`--smoke`), which parse as `true`.
 #[derive(Debug, Clone)]
 pub struct Args {
     pairs: Vec<(String, String)>,
 }
 
 impl Args {
-    /// Parse the process arguments.
-    ///
-    /// # Panics
-    /// Panics on a dangling `--key` with no value.
+    /// Parse the process arguments. A `--key` followed by another `--key`
+    /// (or by nothing) is a bare flag and gets the value `"true"`.
     pub fn parse() -> Self {
         let raw: Vec<String> = std::env::args().skip(1).collect();
         let mut pairs = Vec::new();
-        let mut it = raw.into_iter();
+        let mut it = raw.into_iter().peekable();
         while let Some(k) = it.next() {
             let k = k.strip_prefix("--").unwrap_or(&k).to_string();
-            let v = it
-                .next()
-                .unwrap_or_else(|| panic!("missing value for --{k}"));
+            let v = match it.peek() {
+                Some(next) if !next.starts_with("--") => it.next().expect("peeked"),
+                _ => "true".to_string(),
+            };
             pairs.push((k, v));
         }
         Self { pairs }
+    }
+
+    /// Whether a bare flag (or explicit `--key true`) is set.
+    pub fn flag(&self, key: &str) -> bool {
+        self.get(key, false)
     }
 
     /// Look up a typed value with a default.

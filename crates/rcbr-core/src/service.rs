@@ -2,9 +2,10 @@
 //! multi-hop ATM path.
 //!
 //! [`RcbrConnection`] couples the endpoint-facing renegotiation API with
-//! the [`rcbr_net`] substrate: delta-encoded RM cells along the path,
-//! optional signaling loss (which causes the parameter drift of the
-//! paper's footnote 2), and periodic absolute-rate resync that repairs it.
+//! the [`rcbr_net`] substrate: delta-encoded RM cells along the path, a
+//! deterministic [`FaultPlane`] deciding each request cell's fate (loss
+//! causes the parameter drift of the paper's footnote 2), and periodic
+//! absolute-rate resync that repairs it.
 //!
 //! Signaling here is optimistic one-way, as in ABR-style RM-cell usage:
 //! the source applies its new rate after emitting the request cell, so a
@@ -13,7 +14,7 @@
 //! for, and the integration tests demonstrate both the drift and the
 //! repair.
 
-use rcbr_net::{FaultInjector, Path, Switch};
+use rcbr_net::{FaultAction, FaultPlane, Path, Switch};
 use serde::{Deserialize, Serialize};
 
 /// Connection-level configuration.
@@ -71,6 +72,7 @@ pub struct RcbrConnection {
     believed_rate: f64,
     renegotiations: u64,
     resyncs: u64,
+    lost_cells: u64,
 }
 
 impl RcbrConnection {
@@ -90,6 +92,7 @@ impl RcbrConnection {
                 believed_rate: initial_rate,
                 renegotiations: 0,
                 resyncs: 0,
+                lost_cells: 0,
             }),
             Err(hop) => Err(ServiceError::SetupBlocked { hop }),
         }
@@ -116,8 +119,15 @@ impl RcbrConnection {
         self.resyncs
     }
 
-    /// Renegotiate to `new_rate`, optimistically. The request cell may be
-    /// dropped by `faults` (drift); periodic resync repairs switch state.
+    /// Request cells lost in transit so far (dropped outright, or
+    /// corrupted and discarded by the checksum).
+    pub fn lost_cells(&self) -> u64 {
+        self.lost_cells
+    }
+
+    /// Renegotiate to `new_rate`, optimistically. The request cell's fate
+    /// is decided by `plane` (drift on loss or duplication); periodic
+    /// resync repairs switch state.
     ///
     /// Returns `true` if the source now believes it holds `new_rate` —
     /// which, with optimistic signaling, is the case unless a delivered
@@ -125,7 +135,7 @@ impl RcbrConnection {
     pub fn renegotiate(
         &mut self,
         switches: &mut [Switch],
-        faults: &mut FaultInjector,
+        plane: &FaultPlane,
         new_rate: f64,
     ) -> Result<bool, ServiceError> {
         assert!(
@@ -133,18 +143,38 @@ impl RcbrConnection {
             "rate must be nonnegative"
         );
         let delta = new_rate - self.believed_rate;
+        let seq = self.renegotiations;
         self.renegotiations += 1;
         let mut ok = true;
-        if faults.deliver() {
-            let outcome = self.path.renegotiate(switches, self.vci, delta)?;
-            ok = outcome.granted;
-            if ok {
+        match plane.decide(seq, 0, 0) {
+            FaultAction::Drop | FaultAction::Corrupt => {
+                // Cell lost in transit (a corrupted cell is caught by the
+                // checksum and discarded — same fate): the source, having
+                // heard no denial, proceeds at the new rate while switches
+                // lag — drift.
+                self.lost_cells += 1;
                 self.believed_rate = new_rate;
             }
-        } else {
-            // Cell lost in transit: the source, having heard no denial,
-            // proceeds at the new rate while switches lag — drift.
-            self.believed_rate = new_rate;
+            FaultAction::Deliver | FaultAction::Delay(_) => {
+                // This synchronous API has no clock, so a delayed cell is
+                // just a delivered one.
+                let outcome = self.path.renegotiate(switches, self.vci, delta)?;
+                ok = outcome.granted;
+                if ok {
+                    self.believed_rate = new_rate;
+                }
+            }
+            FaultAction::Duplicate => {
+                let outcome = self.path.renegotiate(switches, self.vci, delta)?;
+                ok = outcome.granted;
+                if ok {
+                    self.believed_rate = new_rate;
+                    // The duplicate applies the delta a second time where
+                    // it fits — over-reservation drift the next resync
+                    // returns to the pool.
+                    let _ = self.path.renegotiate(switches, self.vci, delta)?;
+                }
+            }
         }
         if self.config.resync_every > 0
             && self.renegotiations.is_multiple_of(self.config.resync_every)
@@ -180,6 +210,7 @@ impl RcbrConnection {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rcbr_net::FaultConfig;
     use rcbr_sim::SimRng;
 
     fn network() -> Vec<Switch> {
@@ -194,11 +225,12 @@ mod tests {
     fn lossless_signaling_stays_synchronized() {
         let mut sw = network();
         let mut conn = RcbrConnection::establish(&mut sw, path(), 1, 100_000.0).unwrap();
-        let mut faults = FaultInjector::transparent();
+        let plane = FaultPlane::transparent();
         for rate in [200_000.0, 150_000.0, 400_000.0] {
-            assert!(conn.renegotiate(&mut sw, &mut faults, rate).unwrap());
+            assert!(conn.renegotiate(&mut sw, &plane, rate).unwrap());
             assert_eq!(conn.drift(&sw), 0.0);
         }
+        assert_eq!(conn.lost_cells(), 0);
         assert_eq!(conn.believed_rate(), 400_000.0);
         conn.teardown(&mut sw).unwrap();
         assert_eq!(sw[0].port(0).unwrap().reserved(), 0.0);
@@ -220,10 +252,11 @@ mod tests {
         let mut conn = RcbrConnection::establish(&mut sw, path(), 1, 100_000.0)
             .unwrap()
             .with_config(ServiceConfig::new(0));
-        // Injector that drops everything.
-        let mut faults = FaultInjector::new(1.0, SimRng::from_seed(1));
-        conn.renegotiate(&mut sw, &mut faults, 300_000.0).unwrap();
+        // A plane that drops everything.
+        let plane = FaultPlane::new(FaultConfig::drop_only(1.0, 1));
+        conn.renegotiate(&mut sw, &plane, 300_000.0).unwrap();
         assert_eq!(conn.believed_rate(), 300_000.0);
+        assert_eq!(conn.lost_cells(), 1);
         assert_eq!(conn.drift(&sw), 200_000.0);
         // Manual resync repairs every hop.
         assert!(conn.resync(&mut sw).unwrap());
@@ -236,15 +269,16 @@ mod tests {
         let mut conn = RcbrConnection::establish(&mut sw, path(), 1, 100_000.0)
             .unwrap()
             .with_config(ServiceConfig::new(4));
-        let mut faults = FaultInjector::new(0.3, SimRng::from_seed(7));
+        let plane = FaultPlane::new(FaultConfig::drop_only(0.3, 7));
         let mut rng = SimRng::from_seed(8);
         for _ in 0..40 {
             let rate = 100_000.0 + rng.uniform_in(0.0, 400_000.0);
-            conn.renegotiate(&mut sw, &mut faults, rate).unwrap();
+            conn.renegotiate(&mut sw, &plane, rate).unwrap();
         }
         // After the last resync multiple of 4, drift is zero.
         assert!(conn.resyncs() >= 10);
-        assert!(conn.renegotiate(&mut sw, &mut faults, 250_000.0).is_ok());
+        assert!(conn.lost_cells() > 0, "a 30% drop plane never fired");
+        assert!(conn.renegotiate(&mut sw, &plane, 250_000.0).is_ok());
         conn.resync(&mut sw).unwrap();
         assert_eq!(conn.drift(&sw), 0.0);
     }
@@ -254,8 +288,8 @@ mod tests {
         let mut sw = network();
         sw[2].setup(50, 0, 800_000.0).unwrap();
         let mut conn = RcbrConnection::establish(&mut sw, path(), 1, 100_000.0).unwrap();
-        let mut faults = FaultInjector::transparent();
-        let ok = conn.renegotiate(&mut sw, &mut faults, 500_000.0).unwrap();
+        let plane = FaultPlane::transparent();
+        let ok = conn.renegotiate(&mut sw, &plane, 500_000.0).unwrap();
         assert!(!ok);
         // Denied with delivered signaling: the source keeps its old rate
         // and no drift exists.

@@ -1,64 +1,321 @@
-//! Signaling fault injection.
+//! The deterministic fault plane.
 //!
 //! Footnote 2 of the paper: delta-encoded ER fields suffer "parameter
 //! drift in case of RM cell loss", repaired by periodic absolute-rate
-//! resync. [`FaultInjector`] drops signaling messages with a configured
-//! probability so tests and examples can demonstrate the drift and its
-//! repair (in the spirit of smoltcp's `--drop-chance` example option).
+//! resync. A credible evaluation of that repair loop needs a richer — and
+//! *replayable* — failure model than a coin flip per cell. [`FaultPlane`]
+//! is that model: a stateless, seeded decision function over the identity
+//! of each cell-hop traversal, plus a schedule of switch crashes and
+//! shard stalls.
+//!
+//! ## Why stateless hashing instead of an RNG stream
+//!
+//! The sharded runtime's headline invariant is that counters are
+//! bit-identical at any shard count. A stateful RNG would have to be
+//! consumed in a globally agreed order — exactly the coordination the
+//! engine avoids. Instead every decision is a pure hash of
+//! `(seed, seq, hop, salt, lane)`: any shard (or the sequential replay)
+//! asks about the same traversal and gets the same answer, in any order,
+//! any number of times.
+//!
+//! ## Fault taxonomy
+//!
+//! * **Drop** — the cell vanishes mid-path; upstream hops keep the
+//!   half-applied delta (drift), the source times out.
+//! * **Delay** — the cell is held at the hop for `1..=max_delay`
+//!   supersteps, then processed normally (reordering against later cells).
+//! * **Duplicate** — a ghost copy of the cell re-traverses the path from
+//!   the current hop one superstep later, double-applying its effect
+//!   (over-reservation drift that resync repairs).
+//! * **Corrupt** — 1–2 bits of the 16-byte wire image are flipped; the
+//!   RM-cell checksum detects this and the cell is discarded (equivalent
+//!   to a drop, but counted separately).
+//! * **Crash** — a switch goes down for a window of supersteps, killing
+//!   every cell that arrives, and loses its *soft* reservation state on
+//!   restart (the VCI routing table is hard state); recovery must come
+//!   from absolute-rate resync cells.
+//! * **Stall** — a group of switches stops processing for a bounded
+//!   window; cells destined to them are held by their owners until the
+//!   window passes (pure latency, no loss).
 
-use rcbr_sim::SimRng;
+use serde::{Deserialize, Serialize};
 
-/// Drops messages with a fixed probability.
-#[derive(Debug, Clone)]
-pub struct FaultInjector {
-    drop_probability: f64,
-    rng: SimRng,
-    dropped: u64,
-    passed: u64,
+/// Basis-point denominator: probabilities are expressed in 1/10000ths.
+pub const FAULT_BP_SCALE: u32 = 10_000;
+
+/// The fate of one cell-hop traversal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Process the cell normally.
+    Deliver,
+    /// The cell vanishes.
+    Drop,
+    /// Hold the cell for this many supersteps, then process it.
+    Delay(u64),
+    /// Process the cell *and* spawn a ghost copy one superstep later.
+    Duplicate,
+    /// Flip bits in the wire image; the checksum catches it and the cell
+    /// is discarded.
+    Corrupt,
 }
 
-impl FaultInjector {
-    /// Create an injector.
+/// One scheduled switch crash: down for `[at_superstep, at_superstep +
+/// down_supersteps)`, soft state wiped at restart.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CrashSpec {
+    /// Global index of the switch that crashes.
+    pub switch: usize,
+    /// First superstep of the outage.
+    pub at_superstep: u64,
+    /// Outage length in supersteps (>= 1).
+    pub down_supersteps: u64,
+}
+
+/// One scheduled stall: switches whose global index satisfies
+/// `switch % groups == group` stop processing for the window. Keyed by a
+/// *virtual* group rather than a physical shard id so the same spec means
+/// the same thing at every shard count.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StallSpec {
+    /// Number of virtual groups the switch population is divided into.
+    pub groups: usize,
+    /// The stalled group (`< groups`).
+    pub group: usize,
+    /// First superstep of the stall.
+    pub at_superstep: u64,
+    /// Stall length in supersteps (>= 1).
+    pub supersteps: u64,
+}
+
+/// The complete, serializable description of a fault scenario.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultConfig {
+    /// Seed for the per-traversal decision hash (independent of the
+    /// workload seed, so the same traffic can be replayed under different
+    /// fault patterns).
+    pub seed: u64,
+    /// Per-traversal drop probability, basis points (1/10000).
+    pub drop_bp: u32,
+    /// Per-traversal delay probability, basis points.
+    pub delay_bp: u32,
+    /// Maximum delay in supersteps (each delay draws `1..=max_delay`).
+    pub max_delay: u64,
+    /// Per-traversal duplication probability, basis points.
+    pub dup_bp: u32,
+    /// Per-traversal bit-corruption probability, basis points.
+    pub corrupt_bp: u32,
+    /// Scheduled switch crashes (at most one per switch).
+    pub crashes: Vec<CrashSpec>,
+    /// Optional scheduled stall.
+    pub stall: Option<StallSpec>,
+}
+
+impl FaultConfig {
+    /// No faults at all.
+    pub fn transparent() -> Self {
+        Self {
+            seed: 0,
+            drop_bp: 0,
+            delay_bp: 0,
+            max_delay: 1,
+            dup_bp: 0,
+            corrupt_bp: 0,
+            crashes: Vec::new(),
+            stall: None,
+        }
+    }
+
+    /// Drops only, at `drop_probability ∈ [0, 1]` (rounded to basis
+    /// points) — the old `FaultInjector` shape.
     ///
     /// # Panics
     /// Panics unless `drop_probability ∈ [0, 1]`.
-    pub fn new(drop_probability: f64, rng: SimRng) -> Self {
+    pub fn drop_only(drop_probability: f64, seed: u64) -> Self {
         assert!(
             (0.0..=1.0).contains(&drop_probability),
             "drop probability must be in [0, 1]"
         );
         Self {
-            drop_probability,
-            rng,
-            dropped: 0,
-            passed: 0,
+            seed,
+            drop_bp: (drop_probability * FAULT_BP_SCALE as f64).round() as u32,
+            ..Self::transparent()
         }
     }
 
-    /// A pass-through injector (never drops).
+    /// Whether no fault can ever fire.
+    pub fn is_transparent(&self) -> bool {
+        self.drop_bp == 0
+            && self.delay_bp == 0
+            && self.dup_bp == 0
+            && self.corrupt_bp == 0
+            && self.crashes.is_empty()
+            && self.stall.is_none()
+    }
+
+    /// Panic on an inconsistent configuration.
+    pub fn validate(&self) {
+        assert!(
+            self.drop_bp + self.delay_bp + self.dup_bp + self.corrupt_bp <= FAULT_BP_SCALE,
+            "fault probabilities exceed 100%"
+        );
+        assert!(self.max_delay >= 1, "max_delay must be >= 1");
+        for (i, c) in self.crashes.iter().enumerate() {
+            assert!(
+                c.down_supersteps >= 1,
+                "crash outage must last >= 1 superstep"
+            );
+            assert!(c.at_superstep >= 1, "crashes start at superstep >= 1");
+            assert!(
+                !self.crashes[..i].iter().any(|o| o.switch == c.switch),
+                "at most one crash per switch"
+            );
+        }
+        if let Some(s) = &self.stall {
+            assert!(s.groups >= 1 && s.group < s.groups, "bad stall group");
+            assert!(s.supersteps >= 1, "stall must last >= 1 superstep");
+        }
+    }
+}
+
+/// splitmix64 finalizer: a cheap, well-mixed 64-bit hash step.
+fn mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// The seeded, stateless fault decision plane.
+///
+/// Cheap to share by reference across threads (decisions are pure
+/// functions), and `transparent()` short-circuits to `Deliver` so the
+/// fault-free fast path costs one branch.
+#[derive(Debug, Clone)]
+pub struct FaultPlane {
+    cfg: FaultConfig,
+    transparent: bool,
+}
+
+impl FaultPlane {
+    /// Build the plane for `cfg`.
+    ///
+    /// # Panics
+    /// Panics if the configuration is inconsistent (see
+    /// [`FaultConfig::validate`]).
+    pub fn new(cfg: FaultConfig) -> Self {
+        cfg.validate();
+        let transparent = cfg.is_transparent();
+        Self { cfg, transparent }
+    }
+
+    /// A plane that never injects anything.
     pub fn transparent() -> Self {
-        Self::new(0.0, SimRng::from_seed(0))
+        Self::new(FaultConfig::transparent())
     }
 
-    /// Decide the fate of one message: `true` = delivered.
-    pub fn deliver(&mut self) -> bool {
-        if self.rng.chance(self.drop_probability) {
-            self.dropped += 1;
-            false
+    /// The configuration this plane decides from.
+    pub fn config(&self) -> &FaultConfig {
+        &self.cfg
+    }
+
+    /// Whether no fault can ever fire.
+    pub fn is_transparent(&self) -> bool {
+        self.transparent
+    }
+
+    fn hash(&self, seq: u64, hop: usize, salt: u8, lane: u64) -> u64 {
+        mix(self.cfg.seed.wrapping_add(0x9e37_79b9_7f4a_7c15)
+            ^ mix(seq ^ ((hop as u64) << 48) ^ ((salt as u64) << 40) ^ lane))
+    }
+
+    /// The fate of forward cell `seq` (with duplicate-`salt`) at `hop`.
+    ///
+    /// Pure in its arguments: every shard count and the sequential replay
+    /// agree on every traversal's fate.
+    pub fn decide(&self, seq: u64, hop: usize, salt: u8) -> FaultAction {
+        if self.transparent {
+            return FaultAction::Deliver;
+        }
+        let h = self.hash(seq, hop, salt, 0);
+        let r = (h % FAULT_BP_SCALE as u64) as u32;
+        let c = &self.cfg;
+        if r < c.drop_bp {
+            FaultAction::Drop
+        } else if r < c.drop_bp + c.corrupt_bp {
+            FaultAction::Corrupt
+        } else if r < c.drop_bp + c.corrupt_bp + c.delay_bp {
+            FaultAction::Delay(1 + (h >> 32) % c.max_delay)
+        } else if r < c.drop_bp + c.corrupt_bp + c.delay_bp + c.dup_bp && salt == 0 {
+            // Ghosts never spawn further ghosts: at most one copy per cell.
+            FaultAction::Duplicate
         } else {
-            self.passed += 1;
-            true
+            FaultAction::Deliver
         }
     }
 
-    /// Messages dropped so far.
-    pub fn dropped(&self) -> u64 {
-        self.dropped
+    /// The fate of a rollback cell. Rollback cells only suffer drops
+    /// (leaving upstream reservations stranded — drift): delaying or
+    /// duplicating an *undo* would let it unwind state twice.
+    pub fn decide_rollback(&self, seq: u64, hop: usize, salt: u8) -> FaultAction {
+        if self.transparent {
+            return FaultAction::Deliver;
+        }
+        let h = self.hash(seq, hop, salt, 1);
+        if (h % FAULT_BP_SCALE as u64) < self.cfg.drop_bp as u64 {
+            FaultAction::Drop
+        } else {
+            FaultAction::Deliver
+        }
     }
 
-    /// Messages delivered so far.
-    pub fn passed(&self) -> u64 {
-        self.passed
+    /// Whether `switch` is down (crashed, not yet restarted) at
+    /// `superstep`.
+    pub fn switch_down(&self, switch: usize, superstep: u64) -> bool {
+        self.cfg.crashes.iter().any(|c| {
+            c.switch == switch
+                && superstep >= c.at_superstep
+                && superstep < c.at_superstep + c.down_supersteps
+        })
+    }
+
+    /// The superstep at which `switch` restarts (and its soft state must
+    /// be wiped), if it is scheduled to crash.
+    pub fn restart_superstep(&self, switch: usize) -> Option<u64> {
+        self.cfg
+            .crashes
+            .iter()
+            .find(|c| c.switch == switch)
+            .map(|c| c.at_superstep + c.down_supersteps)
+    }
+
+    /// Whether `switch` is stalled (holding, not processing) at
+    /// `superstep`.
+    pub fn stalled(&self, switch: usize, superstep: u64) -> bool {
+        match &self.cfg.stall {
+            Some(s) => {
+                switch % s.groups == s.group
+                    && superstep >= s.at_superstep
+                    && superstep < s.at_superstep + s.supersteps
+            }
+            None => false,
+        }
+    }
+
+    /// Flip 1–2 distinct bits of `wire`, deterministically in
+    /// `(seed, seq, hop)`. The RM-cell checksum detects any such flip.
+    ///
+    /// # Panics
+    /// Panics on an empty buffer.
+    pub fn corrupt_wire(&self, wire: &mut [u8], seq: u64, hop: usize) {
+        assert!(!wire.is_empty(), "cannot corrupt an empty buffer");
+        let bits = wire.len() as u64 * 8;
+        let h = self.hash(seq, hop, 0, 2);
+        let first = h % bits;
+        wire[(first / 8) as usize] ^= 1 << (first % 8);
+        if h & (1 << 63) != 0 && bits > 1 {
+            // A second, guaranteed-distinct bit.
+            let second = (first + 1 + (h >> 32) % (bits - 1)) % bits;
+            wire[(second / 8) as usize] ^= 1 << (second % 8);
+        }
     }
 }
 
@@ -68,43 +325,155 @@ mod tests {
     use crate::rm::RmCell;
     use crate::switch::Switch;
 
+    fn lossy(drop_bp: u32) -> FaultPlane {
+        FaultPlane::new(FaultConfig {
+            seed: 9,
+            drop_bp,
+            ..FaultConfig::transparent()
+        })
+    }
+
     #[test]
-    fn transparent_never_drops() {
-        let mut f = FaultInjector::transparent();
-        for _ in 0..1000 {
-            assert!(f.deliver());
+    fn transparent_never_faults() {
+        let p = FaultPlane::transparent();
+        for seq in 0..1000 {
+            assert_eq!(p.decide(seq, 0, 0), FaultAction::Deliver);
+            assert_eq!(p.decide_rollback(seq, 2, 0), FaultAction::Deliver);
+            assert!(!p.switch_down(3, seq));
+            assert!(!p.stalled(3, seq));
         }
-        assert_eq!(f.dropped(), 0);
-        assert_eq!(f.passed(), 1000);
+        assert!(p.is_transparent());
+    }
+
+    #[test]
+    fn decisions_are_pure_and_seed_dependent() {
+        let a = lossy(2_500);
+        let b = lossy(2_500);
+        let other = FaultPlane::new(FaultConfig {
+            seed: 10,
+            drop_bp: 2_500,
+            ..FaultConfig::transparent()
+        });
+        let mut diverged = false;
+        for seq in 0..2_000u64 {
+            for hop in 0..4 {
+                assert_eq!(a.decide(seq, hop, 0), b.decide(seq, hop, 0));
+                if a.decide(seq, hop, 0) != other.decide(seq, hop, 0) {
+                    diverged = true;
+                }
+            }
+        }
+        assert!(diverged, "different seeds must change the pattern");
     }
 
     #[test]
     fn drop_rate_is_respected() {
-        let mut f = FaultInjector::new(0.25, SimRng::from_seed(9));
-        for _ in 0..20_000 {
-            f.deliver();
-        }
-        let frac = f.dropped() as f64 / 20_000.0;
+        let p = lossy(2_500); // 25%
+        let drops = (0..20_000u64)
+            .filter(|&seq| p.decide(seq, 0, 0) == FaultAction::Drop)
+            .count();
+        let frac = drops as f64 / 20_000.0;
         assert!((frac - 0.25).abs() < 0.02, "drop fraction {frac}");
     }
 
     #[test]
+    fn all_actions_fire_and_delay_is_bounded() {
+        let p = FaultPlane::new(FaultConfig {
+            seed: 3,
+            drop_bp: 1_000,
+            delay_bp: 1_000,
+            max_delay: 4,
+            dup_bp: 1_000,
+            corrupt_bp: 1_000,
+            ..FaultConfig::transparent()
+        });
+        let mut seen = [false; 5];
+        for seq in 0..10_000u64 {
+            match p.decide(seq, seq as usize % 4, 0) {
+                FaultAction::Deliver => seen[0] = true,
+                FaultAction::Drop => seen[1] = true,
+                FaultAction::Delay(d) => {
+                    assert!((1..=4).contains(&d), "delay {d} out of range");
+                    seen[2] = true;
+                }
+                FaultAction::Duplicate => seen[3] = true,
+                FaultAction::Corrupt => seen[4] = true,
+            }
+        }
+        assert_eq!(seen, [true; 5], "every action must be reachable");
+        // Ghost copies never duplicate again.
+        for seq in 0..10_000u64 {
+            assert_ne!(p.decide(seq, 1, 1), FaultAction::Duplicate);
+        }
+    }
+
+    #[test]
+    fn crash_and_stall_windows() {
+        let p = FaultPlane::new(FaultConfig {
+            seed: 0,
+            crashes: vec![CrashSpec {
+                switch: 2,
+                at_superstep: 10,
+                down_supersteps: 5,
+            }],
+            stall: Some(StallSpec {
+                groups: 3,
+                group: 1,
+                at_superstep: 20,
+                supersteps: 4,
+            }),
+            ..FaultConfig::transparent()
+        });
+        assert!(!p.switch_down(2, 9));
+        assert!(p.switch_down(2, 10));
+        assert!(p.switch_down(2, 14));
+        assert!(!p.switch_down(2, 15));
+        assert!(!p.switch_down(3, 12));
+        assert_eq!(p.restart_superstep(2), Some(15));
+        assert_eq!(p.restart_superstep(0), None);
+        // Group 1 of 3: switches 1, 4, 7, ...
+        assert!(p.stalled(4, 21));
+        assert!(!p.stalled(4, 24));
+        assert!(!p.stalled(3, 21));
+    }
+
+    #[test]
+    fn corruption_is_always_detected_by_the_checksum() {
+        let p = lossy(1);
+        for seq in 0..500u64 {
+            for hop in 0..4 {
+                let cell = RmCell::delta(seq as u32, 12_345.0 + seq as f64);
+                let mut wire = cell.encode();
+                p.corrupt_wire(&mut wire, seq, hop);
+                assert_ne!(wire, cell.encode(), "corruption must change the bytes");
+                assert!(
+                    RmCell::decode(&wire).is_none(),
+                    "checksum must catch 1-2 flipped bits (seq {seq} hop {hop})"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn drift_and_resync_scenario() {
-        // A source sends +delta cells through a lossy channel; the switch's
+        // A source sends +delta cells through a lossy plane; the switch's
         // view drifts below the source's, then a resync repairs it exactly.
         let mut sw = Switch::new(&[1_000_000.0]);
         sw.setup(1, 0, 100_000.0).unwrap();
-        let mut faults = FaultInjector::new(0.5, SimRng::from_seed(3));
+        let plane = lossy(5_000); // 50%
         let mut source_view = 100_000.0;
-        for _ in 0..20 {
+        let mut dropped = 0;
+        for seq in 0..20u64 {
             let delta = 10_000.0;
             source_view += delta; // source assumes success optimistically
-            if faults.deliver() {
+            if plane.decide(seq, 0, 0) == FaultAction::Deliver {
                 sw.process_rm(RmCell::delta(1, delta)).unwrap();
+            } else {
+                dropped += 1;
             }
         }
         let switch_view = sw.vci_rate(1).unwrap();
-        assert!(faults.dropped() > 0, "seed should drop something");
+        assert!(dropped > 0, "seed should drop something");
         assert!(
             switch_view < source_view,
             "drift expected: switch {switch_view} vs source {source_view}"
@@ -117,6 +486,16 @@ mod tests {
     #[test]
     #[should_panic(expected = "probability")]
     fn invalid_probability_rejected() {
-        FaultInjector::new(1.5, SimRng::from_seed(0));
+        FaultConfig::drop_only(1.5, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed")]
+    fn overfull_buckets_rejected() {
+        FaultPlane::new(FaultConfig {
+            drop_bp: 6_000,
+            corrupt_bp: 6_000,
+            ..FaultConfig::transparent()
+        });
     }
 }

@@ -24,8 +24,11 @@
 //!   failure (Section III-C); a denial at hop `k` rolls back reservations
 //!   made at hops `1..k`. Per-hop latency accumulates into the
 //!   request/confirm round-trip time.
-//! * [`fault`] — signaling-loss injection, demonstrating drift and its
-//!   repair by resync.
+//! * [`fault`] — the deterministic fault plane: seeded, stateless
+//!   per-traversal decisions (drop / delay / duplicate / bit-corrupt),
+//!   scheduled switch crashes that wipe soft reservation state, and
+//!   bounded shard stalls — all replayable, so drift and its repair by
+//!   resync can be asserted bit-exactly.
 
 pub mod advance;
 pub mod cell;
@@ -41,7 +44,7 @@ pub mod topology;
 pub use advance::{profile_from_segments, AdvanceBook, BookingOutcome};
 pub use cell::{cells_for_bits, CELL_BITS, CELL_PAYLOAD_BITS};
 pub use cellmux::{simulate_cbr_mux, CellMuxReport};
-pub use fault::FaultInjector;
+pub use fault::{CrashSpec, FaultAction, FaultConfig, FaultPlane, StallSpec, FAULT_BP_SCALE};
 pub use path::{Path, RenegotiationOutcome};
 pub use port::OutputPort;
 pub use rm::{RateField, RmCell, RM_CELL_BYTES};

@@ -124,6 +124,14 @@ impl OutputPort {
         }
     }
 
+    /// Crash-wipe: forget every reservation. Models the loss of *soft*
+    /// state when a switch restarts — recovery must come from the
+    /// sources' absolute-rate resync cells.
+    pub fn wipe(&mut self) {
+        self.reserved = 0.0;
+        self.per_vci.clear();
+    }
+
     /// Audit: aggregate equals the sum of per-VCI reservations (used by
     /// tests and debug assertions to catch drift bugs in the switch).
     pub fn is_consistent(&self) -> bool {

@@ -8,14 +8,40 @@
 //! instead of a difference" to resynchronize.
 //!
 //! The wire format here is a compact 16-byte encoding (VCI, kind, flags,
-//! rate field) — deliberately simpler than the real I.371 RM payload, but a
-//! genuine byte-level codec so that loss, truncation, and corruption are
-//! representable.
+//! checksum, rate field) — deliberately simpler than the real I.371 RM
+//! payload, but a genuine byte-level codec so that loss, truncation, and
+//! corruption are representable. Real ATM RM cells carry a CRC-10; ours
+//! carry a CRC-16 (CCITT-FALSE) over the other 14 bytes, which detects
+//! all 1- and 2-bit errors on a 128-bit cell, so a bit-corrupted cell is
+//! rejected at decode instead of silently applying a garbled rate.
 
 use serde::{Deserialize, Serialize};
 
 /// Size of an encoded [`RmCell`] on the wire.
 pub const RM_CELL_BYTES: usize = 16;
+
+/// CRC-16/CCITT-FALSE (poly 0x1021, init 0xFFFF, no reflection, no xorout).
+/// For a 14-byte message this detects every 1- and 2-bit error.
+fn crc16(bytes: impl IntoIterator<Item = u8>) -> u16 {
+    let mut crc: u16 = 0xFFFF;
+    for b in bytes {
+        crc ^= (b as u16) << 8;
+        for _ in 0..8 {
+            crc = if crc & 0x8000 != 0 {
+                (crc << 1) ^ 0x1021
+            } else {
+                crc << 1
+            };
+        }
+    }
+    crc
+}
+
+/// The cell checksum: CRC-16 over everything except the checksum field
+/// itself (bytes 0..6 and 8..16).
+fn cell_crc(buf: &[u8; RM_CELL_BYTES]) -> u16 {
+    crc16(buf[0..6].iter().chain(&buf[8..16]).copied())
+}
 
 /// What the rate field of an [`RmCell`] means.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -67,27 +93,33 @@ impl RmCell {
             RateField::Absolute(_) => 1,
         };
         buf[5] = u8::from(self.denied);
-        // buf[6..8] reserved, zero.
         let v = match self.rate {
             RateField::Delta(d) | RateField::Absolute(d) => d,
         };
         buf[8..16].copy_from_slice(&v.to_be_bytes());
+        let crc = cell_crc(&buf);
+        buf[6..8].copy_from_slice(&crc.to_be_bytes());
         buf
     }
 
     /// Decode from the wire format.
     ///
-    /// Returns `None` for short buffers, unknown kinds, or rate fields that
-    /// are not finite (a corrupted cell must not crash the switch).
+    /// Returns `None` for short buffers, checksum mismatches, unknown
+    /// kinds, or rate fields that are not finite (a corrupted cell must
+    /// not crash the switch — it is counted and discarded).
     pub fn decode(buf: &[u8]) -> Option<Self> {
         if buf.len() < RM_CELL_BYTES {
             return None;
         }
-        let vci = u32::from_be_bytes(buf[0..4].try_into().expect("length checked"));
-        let kind = buf[4];
-        let denied = buf[5] != 0;
-        // buf[6..8] reserved, ignored.
-        let v = f64::from_be_bytes(buf[8..16].try_into().expect("length checked"));
+        let cell: [u8; RM_CELL_BYTES] = buf[0..RM_CELL_BYTES].try_into().expect("length checked");
+        let stored = u16::from_be_bytes([cell[6], cell[7]]);
+        if stored != cell_crc(&cell) {
+            return None;
+        }
+        let vci = u32::from_be_bytes(cell[0..4].try_into().expect("length checked"));
+        let kind = cell[4];
+        let denied = cell[5] != 0;
+        let v = f64::from_be_bytes(cell[8..16].try_into().expect("length checked"));
         if !v.is_finite() {
             return None;
         }
@@ -133,10 +165,18 @@ mod tests {
         assert!(RmCell::decode(&bytes[0..10]).is_none());
     }
 
+    /// Recompute the checksum after deliberate tampering, so the tests
+    /// below exercise the semantic checks rather than the CRC.
+    fn restamp(raw: &mut [u8; RM_CELL_BYTES]) {
+        let crc = cell_crc(raw);
+        raw[6..8].copy_from_slice(&crc.to_be_bytes());
+    }
+
     #[test]
     fn unknown_kind_rejected() {
         let mut raw = RmCell::delta(1, 1.0).encode();
         raw[4] = 99;
+        restamp(&mut raw);
         assert!(RmCell::decode(&raw).is_none());
     }
 
@@ -144,6 +184,7 @@ mod tests {
     fn non_finite_rate_rejected() {
         let mut raw = RmCell::delta(1, 1.0).encode();
         raw[8..16].copy_from_slice(&f64::NAN.to_be_bytes());
+        restamp(&mut raw);
         assert!(RmCell::decode(&raw).is_none());
     }
 
@@ -151,7 +192,22 @@ mod tests {
     fn negative_absolute_rejected() {
         let mut raw = RmCell::resync(1, 5.0).encode();
         raw[8..16].copy_from_slice(&(-5.0f64).to_be_bytes());
+        restamp(&mut raw);
         assert!(RmCell::decode(&raw).is_none());
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_detected() {
+        let raw = RmCell::delta(77, -123_456.0).encode();
+        assert!(RmCell::decode(&raw).is_some());
+        for bit in 0..(RM_CELL_BYTES * 8) {
+            let mut bad = raw;
+            bad[bit / 8] ^= 1 << (bit % 8);
+            assert!(
+                RmCell::decode(&bad).is_none(),
+                "flip of bit {bit} went undetected"
+            );
+        }
     }
 
     proptest! {

@@ -140,20 +140,44 @@ impl Switch {
     /// Undo a previously applied delta (used by multi-hop rollback when a
     /// downstream switch denies).
     pub fn rollback_delta(&mut self, vci: u32, delta: f64) -> Result<(), SwitchError> {
+        let ok = self.try_rollback_delta(vci, delta)?;
+        debug_assert!(ok, "rollback of a granted delta must succeed");
+        Ok(())
+    }
+
+    /// Best-effort undo of a previously applied delta. Returns whether
+    /// the reverse actually fit — it can fail when the grant being
+    /// unwound was wiped by a crash-restart in between, or when drift let
+    /// another cell consume the headroom a negative delta released.
+    pub fn try_rollback_delta(&mut self, vci: u32, delta: f64) -> Result<bool, SwitchError> {
         let port = *self
             .vci_table
             .get(&vci)
             .ok_or(SwitchError::UnknownVci(vci))?;
-        // Reversing a previously granted delta always fits.
-        let ok = self.ports[port].try_reserve_delta(vci, -delta);
-        debug_assert!(ok, "rollback of a granted delta must succeed");
-        Ok(())
+        Ok(self.ports[port].try_reserve_delta(vci, -delta))
     }
 
     /// The reservation this switch holds for `vci`.
     pub fn vci_rate(&self, vci: u32) -> Option<f64> {
         let port = *self.vci_table.get(&vci)?;
         Some(self.ports[port].vci_rate(vci))
+    }
+
+    /// Crash-restart: wipe every port's *soft* reservation state. The VCI
+    /// routing table is hard (signalled) state and survives; the
+    /// reservations it pointed to are gone until absolute-rate resync
+    /// cells rebuild them.
+    pub fn wipe_soft_state(&mut self) {
+        for p in &mut self.ports {
+            p.wipe();
+        }
+    }
+
+    /// The routed VCIs, sorted (deterministic iteration for audits).
+    pub fn vcis(&self) -> Vec<u32> {
+        let mut v: Vec<u32> = self.vci_table.keys().copied().collect();
+        v.sort_unstable();
+        v
     }
 }
 
@@ -224,6 +248,23 @@ mod tests {
         let out = sw.process_rm(RmCell::resync(1, 450.0)).unwrap();
         assert!(!out.denied);
         assert_eq!(sw.vci_rate(1), Some(450.0));
+    }
+
+    #[test]
+    fn crash_wipe_loses_soft_state_and_resync_rebuilds_it() {
+        let mut sw = one_port_switch(1000.0);
+        sw.setup(1, 0, 300.0).unwrap();
+        sw.setup(2, 0, 200.0).unwrap();
+        sw.wipe_soft_state();
+        // Reservations are gone, the routing table survives.
+        assert_eq!(sw.vci_rate(1), Some(0.0));
+        assert_eq!(sw.port(0).unwrap().reserved(), 0.0);
+        assert_eq!(sw.vcis(), vec![1, 2]);
+        // Absolute-rate resync rebuilds the reservations exactly.
+        let out = sw.process_rm(RmCell::resync(1, 300.0)).unwrap();
+        assert!(!out.denied);
+        assert_eq!(sw.vci_rate(1), Some(300.0));
+        assert!(sw.port(0).unwrap().is_consistent());
     }
 
     #[test]

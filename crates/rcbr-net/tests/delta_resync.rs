@@ -40,6 +40,38 @@ proptest! {
         prop_assert_eq!(RmCell::decode(&wire), Some(cell));
     }
 
+    /// The checksum catches corruption: flipping any 1–2 distinct bits of
+    /// an encoded cell makes it undecodable (CRC-16 detects all 1- and
+    /// 2-bit errors at this block length), and the fault plane's
+    /// corruptor only ever flips 1–2 bits.
+    #[test]
+    fn random_bit_flips_are_detected(
+        vci in any::<u32>(),
+        magnitude in 0.0..1e12f64,
+        absolute in any::<bool>(),
+        first in 0usize..(RM_CELL_BYTES * 8),
+        second_offset in 0usize..(RM_CELL_BYTES * 8 - 1),
+        double in any::<bool>(),
+    ) {
+        let cell = if absolute {
+            RmCell::resync(vci, magnitude)
+        } else {
+            RmCell::delta(vci, magnitude)
+        };
+        let mut wire = cell.encode();
+        prop_assert_eq!(RmCell::decode(&wire), Some(cell));
+        wire[first / 8] ^= 1 << (first % 8);
+        if double {
+            let second = (first + 1 + second_offset) % (RM_CELL_BYTES * 8);
+            wire[second / 8] ^= 1 << (second % 8);
+        }
+        prop_assert!(
+            RmCell::decode(&wire).is_none(),
+            "corrupted cell decoded as {:?}",
+            RmCell::decode(&wire)
+        );
+    }
+
     /// Drift repair: play an arbitrary sequence of delta renegotiations
     /// over a multi-hop path where each cell may be dropped mid-path (the
     /// hops before the drop apply the delta, the rest never see it), then

@@ -1,0 +1,210 @@
+//! The runtime invariant auditor.
+//!
+//! Drift is the failure mode delta-encoded signaling pays for its speed
+//! with (the paper's footnote 2): a dropped, corrupted, duplicated, or
+//! crash-killed RM cell leaves some hops holding a different rate than
+//! the source believes. The auditor makes that drift *observable* and —
+//! at end of run — *repairable*:
+//!
+//! * **Periodic** ([`audit_shard`]): every `audit_interval` rounds, while
+//!   the pipeline is quiescent, each shard walks its switches and counts
+//!   every `(switch, VC)` reservation that disagrees with the owning
+//!   source's believed rate by more than [`DRIFT_EPS`]. Runs and counts
+//!   are deterministic, so they are part of the cross-shard bit-identity
+//!   contract.
+//! * **End of run** ([`finalize`]): one full absolute-rate resync per
+//!   drifted VC repairs every hop to the source's believed rate. If the
+//!   believed rate no longer fits (another VC's over-reservation, or a
+//!   crash wiped the port and contention refilled it), the VC falls back
+//!   use-it-or-lose-it style to the *minimum* rate any hop still holds —
+//!   a reduction everywhere, so recovery itself can never be denied —
+//!   and is marked degraded. Afterwards the residual drift must be zero.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use rcbr_net::{FaultPlane, RmCell, Switch};
+use serde::{Deserialize, Serialize};
+
+use crate::config::RuntimeConfig;
+use crate::core::Counters;
+
+/// Reservations within this many bits/second of the believed rate count
+/// as synchronized: real drift is at least one granularity step (tens of
+/// kb/s), while float accumulation noise is many orders smaller.
+pub(crate) const DRIFT_EPS: f64 = 1.0;
+
+/// What the end-of-run audit found and did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AuditReport {
+    /// `(switch, VC)` reservation pairs drifted from the source's
+    /// believed rate before recovery.
+    pub final_drift_before: u64,
+    /// Hop reservations rewritten during recovery.
+    pub drift_repaired: u64,
+    /// VCs whose believed rate no longer fit and were floored to the
+    /// minimum rate any of their hops still held (use-it-or-lose-it).
+    pub lose_it_vcs: u64,
+    /// Drifted pairs remaining after recovery — the headline invariant:
+    /// this must be 0.
+    pub final_drift: u64,
+    /// Ports whose aggregate disagreed with the sum of their per-VCI
+    /// reservations after recovery (0 unless the switch itself is buggy).
+    pub port_inconsistencies: u64,
+}
+
+/// One VC's end-of-run source state, collected from its runner.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct VcFinal {
+    pub vci: u32,
+    /// The rate the source believes is reserved end to end.
+    pub believed: f64,
+    /// The VC exhausted a retry budget mid-run (or is floored below).
+    pub degraded: bool,
+    /// The VC's end-system buffer loss fraction.
+    pub loss: f64,
+}
+
+/// The periodic mid-run audit over one shard's switches. Must be called
+/// while the pipeline is quiescent and after every shard published its
+/// VCs' believed rates (phase A of a round).
+///
+/// Counts drifted `(switch, VC)` pairs into `counters.audit_drift`.
+/// `audit_runs` is bumped by shard 0 only, so the count is independent of
+/// the shard count.
+pub(crate) fn audit_shard(
+    plane: &FaultPlane,
+    local_switches: &[Switch],
+    shard: usize,
+    num_shards: usize,
+    believed: &[AtomicU64],
+    superstep: u64,
+    counters: &Counters,
+) {
+    if shard == 0 {
+        counters.audit_runs.fetch_add(1, Ordering::Relaxed);
+    }
+    for (li, sw) in local_switches.iter().enumerate() {
+        let h = shard + li * num_shards;
+        if plane.switch_down(h, superstep) {
+            // A crashed switch cannot answer an audit probe.
+            continue;
+        }
+        for vci in sw.vcis() {
+            let b = f64::from_bits(believed[vci as usize].load(Ordering::Relaxed));
+            let r = sw.vci_rate(vci).expect("routed VCI has a rate");
+            if (r - b).abs() > DRIFT_EPS {
+                counters.audit_drift.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        debug_assert!(
+            sw.port(0).expect("one port per switch").is_consistent(),
+            "port aggregate drifted from its per-VCI sum at switch {h}"
+        );
+    }
+}
+
+/// Count `(hop, VC)` pairs whose reservation disagrees with the source's
+/// believed rate.
+fn count_drift(cfg: &RuntimeConfig, switches: &[Switch], finals: &[VcFinal]) -> u64 {
+    let mut n = 0;
+    for f in finals {
+        for &h in &cfg.path_of(f.vci) {
+            let r = switches[h].vci_rate(f.vci).expect("routed VCI has a rate");
+            if (r - f.believed).abs() > DRIFT_EPS {
+                n += 1;
+            }
+        }
+    }
+    n
+}
+
+/// The end-of-run audit and recovery pass. `switches` is the full global
+/// switch population (reassembled from the shards), `finals` the per-VC
+/// source states in ascending VCI order, `final_superstep` the engine's
+/// clock at exit.
+///
+/// Recovery is exactly what a real deployment would do: one absolute-rate
+/// resync per drifted VC, with the use-it-or-lose-it floor as the
+/// fallback when the believed rate no longer fits. Updates `finals` in
+/// place (floored VCs get their new believed rate and a degraded mark).
+pub(crate) fn finalize(
+    cfg: &RuntimeConfig,
+    plane: &FaultPlane,
+    switches: &mut [Switch],
+    finals: &mut [VcFinal],
+    final_superstep: u64,
+) -> AuditReport {
+    // A switch still inside its crash window at exit loses its soft state
+    // just as a restarting one does.
+    for (h, sw) in switches.iter_mut().enumerate() {
+        if plane.switch_down(h, final_superstep) {
+            sw.wipe_soft_state();
+        }
+    }
+
+    let final_drift_before = count_drift(cfg, switches, finals);
+    let mut drift_repaired = 0u64;
+    let mut lose_it_vcs = 0u64;
+
+    for f in finals.iter_mut() {
+        let vci = f.vci;
+        let path = cfg.path_of(vci);
+        let drifted = move |switches: &[Switch], h: usize, target: f64| {
+            (switches[h].vci_rate(vci).expect("routed") - target).abs() > DRIFT_EPS
+        };
+        if !path.iter().any(|&h| drifted(switches, h, f.believed)) {
+            continue;
+        }
+        // Fast path: resync every drifted hop to the believed rate.
+        let mut denied = false;
+        for &h in &path {
+            if !drifted(switches, h, f.believed) {
+                continue;
+            }
+            let cell = switches[h]
+                .process_rm(RmCell::resync(vci, f.believed))
+                .expect("routed");
+            if cell.denied {
+                denied = true;
+                break;
+            }
+            drift_repaired += 1;
+        }
+        if denied {
+            // Use-it-or-lose-it: the believed rate no longer fits
+            // somewhere, so fall back to the minimum rate any hop still
+            // holds. That is a reduction (or no-op) at every hop, so the
+            // fallback itself can never be denied.
+            let floor = path
+                .iter()
+                .map(|&h| switches[h].vci_rate(vci).expect("routed"))
+                .fold(f.believed, f64::min);
+            for &h in &path {
+                if !drifted(switches, h, floor) {
+                    continue;
+                }
+                let cell = switches[h]
+                    .process_rm(RmCell::resync(vci, floor))
+                    .expect("routed");
+                assert!(!cell.denied, "reducing to the floor always fits");
+                drift_repaired += 1;
+            }
+            f.believed = floor;
+            f.degraded = true;
+            lose_it_vcs += 1;
+        }
+    }
+
+    let final_drift = count_drift(cfg, switches, finals);
+    let port_inconsistencies = switches
+        .iter()
+        .filter(|s| !s.port(0).expect("one port per switch").is_consistent())
+        .count() as u64;
+    AuditReport {
+        final_drift_before,
+        drift_repaired,
+        lose_it_vcs,
+        final_drift,
+        port_inconsistencies,
+    }
+}

@@ -1,5 +1,6 @@
 //! Runtime configuration.
 
+use rcbr_net::FaultConfig;
 use serde::{Deserialize, Serialize};
 
 /// Configuration of a signaling-plane run.
@@ -8,8 +9,9 @@ use serde::{Deserialize, Serialize};
 /// worker thread per shard) and [`run_sequential`](crate::run_sequential)
 /// (single-threaded replay); by construction the two produce identical
 /// accept/deny/rollback counters, and so does the sharded engine at any
-/// shard count.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+/// shard count — including under every fault mode of the embedded
+/// [`FaultConfig`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct RuntimeConfig {
     /// Worker threads; switch `h` is owned by shard `h % num_shards` and
     /// VC `v` by shard `v % num_shards`.
@@ -40,22 +42,36 @@ pub struct RuntimeConfig {
     /// Traffic slots each VC advances per round before the signaling
     /// pipeline drains.
     pub slots_per_round: usize,
-    /// Stop once this many signaling requests have completed (granted,
-    /// denied, or lost).
+    /// Stop once this many signaling requests have completed (granted, or
+    /// abandoned after retry exhaustion).
     pub target_requests: u64,
     /// Hard cap on rounds (guards against a workload that stops
     /// renegotiating before reaching `target_requests`).
     pub max_rounds: u64,
-    /// Every `loss_period`-th delta cell (by global sequence number) is
-    /// dropped mid-path, leaving upstream hops holding the new rate —
-    /// the drift that absolute resync repairs. `0` disables loss.
-    pub loss_period: u64,
     /// Every `resync_interval`-th request a VC emits is sent as an
     /// absolute-rate resync cell instead of a delta. `0` disables resync.
     pub resync_interval: u64,
+    /// A request with no verdict after this many supersteps has timed out
+    /// (its RM cell was dropped, corrupted, or killed by a crash).
+    pub timeout_supersteps: u64,
+    /// Retries allowed after the initial attempt; one more failure
+    /// exhausts the request and the VC degrades (keeps its granted rate).
+    pub retry_budget: u32,
+    /// Base retry backoff, supersteps (doubles per consecutive failure).
+    pub backoff_base: u64,
+    /// Maximum seeded jitter added to each backoff, supersteps.
+    pub backoff_jitter: u64,
+    /// Run the invariant auditor every `audit_interval` rounds,
+    /// cross-checking every reservation against the owning source's
+    /// believed rate. `0` disables periodic audits (the end-of-run audit
+    /// always runs).
+    pub audit_interval: u64,
     /// One-way per-hop signaling latency, seconds (for the modeled
     /// round-trip latency histogram).
     pub hop_latency: f64,
+    /// The fault scenario: per-traversal drop/delay/duplicate/corrupt
+    /// probabilities, scheduled switch crashes, and stalls.
+    pub fault: FaultConfig,
     /// Master seed; all traffic and policy randomness derives from it.
     pub seed: u64,
 }
@@ -70,7 +86,9 @@ impl RuntimeConfig {
     /// MPEG-like sources demand well above their mean for sustained
     /// stretches, so a long run saturates the ports — the sweep
     /// exercises every signaling path: grants, denials, multi-hop
-    /// rollbacks, loss, and resync.
+    /// rollbacks, retries, and resync. A mild default fault mix (1.5%
+    /// drop, 1% delay, 0.5% duplicate, 0.5% corrupt) keeps the recovery
+    /// machinery honest; override `fault` for clean or chaos runs.
     pub fn balanced(num_shards: usize, num_vcs: usize) -> Self {
         let num_switches = (num_vcs / 8).max(8);
         let hops_per_vc = 4.min(num_switches);
@@ -95,9 +113,23 @@ impl RuntimeConfig {
             slots_per_round: 64,
             target_requests: 100_000,
             max_rounds: 1_000_000,
-            loss_period: 17,
             resync_interval: 8,
+            timeout_supersteps: 32,
+            retry_budget: 3,
+            backoff_base: 4,
+            backoff_jitter: 3,
+            audit_interval: 64,
             hop_latency: 1e-3,
+            fault: FaultConfig {
+                seed: 13,
+                drop_bp: 150,
+                delay_bp: 100,
+                max_delay: 3,
+                dup_bp: 50,
+                corrupt_bp: 50,
+                crashes: Vec::new(),
+                stall: None,
+            },
             seed: 7,
         }
     }
@@ -128,9 +160,15 @@ impl RuntimeConfig {
         );
         assert!(self.max_rounds >= 1, "need at least one round");
         assert!(
+            self.timeout_supersteps >= 1,
+            "timeout must be at least one superstep"
+        );
+        assert!(self.backoff_base >= 1, "backoff base must be >= 1");
+        assert!(
             self.hop_latency >= 0.0 && self.hop_latency.is_finite(),
             "bad hop latency"
         );
+        self.fault.validate();
     }
 
     /// The switch indices VC `vci` traverses: `hops_per_vc` consecutive
@@ -142,5 +180,18 @@ impl RuntimeConfig {
         (0..self.hops_per_vc)
             .map(|k| (start + k) % self.num_switches)
             .collect()
+    }
+
+    /// The retry policy implied by this configuration.
+    pub fn retry_policy(&self) -> rcbr_schedule::RetryPolicy {
+        rcbr_schedule::RetryPolicy {
+            timeout_supersteps: self.timeout_supersteps,
+            retry_budget: self.retry_budget,
+            backoff_base: self.backoff_base,
+            backoff_jitter: self.backoff_jitter,
+            // Decorrelate from the traffic seed so retry jitter and the
+            // synthetic traces draw from independent streams.
+            seed: self.seed ^ 0x5254_5259, // "RTRY"
+        }
     }
 }

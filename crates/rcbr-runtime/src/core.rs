@@ -3,15 +3,31 @@
 //!
 //! A renegotiation request is a [`Job`] that visits its path's switches
 //! one hop per superstep. All engine-visible effects of one hop —
-//! reservation updates, counter increments, outcome delivery, latency
-//! recording — live in [`advance_job`], so the two engines cannot drift
-//! apart semantically: they differ only in *where* switches live and *how*
-//! jobs travel between hops.
+//! fault decisions, reservation updates, counter increments, outcome
+//! delivery, latency recording — live in [`advance_job`], so the two
+//! engines cannot drift apart semantically: they differ only in *where*
+//! switches live and *how* jobs travel between hops.
+//!
+//! ## Faults at a hop
+//!
+//! Before a cell is processed at a hop, the [`FaultPlane`] decides its
+//! fate — a pure function of `(seed, seq, hop, salt)`, so every shard
+//! count and the sequential replay agree. Dropped, corrupted, and
+//! crash-killed cells die *without a verdict*: the source's retry state
+//! machine (in the load generator) times the request out. Delayed cells
+//! stay in flight and are re-presented `1..=max_delay` supersteps later,
+//! already `cleared` so the fate is not re-decided. Duplicated cells spawn
+//! a ghost (`salt = 1`) that re-traverses the path from the current hop
+//! one superstep later, double-applying the cell's effect — the
+//! over-reservation drift that absolute resync repairs. Ghosts mutate
+//! switch state but never touch request-level counters or report a
+//! verdict; a denied ghost unwinds only the hops the ghost itself
+//! touched (its `origin` floor).
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
-use rcbr_net::{RateField, RmCell, Switch};
+use rcbr_net::{FaultAction, FaultPlane, RateField, RmCell, Switch};
 use rcbr_sim::{Histogram, RunningStats};
 use serde::{Deserialize, Serialize};
 
@@ -39,8 +55,9 @@ pub enum JobKind {
 #[derive(Debug, Clone, Copy)]
 pub struct Job {
     /// Global sequence number: `slot * num_vcs + vci`. Unique per request,
-    /// and the total order switches process concurrent cells in —
-    /// regardless of how switches are partitioned into shards.
+    /// and (with `salt` as tiebreak) the total order switches process
+    /// concurrent cells in — regardless of how switches are partitioned
+    /// into shards.
     pub seq: u64,
     /// The VC being renegotiated.
     pub vci: u32,
@@ -49,9 +66,21 @@ pub struct Job {
     pub hop: usize,
     /// The cell being carried.
     pub kind: JobKind,
+    /// `0` for the original cell, `1` for a fault-plane duplicate ghost.
+    /// Part of the processing sort key, and ghosts skip all request-level
+    /// bookkeeping.
+    pub salt: u8,
+    /// The hop this job entered the pipeline at — the floor a rollback
+    /// unwinds down to. `0` for originals; a ghost's spawn hop.
+    pub origin: u8,
+    /// The fault plane already ruled on this hop visit (set on delayed
+    /// cells when they are re-presented, so the fate is decided once).
+    pub cleared: bool,
 }
 
-/// Terminal fate of a request, reported back to the source.
+/// Terminal verdict of a signaling attempt, reported back to the source.
+/// A killed cell (dropped, corrupted, crash-killed) produces *no* verdict;
+/// the source times out and retries.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Outcome {
     /// Every hop granted.
@@ -59,9 +88,6 @@ pub enum Outcome {
     /// Some hop denied (already-granted hops are rolled back for deltas;
     /// resyncs keep their partial progress).
     Denied,
-    /// The cell was dropped mid-path; the source times out, upstream hops
-    /// keep the half-applied delta (drift).
-    Lost,
 }
 
 /// Per-VCI slow-path state, guarded by a mutex: the pipeline's completion
@@ -69,60 +95,108 @@ pub enum Outcome {
 /// next round boundary.
 #[derive(Debug, Default)]
 pub struct VciSlot {
-    /// The fate of the VC's outstanding request, if it completed.
+    /// The fate of the VC's outstanding attempt, if it completed.
     pub outcome: Option<Outcome>,
 }
 
 /// Shared atomic counters. All increments use relaxed ordering — the
 /// engine's barriers provide the synchronization; the atomics only make
 /// the increments themselves race-free.
+///
+/// Request-level counters (`accepted`, `denied`, `rollbacks`,
+/// `rolled_back_hops`, `resync_repairs`, `completed`, and the retry
+/// family) describe salt-0 attempts only; the cell-level fault counters
+/// (`cells_*`, `crash_killed`) count ghosts too.
 #[derive(Debug, Default)]
 pub struct Counters {
-    /// Requests injected into the pipeline.
+    /// Signaling attempts injected into the pipeline (initial + retries).
     pub injected: AtomicU64,
     /// Requests granted at every hop.
     pub accepted: AtomicU64,
-    /// Requests denied at some hop.
+    /// Attempts denied at some hop.
     pub denied: AtomicU64,
-    /// Denied requests that had upstream reservations to unwind.
+    /// Denied attempts that had upstream reservations to unwind.
     pub rollbacks: AtomicU64,
     /// Individual hop reservations unwound by rollback.
     pub rolled_back_hops: AtomicU64,
-    /// Delta cells dropped mid-path.
-    pub lost: AtomicU64,
-    /// Absolute-rate resync cells injected.
+    /// Absolute-rate resync cells injected (periodic + retries).
     pub resyncs: AtomicU64,
     /// Hops whose reservation disagreed with the source's belief when a
     /// resync cell arrived — i.e. drift actually repaired.
     pub resync_repairs: AtomicU64,
-    /// Requests that reached a terminal fate (granted + denied + lost).
+    /// Requests that reached a terminal fate (granted or abandoned after
+    /// retry exhaustion): `completed == accepted + exhausted`.
     pub completed: AtomicU64,
+    /// Cells dropped by the fault plane.
+    pub cells_dropped: AtomicU64,
+    /// Cells delayed by the fault plane.
+    pub cells_delayed: AtomicU64,
+    /// Ghost duplicates spawned by the fault plane.
+    pub cells_duplicated: AtomicU64,
+    /// Cells bit-corrupted by the fault plane (caught by the checksum and
+    /// discarded).
+    pub cells_corrupted: AtomicU64,
+    /// Cells that arrived at a crashed (down) switch.
+    pub crash_killed: AtomicU64,
+    /// Attempts that timed out waiting for a verdict.
+    pub timeouts: AtomicU64,
+    /// Retry attempts injected after a timeout or denial.
+    pub retries: AtomicU64,
+    /// Requests abandoned after exhausting the retry budget.
+    pub exhausted: AtomicU64,
+    /// VCs that newly entered the degraded state (kept a stale rate).
+    pub degraded_events: AtomicU64,
+    /// Periodic invariant audits executed.
+    pub audit_runs: AtomicU64,
+    /// (switch, VC) reservation pairs the periodic auditor found drifted
+    /// from the source's believed rate.
+    pub audit_drift: AtomicU64,
     /// Jobs currently in the pipeline (including rollbacks still
-    /// unwinding).
+    /// unwinding, delayed cells, and ghosts).
     pub in_flight: AtomicU64,
 }
 
 /// A point-in-time copy of [`Counters`], comparable and serializable.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CounterSnapshot {
-    /// Requests injected into the pipeline.
+    /// Signaling attempts injected into the pipeline (initial + retries).
     pub injected: u64,
     /// Requests granted at every hop.
     pub accepted: u64,
-    /// Requests denied at some hop.
+    /// Attempts denied at some hop.
     pub denied: u64,
-    /// Denied requests that required rollback.
+    /// Denied attempts that required rollback.
     pub rollbacks: u64,
     /// Individual hop reservations unwound.
     pub rolled_back_hops: u64,
-    /// Delta cells dropped mid-path.
-    pub lost: u64,
     /// Resync cells injected.
     pub resyncs: u64,
     /// Drifted hops repaired by resync.
     pub resync_repairs: u64,
-    /// Requests that reached a terminal fate.
+    /// Requests that reached a terminal fate (`accepted + exhausted`).
     pub completed: u64,
+    /// Cells dropped by the fault plane.
+    pub cells_dropped: u64,
+    /// Cells delayed by the fault plane.
+    pub cells_delayed: u64,
+    /// Ghost duplicates spawned.
+    pub cells_duplicated: u64,
+    /// Cells bit-corrupted (detected and discarded).
+    pub cells_corrupted: u64,
+    /// Cells killed at a crashed switch.
+    pub crash_killed: u64,
+    /// Attempts that timed out.
+    pub timeouts: u64,
+    /// Retry attempts injected.
+    pub retries: u64,
+    /// Requests abandoned after retry exhaustion.
+    pub exhausted: u64,
+    /// VCs that newly degraded.
+    pub degraded_events: u64,
+    /// Periodic audits executed.
+    pub audit_runs: u64,
+    /// Drifted reservation pairs detected by periodic audits.
+    pub audit_drift: u64,
 }
 
 impl Counters {
@@ -135,10 +209,20 @@ impl Counters {
             denied: ld(&self.denied),
             rollbacks: ld(&self.rollbacks),
             rolled_back_hops: ld(&self.rolled_back_hops),
-            lost: ld(&self.lost),
             resyncs: ld(&self.resyncs),
             resync_repairs: ld(&self.resync_repairs),
             completed: ld(&self.completed),
+            cells_dropped: ld(&self.cells_dropped),
+            cells_delayed: ld(&self.cells_delayed),
+            cells_duplicated: ld(&self.cells_duplicated),
+            cells_corrupted: ld(&self.cells_corrupted),
+            crash_killed: ld(&self.crash_killed),
+            timeouts: ld(&self.timeouts),
+            retries: ld(&self.retries),
+            exhausted: ld(&self.exhausted),
+            degraded_events: ld(&self.degraded_events),
+            audit_runs: ld(&self.audit_runs),
+            audit_drift: ld(&self.audit_drift),
         }
     }
 }
@@ -149,45 +233,133 @@ pub(crate) struct CompletionSink<'a> {
     pub moments: &'a mut RunningStats,
 }
 
-/// The hop at which delta cell `seq` is dropped, if it is lossy. Losses
-/// are deterministic in the sequence number so every engine and shard
-/// count drops exactly the same cells; dropping at hop >= 1 guarantees
-/// real drift (some hops applied, some did not) on multi-hop paths.
-fn loss_hop(cfg: &RuntimeConfig, seq: u64, path_len: usize) -> Option<usize> {
-    if cfg.loss_period == 0 || !seq.is_multiple_of(cfg.loss_period) {
-        return None;
-    }
-    if path_len == 1 {
-        Some(0)
-    } else {
-        Some(1 + (seq % (path_len as u64 - 1)) as usize)
+/// The fault plane plus the logical clock a hop is processed at.
+pub(crate) struct FaultCtx<'a> {
+    pub plane: &'a FaultPlane,
+    pub superstep: u64,
+}
+
+/// The RM cell a forward job would put on the wire (used to corrupt real
+/// bytes and prove the checksum catches them).
+fn wire_cell(job: &Job) -> RmCell {
+    match job.kind {
+        JobKind::Delta(d) => RmCell::delta(job.vci, d),
+        JobKind::Resync { rate, .. } => RmCell::resync(job.vci, rate),
+        JobKind::Rollback(_) => unreachable!("rollback cells are never corrupted"),
     }
 }
 
-/// Process `job` at the switch for its current hop. Returns the follow-up
-/// job to route (the next hop forward, or the previous hop of a rollback),
-/// or `None` when the job has left the pipeline.
+/// Process `job` at the switch for its current hop.
 ///
-/// `sw` must be the switch at `path[job.hop]` for the job's VC.
+/// Returns `(forward, delayed)`: `forward` is the follow-up job to route
+/// this superstep (next hop, or the previous hop of a rollback);
+/// `delayed` is a `(release_superstep, job)` pair the owner must hold —
+/// either the job itself (fault-delayed) or a freshly spawned duplicate
+/// ghost.
+///
+/// `sw` must be the switch at `path[job.hop]` for the job's VC, and
+/// `switch_global` its global index.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn advance_job(
     job: Job,
     sw: &mut Switch,
+    switch_global: usize,
     path_len: usize,
     cfg: &RuntimeConfig,
+    fx: &FaultCtx<'_>,
     counters: &Counters,
     vci_states: &[Mutex<VciSlot>],
     sink: &mut CompletionSink<'_>,
-) -> Option<Job> {
-    let complete = |outcome: Outcome,
-                    hops_touched: usize,
-                    counters: &Counters,
-                    sink: &mut CompletionSink<'_>| {
-        if outcome != Outcome::Lost {
-            let rtt = cfg.hop_latency * 2.0 * hops_touched as f64;
-            sink.latency.record(rtt);
-            sink.moments.push(rtt);
+) -> (Option<Job>, Option<(u64, Job)>) {
+    let is_ghost = job.salt != 0;
+    let gone = |counters: &Counters| {
+        counters.in_flight.fetch_sub(1, Ordering::Relaxed);
+    };
+    // A crashed switch kills every arriving cell — no verdict, so the
+    // source's retry machinery must time the attempt out.
+    if fx.plane.switch_down(switch_global, fx.superstep) {
+        counters.crash_killed.fetch_add(1, Ordering::Relaxed);
+        gone(counters);
+        return (None, None);
+    }
+
+    // Decide this hop visit's fate exactly once (delayed cells come back
+    // `cleared`).
+    let mut spawned: Option<(u64, Job)> = None;
+    if !job.cleared {
+        let action = if matches!(job.kind, JobKind::Rollback(_)) {
+            // An undo must not be re-applied: rollback cells only drop.
+            fx.plane.decide_rollback(job.seq, job.hop, job.salt)
+        } else {
+            fx.plane.decide(job.seq, job.hop, job.salt)
+        };
+        match action {
+            FaultAction::Deliver => {}
+            FaultAction::Drop => {
+                counters.cells_dropped.fetch_add(1, Ordering::Relaxed);
+                gone(counters);
+                return (None, None);
+            }
+            FaultAction::Corrupt => {
+                // Put the real bytes on the wire, flip bits, and let the
+                // checksum reject them — the cell dies detected, not by
+                // silently applying a garbled rate.
+                let mut wire = wire_cell(&job).encode();
+                fx.plane.corrupt_wire(&mut wire, job.seq, job.hop);
+                debug_assert!(
+                    RmCell::decode(&wire).is_none(),
+                    "the checksum must catch fault-plane corruption"
+                );
+                counters.cells_corrupted.fetch_add(1, Ordering::Relaxed);
+                gone(counters);
+                return (None, None);
+            }
+            FaultAction::Delay(d) => {
+                counters.cells_delayed.fetch_add(1, Ordering::Relaxed);
+                return (
+                    None,
+                    Some((
+                        fx.superstep + d,
+                        Job {
+                            cleared: true,
+                            ..job
+                        },
+                    )),
+                );
+            }
+            FaultAction::Duplicate => {
+                // Process the original now; a ghost copy re-traverses from
+                // this hop one superstep later, double-applying the cell.
+                counters.cells_duplicated.fetch_add(1, Ordering::Relaxed);
+                counters.in_flight.fetch_add(1, Ordering::Relaxed);
+                spawned = Some((
+                    fx.superstep + 1,
+                    Job {
+                        salt: 1,
+                        origin: job.hop as u8,
+                        cleared: false,
+                        ..job
+                    },
+                ));
+            }
         }
-        counters.completed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    // Deliver the attempt's verdict to the source (salt-0 only: ghosts
+    // are network artifacts, invisible to the load generator).
+    let deliver = |outcome: Outcome,
+                   hops_touched: usize,
+                   counters: &Counters,
+                   sink: &mut CompletionSink<'_>| {
+        let rtt = cfg.hop_latency * 2.0 * hops_touched as f64;
+        sink.latency.record(rtt);
+        sink.moments.push(rtt);
+        if outcome == Outcome::Granted {
+            counters.accepted.fetch_add(1, Ordering::Relaxed);
+            counters.completed.fetch_add(1, Ordering::Relaxed);
+        } else {
+            counters.denied.fetch_add(1, Ordering::Relaxed);
+        }
         vci_states[job.vci as usize]
             .lock()
             .expect("vci lock")
@@ -196,14 +368,6 @@ pub(crate) fn advance_job(
 
     match job.kind {
         JobKind::Delta(delta) => {
-            if loss_hop(cfg, job.seq, path_len) == Some(job.hop) {
-                // The cell vanishes: hops 0..hop keep the applied delta
-                // (drift), the source will time out.
-                counters.lost.fetch_add(1, Ordering::Relaxed);
-                complete(Outcome::Lost, job.hop, counters, sink);
-                counters.in_flight.fetch_sub(1, Ordering::Relaxed);
-                return None;
-            }
             let cell = sw
                 .process_rm(RmCell {
                     vci: job.vci,
@@ -213,31 +377,44 @@ pub(crate) fn advance_job(
                 .expect("VC is routed through this switch");
             if !cell.denied {
                 if job.hop + 1 == path_len {
-                    counters.accepted.fetch_add(1, Ordering::Relaxed);
-                    complete(Outcome::Granted, path_len, counters, sink);
-                    counters.in_flight.fetch_sub(1, Ordering::Relaxed);
-                    None
+                    if !is_ghost {
+                        deliver(Outcome::Granted, path_len, counters, sink);
+                    }
+                    gone(counters);
+                    (None, spawned)
                 } else {
-                    Some(Job {
-                        hop: job.hop + 1,
-                        ..job
-                    })
+                    (
+                        Some(Job {
+                            hop: job.hop + 1,
+                            cleared: false,
+                            ..job
+                        }),
+                        spawned,
+                    )
                 }
             } else {
-                counters.denied.fetch_add(1, Ordering::Relaxed);
                 // The source learns of the denial now (round trip to the
-                // denying hop); the unwind continues in-pipeline.
-                complete(Outcome::Denied, job.hop + 1, counters, sink);
-                if job.hop == 0 {
-                    counters.in_flight.fetch_sub(1, Ordering::Relaxed);
-                    None
+                // denying hop); the unwind continues in-pipeline down to
+                // this job's origin hop.
+                if !is_ghost {
+                    deliver(Outcome::Denied, job.hop + 1, counters, sink);
+                }
+                if job.hop == job.origin as usize {
+                    gone(counters);
+                    (None, spawned)
                 } else {
-                    counters.rollbacks.fetch_add(1, Ordering::Relaxed);
-                    Some(Job {
-                        hop: job.hop - 1,
-                        kind: JobKind::Rollback(delta),
-                        ..job
-                    })
+                    if !is_ghost {
+                        counters.rollbacks.fetch_add(1, Ordering::Relaxed);
+                    }
+                    (
+                        Some(Job {
+                            hop: job.hop - 1,
+                            kind: JobKind::Rollback(delta),
+                            cleared: false,
+                            ..job
+                        }),
+                        spawned,
+                    )
                 }
             }
         }
@@ -248,7 +425,7 @@ pub(crate) fn advance_job(
             let prior = sw
                 .vci_rate(job.vci)
                 .expect("VC is routed through this switch");
-            if prior != expected_prior {
+            if prior != expected_prior && !is_ghost {
                 counters.resync_repairs.fetch_add(1, Ordering::Relaxed);
             }
             let cell = sw
@@ -261,67 +438,50 @@ pub(crate) fn advance_job(
             if cell.denied {
                 // No rollback for resync (Path::resync semantics): hops
                 // already synchronized stay synchronized.
-                counters.denied.fetch_add(1, Ordering::Relaxed);
-                complete(Outcome::Denied, job.hop + 1, counters, sink);
-                counters.in_flight.fetch_sub(1, Ordering::Relaxed);
-                None
+                if !is_ghost {
+                    deliver(Outcome::Denied, job.hop + 1, counters, sink);
+                }
+                gone(counters);
+                (None, spawned)
             } else if job.hop + 1 == path_len {
-                counters.accepted.fetch_add(1, Ordering::Relaxed);
-                complete(Outcome::Granted, path_len, counters, sink);
-                counters.in_flight.fetch_sub(1, Ordering::Relaxed);
-                None
+                if !is_ghost {
+                    deliver(Outcome::Granted, path_len, counters, sink);
+                }
+                gone(counters);
+                (None, spawned)
             } else {
-                Some(Job {
-                    hop: job.hop + 1,
-                    ..job
-                })
+                (
+                    Some(Job {
+                        hop: job.hop + 1,
+                        cleared: false,
+                        ..job
+                    }),
+                    spawned,
+                )
             }
         }
         JobKind::Rollback(delta) => {
-            sw.rollback_delta(job.vci, delta)
+            // Best-effort: the grant being unwound may have been wiped by
+            // a crash-restart, in which case there is nothing to undo.
+            let unwound = sw
+                .try_rollback_delta(job.vci, delta)
                 .expect("VC is routed through this switch");
-            counters.rolled_back_hops.fetch_add(1, Ordering::Relaxed);
-            if job.hop == 0 {
-                counters.in_flight.fetch_sub(1, Ordering::Relaxed);
-                None
+            if unwound && !is_ghost {
+                counters.rolled_back_hops.fetch_add(1, Ordering::Relaxed);
+            }
+            if job.hop == job.origin as usize {
+                gone(counters);
+                (None, None)
             } else {
-                Some(Job {
-                    hop: job.hop - 1,
-                    ..job
-                })
+                (
+                    Some(Job {
+                        hop: job.hop - 1,
+                        cleared: false,
+                        ..job
+                    }),
+                    None,
+                )
             }
         }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn tiny_cfg() -> RuntimeConfig {
-        let mut cfg = RuntimeConfig::balanced(1, 8);
-        cfg.loss_period = 5;
-        cfg
-    }
-
-    #[test]
-    fn loss_hop_is_deterministic_and_mid_path() {
-        let cfg = tiny_cfg();
-        for seq in 0..100u64 {
-            match loss_hop(&cfg, seq, 4) {
-                Some(h) => {
-                    assert_eq!(seq % 5, 0);
-                    assert!((1..4).contains(&h), "loss hop {h} not mid-path");
-                }
-                None => assert_ne!(seq % 5, 0),
-            }
-        }
-    }
-
-    #[test]
-    fn loss_disabled_when_period_zero() {
-        let mut cfg = tiny_cfg();
-        cfg.loss_period = 0;
-        assert_eq!(loss_hop(&cfg, 0, 4), None);
     }
 }

@@ -3,43 +3,53 @@
 //! ## Execution model: bulk-synchronous supersteps
 //!
 //! Switch `h` lives on shard `h % num_shards`; VC `v`'s load generator on
-//! shard `v % num_shards`. Each **round** has two phases:
+//! shard `v % num_shards`. Each **round** has three phases:
 //!
-//! 1. **Generate** — every shard steps its VCs through `slots_per_round`
-//!    traffic slots in parallel; emitted requests are batched into the
-//!    first hop's shard channel.
-//! 2. **Drain** — the pipeline runs in supersteps until no job is in
-//!    flight. In each superstep a shard drains its inbox, sorts the batch
-//!    by global sequence number, advances every job one hop (reserve /
-//!    deny / roll back one hop / drop), and sends follow-up jobs to the
-//!    next hop's shard.
+//! 1. **Verdicts** — every shard delivers last round's outcomes to its
+//!    VCs' retry state machines (grant / deny / timeout / backoff) and
+//!    publishes each VC's believed rate. On audit rounds, a barrier
+//!    follows and every shard audits its own switches against those
+//!    beliefs.
+//! 2. **Generate** — every shard steps its VCs through `slots_per_round`
+//!    traffic slots (plus at most one due retry); emitted attempts are
+//!    batched into the first hop's shard channel.
+//! 3. **Drain** — the pipeline runs in supersteps until no job is in
+//!    flight. Each superstep advances the global logical clock by one; a
+//!    shard drains its inbox, releases due fault-delayed cells, retries
+//!    stall-held cells, applies due crash-restart wipes, sorts the batch
+//!    by `(seq, salt)`, advances every job one hop, and sends follow-up
+//!    jobs to the next hop's shard.
 //!
-//! ## Why the outcome is shard-count invariant
+//! ## Why the outcome is shard-count invariant — even under faults
 //!
-//! A job injected in round `r` reaches hop `k` in superstep `k` (rollbacks
-//! walk back one hop per superstep) — *independent of the partition*. So
-//! the set of jobs meeting at a switch in a given superstep is fixed, and
-//! the sort-by-`seq` before processing fixes their order. Every switch
-//! therefore processes exactly the same cell sequence whether there is one
-//! shard or eight — which is what makes the accept/deny/rollback counters
+//! A job injected in round `r` reaches hop `k` at a superstep that
+//! depends only on the logical clock and the fault plane's pure decisions
+//! — *independent of the partition*. Delays are keyed to release
+//! supersteps, crashes and stalls to superstep windows, duplicates to
+//! `(seq, hop, salt)`; none of them can observe which thread owns a
+//! switch. So the set of jobs meeting at a switch in a given superstep is
+//! fixed, and the sort-by-`(seq, salt)` before processing fixes their
+//! order. Every switch therefore processes exactly the same cell sequence
+//! whether there is one shard or eight — which is what makes the counters
 //! bit-identical across shard counts and equal to the single-threaded
-//! [`run_sequential`](crate::run_sequential) replay.
+//! [`run_sequential`](crate::run_sequential) replay, fault plane and all.
 //!
 //! Barriers separate the drain / process phases, so a channel is never
 //! written while its owner drains it; `std::sync::mpsc` carries the
 //! batches and a `std::sync::Mutex` guards each VC's slow-path completion
 //! slot.
 
-use std::sync::atomic::Ordering;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::{mpsc, Barrier, Mutex};
 use std::time::Instant;
 
-use rcbr_net::Switch;
+use rcbr_net::{FaultPlane, Switch};
 use rcbr_sim::{Histogram, RunningStats};
 
+use crate::audit::{audit_shard, finalize, VcFinal};
 use crate::config::RuntimeConfig;
-use crate::core::{advance_job, CompletionSink, Counters, Job, JobKind, VciSlot};
+use crate::core::{advance_job, CompletionSink, Counters, FaultCtx, Job, JobKind, VciSlot};
 use crate::gen::VcRunner;
 use crate::report::{latency_histogram, summarize_latency, RunReport, ShardReport};
 
@@ -52,6 +62,11 @@ struct ShardResult {
     injected: u64,
     max_batch: u64,
     rounds: u64,
+    superstep: u64,
+    /// This shard's switches, in local (strided) order.
+    switches: Vec<Switch>,
+    /// This shard's VCs' final source states.
+    finals: Vec<VcFinal>,
 }
 
 /// Run the sharded engine to completion and report.
@@ -59,10 +74,16 @@ pub fn run(cfg: &RuntimeConfig) -> RunReport {
     cfg.validate();
     let started = Instant::now();
     let shards = cfg.num_shards;
+    let plane = FaultPlane::new(cfg.fault.clone());
 
     let counters = Counters::default();
     let vci_states: Vec<Mutex<VciSlot>> = (0..cfg.num_vcs)
         .map(|_| Mutex::new(VciSlot::default()))
+        .collect();
+    // Each VC's believed end-to-end rate (f64 bits), published by its
+    // owner shard every round for the auditor.
+    let believed: Vec<AtomicU64> = (0..cfg.num_vcs)
+        .map(|_| AtomicU64::new(cfg.initial_rate.to_bits()))
         .collect();
     let barrier = Barrier::new(shards);
 
@@ -81,10 +102,14 @@ pub fn run(cfg: &RuntimeConfig) -> RunReport {
             let txs = senders.clone();
             let counters = &counters;
             let vci_states = &vci_states;
+            let believed = &believed;
             let barrier = &barrier;
-            handles.push(
-                scope.spawn(move || worker(shard, cfg, rx, txs, counters, vci_states, barrier)),
-            );
+            let plane = &plane;
+            handles.push(scope.spawn(move || {
+                worker(
+                    shard, cfg, plane, rx, txs, counters, vci_states, believed, barrier,
+                )
+            }));
         }
         // Drop the main thread's senders so workers hold the only handles.
         senders.clear();
@@ -99,7 +124,15 @@ pub fn run(cfg: &RuntimeConfig) -> RunReport {
     let mut latency = latency_histogram(cfg);
     let mut moments = RunningStats::new();
     let mut shard_reports = Vec::with_capacity(shards);
-    for r in &results {
+    let rounds = results[0].rounds;
+    let superstep = results[0].superstep;
+    // Reassemble the global switch population and VC states from the
+    // strided shard partitions for the end-of-run audit.
+    let mut all_switches: Vec<Option<Switch>> = (0..cfg.num_switches).map(|_| None).collect();
+    let mut finals: Vec<VcFinal> = Vec::with_capacity(cfg.num_vcs);
+    for r in &mut results {
+        debug_assert_eq!(r.rounds, rounds, "shards disagree on round count");
+        debug_assert_eq!(r.superstep, superstep, "shards disagree on the clock");
         latency.merge(&r.latency);
         moments.merge(&r.moments);
         shard_reports.push(ShardReport {
@@ -108,18 +141,31 @@ pub fn run(cfg: &RuntimeConfig) -> RunReport {
             injected: r.injected,
             max_batch: r.max_batch,
         });
+        for (li, sw) in r.switches.drain(..).enumerate() {
+            all_switches[r.shard + li * shards] = Some(sw);
+        }
+        finals.append(&mut r.finals);
     }
+    let mut all_switches: Vec<Switch> = all_switches
+        .into_iter()
+        .map(|s| s.expect("every switch owned by exactly one shard"))
+        .collect();
+    finals.sort_by_key(|f| f.vci);
+
+    let audit = finalize(cfg, &plane, &mut all_switches, &mut finals, superstep);
+    let degraded_vcs = finals.iter().filter(|f| f.degraded).count() as u64;
+    let mean_source_loss = finals.iter().map(|f| f.loss).sum::<f64>() / cfg.num_vcs as f64;
+    let max_source_loss = finals.iter().fold(0.0f64, |m, f| m.max(f.loss));
+
     let counters = counters.snapshot();
-    debug_assert_eq!(
-        counters.completed,
-        counters.accepted + counters.denied + counters.lost
-    );
+    debug_assert_eq!(counters.completed, counters.accepted + counters.exhausted);
     RunReport {
         num_shards: shards,
         num_vcs: cfg.num_vcs,
         num_switches: cfg.num_switches,
         hops_per_vc: cfg.hops_per_vc,
-        rounds: results[0].rounds,
+        rounds,
+        supersteps: superstep,
         wall_seconds: wall,
         throughput_per_sec: if wall > 0.0 {
             counters.completed as f64 / wall
@@ -127,6 +173,10 @@ pub fn run(cfg: &RuntimeConfig) -> RunReport {
             0.0
         },
         counters,
+        audit,
+        degraded_vcs,
+        mean_source_loss,
+        max_source_loss,
         latency: summarize_latency(&latency, &moments),
         shards: shard_reports,
     }
@@ -144,13 +194,16 @@ fn build_local_switches(cfg: &RuntimeConfig, shard: usize) -> Vec<Switch> {
     local
 }
 
+#[allow(clippy::too_many_arguments)]
 fn worker(
     shard: usize,
     cfg: &RuntimeConfig,
+    plane: &FaultPlane,
     rx: Receiver<Vec<Job>>,
     txs: Vec<Sender<Vec<Job>>>,
     counters: &Counters,
     vci_states: &[Mutex<VciSlot>],
+    believed: &[AtomicU64],
     barrier: &Barrier,
 ) -> ShardResult {
     let shards = cfg.num_shards;
@@ -181,25 +234,47 @@ fn worker(
     let mut injected = 0u64;
     let mut max_batch = 0u64;
     let mut rounds = 0u64;
+    // The global logical clock: +1 per drain iteration, in lockstep
+    // across shards (and identical in the sequential replay).
+    let mut superstep = 0u64;
 
     let mut staging: Vec<Job> = Vec::new();
     let mut out_batches: Vec<Vec<Job>> = (0..shards).map(|_| Vec::new()).collect();
+    // Fault-delayed cells and spawned ghosts, keyed by release superstep.
+    // Both stay at their current hop, so they never cross shards.
+    let mut delayed: Vec<(u64, Job)> = Vec::new();
+    // Cells held because their switch is stalled; retried every superstep.
+    let mut held: Vec<Job> = Vec::new();
+    // Crash-restart wipes already applied, per local switch.
+    let mut wiped: Vec<bool> = vec![false; switches.len()];
     let path_len = cfg.hops_per_vc;
 
     for round in 0..cfg.max_rounds {
         rounds = round + 1;
-        // Phase 1: generate. Deliver last round's verdicts, then step the
-        // traffic slots.
+        // Phase A: deliver last round's verdicts (grant / deny / timeout)
+        // and publish believed rates for the auditor.
         for runner in &mut runners {
             let outcome = vci_states[runner.vci() as usize]
                 .lock()
                 .expect("vci lock")
                 .outcome
                 .take();
-            if let Some(o) = outcome {
-                runner.apply_outcome(o);
-            }
-            runner.step_round(cfg, round, &mut staging);
+            runner.begin_round(outcome, superstep, counters);
+            believed[runner.vci() as usize]
+                .store(runner.believed_rate().to_bits(), Ordering::Relaxed);
+        }
+        if cfg.audit_interval > 0 && round > 0 && round.is_multiple_of(cfg.audit_interval) {
+            // One extra barrier so every shard's believed rates are
+            // published before any shard reads them.
+            barrier.wait();
+            audit_shard(
+                plane, &switches, shard, shards, believed, superstep, counters,
+            );
+        }
+
+        // Phase B: generate this round's attempts (due retries first).
+        for runner in &mut runners {
+            runner.emit_round(cfg, round, superstep, &mut staging, counters);
         }
         for job in staging.drain(..) {
             counters.injected.fetch_add(1, Ordering::Relaxed);
@@ -214,52 +289,114 @@ fn worker(
         send_batches(&mut out_batches, &txs);
         barrier.wait(); // all injections delivered
 
-        // Phase 2: drain the pipeline in supersteps.
-        loop {
+        // Phase C: drain the pipeline in supersteps. The loop yields the
+        // completed-request total as of quiescence, snapshotted at a
+        // point all shards agree on.
+        let completed_now = loop {
+            superstep += 1;
             let mut jobs: Vec<Job> = Vec::new();
             while let Ok(batch) = rx.try_recv() {
                 jobs.extend(batch);
             }
+            // Release fault-delayed cells that are due, and re-offer
+            // every stall-held cell.
+            let mut i = 0;
+            while i < delayed.len() {
+                if delayed[i].0 <= superstep {
+                    jobs.push(delayed.swap_remove(i).1);
+                } else {
+                    i += 1;
+                }
+            }
+            jobs.append(&mut held);
             max_batch = max_batch.max(jobs.len() as u64);
-            // Safe read window: in_flight is only written while shards
-            // process, and every shard is draining right now.
+            // Safe read window: in_flight and completed are only written
+            // while shards process (or in the next round's phases), and
+            // every shard is draining right now — the barrier below makes
+            // sure everyone has read before anyone can write again.
+            // Delayed and held cells keep in_flight nonzero, so rounds
+            // only end once every fault-induced straggler has resolved;
+            // completed must be snapshotted *here* so all shards take the
+            // same stop-run branch (a shard racing ahead into the next
+            // round's verdict phase can complete requests via timeouts).
             let quiescent = counters.in_flight.load(Ordering::Relaxed) == 0;
+            let completed_now = counters.completed.load(Ordering::Relaxed);
             barrier.wait(); // all inboxes drained
             if quiescent {
-                break;
+                break completed_now;
             }
-            jobs.sort_unstable_by_key(|j| j.seq);
+            // Crash restarts due this superstep wipe soft state.
+            for (li, sw) in switches.iter_mut().enumerate() {
+                if !wiped[li] {
+                    if let Some(restart) = plane.restart_superstep(shard + li * shards) {
+                        if superstep >= restart {
+                            sw.wipe_soft_state();
+                            wiped[li] = true;
+                        }
+                    }
+                }
+            }
+            jobs.sort_unstable_by_key(|j| (j.seq, j.salt));
+            let fx = FaultCtx { plane, superstep };
             let mut sink = CompletionSink {
                 latency: &mut latency,
                 moments: &mut moments,
             };
             for job in jobs {
-                processed += 1;
                 let h = cfg.path_of(job.vci)[job.hop];
-                let next = advance_job(
+                if plane.stalled(h, superstep) {
+                    // The switch is stalled: hold the cell, retry next
+                    // superstep (pure latency, no loss).
+                    held.push(job);
+                    continue;
+                }
+                processed += 1;
+                let (forward, hold) = advance_job(
                     job,
                     &mut switches[h / shards],
+                    h,
                     path_len,
                     cfg,
+                    &fx,
                     counters,
                     vci_states,
                     &mut sink,
                 );
-                if let Some(nj) = next {
+                if let Some(nj) = forward {
                     let nh = cfg.path_of(nj.vci)[nj.hop];
                     out_batches[nh % shards].push(nj);
+                }
+                if let Some(entry) = hold {
+                    delayed.push(entry);
                 }
             }
             send_batches(&mut out_batches, &txs);
             barrier.wait(); // all follow-up sends delivered
-        }
+        };
 
-        // Stable here: the pipeline is quiescent and nothing is written
-        // until the next generate phase, so every shard sees the same
-        // totals and takes the same branch.
-        if counters.completed.load(Ordering::Relaxed) >= cfg.target_requests {
+        if completed_now >= cfg.target_requests {
             break;
         }
+    }
+
+    // Apply verdicts delivered in the final round so believed rates are
+    // current, then snapshot each VC's source state for the audit.
+    let mut finals = Vec::with_capacity(runners.len());
+    for runner in &mut runners {
+        let outcome = vci_states[runner.vci() as usize]
+            .lock()
+            .expect("vci lock")
+            .outcome
+            .take();
+        if let Some(o) = outcome {
+            runner.apply_final(o);
+        }
+        finals.push(VcFinal {
+            vci: runner.vci(),
+            believed: runner.believed_rate(),
+            degraded: runner.is_degraded(),
+            loss: runner.loss_fraction(),
+        });
     }
 
     ShardResult {
@@ -270,6 +407,9 @@ fn worker(
         injected,
         max_batch,
         rounds,
+        superstep,
+        switches,
+        finals,
     }
 }
 

@@ -1,18 +1,66 @@
-//! The open-loop load generator: one [`VcRunner`] per virtual channel.
+//! The open-loop load generator: one [`VcRunner`] per virtual channel,
+//! now with a failure-handling state machine.
 //!
 //! Each VC owns a synthetic MPEG trace (derived from the master seed and
 //! its VCI, so generation is identical no matter which shard hosts it), an
 //! end-system buffer, and the AR(1) renegotiation heuristic, packaged in
 //! [`rcbr_schedule::VcDriver`]. Stepping a runner produces [`Job`]s tagged
 //! with globally unique, shard-invariant sequence numbers.
+//!
+//! ## The request state machine
+//!
+//! ```text
+//!            step() emits             verdict = Granted
+//!   Idle ────────────────▶ Await ───────────────────────▶ Idle
+//!                            │ verdict = Denied, or timeout
+//!                            ▼
+//!                         Backoff ──(due)──▶ Await  (retry as resync)
+//!                            │ budget exhausted
+//!                            ▼
+//!                          Idle  (abandon: keep last granted rate,
+//!                                 mark the VC degraded)
+//! ```
+//!
+//! A killed cell (dropped, corrupted, crash-killed) never reports back, so
+//! `Await` is exited by a per-request timeout measured in supersteps.
+//! Retries re-request the *pending* rate as an absolute resync cell: the
+//! failed attempt may have half-applied its delta along the path, and an
+//! absolute cell both retries the request and repairs that drift in one
+//! traversal. Backoff doubles per failure with seeded per-VC jitter so
+//! synchronized failures don't retry in lockstep — yet every schedule is
+//! deterministic, keeping the sharded engine and the sequential replay
+//! bit-identical.
 
 use rcbr_schedule::online::{Ar1Config, Ar1Policy};
-use rcbr_schedule::VcDriver;
+use rcbr_schedule::{RetryPolicy, VcDriver};
 use rcbr_sim::SimRng;
 use rcbr_traffic::SyntheticMpegSource;
 
+use std::sync::atomic::Ordering;
+
 use crate::config::RuntimeConfig;
-use crate::core::{Job, JobKind, Outcome};
+use crate::core::{Counters, Job, JobKind, Outcome};
+
+/// Where the VC's outstanding request stands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ReqPhase {
+    /// No request outstanding.
+    Idle,
+    /// An attempt is in flight (or was killed and will time out).
+    Await {
+        /// Superstep the attempt was injected at.
+        injected_at: u64,
+        /// Failed attempts so far for this request.
+        failures: u32,
+    },
+    /// Waiting out a backoff before the next retry.
+    Backoff {
+        /// First superstep the retry may be injected at.
+        until: u64,
+        /// Failed attempts so far for this request.
+        failures: u32,
+    },
+}
 
 /// One VC's source-side state.
 pub(crate) struct VcRunner {
@@ -20,6 +68,8 @@ pub(crate) struct VcRunner {
     driver: VcDriver<Ar1Policy>,
     /// Requests emitted so far (drives the resync cadence).
     emitted: u64,
+    phase: ReqPhase,
+    retry: RetryPolicy,
 }
 
 impl VcRunner {
@@ -34,23 +84,109 @@ impl VcRunner {
             vci,
             driver: VcDriver::new(trace, policy, cfg.buffer),
             emitted: 0,
+            phase: ReqPhase::Idle,
+            retry: cfg.retry_policy(),
         }
     }
 
-    /// Deliver the verdict of the VC's outstanding request.
-    pub fn apply_outcome(&mut self, outcome: Outcome) {
+    /// Round boundary, phase A: consume the outstanding attempt's verdict
+    /// if one arrived, otherwise check it for timeout. `now` is the
+    /// engine's superstep clock.
+    pub fn begin_round(&mut self, outcome: Option<Outcome>, now: u64, counters: &Counters) {
         match outcome {
-            Outcome::Granted => self.driver.on_grant(),
-            Outcome::Denied => self.driver.on_deny(),
-            Outcome::Lost => self.driver.on_lost(),
+            Some(Outcome::Granted) => {
+                self.driver.on_grant();
+                self.phase = ReqPhase::Idle;
+            }
+            Some(Outcome::Denied) => {
+                let ReqPhase::Await { failures, .. } = self.phase else {
+                    unreachable!("a verdict implies an attempt in flight");
+                };
+                self.fail(failures + 1, now, counters);
+            }
+            None => {
+                if let ReqPhase::Await {
+                    injected_at,
+                    failures,
+                } = self.phase
+                {
+                    if self.retry.timed_out(injected_at, now) {
+                        // The cell was killed (dropped, corrupted, or
+                        // crash-killed): no verdict will ever arrive.
+                        counters.timeouts.fetch_add(1, Ordering::Relaxed);
+                        self.fail(failures + 1, now, counters);
+                    }
+                }
+            }
         }
     }
 
-    /// Step the VC through one round of traffic slots, appending any
-    /// emitted request to `out`. At most one request per round surfaces
-    /// (the source has a single outstanding RM cell; further policy
-    /// requests are suppressed until the verdict arrives next round).
-    pub fn step_round(&mut self, cfg: &RuntimeConfig, round: u64, out: &mut Vec<Job>) {
+    /// Record the `failures`-th failure of the outstanding request:
+    /// either back off for a retry, or exhaust the budget and degrade —
+    /// the source keeps its last granted rate (the paper's fallback) and
+    /// the request completes as abandoned.
+    fn fail(&mut self, failures: u32, now: u64, counters: &Counters) {
+        if self.retry.exhausted(failures) {
+            counters.exhausted.fetch_add(1, Ordering::Relaxed);
+            counters.completed.fetch_add(1, Ordering::Relaxed);
+            self.driver.abandon();
+            if !self.driver.is_degraded() {
+                self.driver.mark_degraded();
+                counters.degraded_events.fetch_add(1, Ordering::Relaxed);
+            }
+            self.phase = ReqPhase::Idle;
+        } else {
+            self.phase = ReqPhase::Backoff {
+                until: now + self.retry.backoff(self.vci, failures),
+                failures,
+            };
+        }
+    }
+
+    /// Round boundary, phase B: inject a due retry, then step the VC
+    /// through one round of traffic slots, appending emitted requests to
+    /// `out`. At most one attempt per round surfaces (the source has a
+    /// single outstanding RM cell; the driver suppresses policy requests
+    /// while one is pending).
+    pub fn emit_round(
+        &mut self,
+        cfg: &RuntimeConfig,
+        round: u64,
+        now: u64,
+        out: &mut Vec<Job>,
+        counters: &Counters,
+    ) {
+        if let ReqPhase::Backoff { until, failures } = self.phase {
+            if now >= until {
+                // Retry the pending rate as an absolute resync: the failed
+                // attempt may have half-applied its delta, and an absolute
+                // cell repairs that drift while re-asking.
+                let rate = self
+                    .driver
+                    .pending_rate()
+                    .expect("backoff implies a pending request");
+                counters.retries.fetch_add(1, Ordering::Relaxed);
+                // The slot-0 sequence number for this round; unique, since
+                // a pending request suppresses every traffic-slot emission.
+                let seq = round * cfg.slots_per_round as u64 * cfg.num_vcs as u64 + self.vci as u64;
+                out.push(Job {
+                    seq,
+                    vci: self.vci,
+                    hop: 0,
+                    kind: JobKind::Resync {
+                        rate,
+                        expected_prior: self.driver.current_rate(),
+                    },
+                    salt: 0,
+                    origin: 0,
+                    cleared: false,
+                });
+                self.phase = ReqPhase::Await {
+                    injected_at: now,
+                    failures,
+                };
+            }
+        }
         for slot in 0..cfg.slots_per_round {
             let Some(rate) = self.driver.step() else {
                 continue;
@@ -75,8 +211,26 @@ impl VcRunner {
                 vci: self.vci,
                 hop: 0,
                 kind,
+                salt: 0,
+                origin: 0,
+                cleared: false,
             });
+            self.phase = ReqPhase::Await {
+                injected_at: now,
+                failures: 0,
+            };
         }
+    }
+
+    /// End of run: apply a verdict that arrived in the final round so the
+    /// driver's believed rate reflects it (no retry processing — the run
+    /// is over).
+    pub fn apply_final(&mut self, outcome: Outcome) {
+        match outcome {
+            Outcome::Granted => self.driver.on_grant(),
+            Outcome::Denied => self.driver.on_deny(),
+        }
+        self.phase = ReqPhase::Idle;
     }
 
     /// The VCI this runner drives.
@@ -84,10 +238,21 @@ impl VcRunner {
         self.vci
     }
 
-    /// Whether a request is awaiting its verdict.
-    #[cfg(test)]
-    pub fn has_pending(&self) -> bool {
-        self.driver.has_pending()
+    /// The rate the source currently believes is reserved end to end.
+    pub fn believed_rate(&self) -> f64 {
+        self.driver.current_rate()
+    }
+
+    /// Whether this VC ever exhausted a retry budget (or was floored by
+    /// the end-of-run auditor).
+    pub fn is_degraded(&self) -> bool {
+        self.driver.is_degraded()
+    }
+
+    /// Fraction of arrived bits this VC lost to end-system buffer
+    /// overflow.
+    pub fn loss_fraction(&self) -> f64 {
+        self.driver.loss_fraction()
     }
 }
 
@@ -95,21 +260,51 @@ impl VcRunner {
 mod tests {
     use super::*;
 
+    fn quiet_cfg() -> RuntimeConfig {
+        let mut cfg = RuntimeConfig::balanced(1, 8);
+        cfg.fault = rcbr_net::FaultConfig::transparent();
+        cfg
+    }
+
+    /// Drive `r` for `rounds` rounds against a synthetic network that
+    /// answers every attempt with `verdict` (or, with `verdict == None`,
+    /// kills every cell so only timeouts answer).
+    fn drive(
+        r: &mut VcRunner,
+        cfg: &RuntimeConfig,
+        rounds: u64,
+        verdict: Option<Outcome>,
+        counters: &Counters,
+    ) -> Vec<Job> {
+        let mut jobs = Vec::new();
+        let mut superstep = 0u64;
+        let mut outstanding = false;
+        for round in 0..rounds {
+            let outcome = if outstanding { verdict } else { None };
+            if outcome.is_some() {
+                outstanding = false;
+            }
+            r.begin_round(outcome, superstep, counters);
+            let before = jobs.len();
+            r.emit_round(cfg, round, superstep, &mut jobs, counters);
+            assert!(jobs.len() - before <= 1, "multiple attempts in one round");
+            if jobs.len() > before {
+                outstanding = true;
+            }
+            superstep += 8; // a plausible per-round superstep budget
+        }
+        jobs
+    }
+
     #[test]
     fn construction_is_deterministic() {
-        let cfg = RuntimeConfig::balanced(1, 8);
+        let cfg = quiet_cfg();
+        let ca = Counters::default();
+        let cb = Counters::default();
         let mut a = VcRunner::new(&cfg, 3);
         let mut b = VcRunner::new(&cfg, 3);
-        let mut ja = Vec::new();
-        let mut jb = Vec::new();
-        for round in 0..50 {
-            a.step_round(&cfg, round, &mut ja);
-            b.step_round(&cfg, round, &mut jb);
-            if a.has_pending() {
-                a.apply_outcome(Outcome::Granted);
-                b.apply_outcome(Outcome::Granted);
-            }
-        }
+        let ja = drive(&mut a, &cfg, 50, Some(Outcome::Granted), &ca);
+        let jb = drive(&mut b, &cfg, 50, Some(Outcome::Granted), &cb);
         assert!(
             !ja.is_empty(),
             "the MPEG source must trigger renegotiations"
@@ -122,38 +317,54 @@ mod tests {
     }
 
     #[test]
-    fn at_most_one_outstanding_request() {
-        let cfg = RuntimeConfig::balanced(1, 8);
+    fn denials_are_retried_then_exhausted() {
+        let mut cfg = quiet_cfg();
+        cfg.retry_budget = 2;
+        cfg.backoff_base = 1;
+        cfg.backoff_jitter = 0;
+        let counters = Counters::default();
         let mut r = VcRunner::new(&cfg, 0);
-        let mut jobs = Vec::new();
-        for round in 0..200 {
-            let before = jobs.len();
-            r.step_round(&cfg, round, &mut jobs);
-            assert!(jobs.len() - before <= 1, "multiple requests in one round");
-            if r.has_pending() {
-                r.apply_outcome(Outcome::Denied);
-            }
-        }
+        let jobs = drive(&mut r, &cfg, 300, Some(Outcome::Denied), &counters);
+        assert!(!jobs.is_empty());
+        let snap = counters.snapshot();
+        assert!(snap.retries > 0, "denials must trigger retries");
+        assert!(snap.exhausted > 0, "the budget must run out");
+        assert_eq!(snap.completed, snap.exhausted);
+        assert_eq!(snap.degraded_events, 1, "degradation is marked once");
+        assert!(r.is_degraded());
+        // Retries go out as absolute resync cells.
+        assert!(jobs
+            .iter()
+            .any(|j| matches!(j.kind, JobKind::Resync { .. })));
+    }
+
+    #[test]
+    fn killed_cells_time_out() {
+        let mut cfg = quiet_cfg();
+        cfg.timeout_supersteps = 16;
+        cfg.retry_budget = 1;
+        let counters = Counters::default();
+        let mut r = VcRunner::new(&cfg, 2);
+        drive(&mut r, &cfg, 300, None, &counters);
+        let snap = counters.snapshot();
+        assert!(snap.timeouts > 0, "unanswered attempts must time out");
+        assert!(snap.exhausted > 0);
+        assert!(r.is_degraded());
     }
 
     #[test]
     fn resync_cadence() {
-        let mut cfg = RuntimeConfig::balanced(1, 8);
+        let mut cfg = quiet_cfg();
         cfg.resync_interval = 2;
+        let counters = Counters::default();
         let mut r = VcRunner::new(&cfg, 1);
-        let mut jobs = Vec::new();
-        for round in 0..400 {
-            r.step_round(&cfg, round, &mut jobs);
-            if r.has_pending() {
-                r.apply_outcome(Outcome::Granted);
-            }
-        }
+        let jobs = drive(&mut r, &cfg, 400, Some(Outcome::Granted), &counters);
         let resyncs = jobs
             .iter()
             .filter(|j| matches!(j.kind, JobKind::Resync { .. }))
             .count();
         assert!(resyncs > 0, "no resync cells emitted");
-        // Every second request is a resync.
+        // Every second request is a resync (no retries here: all granted).
         assert_eq!(resyncs, jobs.len() / 2);
     }
 }

@@ -19,10 +19,18 @@
 //!   trace (calibrated to the Star Wars statistics) through the online
 //!   AR(1) heuristic from [`rcbr_schedule`], which decides *when* that VC
 //!   renegotiates and to what rate.
+//! - **A deterministic fault plane** — a seeded
+//!   [`FaultPlane`](rcbr_net::FaultPlane) drops, delays, duplicates, and
+//!   bit-corrupts RM cells per hop, crashes and restarts switches (wiping
+//!   their soft reservation state), and stalls switch groups. Sources run
+//!   a timeout / bounded-retry / exponential-backoff state machine and
+//!   degrade gracefully when the budget runs out; a periodic invariant
+//!   auditor counts reservation drift and the end-of-run audit repairs it
+//!   to zero.
 //! - **Determinism under concurrency** — the engine is bulk-synchronous,
-//!   so [`run`] produces bit-identical accept/deny/rollback counters at
-//!   any shard count, equal to the single-threaded [`run_sequential`]
-//!   replay. See [`engine`] for the argument.
+//!   so [`run`] produces bit-identical accept/deny/rollback/fault counters
+//!   at any shard count, equal to the single-threaded [`run_sequential`]
+//!   replay — under every fault mode. See [`engine`] for the argument.
 //!
 //! ```
 //! use rcbr_runtime::{run, run_sequential, RuntimeConfig};
@@ -35,6 +43,7 @@
 //! assert!(sharded.counters.completed >= 500);
 //! ```
 
+mod audit;
 pub mod config;
 pub mod core;
 pub mod engine;
@@ -42,6 +51,7 @@ mod gen;
 pub mod report;
 pub mod sequential;
 
+pub use audit::AuditReport;
 pub use config::RuntimeConfig;
 pub use core::{CounterSnapshot, Outcome};
 pub use engine::run;

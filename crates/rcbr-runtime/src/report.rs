@@ -3,6 +3,7 @@
 use rcbr_sim::{Histogram, RunningStats};
 use serde::{Deserialize, Serialize};
 
+use crate::audit::AuditReport;
 use crate::config::RuntimeConfig;
 use crate::core::CounterSnapshot;
 
@@ -23,8 +24,8 @@ pub struct ShardReport {
 /// Modeled signaling round-trip latency, merged across shards.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct LatencySummary {
-    /// Completed requests with a latency sample (granted + denied; lost
-    /// cells never report back).
+    /// Attempts with a latency sample (granted + denied; killed cells
+    /// never report back, so timeouts carry no latency).
     pub count: u64,
     /// Mean round trip, seconds.
     pub mean: f64,
@@ -51,12 +52,25 @@ pub struct RunReport {
     pub hops_per_vc: usize,
     /// Rounds executed.
     pub rounds: u64,
+    /// Supersteps the logical clock advanced (identical across shard
+    /// counts and the sequential replay).
+    pub supersteps: u64,
     /// Wall-clock duration, seconds.
     pub wall_seconds: f64,
     /// Completed requests per wall-clock second.
     pub throughput_per_sec: f64,
     /// The shared atomic counters at the end of the run.
     pub counters: CounterSnapshot,
+    /// What the end-of-run auditor found and repaired; `audit.final_drift`
+    /// must be 0.
+    pub audit: AuditReport,
+    /// VCs that ended the run degraded (exhausted a retry budget, or were
+    /// floored by end-of-run recovery).
+    pub degraded_vcs: u64,
+    /// Mean end-system buffer loss fraction across VCs.
+    pub mean_source_loss: f64,
+    /// Worst end-system buffer loss fraction across VCs.
+    pub max_source_loss: f64,
     /// Merged latency statistics.
     pub latency: LatencySummary,
     /// Per-shard pipeline metrics (one entry for the sequential replay).

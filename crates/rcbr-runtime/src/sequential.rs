@@ -1,23 +1,25 @@
 //! Single-threaded replay with wave-for-superstep semantics.
 //!
 //! Each wave of this replay corresponds to one superstep of the sharded
-//! engine: every in-flight job advances exactly one hop, and jobs are
-//! processed in global sequence order. Since jobs at different switches
-//! never interact within a wave, sorting the whole wave by `seq` yields
+//! engine: the same logical clock ticks, the same fault-delayed cells are
+//! released, the same stall holds and crash wipes apply, and jobs are
+//! processed in the same `(seq, salt)` order. Since jobs at different
+//! switches never interact within a wave, sorting the whole wave yields
 //! the same per-switch cell order the sharded engine produces — so the
-//! counters (and the latency histogram's bin counts) come out identical.
-//! This is the reference the concurrency tests compare the sharded engine
-//! against.
+//! counters (and the latency histogram's bin counts) come out identical,
+//! fault plane and all. This is the reference the concurrency and chaos
+//! tests compare the sharded engine against.
 
-use std::sync::atomic::Ordering;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
-use rcbr_net::Switch;
+use rcbr_net::{FaultPlane, Switch};
 use rcbr_sim::RunningStats;
 
+use crate::audit::{audit_shard, finalize, VcFinal};
 use crate::config::RuntimeConfig;
-use crate::core::{advance_job, CompletionSink, Counters, Job, JobKind, VciSlot};
+use crate::core::{advance_job, CompletionSink, Counters, FaultCtx, Job, JobKind, VciSlot};
 use crate::gen::VcRunner;
 use crate::report::{latency_histogram, summarize_latency, RunReport, ShardReport};
 
@@ -25,10 +27,14 @@ use crate::report::{latency_histogram, summarize_latency, RunReport, ShardReport
 pub fn run_sequential(cfg: &RuntimeConfig) -> RunReport {
     cfg.validate();
     let started = Instant::now();
+    let plane = FaultPlane::new(cfg.fault.clone());
 
     let counters = Counters::default();
     let vci_states: Vec<Mutex<VciSlot>> = (0..cfg.num_vcs)
         .map(|_| Mutex::new(VciSlot::default()))
+        .collect();
+    let believed: Vec<AtomicU64> = (0..cfg.num_vcs)
+        .map(|_| AtomicU64::new(cfg.initial_rate.to_bits()))
         .collect();
 
     let mut switches: Vec<Switch> = (0..cfg.num_switches)
@@ -52,9 +58,14 @@ pub fn run_sequential(cfg: &RuntimeConfig) -> RunReport {
     let mut injected = 0u64;
     let mut max_batch = 0u64;
     let mut rounds = 0u64;
+    let mut superstep = 0u64;
     let path_len = cfg.hops_per_vc;
 
     let mut wave: Vec<Job> = Vec::new();
+    let mut delayed: Vec<(u64, Job)> = Vec::new();
+    let mut held: Vec<Job> = Vec::new();
+    let mut wiped: Vec<bool> = vec![false; cfg.num_switches];
+
     for round in 0..cfg.max_rounds {
         rounds = round + 1;
         for runner in &mut runners {
@@ -63,10 +74,16 @@ pub fn run_sequential(cfg: &RuntimeConfig) -> RunReport {
                 .expect("vci lock")
                 .outcome
                 .take();
-            if let Some(o) = outcome {
-                runner.apply_outcome(o);
-            }
-            runner.step_round(cfg, round, &mut wave);
+            runner.begin_round(outcome, superstep, &counters);
+            believed[runner.vci() as usize]
+                .store(runner.believed_rate().to_bits(), Ordering::Relaxed);
+        }
+        if cfg.audit_interval > 0 && round > 0 && round.is_multiple_of(cfg.audit_interval) {
+            audit_shard(&plane, &switches, 0, 1, &believed, superstep, &counters);
+        }
+
+        for runner in &mut runners {
+            runner.emit_round(cfg, round, superstep, &mut wave, &counters);
         }
         for job in &wave {
             counters.injected.fetch_add(1, Ordering::Relaxed);
@@ -77,27 +94,64 @@ pub fn run_sequential(cfg: &RuntimeConfig) -> RunReport {
             injected += 1;
         }
 
-        while !wave.is_empty() {
+        loop {
+            superstep += 1;
+            let mut i = 0;
+            while i < delayed.len() {
+                if delayed[i].0 <= superstep {
+                    wave.push(delayed.swap_remove(i).1);
+                } else {
+                    i += 1;
+                }
+            }
+            wave.append(&mut held);
             max_batch = max_batch.max(wave.len() as u64);
-            wave.sort_unstable_by_key(|j| j.seq);
+            if counters.in_flight.load(Ordering::Relaxed) == 0 {
+                break;
+            }
+            for (h, sw) in switches.iter_mut().enumerate() {
+                if !wiped[h] {
+                    if let Some(restart) = plane.restart_superstep(h) {
+                        if superstep >= restart {
+                            sw.wipe_soft_state();
+                            wiped[h] = true;
+                        }
+                    }
+                }
+            }
+            wave.sort_unstable_by_key(|j| (j.seq, j.salt));
+            let fx = FaultCtx {
+                plane: &plane,
+                superstep,
+            };
             let mut next_wave = Vec::with_capacity(wave.len());
             let mut sink = CompletionSink {
                 latency: &mut latency,
                 moments: &mut moments,
             };
             for job in wave.drain(..) {
-                processed += 1;
                 let h = cfg.path_of(job.vci)[job.hop];
-                if let Some(nj) = advance_job(
+                if plane.stalled(h, superstep) {
+                    held.push(job);
+                    continue;
+                }
+                processed += 1;
+                let (forward, hold) = advance_job(
                     job,
                     &mut switches[h],
+                    h,
                     path_len,
                     cfg,
+                    &fx,
                     &counters,
                     &vci_states,
                     &mut sink,
-                ) {
+                );
+                if let Some(nj) = forward {
                     next_wave.push(nj);
+                }
+                if let Some(entry) = hold {
+                    delayed.push(entry);
                 }
             }
             wave = next_wave;
@@ -108,14 +162,39 @@ pub fn run_sequential(cfg: &RuntimeConfig) -> RunReport {
         }
     }
 
+    let mut finals: Vec<VcFinal> = Vec::with_capacity(cfg.num_vcs);
+    for runner in &mut runners {
+        let outcome = vci_states[runner.vci() as usize]
+            .lock()
+            .expect("vci lock")
+            .outcome
+            .take();
+        if let Some(o) = outcome {
+            runner.apply_final(o);
+        }
+        finals.push(VcFinal {
+            vci: runner.vci(),
+            believed: runner.believed_rate(),
+            degraded: runner.is_degraded(),
+            loss: runner.loss_fraction(),
+        });
+    }
+
+    let audit = finalize(cfg, &plane, &mut switches, &mut finals, superstep);
+    let degraded_vcs = finals.iter().filter(|f| f.degraded).count() as u64;
+    let mean_source_loss = finals.iter().map(|f| f.loss).sum::<f64>() / cfg.num_vcs as f64;
+    let max_source_loss = finals.iter().fold(0.0f64, |m, f| m.max(f.loss));
+
     let wall = started.elapsed().as_secs_f64();
     let counters = counters.snapshot();
+    debug_assert_eq!(counters.completed, counters.accepted + counters.exhausted);
     RunReport {
         num_shards: 1,
         num_vcs: cfg.num_vcs,
         num_switches: cfg.num_switches,
         hops_per_vc: cfg.hops_per_vc,
         rounds,
+        supersteps: superstep,
         wall_seconds: wall,
         throughput_per_sec: if wall > 0.0 {
             counters.completed as f64 / wall
@@ -123,6 +202,10 @@ pub fn run_sequential(cfg: &RuntimeConfig) -> RunReport {
             0.0
         },
         counters,
+        audit,
+        degraded_vcs,
+        mean_source_loss,
+        max_source_loss,
         latency: summarize_latency(&latency, &moments),
         shards: vec![ShardReport {
             shard: 0,

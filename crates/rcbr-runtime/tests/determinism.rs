@@ -1,14 +1,17 @@
-//! Satellite: concurrency correctness.
+//! Satellite: concurrency correctness under chaos.
 //!
-//! With a fixed seed, running N threads x M renegotiations must yield the
-//! same accept/deny/rollback counters as a sequential replay of the same
-//! request log — and re-running the sharded engine must be bit-identical.
+//! With a fixed seed and a fixed fault configuration — drops, delays,
+//! duplicates, corruption, a switch crash/restart, and a shard-group
+//! stall, all at once — running N threads x M renegotiations must yield
+//! the same counters as a sequential replay of the same request log, and
+//! re-running the sharded engine must be bit-identical.
 
+use rcbr_net::{CrashSpec, StallSpec};
 use rcbr_runtime::{run, run_sequential, RuntimeConfig};
 
 /// A config small enough for tests but busy enough to exercise every
-/// counter: tight capacity forces denials and rollbacks, loss and resync
-/// are both enabled.
+/// counter: tight capacity forces denials and rollbacks, and every fault
+/// mode is armed at once.
 fn contended_cfg(num_shards: usize) -> RuntimeConfig {
     let mut cfg = RuntimeConfig::balanced(num_shards, 32);
     cfg.target_requests = 4_000;
@@ -16,11 +19,33 @@ fn contended_cfg(num_shards: usize) -> RuntimeConfig {
     // but upward renegotiations regularly collide.
     let flows_per_switch = (cfg.num_vcs * cfg.hops_per_vc) as f64 / cfg.num_switches as f64;
     cfg.port_capacity = flows_per_switch * cfg.initial_rate * 1.08;
+    cfg.resync_interval = 8;
+    cfg.audit_interval = 16;
+    cfg.timeout_supersteps = 24;
+    cfg.retry_budget = 3;
+    cfg.backoff_base = 2;
+    cfg.backoff_jitter = 3;
+    cfg.fault.drop_bp = 200;
+    cfg.fault.delay_bp = 150;
+    cfg.fault.max_delay = 3;
+    cfg.fault.dup_bp = 100;
+    cfg.fault.corrupt_bp = 100;
+    cfg.fault.crashes = vec![CrashSpec {
+        switch: 1,
+        at_superstep: 40,
+        down_supersteps: 30,
+    }];
+    cfg.fault.stall = Some(StallSpec {
+        groups: 3,
+        group: 1,
+        at_superstep: 25,
+        supersteps: 12,
+    });
     cfg
 }
 
 #[test]
-fn sharded_counters_match_sequential_replay() {
+fn sharded_counters_match_sequential_replay_under_chaos() {
     let reference = run_sequential(&contended_cfg(1));
     for shards in [1, 2, 4] {
         let parallel = run(&contended_cfg(shards));
@@ -29,9 +54,18 @@ fn sharded_counters_match_sequential_replay() {
             "{shards}-shard run diverged from the sequential replay"
         );
         assert_eq!(
+            parallel.supersteps, reference.supersteps,
+            "{shards}-shard run's logical clock diverged"
+        );
+        assert_eq!(
             parallel.latency.count, reference.latency.count,
             "{shards}-shard run recorded a different number of latency samples"
         );
+        assert_eq!(
+            parallel.audit, reference.audit,
+            "{shards}-shard audit diverged from the sequential replay"
+        );
+        assert_eq!(parallel.degraded_vcs, reference.degraded_vcs);
     }
 }
 
@@ -40,20 +74,27 @@ fn same_seed_runs_are_bit_identical() {
     let a = run(&contended_cfg(4));
     let b = run(&contended_cfg(4));
     assert_eq!(a.counters, b.counters);
+    assert_eq!(a.audit, b.audit);
     assert_eq!(a.latency.count, b.latency.count);
     assert_eq!(a.latency.p50.to_bits(), b.latency.p50.to_bits());
     assert_eq!(a.latency.p99.to_bits(), b.latency.p99.to_bits());
+    assert_eq!(a.mean_source_loss.to_bits(), b.mean_source_loss.to_bits());
 }
 
 #[test]
-fn contended_workload_exercises_every_path() {
+fn chaotic_workload_exercises_every_path_and_recovers() {
     let report = run(&contended_cfg(2));
     let c = &report.counters;
     assert!(c.completed >= 4_000, "target not reached: {c:?}");
     assert_eq!(
         c.completed,
-        c.accepted + c.denied + c.lost,
+        c.accepted + c.exhausted,
         "fate accounting broken: {c:?}"
+    );
+    assert_eq!(
+        report.latency.count,
+        c.accepted + c.denied,
+        "latency sample accounting broken: {c:?}"
     );
     assert!(c.accepted > 0, "no grants: {c:?}");
     assert!(c.denied > 0, "capacity never contended: {c:?}");
@@ -65,12 +106,27 @@ fn contended_workload_exercises_every_path() {
         c.rolled_back_hops >= c.rollbacks,
         "rollback hop accounting broken: {c:?}"
     );
-    assert!(c.lost > 0, "deterministic loss never fired: {c:?}");
-    assert!(c.resyncs > 0, "no resync cells injected: {c:?}");
+    // Every fault mode must actually have fired.
+    assert!(c.cells_dropped > 0, "no drops: {c:?}");
+    assert!(c.cells_delayed > 0, "no delays: {c:?}");
+    assert!(c.cells_duplicated > 0, "no duplicates: {c:?}");
+    assert!(c.cells_corrupted > 0, "no corruption: {c:?}");
     assert!(
-        c.resync_repairs > 0,
-        "loss-induced drift never repaired: {c:?}"
+        c.crash_killed > 0,
+        "the crash window never killed a cell: {c:?}"
     );
+    // ... and the recovery machinery must have answered.
+    assert!(c.timeouts > 0, "killed cells never timed out: {c:?}");
+    assert!(c.retries > 0, "no retries: {c:?}");
+    assert!(c.resyncs > 0, "no resync cells injected: {c:?}");
+    assert!(c.resync_repairs > 0, "drift never repaired: {c:?}");
+    assert!(c.audit_runs > 0, "the periodic auditor never ran: {c:?}");
+    assert_eq!(
+        report.audit.final_drift, 0,
+        "end-of-run recovery left residual drift: {:?}",
+        report.audit
+    );
+    assert_eq!(report.audit.port_inconsistencies, 0);
     assert!(report.latency.count > 0 && report.latency.p99 > 0.0);
 }
 

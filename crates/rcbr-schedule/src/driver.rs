@@ -29,6 +29,9 @@ pub struct VcDriver<P> {
     /// verdict arrives.
     pending: Option<f64>,
     requests: u64,
+    /// The VC has exhausted a retry budget at least once and fell back to
+    /// its last granted rate.
+    degraded: bool,
 }
 
 impl<P: OnlinePolicy> VcDriver<P> {
@@ -46,6 +49,7 @@ impl<P: OnlinePolicy> VcDriver<P> {
             slot: 0,
             pending: None,
             requests: 0,
+            degraded: false,
         }
     }
 
@@ -100,6 +104,34 @@ impl<P: OnlinePolicy> VcDriver<P> {
         self.pending
             .take()
             .expect("loss without an outstanding request");
+    }
+
+    /// Give up on the outstanding request (retry budget exhausted): the
+    /// source keeps its last granted rate and the request is abandoned.
+    /// Unlike [`on_deny`](Self::on_deny) this is the *terminal* verdict of
+    /// a retry loop, typically paired with
+    /// [`mark_degraded`](Self::mark_degraded).
+    pub fn abandon(&mut self) {
+        self.pending
+            .take()
+            .expect("abandon without an outstanding request");
+    }
+
+    /// Record that this VC degraded (kept a stale rate after exhausting
+    /// its retry budget).
+    pub fn mark_degraded(&mut self) {
+        self.degraded = true;
+    }
+
+    /// Whether this VC ever exhausted a retry budget.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded
+    }
+
+    /// The rate the outstanding request asks for, if one is in flight —
+    /// what a retry must re-request.
+    pub fn pending_rate(&self) -> Option<f64> {
+        self.pending
     }
 
     /// The rate the source currently believes is reserved end to end.
@@ -205,6 +237,34 @@ mod tests {
             driver.step();
         }
         assert_eq!(driver.slots(), 10);
+    }
+
+    #[test]
+    fn abandon_keeps_rate_and_marks_degradation() {
+        let trace = step_trace();
+        let mut driver = VcDriver::new(trace.clone(), Ar1Policy::new(cfg(), 1.0), 1e9);
+        let mut asked = None;
+        for _ in 0..trace.len() {
+            if let Some(rate) = driver.step() {
+                asked = Some(rate);
+                break;
+            }
+        }
+        let asked = asked.expect("the rate step must trigger a request");
+        assert_eq!(driver.pending_rate(), Some(asked));
+        // Retry budget exhausted: the source keeps what it has.
+        driver.abandon();
+        driver.mark_degraded();
+        assert!(!driver.has_pending());
+        assert_eq!(driver.pending_rate(), None);
+        assert_eq!(driver.current_rate(), 100.0);
+        assert!(driver.is_degraded());
+        // The driver keeps running after degradation.
+        for _ in 0..20 {
+            if driver.step().is_some() {
+                driver.on_grant();
+            }
+        }
     }
 
     #[test]

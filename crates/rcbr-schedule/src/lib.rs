@@ -27,6 +27,7 @@ pub mod cost;
 pub mod driver;
 pub mod grid;
 pub mod online;
+pub mod retry;
 pub mod schedule;
 pub mod smoothing;
 pub mod trellis;
@@ -35,6 +36,7 @@ pub use cost::CostModel;
 pub use driver::VcDriver;
 pub use grid::RateGrid;
 pub use online::{Ar1Config, Ar1Policy, GopAwareConfig, GopAwarePolicy, OnlinePolicy};
+pub use retry::RetryPolicy;
 pub use schedule::{Schedule, ScheduleMetrics};
 pub use smoothing::{min_peak_rate_bound, optimal_smoothing};
 pub use trellis::{OfflineOptimizer, TrellisConfig, TrellisError};

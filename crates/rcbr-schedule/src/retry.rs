@@ -1,0 +1,140 @@
+//! Retry policy for signaling requests: timeouts, bounded retries with
+//! deterministic exponential backoff + seeded jitter, and exhaustion.
+//!
+//! A dropped or corrupted RM cell never produces a verdict, so the source
+//! must time the request out and retry. Retries are bounded: after the
+//! budget is exhausted the source degrades gracefully — it keeps its last
+//! granted rate (the paper's "the source can keep whatever bandwidth it
+//! already has") and stops renegotiating upward for that request. Backoff
+//! is deterministic in `(seed, vci, attempt)` so the sharded runtime and
+//! the sequential replay schedule retries identically.
+
+use serde::{Deserialize, Serialize};
+
+/// splitmix64 finalizer (the same mixer the fault plane uses).
+fn mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Timeout / retry / backoff parameters for one VC's signaling requests.
+///
+/// All durations are in *supersteps* — the signaling plane's logical
+/// clock — so behavior is independent of wall time and shard count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// A request with no verdict after this many supersteps has timed out
+    /// (its cell was dropped, corrupted, or killed by a crash).
+    pub timeout_supersteps: u64,
+    /// Retries allowed after the initial attempt; attempt `retry_budget +
+    /// 1` failing exhausts the request.
+    pub retry_budget: u32,
+    /// Base backoff before the first retry, supersteps (doubles per
+    /// failure, capped to avoid overflow).
+    pub backoff_base: u64,
+    /// Maximum seeded jitter added to each backoff, supersteps.
+    pub backoff_jitter: u64,
+    /// Jitter seed.
+    pub seed: u64,
+}
+
+impl RetryPolicy {
+    /// Panic on an inconsistent policy.
+    pub fn validate(&self) {
+        assert!(self.timeout_supersteps >= 1, "timeout must be >= 1");
+        assert!(self.backoff_base >= 1, "backoff base must be >= 1");
+    }
+
+    /// Whether a request injected at `injected_at` has timed out at `now`.
+    pub fn timed_out(&self, injected_at: u64, now: u64) -> bool {
+        now.saturating_sub(injected_at) >= self.timeout_supersteps
+    }
+
+    /// Whether `failures` failed attempts exhaust the request (initial
+    /// attempt + `retry_budget` retries have all failed).
+    pub fn exhausted(&self, failures: u32) -> bool {
+        failures > self.retry_budget
+    }
+
+    /// Backoff before the retry after the `failures`-th failure
+    /// (`failures >= 1`), supersteps: `base * 2^(failures-1)` (exponent
+    /// capped at 16) plus jitter in `0..=backoff_jitter` hashed from
+    /// `(seed, vci, failures)`.
+    pub fn backoff(&self, vci: u32, failures: u32) -> u64 {
+        assert!(failures >= 1, "backoff is only defined after a failure");
+        let exp = (failures - 1).min(16);
+        let base = self.backoff_base.saturating_mul(1u64 << exp);
+        let jitter = if self.backoff_jitter == 0 {
+            0
+        } else {
+            mix(self.seed ^ ((vci as u64) << 32) ^ failures as u64) % (self.backoff_jitter + 1)
+        };
+        base + jitter
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policy() -> RetryPolicy {
+        RetryPolicy {
+            timeout_supersteps: 8,
+            retry_budget: 3,
+            backoff_base: 4,
+            backoff_jitter: 3,
+            seed: 42,
+        }
+    }
+
+    #[test]
+    fn timeout_threshold() {
+        let p = policy();
+        assert!(!p.timed_out(100, 107));
+        assert!(p.timed_out(100, 108));
+        assert!(p.timed_out(100, 500));
+    }
+
+    #[test]
+    fn exhaustion_counts_the_budget() {
+        let p = policy();
+        assert!(!p.exhausted(1));
+        assert!(!p.exhausted(3));
+        assert!(p.exhausted(4));
+    }
+
+    #[test]
+    fn backoff_is_deterministic_and_exponential() {
+        let p = policy();
+        for failures in 1..=6u32 {
+            let a = p.backoff(7, failures);
+            let b = p.backoff(7, failures);
+            assert_eq!(a, b, "same inputs must give the same backoff");
+            let base = p.backoff_base * (1 << (failures - 1));
+            assert!(
+                (base..=base + p.backoff_jitter).contains(&a),
+                "backoff {a} outside [{base}, {}]",
+                base + p.backoff_jitter
+            );
+        }
+    }
+
+    #[test]
+    fn jitter_varies_by_vci_and_is_bounded() {
+        let p = policy();
+        let spread: std::collections::HashSet<u64> =
+            (0..64u32).map(|vci| p.backoff(vci, 1)).collect();
+        assert!(spread.len() > 1, "jitter must actually spread retries");
+        assert!(spread
+            .iter()
+            .all(|&b| { b >= p.backoff_base && b <= p.backoff_base + p.backoff_jitter }));
+    }
+
+    #[test]
+    fn huge_failure_counts_do_not_overflow() {
+        let p = policy();
+        let b = p.backoff(0, u32::MAX);
+        assert!(b >= p.backoff_base * (1 << 16));
+    }
+}

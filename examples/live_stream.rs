@@ -39,7 +39,7 @@ fn main() {
     let mut conn = RcbrConnection::establish(&mut switches, path, 1, trace.mean_rate())
         .expect("establish connection")
         .with_config(ServiceConfig::new(8)); // resync every 8 renegotiations
-    let mut faults = FaultInjector::new(drop_percent / 100.0, SimRng::from_seed(5));
+    let plane = FaultPlane::new(FaultConfig::drop_only(drop_percent / 100.0, 5));
 
     let policy = Ar1Policy::new(Ar1Config::fig2(100_000.0, trace.mean_rate(), tau), tau);
     let mut source = RcbrSource::online(Box::new(policy), tau, buffer);
@@ -47,7 +47,7 @@ fn main() {
     let mut max_drift = 0.0f64;
     for t in 0..trace.len() {
         source.step(trace.bits(t), |_, want| {
-            conn.renegotiate(&mut switches, &mut faults, want)
+            conn.renegotiate(&mut switches, &plane, want)
                 .unwrap_or(false)
         });
         max_drift = max_drift.max(conn.drift(&switches));
@@ -56,7 +56,7 @@ fn main() {
     println!("live stream over 3 hops with {drop_percent}% signaling loss:");
     println!("  renegotiation requests : {}", source.total_requests());
     println!("  denied by the network  : {}", source.failed_requests());
-    println!("  signaling cells dropped: {}", faults.dropped());
+    println!("  signaling cells dropped: {}", conn.lost_cells());
     println!("  resyncs sent           : {}", conn.resyncs());
     println!("  worst observed drift   : {}", units::fmt_rate(max_drift));
     println!("  end-system loss        : {:.2e}", source.loss_fraction());

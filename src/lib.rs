@@ -64,7 +64,7 @@ pub mod prelude {
         chernoff_failure_probability, equivalent_bandwidth, max_admissible_calls,
         min_capacity_per_source, mts_equivalent_bandwidth, rate_function, QosTarget,
     };
-    pub use rcbr_net::{FaultInjector, Path, RmCell, Switch};
+    pub use rcbr_net::{FaultConfig, FaultPlane, Path, RmCell, Switch};
     pub use rcbr_runtime::{run as run_signaling, run_sequential, RunReport, RuntimeConfig};
     pub use rcbr_schedule::{
         Ar1Config, Ar1Policy, CostModel, GopAwareConfig, GopAwarePolicy, OfflineOptimizer,

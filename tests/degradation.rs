@@ -1,0 +1,54 @@
+//! Graceful degradation end to end: when capacity makes upward
+//! renegotiation futile, sources exhaust their retry budgets, keep their
+//! last granted rate (the paper's fallback), and the run finishes with
+//! degraded VCs, zero panics, and bounded end-system loss.
+
+use rcbr_suite::prelude::*;
+
+#[test]
+fn futile_retries_degrade_gracefully() {
+    let mut cfg = RuntimeConfig::balanced(2, 24);
+    cfg.target_requests = 1_200;
+    // Essentially zero headroom above the initial admission load: every
+    // upward renegotiation — and every retry of it — is denied.
+    let flows_per_switch = (cfg.num_vcs * cfg.hops_per_vc) as f64 / cfg.num_switches as f64;
+    cfg.port_capacity = flows_per_switch * cfg.initial_rate * 1.0001;
+    cfg.fault = FaultConfig::transparent();
+    cfg.retry_budget = 2;
+    cfg.backoff_base = 2;
+
+    let report = run_signaling(&cfg);
+    let c = &report.counters;
+    assert!(c.completed >= 1_200, "target not reached: {c:?}");
+    assert_eq!(
+        c.completed,
+        c.accepted + c.exhausted,
+        "fate accounting broken: {c:?}"
+    );
+    assert!(c.denied > 0, "the capacity wall never denied: {c:?}");
+    assert!(c.retries > 0, "denials must be retried: {c:?}");
+    assert!(c.exhausted > 0, "futile retries must exhaust: {c:?}");
+    assert!(
+        report.degraded_vcs > 0,
+        "some VC must end degraded: {report:?}"
+    );
+    assert_eq!(c.degraded_events, report.degraded_vcs, "degraded once each");
+    // No faults were injected, so nothing ever times out and recovery
+    // leaves no residual drift.
+    assert_eq!(c.timeouts, 0);
+    assert_eq!(report.audit.final_drift, 0, "{:?}", report.audit);
+    assert_eq!(report.audit.port_inconsistencies, 0);
+    // Degraded sources keep streaming at their last granted rate: loss is
+    // real (the trace wants more than the pinned rate) but bounded — no
+    // source loses everything, and the population average stays moderate.
+    assert!(
+        report.max_source_loss < 0.95,
+        "worst source loss unbounded: {}",
+        report.max_source_loss
+    );
+    assert!(
+        report.mean_source_loss < 0.6,
+        "mean source loss unbounded: {}",
+        report.mean_source_loss
+    );
+}

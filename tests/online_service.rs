@@ -20,13 +20,13 @@ fn online_source_over_clean_network_keeps_losses_low() {
     let mut switches = vec![Switch::new(&[155_000_000.0])];
     let path = Path::new(vec![0], 0.0);
     let mut conn = RcbrConnection::establish(&mut switches, path, 1, trace.mean_rate()).unwrap();
-    let mut faults = FaultInjector::transparent();
+    let plane = FaultPlane::transparent();
     let policy = fig2_policy(&trace, 64_000.0);
     let mut source = RcbrSource::online(Box::new(policy), trace.frame_interval(), buffer);
 
     for t in 0..trace.len() {
         source.step(trace.bits(t), |_, want| {
-            conn.renegotiate(&mut switches, &mut faults, want).unwrap()
+            conn.renegotiate(&mut switches, &plane, want).unwrap()
         });
     }
     assert!(source.total_requests() > 10, "the policy must adapt");
@@ -48,21 +48,21 @@ fn signaling_loss_drifts_and_resync_repairs() {
     let mut conn = RcbrConnection::establish(&mut switches, path, 1, trace.mean_rate())
         .unwrap()
         .with_config(ServiceConfig::new(0)); // no automatic resync
-    let mut faults = FaultInjector::new(0.3, SimRng::from_seed(17));
+    let plane = FaultPlane::new(FaultConfig::drop_only(0.3, 17));
     let policy = fig2_policy(&trace, 100_000.0);
     let mut source = RcbrSource::online(Box::new(policy), trace.frame_interval(), buffer);
 
     let mut saw_drift = false;
     for t in 0..trace.len() {
         source.step(trace.bits(t), |_, want| {
-            conn.renegotiate(&mut switches, &mut faults, want)
+            conn.renegotiate(&mut switches, &plane, want)
                 .unwrap_or(false)
         });
         if conn.drift(&switches) > 0.0 {
             saw_drift = true;
         }
     }
-    assert!(faults.dropped() > 0);
+    assert!(conn.lost_cells() > 0);
     assert!(saw_drift, "30% signaling loss must cause visible drift");
     conn.resync(&mut switches).unwrap();
     assert_eq!(conn.drift(&switches), 0.0, "resync must repair all hops");
@@ -82,11 +82,11 @@ fn gop_aware_policy_works_end_to_end() {
         let path = Path::new(vec![0], 0.0);
         let mut conn =
             RcbrConnection::establish(&mut switches, path, 1, trace.mean_rate()).unwrap();
-        let mut faults = FaultInjector::transparent();
+        let plane = FaultPlane::transparent();
         let mut source = RcbrSource::online(policy, tau, buffer);
         for t in 0..trace.len() {
             source.step(trace.bits(t), |_, want| {
-                conn.renegotiate(&mut switches, &mut faults, want).unwrap()
+                conn.renegotiate(&mut switches, &plane, want).unwrap()
             });
         }
         (source.total_requests(), source.loss_fraction())

@@ -158,7 +158,7 @@ impl CallClass {
             }
             events.push((local_slot as f64 * self.slot, rate));
         }
-        events.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("times are finite"));
+        events.sort_by(|a, b| a.0.total_cmp(&b.0));
         (initial_rate, events)
     }
 }

@@ -37,7 +37,7 @@ pub fn distribution_from_observations(values: &[f64]) -> Option<DiscreteDistribu
             None => acc.push((v, 1.0)),
         }
     }
-    acc.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("rates are finite"));
+    acc.sort_by(|a, b| a.0.total_cmp(&b.0));
     Some(DiscreteDistribution::from_weights(&acc))
 }
 

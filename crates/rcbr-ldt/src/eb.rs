@@ -112,7 +112,7 @@ pub fn mts_equivalent_bandwidth(model: &MtsModel, qos: QosTarget) -> (f64, usize
         .iter()
         .enumerate()
         .map(|(k, sub)| (equivalent_bandwidth(&sub.as_source(slot), qos), k))
-        .max_by(|a, b| a.0.partial_cmp(&b.0).expect("EB is never NaN"))
+        .max_by(|a, b| a.0.total_cmp(&b.0))
         .expect("MTS models have at least two subchains")
 }
 

@@ -133,7 +133,7 @@ mod tests {
             let peak = d.peak();
             prop_assume!(peak > mean * 1.001);
             let mut a: Vec<f64> = a_fracs.iter().map(|f| mean + f * (peak - mean)).collect();
-            a.sort_by(|x, y| x.partial_cmp(y).unwrap());
+            a.sort_by(|x, y| x.total_cmp(y));
             let i0 = rate_function(&d, a[0]);
             let i1 = rate_function(&d, a[1]);
             prop_assert!(i0 >= 0.0);

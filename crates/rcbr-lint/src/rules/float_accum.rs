@@ -1,0 +1,40 @@
+//! `float-accum`: float reductions in the runtime live in `reduce_*` fns.
+//!
+//! Float addition is not associative, so a sum over data whose order
+//! depends on the shard partition (or on hash iteration) differs in its
+//! low bits between runs — exactly the drift the bit-identity tests would
+//! then chase for hours. The runtime's sanctioned reducers are functions
+//! prefixed `reduce_` (configurable), whose doc-comments state why their
+//! input order is partition-independent (e.g. "finals are sorted by VCI
+//! before this is called"). Any `.sum(` outside one is a violation.
+
+use super::Ctx;
+use crate::lexer::{enclosing_fn, fn_spans};
+
+pub(super) fn check(ctx: &mut Ctx<'_>) {
+    let mut prefixes = ctx.cfg_list("allow_fn_prefixes");
+    if prefixes.is_empty() {
+        prefixes.push("reduce_".to_string());
+    }
+    let toks = &ctx.file.tokens;
+    let spans = fn_spans(toks);
+    for i in 0..toks.len() {
+        if toks[i].is_punct('.') && toks.get(i + 1).is_some_and(|t| t.is_ident("sum")) {
+            let fn_name = enclosing_fn(&spans, i).map(|s| s.name.clone());
+            let sanctioned = fn_name
+                .as_deref()
+                .is_some_and(|n| prefixes.iter().any(|p| n.starts_with(p.as_str())));
+            if !sanctioned {
+                let where_ = fn_name.unwrap_or_else(|| "<top level>".to_string());
+                ctx.emit(
+                    toks[i].line,
+                    format!(
+                        "float accumulation in `{where_}` — reductions over merged \
+                         shard data must live in a reduce_* function documenting its \
+                         partition-independent input order"
+                    ),
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,60 @@
+//! `float-sort`: float comparators must be total (`f64::total_cmp`).
+//!
+//! `partial_cmp(..).expect(..)` inside a sort comparator panics the run
+//! on the first NaN, and `unwrap_or(Equal)` silently produces an
+//! inconsistent (non-total) order, which `sort_by` may answer with any
+//! permutation — run-to-run nondeterminism in survivor pruning, level
+//! grids, and admission descriptors. `f64::total_cmp` is a total order
+//! (IEEE 754 totalOrder) and costs the same.
+//!
+//! Detection: inside the argument list of a comparator-taking call
+//! (`sort_by`, `sort_unstable_by`, `max_by`, `min_by`,
+//! `binary_search_by`), any use of `partial_cmp` is a violation.
+
+use super::Ctx;
+
+const COMPARATOR_SINKS: &[&str] = &[
+    "sort_by",
+    "sort_unstable_by",
+    "max_by",
+    "min_by",
+    "binary_search_by",
+];
+
+pub(super) fn check(ctx: &mut Ctx<'_>) {
+    let toks = &ctx.file.tokens;
+    let mut i = 0;
+    while i < toks.len() {
+        let t = &toks[i];
+        let is_sink =
+            t.kind == crate::lexer::TokKind::Ident && COMPARATOR_SINKS.contains(&t.text.as_str());
+        if is_sink && toks.get(i + 1).is_some_and(|a| a.is_punct('(')) {
+            // Walk the balanced-paren argument.
+            let mut depth = 0i64;
+            let mut j = i + 1;
+            while j < toks.len() {
+                if toks[j].is_punct('(') {
+                    depth += 1;
+                } else if toks[j].is_punct(')') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                } else if toks[j].is_ident("partial_cmp") {
+                    ctx.emit(
+                        toks[j].line,
+                        format!(
+                            "partial_cmp inside {}() is not a total order (NaN \
+                             panics or lies); use f64::total_cmp",
+                            t.text
+                        ),
+                    );
+                }
+                j += 1;
+            }
+            i = j;
+            continue;
+        }
+        i += 1;
+    }
+}

@@ -1,0 +1,296 @@
+//! The rule registry.
+//!
+//! Every rule is one entry in [`RULES`]: an id, a one-line summary, the
+//! hazard it encodes (shown by `lint --explain`), and a check function
+//! over a lexed [`SourceFile`]. Adding a rule is ~30 lines: write the
+//! check in a new module, append one entry here, scope it in `lint.toml`,
+//! and add a tripping + near-miss fixture pair under `tests/fixtures/`.
+//!
+//! Shared scoping semantics (all driven by the rule's `[rule.<id>]`
+//! section in `lint.toml`):
+//!
+//! * `enabled = false` turns the rule off;
+//! * `crates = [...]` limits it to those crate directories (empty = all);
+//! * `files = [...]` limits it to paths ending in one of the entries;
+//! * `allow_files = [...]` exempts designated files (audited boundaries);
+//! * `include_tests = true` extends it into test targets and
+//!   `#[cfg(test)]` regions (default: production code only);
+//! * `// lint:allow(<id>)` on or above a line silences one diagnostic.
+
+mod barrier;
+mod float_accum;
+mod float_sort;
+mod panic_path;
+mod ptr_identity;
+mod unordered_iter;
+mod unsafe_audit;
+mod wall_clock;
+mod wire_layout;
+
+use crate::config::Config;
+use crate::diag::Diagnostic;
+use crate::source::SourceFile;
+
+/// One static-analysis rule.
+pub struct Rule {
+    /// Stable identifier, used in diagnostics, `lint.toml` sections, and
+    /// `lint:allow(...)` comments.
+    pub id: &'static str,
+    /// One-line summary for reports.
+    pub summary: &'static str,
+    /// The hazard this rule encodes and the sanctioned alternative —
+    /// shown by `lint --explain <id>`.
+    pub hazard: &'static str,
+    /// The check itself.
+    pub check: fn(&mut Ctx<'_>),
+}
+
+/// The registry. Order here is the order rules run and report in.
+pub static RULES: &[Rule] = &[
+    Rule {
+        id: "wall-clock",
+        summary: "no wall-clock or ambient randomness in deterministic crates",
+        hazard: "Instant::now/SystemTime/thread_rng make run outcomes depend on host \
+                 timing, which breaks the bit-identical replay contract between the \
+                 sharded engine and run_sequential. Wall time may only be read through \
+                 the audited WallTimer boundary (crates/rcbr-runtime/src/report.rs), \
+                 which feeds throughput reporting and never simulation state.",
+        check: wall_clock::check,
+    },
+    Rule {
+        id: "unordered-iter",
+        summary: "no HashMap/HashSet in deterministic crates",
+        hazard: "std HashMap/HashSet iteration order is randomized per process \
+                 (RandomState), so any fold, serialization, or float accumulation over \
+                 one diverges between runs and between shards. Use BTreeMap/BTreeSet, \
+                 or a Vec with explicit sorting.",
+        check: unordered_iter::check,
+    },
+    Rule {
+        id: "ptr-identity",
+        summary: "no pointer-as-identity comparisons",
+        hazard: "std::ptr::eq and `as *const/*mut` casts compare allocation addresses, \
+                 which differ run to run and shard to shard; identity must come from \
+                 stable ids (vci, seq, switch index).",
+        check: ptr_identity::check,
+    },
+    Rule {
+        id: "barrier-discipline",
+        summary: "shared-counter loads only inside snapshot_* helpers",
+        hazard: "The PR 2 engine-drain deadlock: an atomic counter read that drives a \
+                 worker's break/continue must be snapshotted between barriers where no \
+                 shard can write — reading after the drain barrier races with the next \
+                 round's phase-A timeout writes and deadlocks the barrier. All \
+                 cross-shard counter loads therefore live in functions prefixed \
+                 `snapshot`, whose call sites are auditable.",
+        check: barrier::check,
+    },
+    Rule {
+        id: "panic-path",
+        summary: "no unwrap/panic!/todo! in engine and worker code paths",
+        hazard: "A panic in a worker thread poisons the barrier and hangs every other \
+                 shard (scoped threads join at the end of `run`). Hot paths must use \
+                 `expect(\"<invariant>\")` with a meaningful message for genuine \
+                 invariants, or plumb a Result. Bare unwrap(), panic!, todo!, \
+                 unimplemented!, empty-message expect, and unchecked indexing \
+                 (get_unchecked) are banned; tests and benches are exempt.",
+        check: panic_path::check,
+    },
+    Rule {
+        id: "unsafe-audit",
+        summary: "unsafe is banned in product crates; shims need // SAFETY:",
+        hazard: "The product crates target zero unsafe: every determinism argument in \
+                 DESIGN.md assumes no UB-capable code path. In the vendored shim \
+                 crates, each `unsafe` must carry a `// SAFETY:` comment within three \
+                 lines above it explaining why the invariant holds.",
+        check: unsafe_audit::check,
+    },
+    Rule {
+        id: "float-sort",
+        summary: "float comparators must use total_cmp",
+        hazard: "sort_by(partial_cmp) on f64 panics (or lies, via unwrap_or) on NaN \
+                 and is not a total order, so sorted output — and everything downstream \
+                 of it, like trellis survivor pruning — can differ between runs the \
+                 moment a NaN or -0.0 appears. f64::total_cmp is total, deterministic, \
+                 and free.",
+        check: float_sort::check,
+    },
+    Rule {
+        id: "float-accum",
+        summary: "cross-shard float accumulation only in reduce_* reducers",
+        hazard: "Float addition is not associative: summing per-shard values in \
+                 partition-dependent order changes low bits and breaks bit-identity. \
+                 Reductions over merged shard data therefore live in functions prefixed \
+                 `reduce_`, which document their input ordering; `.sum()` anywhere else \
+                 in the runtime crate is a violation.",
+        check: float_accum::check,
+    },
+    Rule {
+        id: "wire-layout",
+        summary: "RM-cell byte offsets and CRC coverage match the documented layout",
+        hazard: "The RM-cell serializer, parser, and checksum each hard-code byte \
+                 offsets. If they drift apart — a field moves but the CRC range \
+                 doesn't — corruption becomes silently undetectable or valid cells get \
+                 rejected. This rule cross-checks encode(), decode(), and cell_crc() \
+                 in rcbr-net/src/rm.rs against the layout declared in lint.toml.",
+        check: wire_layout::check,
+    },
+];
+
+/// Look up a rule by id.
+pub fn rule_by_id(id: &str) -> Option<&'static Rule> {
+    RULES.iter().find(|r| r.id == id)
+}
+
+/// Per-file, per-rule check context: scoping plus filtered emission.
+pub struct Ctx<'a> {
+    pub file: &'a SourceFile,
+    pub cfg: &'a Config,
+    pub rule: &'static Rule,
+    include_tests: bool,
+    out: &'a mut Vec<Diagnostic>,
+    suppressed: &'a mut usize,
+}
+
+impl<'a> Ctx<'a> {
+    /// The rule's `lint.toml` section name.
+    fn section(&self) -> String {
+        format!("rule.{}", self.rule.id)
+    }
+
+    /// A string-list key from the rule's section.
+    pub fn cfg_list(&self, key: &str) -> Vec<String> {
+        self.cfg.list(&self.section(), key)
+    }
+
+    /// A string key from the rule's section.
+    pub fn cfg_str(&self, key: &str) -> Option<String> {
+        self.cfg.str_(&self.section(), key).map(str::to_string)
+    }
+
+    /// An integer key from the rule's section.
+    pub fn cfg_int(&self, key: &str) -> Option<i64> {
+        self.cfg.int(&self.section(), key)
+    }
+
+    /// Emit a diagnostic at `line`, unless the line is test code outside
+    /// the rule's scope or carries a `lint:allow` for this rule.
+    pub fn emit(&mut self, line: u32, message: String) {
+        if !self.include_tests && self.file.is_test_at(line) {
+            return;
+        }
+        if self.file.is_suppressed(self.rule.id, line) {
+            *self.suppressed += 1;
+            return;
+        }
+        self.out.push(Diagnostic {
+            rule: self.rule.id.to_string(),
+            path: self.file.rel_path.clone(),
+            line,
+            message,
+            snippet: self.file.snippet(line),
+        });
+    }
+}
+
+/// Does `rule` apply to `file` at all, per its `lint.toml` scope?
+fn rule_in_scope(rule: &Rule, file: &SourceFile, cfg: &Config) -> bool {
+    let section = format!("rule.{}", rule.id);
+    if !cfg.bool_or(&section, "enabled", true) {
+        return false;
+    }
+    let include_tests = cfg.bool_or(&section, "include_tests", false);
+    if file.is_test_target && !include_tests {
+        return false;
+    }
+    let crates = cfg.list(&section, "crates");
+    if !crates.is_empty() && !crates.iter().any(|c| c == &file.crate_name) {
+        return false;
+    }
+    let files = cfg.list(&section, "files");
+    if !files.is_empty() && !files.iter().any(|f| path_matches(&file.rel_path, f)) {
+        return false;
+    }
+    let allow = cfg.list(&section, "allow_files");
+    if allow.iter().any(|f| path_matches(&file.rel_path, f)) {
+        return false;
+    }
+    true
+}
+
+/// A config path entry matches a file if it equals the relative path or
+/// is a suffix of it starting at a path-component boundary.
+fn path_matches(rel_path: &str, entry: &str) -> bool {
+    rel_path == entry
+        || rel_path
+            .strip_suffix(entry)
+            .is_some_and(|prefix| prefix.ends_with('/'))
+}
+
+/// Run every in-scope rule over one file, appending diagnostics to `out`.
+/// Returns, per rule id, how many diagnostics `lint:allow` comments
+/// silenced.
+pub fn check_file(
+    file: &SourceFile,
+    cfg: &Config,
+    out: &mut Vec<Diagnostic>,
+) -> std::collections::BTreeMap<&'static str, usize> {
+    let mut all_suppressed = std::collections::BTreeMap::new();
+    for rule in RULES {
+        if !rule_in_scope(rule, file, cfg) {
+            continue;
+        }
+        let include_tests = cfg.bool_or(&format!("rule.{}", rule.id), "include_tests", false);
+        let mut suppressed = 0usize;
+        let mut ctx = Ctx {
+            file,
+            cfg,
+            rule,
+            include_tests,
+            out,
+            suppressed: &mut suppressed,
+        };
+        (rule.check)(&mut ctx);
+        if suppressed > 0 {
+            *all_suppressed.entry(rule.id).or_insert(0) += suppressed;
+        }
+    }
+    all_suppressed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_matching_respects_component_boundaries() {
+        assert!(path_matches(
+            "crates/rcbr-runtime/src/engine.rs",
+            "engine.rs"
+        ));
+        assert!(path_matches(
+            "crates/rcbr-runtime/src/engine.rs",
+            "src/engine.rs"
+        ));
+        assert!(path_matches(
+            "crates/rcbr-runtime/src/engine.rs",
+            "crates/rcbr-runtime/src/engine.rs"
+        ));
+        // `ngine.rs` is not a component-aligned suffix.
+        assert!(!path_matches("crates/x/src/engine.rs", "ngine.rs"));
+    }
+
+    #[test]
+    fn registry_ids_are_unique_and_kebab() {
+        let mut seen = std::collections::BTreeSet::new();
+        for r in RULES {
+            assert!(seen.insert(r.id), "duplicate rule id {}", r.id);
+            assert!(
+                r.id.chars().all(|c| c.is_ascii_lowercase() || c == '-'),
+                "rule id {} is not kebab-case",
+                r.id
+            );
+        }
+        assert!(RULES.len() >= 6, "the catalog must stay at >= 6 rules");
+    }
+}

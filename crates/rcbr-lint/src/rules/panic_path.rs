@@ -1,0 +1,89 @@
+//! `panic-path`: ban undocumented panics in engine and worker code.
+//!
+//! A panic in a worker poisons the shared barrier and hangs the other
+//! shards until the scope join propagates it — so hot paths may only
+//! panic through `expect("<invariant>")` with a meaningful message (the
+//! message doubles as the documented invariant, and is greppable), or an
+//! `assert!`/`unreachable!` carrying one. Flagged:
+//!
+//! * `.unwrap()` — an invariant with no documentation;
+//! * `panic!`, `todo!`, `unimplemented!` — never valid in shipped paths;
+//! * `unreachable!()` with no message;
+//! * `expect("")` / `expect()`-like empty messages;
+//! * `get_unchecked` — unchecked indexing trades a diagnosable panic for
+//!   UB.
+//!
+//! Tests and benches are exempt (`include_tests = false` scope default).
+
+use super::Ctx;
+use crate::lexer::TokKind;
+
+pub(super) fn check(ctx: &mut Ctx<'_>) {
+    let toks = &ctx.file.tokens;
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        // `.unwrap()` — exact ident match, so unwrap_or/unwrap_or_else pass.
+        if t.is_punct('.')
+            && toks.get(i + 1).is_some_and(|a| a.is_ident("unwrap"))
+            && toks.get(i + 2).is_some_and(|a| a.is_punct('('))
+            && toks.get(i + 3).is_some_and(|a| a.is_punct(')'))
+        {
+            ctx.emit(
+                t.line,
+                "unwrap() is an undocumented invariant; use expect(\"<why this \
+                 cannot fail>\") or plumb the error"
+                    .to_string(),
+            );
+        }
+        // panic-family macros.
+        for mac in ["panic", "todo", "unimplemented"] {
+            if t.is_ident(mac) && toks.get(i + 1).is_some_and(|a| a.is_punct('!')) {
+                ctx.emit(
+                    t.line,
+                    format!(
+                        "{mac}! in an engine code path hangs sibling shards at the \
+                         barrier; return an error or encode the invariant as \
+                         expect/assert with a message"
+                    ),
+                );
+            }
+        }
+        // Bare `unreachable!()`.
+        if t.is_ident("unreachable")
+            && toks.get(i + 1).is_some_and(|a| a.is_punct('!'))
+            && toks.get(i + 2).is_some_and(|a| a.is_punct('('))
+            && toks.get(i + 3).is_some_and(|a| a.is_punct(')'))
+        {
+            ctx.emit(
+                t.line,
+                "unreachable!() with no message — state why the arm is impossible \
+                 so the panic text identifies the broken invariant"
+                    .to_string(),
+            );
+        }
+        // expect with an empty message: `expect ( "" )` lexes the empty
+        // string to a Str token whose source line is a two-quote literal.
+        if t.is_ident("expect")
+            && toks.get(i + 1).is_some_and(|a| a.is_punct('('))
+            && toks.get(i + 2).is_some_and(|a| a.kind == TokKind::Str)
+            && toks.get(i + 3).is_some_and(|a| a.is_punct(')'))
+        {
+            let line_text = ctx.file.snippet(t.line);
+            if line_text.contains("expect(\"\")") {
+                ctx.emit(
+                    t.line,
+                    "expect(\"\") documents nothing; state the invariant".to_string(),
+                );
+            }
+        }
+        if t.is_ident("get_unchecked") || t.is_ident("get_unchecked_mut") {
+            ctx.emit(
+                t.line,
+                "unchecked indexing trades a diagnosable panic for undefined \
+                 behavior; use checked indexing and let the bounds encode the \
+                 invariant"
+                    .to_string(),
+            );
+        }
+    }
+}

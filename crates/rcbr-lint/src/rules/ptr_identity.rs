@@ -1,0 +1,44 @@
+//! `ptr-identity`: ban pointer-address identity in deterministic crates.
+//!
+//! Allocation addresses differ run to run (ASLR) and shard to shard, so
+//! `std::ptr::eq` comparisons or `as *const _` casts used as identity
+//! leak nondeterminism into anything keyed on them. Entities here all
+//! have stable ids (`vci`, `seq`, switch index) — use those.
+
+use super::Ctx;
+
+pub(super) fn check(ctx: &mut Ctx<'_>) {
+    let toks = &ctx.file.tokens;
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        // `ptr :: eq`
+        if t.is_ident("ptr")
+            && toks.get(i + 1).is_some_and(|a| a.is_punct(':'))
+            && toks.get(i + 2).is_some_and(|a| a.is_punct(':'))
+            && toks.get(i + 3).is_some_and(|a| a.is_ident("eq"))
+        {
+            ctx.emit(
+                t.line,
+                "ptr::eq compares allocation addresses, which are not stable across \
+                 runs; compare stable ids (vci, seq, switch index) instead"
+                    .to_string(),
+            );
+        }
+        // `as * const` / `as * mut` — a pointer cast; as identity or as a
+        // sort key it is nondeterministic, and the product crates have no
+        // legitimate use for raw pointers at all.
+        if t.is_ident("as")
+            && toks.get(i + 1).is_some_and(|a| a.is_punct('*'))
+            && toks
+                .get(i + 2)
+                .is_some_and(|a| a.is_ident("const") || a.is_ident("mut"))
+        {
+            ctx.emit(
+                t.line,
+                "raw-pointer casts introduce address-dependent behavior; the product \
+                 crates index entities by stable ids, not addresses"
+                    .to_string(),
+            );
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! `unordered-iter`: ban `HashMap`/`HashSet` in deterministic crates.
+//!
+//! The hazard is iteration: RandomState hashes differently every process,
+//! so iterating (or `.values().sum()`-ing) a hash container produces a
+//! different order each run. Rather than chase every iteration site, the
+//! rule bans the types outright in deterministic crates — lookups are the
+//! same Big-O on `BTreeMap`, and everything that iterates becomes
+//! deterministic for free. This is the rule that turned up the
+//! `per_vci`/`vci_table`/`sessions` maps fixed in this PR.
+
+use super::Ctx;
+
+pub(super) fn check(ctx: &mut Ctx<'_>) {
+    for t in &ctx.file.tokens {
+        for banned in ["HashMap", "HashSet"] {
+            if t.is_ident(banned) {
+                let replacement = if banned == "HashMap" {
+                    "BTreeMap"
+                } else {
+                    "BTreeSet"
+                };
+                ctx.emit(
+                    t.line,
+                    format!(
+                        "{banned} iteration order is randomized per process; use \
+                         {replacement} (ordered, deterministic) or a sorted Vec"
+                    ),
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! `unsafe-audit`: product crates carry zero `unsafe`; shims justify it.
+//!
+//! Every determinism and recovery argument in DESIGN.md assumes no
+//! UB-capable code path in the product crates, so `unsafe` there is a
+//! violation outright (the `forbid_crates` list in `lint.toml`). In the
+//! vendored shim crates an `unsafe` block is tolerated only with a
+//! `// SAFETY:` comment on the same line or within three lines above,
+//! stating the invariant that makes it sound.
+
+use super::Ctx;
+
+pub(super) fn check(ctx: &mut Ctx<'_>) {
+    let forbid = ctx.cfg_list("forbid_crates");
+    let forbidden = forbid.iter().any(|c| c == &ctx.file.crate_name);
+    for (i, t) in ctx.file.tokens.iter().enumerate() {
+        if !t.is_ident("unsafe") {
+            continue;
+        }
+        let line = t.line;
+        if forbidden {
+            ctx.emit(
+                line,
+                format!(
+                    "unsafe is banned in `{}` (a determinism-audited product crate); \
+                     restructure with safe std primitives",
+                    ctx.file.crate_name
+                ),
+            );
+            continue;
+        }
+        let _ = i;
+        if !ctx.file.comment_near(line, 3, "SAFETY:") {
+            ctx.emit(
+                line,
+                "unsafe without a `// SAFETY:` justification within the three lines \
+                 above; state the invariant that makes this sound"
+                    .to_string(),
+            );
+        }
+    }
+}

@@ -1,0 +1,60 @@
+//! `wall-clock`: ban ambient time and RNG sources in deterministic crates.
+//!
+//! Flags `Instant::now`, `SystemTime` (any use — even `UNIX_EPOCH` math
+//! smuggles wall time in), `thread_rng`, `ThreadRng`, and
+//! `rand::random`. The sanctioned boundary is the `WallTimer` helper in
+//! `rcbr-runtime/src/report.rs` (an `allow_files` entry), which measures
+//! host time for throughput reporting only.
+
+use super::Ctx;
+
+pub(super) fn check(ctx: &mut Ctx<'_>) {
+    let toks = &ctx.file.tokens;
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.is_ident("Instant")
+            && toks.get(i + 1).is_some_and(|a| a.is_punct(':'))
+            && toks.get(i + 2).is_some_and(|a| a.is_punct(':'))
+            && toks.get(i + 3).is_some_and(|a| a.is_ident("now"))
+        {
+            ctx.emit(
+                t.line,
+                "Instant::now() reads the host clock; runs stop being replayable. \
+                 Use the logical superstep clock, or WallTimer in report.rs for \
+                 throughput accounting"
+                    .to_string(),
+            );
+        }
+        if t.is_ident("SystemTime") {
+            ctx.emit(
+                t.line,
+                "SystemTime smuggles wall-clock time into a deterministic crate; \
+                 derive timing from the logical clock instead"
+                    .to_string(),
+            );
+        }
+        if t.is_ident("thread_rng") || t.is_ident("ThreadRng") {
+            ctx.emit(
+                t.line,
+                "thread_rng is OS-seeded and unreplayable; use the seeded in-tree \
+                 ChaCha stream (rcbr_sim::rng) so every draw derives from the run seed"
+                    .to_string(),
+            );
+        }
+        if t.is_ident("random")
+            && i >= 2
+            && toks[i - 1].is_punct(':')
+            && toks[i - 2].is_punct(':')
+            && toks
+                .get(i.wrapping_sub(3))
+                .is_some_and(|a| a.is_ident("rand"))
+        {
+            ctx.emit(
+                t.line,
+                "rand::random draws from an ambient generator; use the seeded \
+                 in-tree RNG"
+                    .to_string(),
+            );
+        }
+    }
+}

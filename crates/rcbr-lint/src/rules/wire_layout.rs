@@ -1,0 +1,265 @@
+//! `wire-layout`: the RM-cell codec matches its declared byte layout.
+//!
+//! The serializer (`encode`), parser (`decode`), and checksum
+//! (`cell_crc`) each hard-code byte offsets into the 16-byte cell. If one
+//! drifts — a field moves, the CRC range isn't updated — corruption
+//! becomes silently undetectable, or every valid cell gets rejected.
+//! The layout is declared once, in `lint.toml`:
+//!
+//! ```toml
+//! [rule.wire-layout]
+//! files = ["crates/rcbr-net/src/rm.rs"]
+//! total = 16
+//! size_const = "RM_CELL_BYTES"
+//! crc_field = "crc"
+//! fields = ["vci=0..4", "kind=4", "denied=5", "crc=6..8", "rate=8..16"]
+//! ```
+//!
+//! Checks, per scoped file:
+//!
+//! 1. the declared fields tile `0..total` exactly (config self-check);
+//! 2. the size constant equals `total`;
+//! 3. every literal index (`buf[a..b]`, `cell[a]`) in `encode` and
+//!    `decode` lies inside one declared field, and together they cover
+//!    the whole cell — so neither serializer nor parser can straddle or
+//!    miss a field boundary (the checksum is exempt from the
+//!    one-field check: it may span contiguous fields);
+//! 4. the literal ranges in `cell_crc` cover exactly `0..total` minus the
+//!    CRC field — the checksum protects every byte it can and never
+//!    checksums itself.
+
+use super::Ctx;
+use crate::lexer::{fn_spans, TokKind, Token};
+
+#[derive(Debug, Clone)]
+struct Field {
+    name: String,
+    start: u64,
+    end: u64,
+}
+
+pub(super) fn check(ctx: &mut Ctx<'_>) {
+    let total = match ctx.cfg_int("total") {
+        Some(t) if t > 0 => t as u64,
+        _ => {
+            ctx.emit(
+                1,
+                "wire-layout: missing/invalid `total` in lint.toml".into(),
+            );
+            return;
+        }
+    };
+    let Some(fields) = parse_fields(ctx, total) else {
+        return; // parse_fields emitted the config diagnostic
+    };
+    let crc_field = ctx.cfg_str("crc_field").unwrap_or_else(|| "crc".into());
+
+    // 2. The on-wire size constant.
+    if let Some(name) = ctx.cfg_str("size_const") {
+        match const_value(&ctx.file.tokens, &name) {
+            Some((v, line)) if v != total => ctx.emit(
+                line,
+                format!("{name} is {v} but the declared layout totals {total} bytes"),
+            ),
+            None => ctx.emit(
+                1,
+                format!("size constant `{name}` not found; the layout is unverifiable"),
+            ),
+            _ => {}
+        }
+    }
+
+    // 3 & 4. Each codec function's literal index ranges.
+    let spans = fn_spans(&ctx.file.tokens);
+    let mut check_fn = |key: &str, default: &str, must_cover: &[(u64, u64)], is_crc: bool| {
+        let name = ctx.cfg_str(key).unwrap_or_else(|| default.to_string());
+        let mut ranges: Vec<(u64, u64, u32)> = Vec::new();
+        let mut found = false;
+        for span in spans.iter().filter(|s| s.name == name) {
+            found = true;
+            ranges.extend(collect_ranges(
+                &ctx.file.tokens[span.body_start..span.body_end],
+            ));
+        }
+        if !found {
+            ctx.emit(
+                1,
+                format!("codec function `{name}` not found; the layout is unverifiable"),
+            );
+            return;
+        }
+        // Every literal range in the serializer/parser must sit inside
+        // one declared field (the checksum may legitimately span several
+        // contiguous fields; for it, coverage below is the real check)...
+        for &(a, b, line) in &ranges {
+            let inside_one = is_crc || fields.iter().any(|f| f.start <= a && b <= f.end);
+            if !inside_one {
+                ctx.emit(
+                    line,
+                    format!(
+                        "`{name}` touches bytes {a}..{b}, which straddles or escapes \
+                         the declared field boundaries ({})",
+                        render_fields(&fields)
+                    ),
+                );
+            }
+        }
+        // ...and their union must cover exactly what this function owes.
+        let union = merge(ranges.iter().map(|&(a, b, _)| (a, b)).collect());
+        let expected = merge(must_cover.to_vec());
+        if union != expected {
+            let role = if is_crc {
+                "checksum coverage"
+            } else {
+                "field coverage"
+            };
+            ctx.emit(
+                fn_line(&spans, &name, &ctx.file.tokens),
+                format!(
+                    "`{name}` {role} is {} but the declared layout requires {}",
+                    render_ranges(&union),
+                    render_ranges(&expected)
+                ),
+            );
+        }
+    };
+
+    let whole: Vec<(u64, u64)> = vec![(0, total)];
+    let sans_crc: Vec<(u64, u64)> = fields
+        .iter()
+        .filter(|f| f.name != crc_field)
+        .map(|f| (f.start, f.end))
+        .collect();
+    check_fn("encode_fn", "encode", &whole, false);
+    check_fn("decode_fn", "decode", &whole, false);
+    check_fn("crc_fn", "cell_crc", &sans_crc, true);
+}
+
+/// Parse `fields = ["vci=0..4", "kind=4", ...]` and verify they tile
+/// `0..total`.
+fn parse_fields(ctx: &mut Ctx<'_>, total: u64) -> Option<Vec<Field>> {
+    let raw = ctx.cfg_list("fields");
+    if raw.is_empty() {
+        ctx.emit(1, "wire-layout: no `fields` declared in lint.toml".into());
+        return None;
+    }
+    let mut fields = Vec::new();
+    for entry in &raw {
+        let Some((name, range)) = entry.split_once('=') else {
+            ctx.emit(1, format!("wire-layout: bad field entry {entry:?}"));
+            return None;
+        };
+        let (start, end) = if let Some((a, b)) = range.split_once("..") {
+            (a.trim().parse().ok()?, b.trim().parse().ok()?)
+        } else {
+            let a: u64 = range.trim().parse().ok()?;
+            (a, a + 1)
+        };
+        fields.push(Field {
+            name: name.trim().to_string(),
+            start,
+            end,
+        });
+    }
+    let mut sorted: Vec<(u64, u64)> = fields.iter().map(|f| (f.start, f.end)).collect();
+    sorted.sort_unstable();
+    let tiles = sorted.first().map(|r| r.0) == Some(0)
+        && sorted.last().map(|r| r.1) == Some(total)
+        && sorted.windows(2).all(|w| w[0].1 == w[1].0);
+    if !tiles {
+        ctx.emit(
+            1,
+            format!(
+                "wire-layout: declared fields {} do not tile 0..{total}",
+                render_fields(&fields)
+            ),
+        );
+        return None;
+    }
+    Some(fields)
+}
+
+/// The value of `const NAME ... = <int>`, with its line.
+fn const_value(toks: &[Token], name: &str) -> Option<(u64, u32)> {
+    for i in 0..toks.len() {
+        if toks[i].is_ident(name) {
+            // Scan a short window for `= <int>`.
+            for j in i + 1..(i + 8).min(toks.len()) {
+                if toks[j].is_punct('=') {
+                    if let Some(v) = toks.get(j + 1).filter(|t| t.kind == TokKind::Int) {
+                        return Some((v.int, toks[i].line));
+                    }
+                }
+                if toks[j].is_punct(';') {
+                    break;
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Literal index expressions in a token slice: `[ a .. b ]` and `[ a ]`.
+fn collect_ranges(toks: &[Token]) -> Vec<(u64, u64, u32)> {
+    let mut out = Vec::new();
+    for i in 0..toks.len() {
+        if !toks[i].is_punct('[') {
+            continue;
+        }
+        let Some(a) = toks.get(i + 1).filter(|t| t.kind == TokKind::Int) else {
+            continue;
+        };
+        if toks.get(i + 2).is_some_and(|t| t.is_punct(']')) {
+            out.push((a.int, a.int + 1, a.line));
+        } else if toks.get(i + 2).is_some_and(|t| t.is_punct('.'))
+            && toks.get(i + 3).is_some_and(|t| t.is_punct('.'))
+        {
+            if let Some(b) = toks.get(i + 4).filter(|t| t.kind == TokKind::Int) {
+                if toks.get(i + 5).is_some_and(|t| t.is_punct(']')) {
+                    out.push((a.int, b.int, a.line));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Merge and sort ranges into a canonical disjoint union.
+fn merge(mut ranges: Vec<(u64, u64)>) -> Vec<(u64, u64)> {
+    ranges.sort_unstable();
+    let mut out: Vec<(u64, u64)> = Vec::new();
+    for (a, b) in ranges {
+        if let Some(last) = out.last_mut() {
+            if a <= last.1 {
+                last.1 = last.1.max(b);
+                continue;
+            }
+        }
+        out.push((a, b));
+    }
+    out
+}
+
+fn fn_line(spans: &[crate::lexer::FnSpan], name: &str, toks: &[Token]) -> u32 {
+    spans
+        .iter()
+        .find(|s| s.name == name)
+        .map(|s| toks[s.fn_tok].line)
+        .unwrap_or(1)
+}
+
+fn render_fields(fields: &[Field]) -> String {
+    let parts: Vec<String> = fields
+        .iter()
+        .map(|f| format!("{}={}..{}", f.name, f.start, f.end))
+        .collect();
+    parts.join(", ")
+}
+
+fn render_ranges(ranges: &[(u64, u64)]) -> String {
+    if ranges.is_empty() {
+        return "<nothing>".to_string();
+    }
+    let parts: Vec<String> = ranges.iter().map(|(a, b)| format!("{a}..{b}")).collect();
+    parts.join(" + ")
+}

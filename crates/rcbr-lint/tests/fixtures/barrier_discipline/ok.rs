@@ -1,0 +1,14 @@
+// Fixture: near-misses for `barrier-discipline` — loads inside a
+// snapshot_* helper are the sanctioned pattern, and non-atomic `load`
+// identifiers (no dot) must not trip.
+
+fn snapshot_drain(counters: &Counters) -> (bool, u64) {
+    (
+        counters.in_flight.load(Ordering::Relaxed) == 0,
+        counters.completed.load(Ordering::Relaxed),
+    )
+}
+
+fn load(x: u64) -> u64 {
+    x
+}

@@ -1,0 +1,6 @@
+// Fixture: a raw atomic load outside a snapshot_* helper must trip
+// `barrier-discipline`.
+
+fn worker(counters: &Counters) -> bool {
+    counters.in_flight.load(Ordering::Relaxed) == 0 // trip
+}

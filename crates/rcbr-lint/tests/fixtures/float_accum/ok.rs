@@ -1,0 +1,9 @@
+// Fixture: near-miss for `float-accum` — a sum inside a reduce_*
+// function (which documents its partition-independent input order) is
+// the sanctioned pattern.
+
+/// Inputs are sorted by VCI before this is called, so the accumulation
+/// order is partition-independent.
+fn reduce_loss(finals: &[f64]) -> f64 {
+    finals.iter().sum::<f64>() / finals.len() as f64
+}

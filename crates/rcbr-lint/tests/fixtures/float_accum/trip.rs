@@ -1,0 +1,6 @@
+// Fixture: a float sum outside a reduce_* function must trip
+// `float-accum`.
+
+fn merge_loss(finals: &[f64]) -> f64 {
+    finals.iter().sum::<f64>() / finals.len() as f64 // trip
+}

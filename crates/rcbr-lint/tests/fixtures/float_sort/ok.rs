@@ -1,0 +1,15 @@
+// Fixture: near-misses for `float-sort` — total_cmp comparators and a
+// partial_cmp outside any sort sink must not trip.
+
+fn order(v: &mut Vec<f64>) {
+    v.sort_by(|a, b| a.total_cmp(b));
+}
+
+fn by_key(v: &mut Vec<(u64, f64)>) {
+    v.sort_by_key(|e| e.0);
+}
+
+fn compare(a: f64, b: f64) -> Option<std::cmp::Ordering> {
+    // partial_cmp on its own (not feeding a comparator sink) is fine.
+    a.partial_cmp(&b)
+}

@@ -1,0 +1,9 @@
+// Fixture: partial_cmp inside sort/min/max sinks must trip `float-sort`.
+
+fn order(v: &mut Vec<f64>) {
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap()); // trip
+}
+
+fn best(v: &[f64]) -> Option<&f64> {
+    v.iter().max_by(|a, b| a.partial_cmp(b).expect("finite")) // trip
+}

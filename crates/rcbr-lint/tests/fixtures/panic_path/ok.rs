@@ -1,0 +1,21 @@
+// Fixture: near-misses for `panic-path` — documented-invariant expects,
+// non-panicking combinators, and messaged unreachable! must not trip.
+
+fn documented(x: Option<u32>) -> u32 {
+    x.expect("VC is routed through this switch")
+}
+
+fn defaulted(x: Option<u32>) -> u32 {
+    x.unwrap_or(0)
+}
+
+fn chained(x: Option<u32>) -> u32 {
+    x.unwrap_or_else(|| 7)
+}
+
+fn cold(kind: u8) -> u8 {
+    match kind {
+        0 => 1,
+        _ => unreachable!("rollback cells are never corrupted"),
+    }
+}

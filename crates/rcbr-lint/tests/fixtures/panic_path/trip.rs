@@ -1,0 +1,21 @@
+// Fixture: every construct here must trip `panic-path`.
+
+fn hot(x: Option<u32>) -> u32 {
+    x.unwrap() // trip: bare unwrap
+}
+
+fn boom() {
+    panic!("worker died"); // trip: panic!
+}
+
+fn later() {
+    todo!() // trip: todo!
+}
+
+fn silent(x: Option<u32>) -> u32 {
+    x.expect("") // trip: empty-message expect
+}
+
+fn raw(v: &[u8]) -> u8 {
+    unsafe { *v.get_unchecked(0) } // trip: unchecked indexing
+}

@@ -1,0 +1,11 @@
+// Fixture: near-misses for `ptr-identity` — stable-id equality and
+// multiplication by a dereferenced value must not trip.
+
+fn same_vci(a: u32, b: u32) -> bool {
+    a == b
+}
+
+fn scale(x: &f64, k: f64) -> f64 {
+    // `*` as deref/multiply, not `as *const`.
+    *x * k
+}

@@ -1,0 +1,9 @@
+// Fixture: pointer-identity comparisons must trip `ptr-identity`.
+
+fn same_switch(a: &u32, b: &u32) -> bool {
+    std::ptr::eq(a, b) // trip: ptr::eq
+}
+
+fn addr(a: &u32) -> usize {
+    a as *const u32 as usize // trip: as *const
+}

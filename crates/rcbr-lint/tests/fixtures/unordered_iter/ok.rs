@@ -1,0 +1,14 @@
+// Fixture: near-misses for `unordered-iter` — ordered collections and
+// non-token mentions must not trip.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+struct Table {
+    rates: BTreeMap<u32, f64>,
+    seen: BTreeSet<u64>,
+}
+
+fn explain() -> &'static str {
+    // HashMap in a comment is fine.
+    "we replaced HashMap with BTreeMap for deterministic iteration"
+}

@@ -1,0 +1,9 @@
+// Fixture: every HashMap/HashSet mention here must trip `unordered-iter`.
+
+use std::collections::HashMap; // trip
+use std::collections::HashSet; // trip
+
+struct Table {
+    rates: HashMap<u32, f64>, // trip
+    seen: HashSet<u64>,       // trip
+}

@@ -1,0 +1,12 @@
+// Fixture: near-misses for `unsafe-audit` — a justified unsafe (in a
+// shim crate) and the word in strings/comments must not trip.
+
+fn reinterpret(x: u64) -> f64 {
+    // SAFETY: u64 and f64 have the same size and any bit pattern is a
+    // valid f64; this is exactly f64::from_bits.
+    unsafe { std::mem::transmute(x) }
+}
+
+fn describe() -> &'static str {
+    "unsafe is banned in product crates"
+}

@@ -1,0 +1,6 @@
+// Fixture: unsafe without a // SAFETY: justification must trip
+// `unsafe-audit` (and any unsafe at all trips in forbid_crates).
+
+fn reinterpret(x: u64) -> f64 {
+    unsafe { std::mem::transmute(x) } // trip: no SAFETY comment
+}

@@ -1,0 +1,17 @@
+// Fixture: near-misses for `wall-clock` — none of these may trip.
+// "Instant::now" in a string or comment is not a token; an `instant`
+// local is not the type; the logical superstep clock is the sanctioned
+// time source.
+
+fn logical_clock(superstep: u64) -> u64 {
+    superstep + 1
+}
+
+fn describe() -> &'static str {
+    "never call Instant::now or SystemTime in the runtime"
+}
+
+fn shadowed() {
+    let instant = 3u64; // lowercase ident, not the type
+    let _ = instant;
+}

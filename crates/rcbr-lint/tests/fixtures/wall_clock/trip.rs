@@ -1,0 +1,16 @@
+// Fixture: every line here must trip `wall-clock`.
+
+fn measure() -> f64 {
+    let started = std::time::Instant::now(); // trip: Instant::now
+    started.elapsed().as_secs_f64()
+}
+
+fn stamp() -> u64 {
+    use std::time::SystemTime; // trip: SystemTime
+    0
+}
+
+fn roll() -> u64 {
+    let mut rng = rand::thread_rng(); // trip: thread_rng
+    0
+}

@@ -1,0 +1,36 @@
+// Fixture: a codec consistent with the declared layout
+// `vci=0..4, kind=4, denied=5, crc=6..8, rate=8..16` (total 16) must
+// pass `wire-layout` cleanly.
+
+pub const RM_CELL_BYTES: usize = 16;
+
+pub fn encode(vci: u32, kind: u8, denied: u8, rate: u64) -> [u8; 16] {
+    let mut buf = [0u8; 16];
+    buf[0..4].copy_from_slice(&vci.to_be_bytes());
+    buf[4] = kind;
+    buf[5] = denied;
+    buf[8..16].copy_from_slice(&rate.to_be_bytes());
+    let crc = cell_crc(&buf);
+    buf[6..8].copy_from_slice(&crc.to_be_bytes());
+    buf
+}
+
+pub fn decode(cell: &[u8; 16]) -> Option<(u32, u8, u8, u64)> {
+    let stored = u16::from_be_bytes([cell[6], cell[7]]);
+    if stored != cell_crc(cell) {
+        return None;
+    }
+    let vci = u32::from_be_bytes(cell[0..4].try_into().unwrap());
+    let kind = cell[4];
+    let denied = cell[5];
+    let rate = u64::from_be_bytes(cell[8..16].try_into().unwrap());
+    Some((vci, kind, denied, rate))
+}
+
+pub fn cell_crc(buf: &[u8; 16]) -> u16 {
+    let mut acc: u16 = 0;
+    for &b in buf[0..6].iter().chain(&buf[8..16]) {
+        acc = acc.wrapping_add(b as u16);
+    }
+    acc
+}

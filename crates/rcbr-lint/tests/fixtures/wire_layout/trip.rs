@@ -1,0 +1,36 @@
+// Fixture: a drifted codec must trip `wire-layout`. Against the layout
+// `vci=0..4, kind=4, denied=5, crc=6..8, rate=8..16` (total 16):
+//   * encode writes the rate at 7..15, straddling the crc/rate boundary
+//     and leaving byte 15 uncovered;
+//   * cell_crc checksums 0..8, i.e. it covers its own crc field and
+//     misses the rate bytes entirely.
+
+pub const RM_CELL_BYTES: usize = 16;
+
+pub fn encode(vci: u32, kind: u8, denied: u8, rate: u64) -> [u8; 16] {
+    let mut buf = [0u8; 16];
+    buf[0..4].copy_from_slice(&vci.to_be_bytes());
+    buf[4] = kind;
+    buf[5] = denied;
+    buf[7..15].copy_from_slice(&rate.to_be_bytes()); // trip: straddles crc/rate
+    let crc = cell_crc(&buf);
+    buf[6..8].copy_from_slice(&crc.to_be_bytes());
+    buf
+}
+
+pub fn decode(cell: &[u8; 16]) -> (u32, u8, u8, u64) {
+    let vci = u32::from_be_bytes(cell[0..4].try_into().unwrap());
+    let kind = cell[4];
+    let denied = cell[5];
+    let rate = u64::from_be_bytes(cell[8..16].try_into().unwrap());
+    (vci, kind, denied, rate)
+}
+
+pub fn cell_crc(buf: &[u8; 16]) -> u16 {
+    let mut acc: u16 = 0;
+    for &b in &buf[0..8] {
+        // trip: checksums its own crc field, misses rate
+        acc = acc.wrapping_add(b as u16);
+    }
+    acc
+}

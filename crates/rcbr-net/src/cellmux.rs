@@ -62,7 +62,7 @@ pub fn simulate_cbr_mux(
             t += period;
         }
     }
-    arrivals.sort_by(|a, b| a.partial_cmp(b).expect("times are finite"));
+    arrivals.sort_by(|a, b| a.total_cmp(b));
 
     // FIFO with deterministic service: one cell takes CELL_BITS/link_rate.
     let service_time = CELL_BITS / link_rate;

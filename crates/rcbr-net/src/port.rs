@@ -12,7 +12,7 @@
 //! connection teardown — and let tests audit that the aggregate never
 //! drifts from the sum of its parts.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
 
@@ -21,7 +21,7 @@ use serde::{Deserialize, Serialize};
 pub struct OutputPort {
     capacity: f64,
     reserved: f64,
-    per_vci: HashMap<u32, f64>,
+    per_vci: BTreeMap<u32, f64>,
 }
 
 impl OutputPort {
@@ -37,7 +37,7 @@ impl OutputPort {
         Self {
             capacity,
             reserved: 0.0,
-            per_vci: HashMap::new(),
+            per_vci: BTreeMap::new(),
         }
     }
 

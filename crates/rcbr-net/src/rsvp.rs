@@ -16,7 +16,7 @@
 //! mechanism for state management, rather than for rate adaptation" — a
 //! session that never changes its flowspec just re-asserts its old rate.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
 
@@ -53,7 +53,7 @@ struct SoftState {
 pub struct RsvpRouter {
     capacity: f64,
     timeout: f64,
-    sessions: HashMap<u64, SoftState>,
+    sessions: BTreeMap<u64, SoftState>,
     reserved: f64,
 }
 
@@ -75,7 +75,7 @@ impl RsvpRouter {
         Self {
             capacity,
             timeout,
-            sessions: HashMap::new(),
+            sessions: BTreeMap::new(),
             reserved: 0.0,
         }
     }

@@ -7,7 +7,7 @@
 //! signalled by setting the cell's `denied` flag (the paper's "the
 //! controller modifies the ER field to deny the request").
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
 
@@ -52,7 +52,7 @@ impl std::error::Error for SwitchError {}
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Switch {
     ports: Vec<OutputPort>,
-    vci_table: HashMap<u32, usize>,
+    vci_table: BTreeMap<u32, usize>,
 }
 
 impl Switch {
@@ -71,7 +71,7 @@ impl Switch {
                 .iter()
                 .map(|&c| OutputPort::new(c))
                 .collect(),
-            vci_table: HashMap::new(),
+            vci_table: BTreeMap::new(),
         }
     }
 
@@ -173,11 +173,10 @@ impl Switch {
         }
     }
 
-    /// The routed VCIs, sorted (deterministic iteration for audits).
+    /// The routed VCIs, ascending (the map is ordered, so iteration is
+    /// deterministic for audits).
     pub fn vcis(&self) -> Vec<u32> {
-        let mut v: Vec<u32> = self.vci_table.keys().copied().collect();
-        v.sort_unstable();
-        v
+        self.vci_table.keys().copied().collect()
     }
 }
 

@@ -64,6 +64,25 @@ pub(crate) struct VcFinal {
     pub loss: f64,
 }
 
+/// Snapshot one VC's published believed rate. Must be called while the
+/// pipeline is quiescent, after the post-phase-A barrier guarantees every
+/// shard's stores have happened and before any shard can write again —
+/// the same between-barriers discipline as `Counters::snapshot_drain`.
+fn snapshot_believed(believed: &[AtomicU64], vci: u32) -> f64 {
+    f64::from_bits(believed[vci as usize].load(Ordering::Relaxed))
+}
+
+/// Reduce per-VC source loss fractions to `(mean, max)`. The input order
+/// is partition-independent: both engines sort `finals` by ascending VCI
+/// before calling this, so the float sum accumulates in the same order no
+/// matter how many shards produced the entries.
+pub(crate) fn reduce_source_loss(finals: &[VcFinal], num_vcs: usize) -> (f64, f64) {
+    debug_assert!(finals.windows(2).all(|w| w[0].vci < w[1].vci));
+    let mean = finals.iter().map(|f| f.loss).sum::<f64>() / num_vcs as f64;
+    let max = finals.iter().fold(0.0f64, |m, f| m.max(f.loss));
+    (mean, max)
+}
+
 /// The periodic mid-run audit over one shard's switches. Must be called
 /// while the pipeline is quiescent and after every shard published its
 /// VCs' believed rates (phase A of a round).
@@ -90,7 +109,7 @@ pub(crate) fn audit_shard(
             continue;
         }
         for vci in sw.vcis() {
-            let b = f64::from_bits(believed[vci as usize].load(Ordering::Relaxed));
+            let b = snapshot_believed(believed, vci);
             let r = sw.vci_rate(vci).expect("routed VCI has a rate");
             if (r - b).abs() > DRIFT_EPS {
                 counters.audit_drift.fetch_add(1, Ordering::Relaxed);

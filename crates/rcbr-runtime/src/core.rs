@@ -199,7 +199,31 @@ pub struct CounterSnapshot {
     pub audit_drift: u64,
 }
 
+/// The pair of reads that decides a drain loop's fate, taken together in
+/// the safe window between barriers.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct DrainSnapshot {
+    /// No job is in the pipeline: the round can end.
+    pub quiescent: bool,
+    /// Completed-request total as of the same instant, so every shard
+    /// takes the same stop-run branch.
+    pub completed: u64,
+}
+
 impl Counters {
+    /// Snapshot the drain-loop decision state. Must be called in a window
+    /// where no shard can write these counters — in the engine, after a
+    /// shard drained its inbox and *before* the end-of-superstep barrier
+    /// releases anyone into the next round's phases (the PR 2 deadlock:
+    /// reading after that barrier races the next round's timeout writes
+    /// and desynchronizes the shards' break decisions).
+    pub(crate) fn snapshot_drain(&self) -> DrainSnapshot {
+        DrainSnapshot {
+            quiescent: self.in_flight.load(Ordering::Relaxed) == 0,
+            completed: self.completed.load(Ordering::Relaxed),
+        }
+    }
+
     /// Copy the current values.
     pub fn snapshot(&self) -> CounterSnapshot {
         let ld = |a: &AtomicU64| a.load(Ordering::Relaxed);

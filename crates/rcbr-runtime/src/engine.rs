@@ -42,16 +42,15 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::{mpsc, Barrier, Mutex};
-use std::time::Instant;
 
 use rcbr_net::{FaultPlane, Switch};
 use rcbr_sim::{Histogram, RunningStats};
 
-use crate::audit::{audit_shard, finalize, VcFinal};
+use crate::audit::{audit_shard, finalize, reduce_source_loss, VcFinal};
 use crate::config::RuntimeConfig;
 use crate::core::{advance_job, CompletionSink, Counters, FaultCtx, Job, JobKind, VciSlot};
 use crate::gen::VcRunner;
-use crate::report::{latency_histogram, summarize_latency, RunReport, ShardReport};
+use crate::report::{latency_histogram, summarize_latency, RunReport, ShardReport, WallTimer};
 
 /// What each worker hands back when the run ends.
 struct ShardResult {
@@ -72,7 +71,7 @@ struct ShardResult {
 /// Run the sharded engine to completion and report.
 pub fn run(cfg: &RuntimeConfig) -> RunReport {
     cfg.validate();
-    let started = Instant::now();
+    let started = WallTimer::start();
     let shards = cfg.num_shards;
     let plane = FaultPlane::new(cfg.fault.clone());
 
@@ -120,7 +119,7 @@ pub fn run(cfg: &RuntimeConfig) -> RunReport {
     });
     results.sort_by_key(|r| r.shard);
 
-    let wall = started.elapsed().as_secs_f64();
+    let wall = started.elapsed_seconds();
     let mut latency = latency_histogram(cfg);
     let mut moments = RunningStats::new();
     let mut shard_reports = Vec::with_capacity(shards);
@@ -154,8 +153,7 @@ pub fn run(cfg: &RuntimeConfig) -> RunReport {
 
     let audit = finalize(cfg, &plane, &mut all_switches, &mut finals, superstep);
     let degraded_vcs = finals.iter().filter(|f| f.degraded).count() as u64;
-    let mean_source_loss = finals.iter().map(|f| f.loss).sum::<f64>() / cfg.num_vcs as f64;
-    let max_source_loss = finals.iter().fold(0.0f64, |m, f| m.max(f.loss));
+    let (mean_source_loss, max_source_loss) = reduce_source_loss(&finals, cfg.num_vcs);
 
     let counters = counters.snapshot();
     debug_assert_eq!(counters.completed, counters.accepted + counters.exhausted);
@@ -316,14 +314,14 @@ fn worker(
             // sure everyone has read before anyone can write again.
             // Delayed and held cells keep in_flight nonzero, so rounds
             // only end once every fault-induced straggler has resolved;
-            // completed must be snapshotted *here* so all shards take the
-            // same stop-run branch (a shard racing ahead into the next
-            // round's verdict phase can complete requests via timeouts).
-            let quiescent = counters.in_flight.load(Ordering::Relaxed) == 0;
-            let completed_now = counters.completed.load(Ordering::Relaxed);
+            // both counters must be snapshotted *here*, together, so all
+            // shards take the same stop-run branch (a shard racing ahead
+            // into the next round's verdict phase can complete requests
+            // via timeouts).
+            let drain = counters.snapshot_drain();
             barrier.wait(); // all inboxes drained
-            if quiescent {
-                break completed_now;
+            if drain.quiescent {
+                break drain.completed;
             }
             // Crash restarts due this superstep wipe soft state.
             for (li, sw) in switches.iter_mut().enumerate() {

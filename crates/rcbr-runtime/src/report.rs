@@ -1,4 +1,8 @@
 //! Run reports: counters, merged latency statistics, per-shard metrics.
+//!
+//! This module is also the runtime's *only* sanctioned wall-clock
+//! boundary (`lint.toml` exempts it from the `wall-clock` rule): the
+//! [`WallTimer`] below feeds throughput reporting and nothing else.
 
 use rcbr_sim::{Histogram, RunningStats};
 use serde::{Deserialize, Serialize};
@@ -6,6 +10,29 @@ use serde::{Deserialize, Serialize};
 use crate::audit::AuditReport;
 use crate::config::RuntimeConfig;
 use crate::core::CounterSnapshot;
+
+/// The audited wall-clock boundary. Wall time influences only the
+/// `wall_seconds` / `throughput_per_sec` fields of a [`RunReport`] —
+/// never simulation state, which runs on the logical superstep clock.
+/// Reading `std::time::Instant` anywhere else in the runtime is a
+/// `wall-clock` lint violation.
+pub(crate) struct WallTimer {
+    started: std::time::Instant,
+}
+
+impl WallTimer {
+    /// Start timing.
+    pub(crate) fn start() -> Self {
+        Self {
+            started: std::time::Instant::now(),
+        }
+    }
+
+    /// Seconds elapsed since `start()`, for throughput accounting only.
+    pub(crate) fn elapsed_seconds(&self) -> f64 {
+        self.started.elapsed().as_secs_f64()
+    }
+}
 
 /// Per-worker pipeline metrics.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]

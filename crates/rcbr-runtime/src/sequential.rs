@@ -12,21 +12,20 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
-use std::time::Instant;
 
 use rcbr_net::{FaultPlane, Switch};
 use rcbr_sim::RunningStats;
 
-use crate::audit::{audit_shard, finalize, VcFinal};
+use crate::audit::{audit_shard, finalize, reduce_source_loss, VcFinal};
 use crate::config::RuntimeConfig;
 use crate::core::{advance_job, CompletionSink, Counters, FaultCtx, Job, JobKind, VciSlot};
 use crate::gen::VcRunner;
-use crate::report::{latency_histogram, summarize_latency, RunReport, ShardReport};
+use crate::report::{latency_histogram, summarize_latency, RunReport, ShardReport, WallTimer};
 
 /// Run the workload single-threaded and report.
 pub fn run_sequential(cfg: &RuntimeConfig) -> RunReport {
     cfg.validate();
-    let started = Instant::now();
+    let started = WallTimer::start();
     let plane = FaultPlane::new(cfg.fault.clone());
 
     let counters = Counters::default();
@@ -94,7 +93,10 @@ pub fn run_sequential(cfg: &RuntimeConfig) -> RunReport {
             injected += 1;
         }
 
-        loop {
+        // Same snapshot-then-decide shape as the engine's drain loop,
+        // so the replay breaks on the identical (quiescent, completed)
+        // observation.
+        let completed_now = loop {
             superstep += 1;
             let mut i = 0;
             while i < delayed.len() {
@@ -106,8 +108,9 @@ pub fn run_sequential(cfg: &RuntimeConfig) -> RunReport {
             }
             wave.append(&mut held);
             max_batch = max_batch.max(wave.len() as u64);
-            if counters.in_flight.load(Ordering::Relaxed) == 0 {
-                break;
+            let drain = counters.snapshot_drain();
+            if drain.quiescent {
+                break drain.completed;
             }
             for (h, sw) in switches.iter_mut().enumerate() {
                 if !wiped[h] {
@@ -155,9 +158,9 @@ pub fn run_sequential(cfg: &RuntimeConfig) -> RunReport {
                 }
             }
             wave = next_wave;
-        }
+        };
 
-        if counters.completed.load(Ordering::Relaxed) >= cfg.target_requests {
+        if completed_now >= cfg.target_requests {
             break;
         }
     }
@@ -182,10 +185,9 @@ pub fn run_sequential(cfg: &RuntimeConfig) -> RunReport {
 
     let audit = finalize(cfg, &plane, &mut switches, &mut finals, superstep);
     let degraded_vcs = finals.iter().filter(|f| f.degraded).count() as u64;
-    let mean_source_loss = finals.iter().map(|f| f.loss).sum::<f64>() / cfg.num_vcs as f64;
-    let max_source_loss = finals.iter().fold(0.0f64, |m, f| m.max(f.loss));
+    let (mean_source_loss, max_source_loss) = reduce_source_loss(&finals, cfg.num_vcs);
 
-    let wall = started.elapsed().as_secs_f64();
+    let wall = started.elapsed_seconds();
     let counters = counters.snapshot();
     debug_assert_eq!(counters.completed, counters.accepted + counters.exhausted);
     RunReport {

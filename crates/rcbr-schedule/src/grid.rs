@@ -25,7 +25,7 @@ impl RateGrid {
             levels.iter().all(|&r| r.is_finite() && r >= 0.0),
             "rate levels must be finite and nonnegative"
         );
-        levels.sort_by(|a, b| a.partial_cmp(b).expect("levels are finite"));
+        levels.sort_by(|a, b| a.total_cmp(b));
         levels.dedup();
         Self { levels }
     }

@@ -123,7 +123,7 @@ mod tests {
     #[test]
     fn jitter_varies_by_vci_and_is_bounded() {
         let p = policy();
-        let spread: std::collections::HashSet<u64> =
+        let spread: std::collections::BTreeSet<u64> =
             (0..64u32).map(|vci| p.backoff(vci, 1)).collect();
         assert!(spread.len() > 1, "jitter must actually spread retries");
         assert!(spread

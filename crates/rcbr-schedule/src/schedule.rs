@@ -224,7 +224,7 @@ impl Schedule {
                 None => acc.push((seg.rate, w)),
             }
         }
-        acc.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("rates are finite"));
+        acc.sort_by(|a, b| a.0.total_cmp(&b.0));
         DiscreteDistribution::from_weights(&acc)
     }
 

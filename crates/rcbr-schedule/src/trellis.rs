@@ -301,17 +301,9 @@ impl OfflineOptimizer {
                 None => 0,
             };
             if cfg.q_resolution.is_some() {
-                candidates.sort_by(|a, b| {
-                    bucket(a.q)
-                        .cmp(&bucket(b.q))
-                        .then(a.w.partial_cmp(&b.w).expect("w is finite"))
-                });
+                candidates.sort_by(|a, b| bucket(a.q).cmp(&bucket(b.q)).then(a.w.total_cmp(&b.w)));
             } else {
-                candidates.sort_by(|a, b| {
-                    a.q.partial_cmp(&b.q)
-                        .expect("q is finite")
-                        .then(a.w.partial_cmp(&b.w).expect("w is finite"))
-                });
+                candidates.sort_by(|a, b| a.q.total_cmp(&b.q).then(a.w.total_cmp(&b.w)));
             }
             let mut per_rate_min = vec![f64::INFINITY; m];
             let mut per_rate_bucket = vec![u64::MAX; m];
@@ -349,7 +341,7 @@ impl OfflineOptimizer {
             // Optional beam: keep the lowest-weight survivors.
             if let Some(width) = cfg.max_survivors {
                 if survivors.len() > width {
-                    survivors.sort_by(|a, b| a.w.partial_cmp(&b.w).expect("w is finite"));
+                    survivors.sort_by(|a, b| a.w.total_cmp(&b.w));
                     survivors.truncate(width);
                 }
             }
@@ -362,7 +354,7 @@ impl OfflineOptimizer {
         let best = survivors
             .iter()
             .filter(|n| !cfg.drain_at_end || n.q <= 1e-9)
-            .min_by(|a, b| a.w.partial_cmp(&b.w).expect("w is finite"))
+            .min_by(|a, b| a.w.total_cmp(&b.w))
             .ok_or(TrellisError::Infeasible { slot: t_len })?;
 
         // Reconstruct the rate sequence by walking the arena.

@@ -189,7 +189,7 @@ pub fn fit_mts(trace: &FrameTrace, config: MtsFitConfig) -> MtsFit {
 /// ascending centroids.
 fn kmeans_1d(xs: &[f64], k: usize) -> Vec<f64> {
     let mut sorted = xs.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("rates are finite"));
+    sorted.sort_by(|a, b| a.total_cmp(b));
     let mut centroids: Vec<f64> = (0..k)
         .map(|i| sorted[((i as f64 + 0.5) / k as f64 * (sorted.len() - 1) as f64) as usize])
         .collect();
@@ -209,7 +209,7 @@ fn kmeans_1d(xs: &[f64], k: usize) -> Vec<f64> {
                 centroids[c] = next;
             }
         }
-        centroids.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        centroids.sort_by(|a, b| a.total_cmp(b));
         if moved < 1e-9 {
             break;
         }

@@ -370,3 +370,29 @@ where
             .collect()
     }
 }
+
+impl<K: JsonKey, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn to_json_value(&self) -> Value {
+        // BTreeMap iterates in key order; keys stringify monotonically for
+        // the JsonKey types we support, so the output is already stable.
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.to_key(), v.to_json_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<K, V> Deserialize for std::collections::BTreeMap<K, V>
+where
+    K: JsonKey + Ord,
+    V: Deserialize,
+{
+    fn from_json_value(v: &Value) -> Result<Self, DeError> {
+        v.as_object()
+            .ok_or_else(|| DeError::expected("object"))?
+            .iter()
+            .map(|(k, val)| Ok((K::from_key(k)?, V::from_json_value(val)?)))
+            .collect()
+    }
+}

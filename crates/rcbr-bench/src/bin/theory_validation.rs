@@ -13,9 +13,7 @@
 //! Usage: `theory_validation [--seed 1] [--out results/]`
 
 use rcbr_bench::{write_json, Args};
-use rcbr_ldt::{
-    equivalent_bandwidth, min_capacity_per_source, mts_equivalent_bandwidth, QosTarget,
-};
+use rcbr_ldt::{min_capacity_per_source, EbCache, QosTarget};
 use rcbr_sim::stats::DiscreteDistribution;
 use rcbr_sim::{FluidQueue, SimRng};
 use rcbr_traffic::MtsModel;
@@ -42,15 +40,18 @@ fn main() {
     let buffer = 100_000.0;
     let qos = QosTarget::new(buffer, 1e-2);
 
-    // 1. eq. (9).
+    // 1. eq. (9). The memo makes the stream-EB call below reuse the three
+    // per-subchain power iterations already done here.
+    let mut eb_cache = EbCache::new();
     let probs = model.subchain_probs();
     let means: Vec<f64> = (0..3).map(|k| model.subchain_mean_rate(k)).collect();
     let ebs: Vec<f64> = model
         .subchains()
         .iter()
-        .map(|s| equivalent_bandwidth(&s.as_source(slot), qos))
+        .map(|s| eb_cache.equivalent_bandwidth(&s.as_source(slot), qos))
         .collect();
-    let (stream_eb, k_dom) = mts_equivalent_bandwidth(&model, qos);
+    let (stream_eb, k_dom) = eb_cache.mts_equivalent_bandwidth(&model, qos);
+    debug_assert_eq!(eb_cache.hits(), 3, "stream EB should be fully memoized");
     println!("# Theory validation — Fig. 4 source, B = 100 kb, eps = 1e-2");
     println!(
         "{:>10} {:>12} {:>12} {:>10}",

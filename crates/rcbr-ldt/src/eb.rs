@@ -116,6 +116,109 @@ pub fn mts_equivalent_bandwidth(model: &MtsModel, qos: QosTarget) -> (f64, usize
         .expect("MTS models have at least two subchains")
 }
 
+/// A memo for [`equivalent_bandwidth`].
+///
+/// The EB of a Markov-modulated source costs a spectral-radius power
+/// iteration per call; admission sweeps and validation harnesses evaluate
+/// the same handful of `(source, QoS)` pairs thousands of times. The memo
+/// key is **exact**: the bit patterns of the transition matrix, the
+/// per-state emissions, the slot length, and the QoS target — no hashing,
+/// no collisions, so a hit returns the bit-identical `f64` the direct
+/// computation would produce.
+///
+/// ```
+/// use rcbr_ldt::{equivalent_bandwidth, EbCache, QosTarget};
+/// use rcbr_traffic::OnOffSource;
+///
+/// let source = OnOffSource::new(0.2, 0.2, 1_000_000.0, 0.04).as_source();
+/// let qos = QosTarget::new(100_000.0, 1e-6);
+/// let mut cache = EbCache::new();
+/// let eb = cache.equivalent_bandwidth(&source, qos);
+/// assert_eq!(eb.to_bits(), equivalent_bandwidth(&source, qos).to_bits());
+/// assert_eq!(cache.hits(), 0);
+/// cache.equivalent_bandwidth(&source, qos);
+/// assert_eq!(cache.hits(), 1);
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct EbCache {
+    map: std::collections::BTreeMap<Vec<u64>, f64>,
+    hits: u64,
+    misses: u64,
+}
+
+impl EbCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of distinct `(source, QoS)` pairs memoized.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache holds no entries yet.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Lookups answered from the memo.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookups that had to run the power iteration.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// [`equivalent_bandwidth`], memoized.
+    pub fn equivalent_bandwidth(&mut self, source: &MarkovModulatedSource, qos: QosTarget) -> f64 {
+        let key = Self::key(source, qos);
+        if let Some(&eb) = self.map.get(&key) {
+            self.hits += 1;
+            return eb;
+        }
+        self.misses += 1;
+        let eb = equivalent_bandwidth(source, qos);
+        self.map.insert(key, eb);
+        eb
+    }
+
+    /// [`mts_equivalent_bandwidth`], memoized per subchain: repeated calls
+    /// for the same model — or for sources sharing its subchains — reuse
+    /// the per-subchain entries.
+    pub fn mts_equivalent_bandwidth(&mut self, model: &MtsModel, qos: QosTarget) -> (f64, usize) {
+        let slot = model.slot();
+        model
+            .subchains()
+            .iter()
+            .enumerate()
+            .map(|(k, sub)| (self.equivalent_bandwidth(&sub.as_source(slot), qos), k))
+            .max_by(|a, b| a.0.total_cmp(&b.0))
+            .expect("MTS models have at least two subchains")
+    }
+
+    /// The exact memo key: every float that enters the computation, as raw
+    /// bits, plus the state count to delimit the matrix rows.
+    fn key(source: &MarkovModulatedSource, qos: QosTarget) -> Vec<u64> {
+        let chain = source.chain();
+        let n = chain.num_states();
+        let mut key = Vec::with_capacity(n * n + n + 4);
+        key.push(n as u64);
+        key.push(source.slot().to_bits());
+        key.push(qos.buffer.to_bits());
+        key.push(qos.epsilon.to_bits());
+        for i in 0..n {
+            for j in 0..n {
+                key.push(chain.prob(i, j).to_bits());
+            }
+        }
+        key.extend(source.emissions().iter().map(|x| x.to_bits()));
+        key
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -220,5 +323,58 @@ mod tests {
     #[should_panic(expected = "epsilon")]
     fn bad_epsilon_rejected() {
         QosTarget::new(1.0, 1.5);
+    }
+
+    #[test]
+    fn cache_returns_bit_identical_results() {
+        let s = onoff();
+        let mut cache = EbCache::new();
+        for qos in [
+            QosTarget::new(10.0, 1e-6),
+            QosTarget::new(1000.0, 1e-2),
+            QosTarget::new(100_000.0, 1e-9),
+        ] {
+            let direct = equivalent_bandwidth(&s, qos);
+            let miss = cache.equivalent_bandwidth(&s, qos);
+            let hit = cache.equivalent_bandwidth(&s, qos);
+            assert_eq!(direct.to_bits(), miss.to_bits());
+            assert_eq!(direct.to_bits(), hit.to_bits());
+        }
+        assert_eq!(cache.len(), 3);
+        assert_eq!(cache.misses(), 3);
+        assert_eq!(cache.hits(), 3);
+    }
+
+    #[test]
+    fn cache_distinguishes_sources_and_targets() {
+        let a = onoff();
+        // Same shape, different emission: must not share an entry.
+        let b = OnOffSource::new(0.2, 0.2, 1001.0, 1.0).as_source();
+        let qos = QosTarget::new(1000.0, 1e-6);
+        let mut cache = EbCache::new();
+        let eb_a = cache.equivalent_bandwidth(&a, qos);
+        let eb_b = cache.equivalent_bandwidth(&b, qos);
+        assert_eq!(cache.misses(), 2);
+        assert_ne!(eb_a.to_bits(), eb_b.to_bits());
+        // Different epsilon on the same source: a third entry.
+        cache.equivalent_bandwidth(&a, QosTarget::new(1000.0, 1e-7));
+        assert_eq!(cache.len(), 3);
+        assert_eq!(cache.hits(), 0);
+    }
+
+    #[test]
+    fn cached_mts_eb_matches_uncached() {
+        let m = MtsModel::fig4_example(1e-4, 1.0 / 24.0);
+        let qos = QosTarget::new(300_000.0, 1e-6);
+        let (want_eb, want_k) = mts_equivalent_bandwidth(&m, qos);
+        let mut cache = EbCache::new();
+        let (got_eb, got_k) = cache.mts_equivalent_bandwidth(&m, qos);
+        assert_eq!(want_eb.to_bits(), got_eb.to_bits());
+        assert_eq!(want_k, got_k);
+        assert_eq!(cache.misses() as usize, m.subchains().len());
+        // A second evaluation is pure hits.
+        cache.mts_equivalent_bandwidth(&m, qos);
+        assert_eq!(cache.misses() as usize, m.subchains().len());
+        assert_eq!(cache.hits() as usize, m.subchains().len());
     }
 }

@@ -32,7 +32,9 @@ pub mod matrix;
 pub mod numerics;
 
 pub use chernoff::{chernoff_failure_probability, max_admissible_calls, min_capacity_per_source};
-pub use eb::{equivalent_bandwidth, log_spectral_mgf, mts_equivalent_bandwidth, QosTarget};
+pub use eb::{
+    equivalent_bandwidth, log_spectral_mgf, mts_equivalent_bandwidth, EbCache, QosTarget,
+};
 pub use empirical::{empirical_log_mgf, trace_equivalent_bandwidth};
 pub use legendre::rate_function;
 pub use matrix::Matrix;

@@ -1,0 +1,72 @@
+//! Criterion benches for the data-oriented trellis kernel.
+//!
+//! Times the kernel against the retained reference implementation on the
+//! same instances (exact and quantized modes), so a regression in the
+//! candidate-merge, the bucket reduction, or the arena GC shows up as a
+//! shrinking gap. Heavy sweeps live in the `trellis_bench` binary of
+//! `rcbr-bench`; these benches are small enough for `cargo bench` runs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rcbr_schedule::trellis::reference;
+use rcbr_schedule::{CostModel, OfflineOptimizer, RateGrid, TrellisConfig};
+use rcbr_traffic::FrameTrace;
+
+/// A deterministic bursty workload (no RNG: benches must not drift).
+fn bursty_trace(len: usize) -> FrameTrace {
+    let bits: Vec<f64> = (0..len)
+        .map(|i| {
+            if i % 13 < 4 {
+                230_000.0 + (i % 3) as f64 * 7_000.0
+            } else {
+                30_000.0 + (i % 11) as f64 * 1_000.0
+            }
+        })
+        .collect();
+    FrameTrace::new(1.0 / 24.0, bits)
+}
+
+fn config(m: usize, quantized: bool) -> TrellisConfig {
+    let buffer = 300_000.0;
+    let grid = RateGrid::uniform(0.0, 6_000_000.0, m);
+    let cfg = TrellisConfig::new(grid, CostModel::from_ratio(1e6), buffer);
+    if quantized {
+        cfg.with_q_resolution(buffer / 1000.0)
+    } else {
+        cfg
+    }
+}
+
+fn bench_kernel(c: &mut Criterion) {
+    let trace = bursty_trace(600);
+
+    let mut group = c.benchmark_group("trellis_kernel_exact");
+    group.sample_size(10);
+    for m in [10usize, 20] {
+        let cfg = config(m, false);
+        group.bench_with_input(BenchmarkId::new("kernel", m), &cfg, |b, cfg| {
+            let opt = OfflineOptimizer::new(cfg.clone());
+            b.iter(|| opt.optimize(&trace).expect("feasible"))
+        });
+        group.bench_with_input(BenchmarkId::new("reference", m), &cfg, |b, cfg| {
+            b.iter(|| reference::optimize_with_cost(cfg, &trace).expect("feasible"))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("trellis_kernel_quantized");
+    group.sample_size(10);
+    for m in [20usize, 50] {
+        let cfg = config(m, true);
+        group.bench_with_input(BenchmarkId::new("kernel", m), &cfg, |b, cfg| {
+            let opt = OfflineOptimizer::new(cfg.clone());
+            b.iter(|| opt.optimize(&trace).expect("feasible"))
+        });
+        group.bench_with_input(BenchmarkId::new("reference", m), &cfg, |b, cfg| {
+            b.iter(|| reference::optimize_with_cost(cfg, &trace).expect("feasible"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernel);
+criterion_main!(benches);

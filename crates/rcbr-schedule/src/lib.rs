@@ -39,4 +39,4 @@ pub use online::{Ar1Config, Ar1Policy, GopAwareConfig, GopAwarePolicy, OnlinePol
 pub use retry::RetryPolicy;
 pub use schedule::{Schedule, ScheduleMetrics};
 pub use smoothing::{min_peak_rate_bound, optimal_smoothing};
-pub use trellis::{OfflineOptimizer, TrellisConfig, TrellisError};
+pub use trellis::{OfflineOptimizer, TrellisConfig, TrellisError, TrellisStats};

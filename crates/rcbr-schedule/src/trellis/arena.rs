@@ -1,0 +1,256 @@
+//! The parent-pointer arena with mark-and-compact garbage collection.
+//!
+//! Path reconstruction needs, for every survivor, the chain of rate
+//! choices back to slot 0. The reference implementation appends one
+//! `(parent, rate)` entry per survivor per slot and never frees anything,
+//! so its arena is `O(T · survivors)` for a `T`-slot trace. This arena
+//! bounds memory with two exact (lossless) mechanisms, triggered whenever
+//! the arena doubles past its post-collection size:
+//!
+//! * **mark-and-compact** — entries reachable from the live survivor
+//!   column are marked (one descending pass suffices, because a parent
+//!   index is always smaller than its child's) and slid down over the
+//!   garbage, with survivor pointers remapped;
+//! * **committed-prefix truncation** — the maximal chain prefix shared by
+//!   *every* live survivor is, by Lemma 1's optimality argument, a prefix
+//!   of whatever path the optimizer eventually returns. Its rates are
+//!   moved to an output vector and the chain is cut, so the arena holds
+//!   only the part of the trellis where live paths still disagree.
+//!
+//! Together these keep the live arena within a constant factor of the
+//! survivor set's disagreement window, independent of trace length.
+
+use super::stats::TrellisStats;
+
+/// Sentinel parent index marking a path root.
+pub(super) const NONE: u32 = u32::MAX;
+
+/// Compactions are not worth their pass below this arena size.
+const MIN_COMPACT_LEN: usize = 16 * 1024;
+
+/// Growth factor past the post-collection size that triggers collection.
+const GROWTH_FACTOR: usize = 2;
+
+/// The parent-pointer arena.
+#[derive(Debug, Default)]
+pub(super) struct Arena {
+    /// Parent index of each entry (`NONE` for roots).
+    parent: Vec<u32>,
+    /// Rate index chosen at each entry's slot.
+    rate: Vec<u16>,
+    /// Rates (in chronological order) already proven common to all live
+    /// paths and truncated out of the chains.
+    committed: Vec<u16>,
+    /// Arena length at which the next collection triggers.
+    watermark: usize,
+    // Scratch buffers, reused across collections.
+    mark: Vec<bool>,
+    remap: Vec<u32>,
+    child_count: Vec<u32>,
+    last_child: Vec<u32>,
+    direct_refs: Vec<u32>,
+}
+
+impl Arena {
+    /// An empty arena.
+    pub fn new() -> Self {
+        Self {
+            watermark: MIN_COMPACT_LEN,
+            ..Self::default()
+        }
+    }
+
+    /// Number of entries currently stored (live + garbage).
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Rates already committed, chronological.
+    pub fn committed(&self) -> &[u16] {
+        &self.committed
+    }
+
+    /// Append an entry and return its index.
+    pub fn push(&mut self, parent: u32, rate: u16) -> u32 {
+        assert!(
+            self.parent.len() < NONE as usize,
+            "trellis arena exhausted; use a beam or a coarser grid"
+        );
+        let idx = self.parent.len() as u32;
+        self.parent.push(parent);
+        self.rate.push(rate);
+        idx
+    }
+
+    /// Walk the chain starting at `idx`, yielding rate indices from the
+    /// entry itself back to its root (reverse chronological order).
+    pub fn walk(&self, mut idx: u32) -> impl Iterator<Item = u16> + '_ {
+        std::iter::from_fn(move || {
+            if idx == NONE {
+                return None;
+            }
+            let rate = self.rate[idx as usize];
+            idx = self.parent[idx as usize];
+            Some(rate)
+        })
+    }
+
+    /// Collect garbage if the arena has outgrown its watermark, remapping
+    /// the survivor pointers in `survivors` in place.
+    pub fn maybe_collect(&mut self, survivors: &mut [u32], stats: &mut TrellisStats) {
+        stats.observe_arena(self.len());
+        if self.len() >= self.watermark {
+            self.collect(survivors, stats);
+        }
+    }
+
+    /// Unconditional mark, commit, and compact pass.
+    pub fn collect(&mut self, survivors: &mut [u32], stats: &mut TrellisStats) {
+        let len = self.parent.len();
+        stats.compactions += 1;
+
+        // Mark: seed from the survivor column, then one descending pass —
+        // parents always precede children, so by the time we visit index
+        // `i` every chain that passes through it has already marked it.
+        self.mark.clear();
+        self.mark.resize(len, false);
+        self.direct_refs.clear();
+        self.direct_refs.resize(len, 0);
+        for &a in survivors.iter() {
+            if a != NONE {
+                self.mark[a as usize] = true;
+                self.direct_refs[a as usize] += 1;
+            }
+        }
+        self.child_count.clear();
+        self.child_count.resize(len, 0);
+        self.last_child.clear();
+        self.last_child.resize(len, NONE);
+        let mut roots: u32 = 0;
+        let mut the_root: u32 = NONE;
+        for i in (0..len).rev() {
+            if !self.mark[i] {
+                continue;
+            }
+            let p = self.parent[i];
+            if p == NONE {
+                roots += 1;
+                the_root = i as u32;
+            } else {
+                self.mark[p as usize] = true;
+                self.child_count[p as usize] += 1;
+                self.last_child[p as usize] = i as u32;
+            }
+        }
+
+        // Commit the prefix common to all live paths: from a unique root,
+        // follow single-child links that no survivor terminates on.
+        if roots == 1 {
+            let mut cur = the_root;
+            while self.child_count[cur as usize] == 1 && self.direct_refs[cur as usize] == 0 {
+                self.committed.push(self.rate[cur as usize]);
+                stats.committed_slots += 1;
+                self.mark[cur as usize] = false;
+                cur = self.last_child[cur as usize];
+            }
+            // The first uncommitted entry becomes the new chain root.
+            self.parent[cur as usize] = NONE;
+        }
+
+        // Compact: slide marked entries down, building the remap table.
+        self.remap.clear();
+        self.remap.resize(len, NONE);
+        let mut out = 0usize;
+        for i in 0..len {
+            if !self.mark[i] {
+                continue;
+            }
+            let p = self.parent[i];
+            self.parent[out] = if p == NONE {
+                NONE
+            } else {
+                self.remap[p as usize]
+            };
+            self.rate[out] = self.rate[i];
+            self.remap[i] = out as u32;
+            out += 1;
+        }
+        stats.compacted_entries += (len - out) as u64;
+        self.parent.truncate(out);
+        self.rate.truncate(out);
+        for a in survivors.iter_mut() {
+            if *a != NONE {
+                *a = self.remap[*a as usize];
+            }
+        }
+
+        self.watermark = (out * GROWTH_FACTOR).max(MIN_COMPACT_LEN);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn walk_follows_parents() {
+        let mut a = Arena::new();
+        let r = a.push(NONE, 1);
+        let c1 = a.push(r, 2);
+        let c2 = a.push(c1, 3);
+        let rates: Vec<u16> = a.walk(c2).collect();
+        assert_eq!(rates, vec![3, 2, 1]);
+    }
+
+    #[test]
+    fn collect_commits_common_prefix_and_drops_garbage() {
+        let mut a = Arena::new();
+        let mut stats = TrellisStats::default();
+        // Chain 0 -> 1 -> 2, then a fork at 2 into 3 and 4; 5 is garbage.
+        let n0 = a.push(NONE, 10);
+        let n1 = a.push(n0, 11);
+        let n2 = a.push(n1, 12);
+        let n3 = a.push(n2, 13);
+        let n4 = a.push(n2, 14);
+        let _garbage = a.push(n1, 99);
+        let mut survivors = vec![n3, n4];
+        a.collect(&mut survivors, &mut stats);
+        // 10, 11 are common to both live paths; 12 is the fork point and
+        // stays (as the new root).
+        assert_eq!(a.committed(), &[10, 11]);
+        assert_eq!(a.len(), 3);
+        let w0: Vec<u16> = a.walk(survivors[0]).collect();
+        let w1: Vec<u16> = a.walk(survivors[1]).collect();
+        assert_eq!(w0, vec![13, 12]);
+        assert_eq!(w1, vec![14, 12]);
+        assert_eq!(stats.committed_slots, 2);
+        assert_eq!(stats.compacted_entries, 3); // 10, 11 committed + 99 dead
+    }
+
+    #[test]
+    fn collect_with_survivor_on_trunk_stops_committing() {
+        let mut a = Arena::new();
+        let mut stats = TrellisStats::default();
+        let n0 = a.push(NONE, 1);
+        let n1 = a.push(n0, 2);
+        let n2 = a.push(n1, 3);
+        // One survivor ends at n1: nothing past n0 can be committed.
+        let mut survivors = vec![n1, n2];
+        a.collect(&mut survivors, &mut stats);
+        assert_eq!(a.committed(), &[1]);
+        assert_eq!(a.walk(survivors[0]).collect::<Vec<_>>(), vec![2]);
+        assert_eq!(a.walk(survivors[1]).collect::<Vec<_>>(), vec![3, 2]);
+    }
+
+    #[test]
+    fn collect_with_multiple_roots_commits_nothing() {
+        let mut a = Arena::new();
+        let mut stats = TrellisStats::default();
+        let r0 = a.push(NONE, 1);
+        let r1 = a.push(NONE, 2);
+        let mut survivors = vec![r0, r1];
+        a.collect(&mut survivors, &mut stats);
+        assert!(a.committed().is_empty());
+        assert_eq!(a.len(), 2);
+    }
+}

@@ -1,0 +1,250 @@
+//! Exact-mode candidate expansion: the `M`-way frontier merge.
+//!
+//! For a fixed target rate `mi`, mapping the q-sorted survivor column
+//! through `q' = max(q + x − s_mi, 0)` yields a q-sorted candidate
+//! stream (the map is monotone, clamping included). The global
+//! `(q, w, gen, rate)` candidate order the reference obtains with a full
+//! `O(n·M·log(n·M))` sort is therefore an `M`-way merge of `M` sorted
+//! streams — `O(n·M·log M)` — plus a tiny sort of each *exactly-equal-q*
+//! group to restore the reference's `(w, gen, rate)` tie order (groups
+//! are almost always singletons; the clamped `q = 0` run is the one
+//! recurring exception).
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use super::kernel::{Cand, SlotCtx, Sweep};
+use super::shard;
+use super::soa::Column;
+
+/// One stream head in the merge heap: the next candidate of target rate
+/// `mi`, drawn from survivor index `si`.
+#[derive(Debug, Clone, Copy)]
+struct Head {
+    q: f64,
+    mi: u16,
+    si: u32,
+}
+
+impl PartialEq for Head {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Head {}
+
+impl PartialOrd for Head {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Head {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we pop the smallest q.
+        // `mi` tie-break is only for determinism; equal-q heads end up in
+        // the same group and are re-ordered there.
+        other
+            .q
+            .total_cmp(&self.q)
+            .then_with(|| other.mi.cmp(&self.mi))
+    }
+}
+
+/// Reusable merge buffers.
+#[derive(Debug, Default)]
+pub(super) struct Scratch {
+    heap: BinaryHeap<Head>,
+    group: Vec<Cand>,
+    bands: Vec<Vec<Cand>>,
+    band_pos: Vec<usize>,
+}
+
+/// Candidate for stream `mi` at survivor `si`, with the reference's exact
+/// float expressions.
+#[inline]
+fn make_cand(ctx: &SlotCtx<'_>, cur: &Column, si: u32, mi: u16) -> Cand {
+    let i = si as usize;
+    let q = (cur.q[i] + ctx.x - ctx.svc[mi as usize]).max(0.0);
+    let w = cur.w[i] + ctx.slot_cost[mi as usize] + if mi == cur.rate[i] { 0.0 } else { ctx.alpha };
+    Cand {
+        q,
+        w,
+        gsi: cur.gen[i],
+        mi,
+        parent: cur.arena[i],
+    }
+}
+
+/// Expand one slot and drive the sweep, serially or sharded by rate band.
+pub(super) fn expand(
+    ctx: &SlotCtx<'_>,
+    cur: &Column,
+    cutoffs: &[usize],
+    shards: usize,
+    s: &mut Scratch,
+    sweep: &mut Sweep<'_>,
+) {
+    if shards <= 1 {
+        expand_serial(ctx, cur, cutoffs, s, sweep);
+    } else {
+        expand_sharded(ctx, cur, cutoffs, shards, s, sweep);
+    }
+}
+
+/// Single-threaded path: all streams share one heap; candidates flow
+/// straight from the merge into the sweep with no materialization.
+fn expand_serial(
+    ctx: &SlotCtx<'_>,
+    cur: &Column,
+    cutoffs: &[usize],
+    s: &mut Scratch,
+    sweep: &mut Sweep<'_>,
+) {
+    s.heap.clear();
+    for (mi, &cut) in cutoffs.iter().enumerate() {
+        if cut > 0 {
+            let q = (cur.q[0] + ctx.x - ctx.svc[mi]).max(0.0);
+            s.heap.push(Head {
+                q,
+                mi: mi as u16,
+                si: 0,
+            });
+        }
+    }
+    while let Some(top) = s.heap.pop() {
+        // Collect the exactly-equal-q group (bit equality via total_cmp,
+        // matching the reference sort's key comparison).
+        s.group.clear();
+        advance(ctx, cur, cutoffs, &mut s.heap, top, &mut s.group);
+        while let Some(&next) = s.heap.peek() {
+            if next.q.total_cmp(&top.q) != Ordering::Equal {
+                break;
+            }
+            let next = s.heap.pop().expect("peeked");
+            advance(ctx, cur, cutoffs, &mut s.heap, next, &mut s.group);
+        }
+        flush_group(&mut s.group, sweep);
+    }
+}
+
+/// Emit `head`'s candidate into `group` and push its stream's successor.
+#[inline]
+fn advance(
+    ctx: &SlotCtx<'_>,
+    cur: &Column,
+    cutoffs: &[usize],
+    heap: &mut BinaryHeap<Head>,
+    head: Head,
+    group: &mut Vec<Cand>,
+) {
+    group.push(make_cand(ctx, cur, head.si, head.mi));
+    let next_si = head.si + 1;
+    if (next_si as usize) < cutoffs[head.mi as usize] {
+        let q = (cur.q[next_si as usize] + ctx.x - ctx.svc[head.mi as usize]).max(0.0);
+        heap.push(Head {
+            q,
+            mi: head.mi,
+            si: next_si,
+        });
+    }
+}
+
+/// Order an equal-q group by the reference tie keys and sweep it.
+#[inline]
+fn flush_group(group: &mut [Cand], sweep: &mut Sweep<'_>) {
+    if group.len() > 1 {
+        group.sort_unstable_by(|a, b| {
+            a.w.total_cmp(&b.w)
+                .then(a.gsi.cmp(&b.gsi))
+                .then(a.mi.cmp(&b.mi))
+        });
+    }
+    for c in group.iter() {
+        sweep.offer(c);
+    }
+}
+
+/// Sharded path: each rate band merges its own streams into a sorted
+/// candidate list on its own thread; the main thread then runs a
+/// deterministic `S`-way merge of the band lists into the same group
+/// sweep. Output is bit-identical to the serial path at any shard count
+/// because groups — the only place float ties are resolved — are formed
+/// from the same exact-q equivalence classes either way.
+fn expand_sharded(
+    ctx: &SlotCtx<'_>,
+    cur: &Column,
+    cutoffs: &[usize],
+    shards: usize,
+    s: &mut Scratch,
+    sweep: &mut Sweep<'_>,
+) {
+    let ranges = shard::band_ranges(cutoffs.len(), shards);
+    s.bands.resize_with(ranges.len(), Vec::new);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(ranges.len());
+        for (range, out) in ranges.iter().zip(s.bands.iter_mut()) {
+            let range = range.clone();
+            handles.push(scope.spawn(move || {
+                out.clear();
+                let mut heap: BinaryHeap<Head> = BinaryHeap::new();
+                for mi in range {
+                    if cutoffs[mi] > 0 {
+                        let q = (cur.q[0] + ctx.x - ctx.svc[mi]).max(0.0);
+                        heap.push(Head {
+                            q,
+                            mi: mi as u16,
+                            si: 0,
+                        });
+                    }
+                }
+                while let Some(head) = heap.pop() {
+                    out.push(make_cand(ctx, cur, head.si, head.mi));
+                    let next_si = head.si + 1;
+                    if (next_si as usize) < cutoffs[head.mi as usize] {
+                        let q =
+                            (cur.q[next_si as usize] + ctx.x - ctx.svc[head.mi as usize]).max(0.0);
+                        heap.push(Head {
+                            q,
+                            mi: head.mi,
+                            si: next_si,
+                        });
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().expect("trellis shard worker panicked");
+        }
+    });
+
+    // Merge barrier: S-way merge of the per-band q-sorted lists.
+    s.band_pos.clear();
+    s.band_pos.resize(s.bands.len(), 0);
+    loop {
+        // The band with the smallest head q (band index breaks exact
+        // ties; group re-ordering makes the choice immaterial).
+        let mut best: Option<(usize, f64)> = None;
+        for (b, band) in s.bands.iter().enumerate() {
+            if let Some(c) = band.get(s.band_pos[b]) {
+                best = match best {
+                    Some((_, bq)) if bq.total_cmp(&c.q) != Ordering::Greater => best,
+                    _ => Some((b, c.q)),
+                };
+            }
+        }
+        let Some((_, group_q)) = best else { break };
+        s.group.clear();
+        for (b, band) in s.bands.iter().enumerate() {
+            while let Some(c) = band.get(s.band_pos[b]) {
+                if c.q.total_cmp(&group_q) != Ordering::Equal {
+                    break;
+                }
+                s.group.push(*c);
+                s.band_pos[b] += 1;
+            }
+        }
+        flush_group(&mut s.group, sweep);
+    }
+}

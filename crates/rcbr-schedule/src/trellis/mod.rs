@@ -18,16 +18,46 @@
 //! > path through `(t, v', q', w')` with `q' ≤ q` and `w' + Δ ≤ w`, where
 //! > `Δ = 0` if `v' = v` and `Δ = α` otherwise.
 //!
-//! The implementation keeps, per slot, the set of non-dominated survivor
-//! nodes (a Pareto frontier in `(q, w)` per rate, plus the cross-rate
-//! `α`-shifted global frontier) and a compact parent-pointer arena for path
-//! reconstruction. An optional beam width (`max_survivors`) turns the exact
-//! search into a bounded-memory approximation for very fine rate grids —
-//! the regime the paper reports as intractable ("with M = 100 ... more than
-//! a day").
+//! The paper reports this optimizer as the bottleneck of its whole
+//! evaluation: ~20 minutes at `M = 20` rate levels and "more than a day"
+//! at `M = 100`. The implementation here is a data-oriented kernel
+//! (see `DESIGN.md` §8) that removes the super-linear term from the inner
+//! loop:
+//!
+//! * survivors are stored in struct-of-arrays columns ([`soa`]), kept
+//!   sorted by buffer occupancy, with every per-slot buffer reused;
+//! * because a fixed target rate maps a `q`-sorted survivor column to a
+//!   `q`-sorted candidate stream, Lemma 1 pruning is an `M`-way linear
+//!   merge plus sweep ([`exact`]) — or, with a quantized buffer axis, a
+//!   per-`(rate, bucket)` reduction ([`quantized`]) — instead of a global
+//!   `O(n·M·log(n·M))` sort;
+//! * parent pointers for path reconstruction live in a mark-and-compacted
+//!   arena ([`arena`]) whose common path prefix is committed and truncated,
+//!   bounding memory by the live survivor set instead of the trace length;
+//! * candidate expansion can optionally be sharded by rate band across
+//!   threads with a deterministic merge barrier ([`shard`]): the output is
+//!   bit-identical at any shard count.
+//!
+//! The straightforward implementation this kernel replaced is retained in
+//! [`reference`] as the oracle for equivalence tests and the baseline for
+//! `trellis_bench`; the kernel reproduces its output — schedule *and*
+//! cost — bit for bit, including every floating-point tie-break.
+//!
+//! An optional beam width (`max_survivors`) turns the exact search into a
+//! bounded-memory approximation for very fine rate grids.
 //!
 //! The initial rate choice at `t = 1` is part of call setup and is not
 //! charged as a renegotiation; this matches [`Schedule::total_cost`].
+
+mod arena;
+mod exact;
+mod kernel;
+mod quantized;
+#[doc(hidden)]
+pub mod reference;
+mod shard;
+mod soa;
+mod stats;
 
 use rcbr_traffic::FrameTrace;
 use serde::{Deserialize, Serialize};
@@ -35,6 +65,8 @@ use serde::{Deserialize, Serialize};
 use crate::cost::CostModel;
 use crate::grid::RateGrid;
 use crate::schedule::Schedule;
+
+pub use stats::TrellisStats;
 
 /// Configuration of the offline optimizer.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -152,19 +184,6 @@ impl std::fmt::Display for TrellisError {
 
 impl std::error::Error for TrellisError {}
 
-/// A survivor node in the current trellis column.
-#[derive(Debug, Clone, Copy)]
-struct Node {
-    /// Rate index into the grid.
-    rate: u16,
-    /// Buffer occupancy at the end of the slot, bits.
-    q: f64,
-    /// Weight: cost of the best path reaching this node.
-    w: f64,
-    /// Index into the parent arena.
-    arena: u32,
-}
-
 /// The offline optimizer.
 ///
 /// ```
@@ -181,6 +200,7 @@ struct Node {
 #[derive(Debug, Clone)]
 pub struct OfflineOptimizer {
     config: TrellisConfig,
+    shards: usize,
 }
 
 impl OfflineOptimizer {
@@ -194,7 +214,27 @@ impl OfflineOptimizer {
             config.grid.len() <= u16::MAX as usize,
             "rate grid too fine for the trellis arena"
         );
-        Self { config }
+        Self { config, shards: 1 }
+    }
+
+    /// Shard candidate expansion over `shards` worker threads, partitioned
+    /// by contiguous rate band with a sequential merge barrier per slot.
+    ///
+    /// The output — schedule, cost, and every work counter — is
+    /// bit-identical at any shard count; sharding changes only which
+    /// thread evaluates which target rate.
+    ///
+    /// # Panics
+    /// Panics if `shards == 0`.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        assert!(shards >= 1, "need at least one shard");
+        self.shards = shards;
+        self
+    }
+
+    /// The configured shard count.
+    pub fn shards(&self) -> usize {
+        self.shards
     }
 
     /// The configuration.
@@ -209,165 +249,17 @@ impl OfflineOptimizer {
 
     /// Compute the optimal schedule and its cost.
     pub fn optimize_with_cost(&self, trace: &FrameTrace) -> Result<(Schedule, f64), TrellisError> {
-        let cfg = &self.config;
-        let tau = trace.frame_interval();
-        let m = cfg.grid.len();
-        let svc: Vec<f64> = cfg.grid.levels().iter().map(|&r| r * tau).collect();
-        let slot_cost: Vec<f64> = cfg
-            .grid
-            .levels()
-            .iter()
-            .map(|&r| cfg.cost.beta * r * tau)
-            .collect();
-        let alpha = cfg.cost.alpha;
-        let t_len = trace.len();
+        self.optimize_with_stats(trace)
+            .map(|(s, cost, _)| (s, cost))
+    }
 
-        // Per-slot buffer bound: min(B, arrivals in the trailing delay
-        // window) — see eq. (5)'s reduction in the module docs.
-        let mut rolling = 0.0; // arrivals in the last D slots (window ending at t)
-
-        // Parent arena: (parent index, rate index). u32::MAX = root.
-        let mut parents: Vec<(u32, u16)> = Vec::new();
-        let mut survivors: Vec<Node> = Vec::with_capacity(m);
-        let mut candidates: Vec<Node> = Vec::new();
-
-        for t in 0..t_len {
-            let x = trace.bits(t);
-            // Maintain the rolling delay window: the bound at slot t is
-            // A_t − A_{t−D} = x_{t−D+1} + … + x_t, exactly D trailing slots.
-            if let Some(d) = cfg.delay_slots {
-                rolling += x;
-                if t >= d {
-                    rolling -= trace.bits(t - d);
-                }
-            }
-            let b_t = if cfg.delay_slots.is_some() {
-                cfg.buffer.min(rolling)
-            } else {
-                cfg.buffer
-            };
-
-            candidates.clear();
-            if t == 0 {
-                // Initial column: the first rate choice is free of α.
-                for (mi, (&s, &c)) in svc.iter().zip(&slot_cost).enumerate() {
-                    let q = (x - s).max(0.0);
-                    if q <= b_t {
-                        candidates.push(Node {
-                            rate: mi as u16,
-                            q,
-                            w: c,
-                            arena: u32::MAX,
-                        });
-                    }
-                }
-            } else {
-                for node in &survivors {
-                    for (mi, (&s, &c)) in svc.iter().zip(&slot_cost).enumerate() {
-                        let q = (node.q + x - s).max(0.0);
-                        if q > b_t {
-                            continue;
-                        }
-                        let w = node.w + c + if mi as u16 == node.rate { 0.0 } else { alpha };
-                        candidates.push(Node {
-                            rate: mi as u16,
-                            q,
-                            w,
-                            arena: node.arena,
-                        });
-                    }
-                }
-            }
-            if candidates.is_empty() {
-                return Err(TrellisError::Infeasible { slot: t });
-            }
-
-            // Lemma 1 pruning. Sort by (q asc, w asc) — with the buffer
-            // axis optionally quantized into buckets — and sweep: a
-            // candidate is dominated if an already-seen candidate (which
-            // has q no larger, up to one bucket) beats it by weight within
-            // its own rate, or by weight + α across rates.
-            // Bucket 0 is reserved for an exactly-empty buffer so that the
-            // quantization can never merge away the drained state that
-            // `drain_at_end` selects on.
-            let bucket = |q: f64| match cfg.q_resolution {
-                Some(res) => {
-                    if q == 0.0 {
-                        0
-                    } else {
-                        1 + (q / res) as u64
-                    }
-                }
-                None => 0,
-            };
-            if cfg.q_resolution.is_some() {
-                candidates.sort_by(|a, b| bucket(a.q).cmp(&bucket(b.q)).then(a.w.total_cmp(&b.w)));
-            } else {
-                candidates.sort_by(|a, b| a.q.total_cmp(&b.q).then(a.w.total_cmp(&b.w)));
-            }
-            let mut per_rate_min = vec![f64::INFINITY; m];
-            let mut per_rate_bucket = vec![u64::MAX; m];
-            let mut global_min = f64::INFINITY;
-            survivors.clear();
-            for cand in candidates.iter() {
-                let r = cand.rate as usize;
-                if cand.w >= per_rate_min[r] || cand.w - alpha >= global_min {
-                    continue;
-                }
-                if cfg.q_resolution.is_some() {
-                    // One survivor per (rate, bucket): the first (cheapest)
-                    // one wins.
-                    let b = bucket(cand.q);
-                    if per_rate_bucket[r] == b {
-                        continue;
-                    }
-                    per_rate_bucket[r] = b;
-                }
-                per_rate_min[r] = cand.w;
-                global_min = global_min.min(cand.w);
-                // Commit to the arena lazily, only for survivors.
-                assert!(
-                    parents.len() < u32::MAX as usize,
-                    "trellis arena exhausted; use a beam or a coarser grid"
-                );
-                let arena_idx = parents.len() as u32;
-                parents.push((cand.arena, cand.rate));
-                survivors.push(Node {
-                    arena: arena_idx,
-                    ..*cand
-                });
-            }
-
-            // Optional beam: keep the lowest-weight survivors.
-            if let Some(width) = cfg.max_survivors {
-                if survivors.len() > width {
-                    survivors.sort_by(|a, b| a.w.total_cmp(&b.w));
-                    survivors.truncate(width);
-                }
-            }
-        }
-
-        // Best terminal node (restricted to drained nodes when required;
-        // the Lemma 1 pruning preserves the best drained path because a
-        // dominating node has no larger backlog, hence drains wherever the
-        // dominated one does).
-        let best = survivors
-            .iter()
-            .filter(|n| !cfg.drain_at_end || n.q <= 1e-9)
-            .min_by(|a, b| a.w.total_cmp(&b.w))
-            .ok_or(TrellisError::Infeasible { slot: t_len })?;
-
-        // Reconstruct the rate sequence by walking the arena.
-        let mut rates_rev: Vec<f64> = Vec::with_capacity(t_len);
-        let mut idx = best.arena;
-        while idx != u32::MAX {
-            let (parent, rate) = parents[idx as usize];
-            rates_rev.push(self.config.grid.level(rate as usize));
-            idx = parent;
-        }
-        debug_assert_eq!(rates_rev.len(), t_len, "arena walk must span the trace");
-        rates_rev.reverse();
-        Ok((Schedule::from_rates(tau, &rates_rev), best.w))
+    /// Compute the optimal schedule, its cost, and the kernel's
+    /// deterministic work counters.
+    pub fn optimize_with_stats(
+        &self,
+        trace: &FrameTrace,
+    ) -> Result<(Schedule, f64, TrellisStats), TrellisError> {
+        kernel::run(&self.config, self.shards, trace)
     }
 }
 
@@ -623,6 +515,116 @@ mod tests {
         let opt = OfflineOptimizer::new(TrellisConfig::new(grid, cost, 0.0));
         let sched = opt.optimize(&trace).unwrap();
         assert_eq!(sched.to_rates(), vec![100.0, 200.0, 100.0]);
+    }
+
+    /// A bursty deterministic workload for the equivalence checks below.
+    fn bursty_trace(len: usize) -> FrameTrace {
+        let bits: Vec<f64> = (0..len)
+            .map(|i| {
+                if i % 13 < 4 {
+                    230.0 + (i % 3) as f64 * 7.0
+                } else {
+                    30.0 + (i % 11) as f64
+                }
+            })
+            .collect();
+        FrameTrace::new(1.0, bits)
+    }
+
+    fn equivalence_configs() -> Vec<TrellisConfig> {
+        let grid = RateGrid::uniform(0.0, 300.0, 9);
+        let cost = CostModel::new(12.0, 1.0);
+        let buffer = 250.0;
+        let base = TrellisConfig::new(grid, cost, buffer);
+        vec![
+            base.clone(),
+            base.clone().with_q_resolution(buffer / 200.0),
+            base.clone().with_beam(6),
+            base.clone().with_drain_at_end(),
+            base.clone().with_delay_bound(3),
+            base.with_q_resolution(buffer / 100.0).with_drain_at_end(),
+        ]
+    }
+
+    #[test]
+    fn kernel_is_bit_identical_to_reference() {
+        let trace = bursty_trace(300);
+        for cfg in equivalence_configs() {
+            let got = OfflineOptimizer::new(cfg.clone()).optimize_with_cost(&trace);
+            let want = reference::optimize_with_cost(&cfg, &trace);
+            match (got, want) {
+                (Ok((s_k, w_k)), Ok((s_r, w_r))) => {
+                    assert_eq!(
+                        w_k.to_bits(),
+                        w_r.to_bits(),
+                        "cost diverged for {cfg:?}: kernel {w_k} vs reference {w_r}"
+                    );
+                    assert_eq!(s_k.to_rates(), s_r.to_rates(), "schedule diverged: {cfg:?}");
+                }
+                (Err(e_k), Err(e_r)) => assert_eq!(e_k, e_r),
+                (got, want) => panic!("feasibility diverged for {cfg:?}: {got:?} vs {want:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn shard_count_does_not_change_output_or_counters() {
+        let trace = bursty_trace(200);
+        for cfg in equivalence_configs() {
+            let baseline = OfflineOptimizer::new(cfg.clone()).optimize_with_stats(&trace);
+            for shards in [2, 4] {
+                let sharded = OfflineOptimizer::new(cfg.clone())
+                    .with_shards(shards)
+                    .optimize_with_stats(&trace);
+                match (&baseline, &sharded) {
+                    (Ok((s0, w0, st0)), Ok((s1, w1, st1))) => {
+                        assert_eq!(w0.to_bits(), w1.to_bits(), "{shards} shards: {cfg:?}");
+                        assert_eq!(s0.to_rates(), s1.to_rates(), "{shards} shards: {cfg:?}");
+                        assert_eq!(st0, st1, "{shards} shards: {cfg:?}");
+                    }
+                    (Err(e0), Err(e1)) => assert_eq!(e0, e1),
+                    other => panic!("feasibility diverged: {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stats_counters_are_coherent() {
+        let trace = bursty_trace(400);
+        let grid = RateGrid::uniform(0.0, 300.0, 12);
+        let cfg = TrellisConfig::new(grid, CostModel::new(8.0, 1.0), 250.0);
+        let (_, _, stats) = OfflineOptimizer::new(cfg)
+            .optimize_with_stats(&trace)
+            .unwrap();
+        assert_eq!(stats.nodes_expanded, stats.nodes_kept + stats.nodes_pruned);
+        assert!(stats.nodes_kept > 0);
+        assert!(stats.peak_survivors > 0);
+        assert!(stats.peak_arena >= stats.peak_survivors);
+    }
+
+    #[test]
+    fn arena_compaction_bounds_memory_and_preserves_output() {
+        // Long trace + fine quantization: enough survivors per slot that
+        // the arena crosses its watermark many times.
+        let trace = bursty_trace(6000);
+        let grid = RateGrid::uniform(0.0, 300.0, 20);
+        let buffer = 400.0;
+        let cfg = TrellisConfig::new(grid, CostModel::new(6.0, 1.0), buffer)
+            .with_q_resolution(buffer / 500.0);
+        let (s_k, w_k, stats) = OfflineOptimizer::new(cfg.clone())
+            .optimize_with_stats(&trace)
+            .unwrap();
+        let (s_r, w_r) = reference::optimize_with_cost(&cfg, &trace).unwrap();
+        assert_eq!(w_k.to_bits(), w_r.to_bits());
+        assert_eq!(s_k.to_rates(), s_r.to_rates());
+        assert!(stats.compactions > 0, "expected compactions: {stats:?}");
+        // The uncompacted arena would hold every survivor ever kept; the
+        // compacted one must stay well below that.
+        assert!(
+            stats.peak_arena < stats.nodes_kept,
+            "arena not bounded: {stats:?}"
+        );
     }
 
     proptest! {

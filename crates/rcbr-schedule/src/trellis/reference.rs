@@ -1,0 +1,195 @@
+//! The straightforward trellis implementation, retained verbatim as the
+//! oracle for the data-oriented kernel.
+//!
+//! This is the pre-optimization algorithm: materialize every feasible
+//! candidate, globally sort the slot's candidate list, sweep, repeat. It
+//! is `O(n·M·log(n·M))` per slot with an arena that grows for the whole
+//! trace. The kernel in [`super::kernel`] must reproduce its output —
+//! schedule *and* cost — bit for bit; equivalence proptests and
+//! `trellis_bench` (which measures both in the same run) depend on this
+//! module, which is why it is `pub` (but hidden: it is an implementation
+//! detail, not API).
+
+use rcbr_traffic::FrameTrace;
+
+use super::{TrellisConfig, TrellisError};
+use crate::schedule::Schedule;
+
+/// One trellis node.
+#[derive(Debug, Clone, Copy)]
+struct Node {
+    /// Rate index into the grid.
+    rate: u16,
+    /// Buffer occupancy at the end of the slot, bits.
+    q: f64,
+    /// Weight: cost of the best path reaching this node.
+    w: f64,
+    /// Index into the parent arena.
+    arena: u32,
+}
+
+/// Compute the optimal schedule and its cost with the reference
+/// algorithm.
+pub fn optimize_with_cost(
+    cfg: &TrellisConfig,
+    trace: &FrameTrace,
+) -> Result<(Schedule, f64), TrellisError> {
+    let tau = trace.frame_interval();
+    let m = cfg.grid.len();
+    let svc: Vec<f64> = cfg.grid.levels().iter().map(|&r| r * tau).collect();
+    let slot_cost: Vec<f64> = cfg
+        .grid
+        .levels()
+        .iter()
+        .map(|&r| cfg.cost.beta * r * tau)
+        .collect();
+    let alpha = cfg.cost.alpha;
+    let t_len = trace.len();
+
+    // Per-slot buffer bound: min(B, arrivals in the trailing delay
+    // window) — see eq. (5)'s reduction in the module docs.
+    let mut rolling = 0.0; // arrivals in the last D slots (window ending at t)
+
+    // Parent arena: (parent index, rate index). u32::MAX = root.
+    let mut parents: Vec<(u32, u16)> = Vec::new();
+    let mut survivors: Vec<Node> = Vec::with_capacity(m);
+    let mut candidates: Vec<Node> = Vec::new();
+
+    for t in 0..t_len {
+        let x = trace.bits(t);
+        // Maintain the rolling delay window: the bound at slot t is
+        // A_t − A_{t−D} = x_{t−D+1} + … + x_t, exactly D trailing slots.
+        if let Some(d) = cfg.delay_slots {
+            rolling += x;
+            if t >= d {
+                rolling -= trace.bits(t - d);
+            }
+        }
+        let b_t = if cfg.delay_slots.is_some() {
+            cfg.buffer.min(rolling)
+        } else {
+            cfg.buffer
+        };
+
+        candidates.clear();
+        if t == 0 {
+            // Initial column: the first rate choice is free of α.
+            for (mi, (&s, &c)) in svc.iter().zip(&slot_cost).enumerate() {
+                let q = (x - s).max(0.0);
+                if q <= b_t {
+                    candidates.push(Node {
+                        rate: mi as u16,
+                        q,
+                        w: c,
+                        arena: u32::MAX,
+                    });
+                }
+            }
+        } else {
+            for node in &survivors {
+                for (mi, (&s, &c)) in svc.iter().zip(&slot_cost).enumerate() {
+                    let q = (node.q + x - s).max(0.0);
+                    if q > b_t {
+                        continue;
+                    }
+                    let w = node.w + c + if mi as u16 == node.rate { 0.0 } else { alpha };
+                    candidates.push(Node {
+                        rate: mi as u16,
+                        q,
+                        w,
+                        arena: node.arena,
+                    });
+                }
+            }
+        }
+        if candidates.is_empty() {
+            return Err(TrellisError::Infeasible { slot: t });
+        }
+
+        // Lemma 1 pruning. Sort by (q asc, w asc) — with the buffer
+        // axis optionally quantized into buckets — and sweep: a
+        // candidate is dominated if an already-seen candidate (which
+        // has q no larger, up to one bucket) beats it by weight within
+        // its own rate, or by weight + α across rates.
+        // Bucket 0 is reserved for an exactly-empty buffer so that the
+        // quantization can never merge away the drained state that
+        // `drain_at_end` selects on.
+        let bucket = |q: f64| match cfg.q_resolution {
+            Some(res) => {
+                if q == 0.0 {
+                    0
+                } else {
+                    1 + (q / res) as u64
+                }
+            }
+            None => 0,
+        };
+        if cfg.q_resolution.is_some() {
+            candidates.sort_by(|a, b| bucket(a.q).cmp(&bucket(b.q)).then(a.w.total_cmp(&b.w)));
+        } else {
+            candidates.sort_by(|a, b| a.q.total_cmp(&b.q).then(a.w.total_cmp(&b.w)));
+        }
+        let mut per_rate_min = vec![f64::INFINITY; m];
+        let mut per_rate_bucket = vec![u64::MAX; m];
+        let mut global_min = f64::INFINITY;
+        survivors.clear();
+        for cand in candidates.iter() {
+            let r = cand.rate as usize;
+            if cand.w >= per_rate_min[r] || cand.w - alpha >= global_min {
+                continue;
+            }
+            if cfg.q_resolution.is_some() {
+                // One survivor per (rate, bucket): the first (cheapest)
+                // one wins.
+                let b = bucket(cand.q);
+                if per_rate_bucket[r] == b {
+                    continue;
+                }
+                per_rate_bucket[r] = b;
+            }
+            per_rate_min[r] = cand.w;
+            global_min = global_min.min(cand.w);
+            // Commit to the arena lazily, only for survivors.
+            assert!(
+                parents.len() < u32::MAX as usize,
+                "trellis arena exhausted; use a beam or a coarser grid"
+            );
+            let arena_idx = parents.len() as u32;
+            parents.push((cand.arena, cand.rate));
+            survivors.push(Node {
+                arena: arena_idx,
+                ..*cand
+            });
+        }
+
+        // Optional beam: keep the lowest-weight survivors.
+        if let Some(width) = cfg.max_survivors {
+            if survivors.len() > width {
+                survivors.sort_by(|a, b| a.w.total_cmp(&b.w));
+                survivors.truncate(width);
+            }
+        }
+    }
+
+    // Best terminal node (restricted to drained nodes when required;
+    // the Lemma 1 pruning preserves the best drained path because a
+    // dominating node has no larger backlog, hence drains wherever the
+    // dominated one does).
+    let best = survivors
+        .iter()
+        .filter(|n| !cfg.drain_at_end || n.q <= 1e-9)
+        .min_by(|a, b| a.w.total_cmp(&b.w))
+        .ok_or(TrellisError::Infeasible { slot: t_len })?;
+
+    // Reconstruct the rate sequence by walking the arena.
+    let mut rates_rev: Vec<f64> = Vec::with_capacity(t_len);
+    let mut idx = best.arena;
+    while idx != u32::MAX {
+        let (parent, rate) = parents[idx as usize];
+        rates_rev.push(cfg.grid.level(rate as usize));
+        idx = parent;
+    }
+    debug_assert_eq!(rates_rev.len(), t_len, "arena walk must span the trace");
+    rates_rev.reverse();
+    Ok((Schedule::from_rates(tau, &rates_rev), best.w))
+}

@@ -1,0 +1,53 @@
+//! Rate-band partitioning for the optional sharded expansion.
+
+use std::ops::Range;
+
+/// Split `m` rate indices into at most `shards` contiguous, near-equal
+/// bands (the first `m % shards` bands get one extra rate). Deterministic
+/// in `(m, shards)`; never returns an empty band.
+pub(super) fn band_ranges(m: usize, shards: usize) -> Vec<Range<usize>> {
+    let shards = shards.clamp(1, m.max(1));
+    let base = m / shards;
+    let extra = m % shards;
+    let mut ranges = Vec::with_capacity(shards);
+    let mut start = 0;
+    for b in 0..shards {
+        let len = base + usize::from(b < extra);
+        if len == 0 {
+            break;
+        }
+        ranges.push(start..start + len);
+        start += len;
+    }
+    ranges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bands_cover_exactly_once() {
+        for m in 1..50 {
+            for shards in 1..8 {
+                let ranges = band_ranges(m, shards);
+                let mut covered = vec![0u32; m];
+                for r in &ranges {
+                    for i in r.clone() {
+                        covered[i] += 1;
+                    }
+                }
+                assert!(covered.iter().all(|&c| c == 1), "m={m} shards={shards}");
+                assert!(ranges.iter().all(|r| !r.is_empty()));
+                assert!(ranges.len() <= shards);
+            }
+        }
+    }
+
+    #[test]
+    fn band_sizes_differ_by_at_most_one() {
+        let ranges = band_ranges(20, 3);
+        let sizes: Vec<usize> = ranges.iter().map(|r| r.len()).collect();
+        assert_eq!(sizes, vec![7, 7, 6]);
+    }
+}

@@ -9,12 +9,23 @@
 //! that 1/2/4-shard runs and the sequential replay still produce
 //! bit-identical counters with zero residual drift.
 //!
-//! Usage: `chaos [--smoke] [--seed 7] [--out results/]`. The full sweep
-//! writes `chaos_sweep.json`; `--smoke` runs a <60 s subset (for CI) and
-//! writes `chaos_smoke.json`.
+//! A second mode, `--survivability`, soaks the *survivable* signaling
+//! plane instead: one permanent switch kill plus two flapping links over
+//! a chorded ring, leases enabled, no random cell faults. It asserts the
+//! headline survivability contract — VCs with a surviving alternate path
+//! end non-degraded on valid live routes, no-path VCs end cleanly
+//! degraded (torn down, never deadlocked), the end-of-run audit closes at
+//! zero drift, and the counters stay bit-identical across shard counts
+//! {1, 2, 4} and the sequential replay — and writes
+//! `chaos_survivability.json` (`chaos_survivability_smoke.json` under
+//! `--smoke`).
+//!
+//! Usage: `chaos [--smoke] [--survivability] [--seed 7] [--out results/]`.
+//! The full sweep writes `chaos_sweep.json`; `--smoke` runs a <60 s
+//! subset (for CI) and writes `chaos_smoke.json`.
 
 use rcbr_bench::{write_json, Args};
-use rcbr_net::{CrashSpec, StallSpec};
+use rcbr_net::{CrashSpec, KillSpec, LinkDownSpec, StallSpec};
 use rcbr_runtime::{run, run_sequential, RunReport, RuntimeConfig};
 use serde::Serialize;
 use std::path::PathBuf;
@@ -166,11 +177,182 @@ fn probe(seed: u64, target: u64) -> Probe {
     }
 }
 
+/// What the survivability soak measured and asserted.
+#[derive(Debug, Serialize)]
+struct SurvivabilityReport {
+    smoke: bool,
+    seed: u64,
+    target_requests: u64,
+    killed_switch: usize,
+    flapped_links: Vec<(usize, usize)>,
+    supersteps: u64,
+    completed: u64,
+    reroutes: u64,
+    reroutes_committed: u64,
+    reroutes_denied: u64,
+    teardown_cells: u64,
+    leases_expired: u64,
+    cells_link_killed: u64,
+    crash_killed: u64,
+    stranded_events: u64,
+    unstranded_events: u64,
+    degraded_vcs: u64,
+    surviving_vcs: u64,
+    final_drift: u64,
+    off_route_residue: u64,
+    counters_identical_with_sequential: bool,
+    wall_seconds: f64,
+}
+
+/// The survivability soak: a chorded 8-ring under one permanent kill and
+/// two flapping links, with per-hop leases armed. Every departure from
+/// the survivability contract is a panic, so CI fails loudly.
+fn survivability(seed: u64, smoke: bool) -> SurvivabilityReport {
+    let killed = 3usize;
+    let flapped = vec![(5usize, 6usize), (6usize, 7usize)];
+    let mut cfg = RuntimeConfig::balanced(4, 64); // 8 switches, 4-hop paths
+    cfg.target_requests = if smoke { 5_000 } else { 100_000 };
+    cfg.seed = seed;
+    cfg.fault = rcbr_net::FaultConfig::transparent();
+    cfg.fault.seed = seed ^ 0xc4a05;
+    // Chord (2, 4) routes around the killed switch; chord (5, 7) routes
+    // around both flapping links.
+    cfg.extra_links = vec![(2, 4), (5, 7)];
+    cfg.lease_supersteps = 200;
+    // Headroom for make-before-break double occupancy while half the
+    // population reroutes onto the chords at once.
+    cfg.port_capacity *= 4.0;
+    cfg.fault.kills = vec![KillSpec {
+        switch: killed,
+        at_superstep: 200,
+    }];
+    // Two windows per link, staggered so the two flapping links are never
+    // down at once: simultaneous outages would isolate the switch between
+    // them, and this soak is about VCs that *do* have an alternate path.
+    cfg.fault.link_downs = flapped
+        .iter()
+        .zip([[350u64, 1_800], [500, 2_200]])
+        .flat_map(|(&(a, b), windows)| {
+            windows.into_iter().map(move |at| LinkDownSpec {
+                a,
+                b,
+                at_superstep: at,
+                down_supersteps: 120,
+            })
+        })
+        .collect();
+
+    let reference = run_sequential(&cfg);
+    let mut identical = true;
+    for shards in [1usize, 2, 4] {
+        let mut scfg = cfg.clone();
+        scfg.num_shards = shards;
+        let r = run(&scfg);
+        if r.counters != reference.counters || r.audit != reference.audit || r.vcs != reference.vcs
+        {
+            identical = false;
+            eprintln!("!! {shards}-shard survivability run diverges from the sequential replay");
+        }
+    }
+    assert!(
+        identical,
+        "survivability soak must be shard-count invariant"
+    );
+    assert_eq!(reference.audit.final_drift, 0, "audit must close at zero");
+    assert_eq!(
+        reference.audit.off_route_residue, 0,
+        "torn-down VCs must leave no bandwidth behind"
+    );
+    assert!(reference.counters.reroutes_committed > 0, "nobody rerouted");
+    assert!(reference.counters.stranded_events > 0, "nobody stranded");
+
+    // Per-VC contract: a VC whose endpoint died has no alternate path and
+    // must end cleanly degraded holding nothing; everyone else must end
+    // non-degraded on a valid, live route.
+    let topo = cfg.topology();
+    let mut surviving = 0u64;
+    for vc in &reference.vcs {
+        let endpoint_killed =
+            vc.vci as usize % 8 == killed || (vc.vci as usize + cfg.hops_per_vc - 1) % 8 == killed;
+        if endpoint_killed {
+            assert!(vc.degraded, "VC {} lost an endpoint, must degrade", vc.vci);
+            assert_eq!(vc.believed, 0.0, "a stranded VC holds nothing");
+            assert!(vc.route.is_empty());
+        } else {
+            assert!(!vc.degraded, "VC {} had an alternate path", vc.vci);
+            assert!(vc.believed > 0.0);
+            assert!(
+                !vc.route.contains(&killed),
+                "VC {} routes over the kill",
+                vc.vci
+            );
+            assert!(
+                vc.route
+                    .windows(2)
+                    .all(|w| topo.links(w[0]).iter().any(|l| l.to == w[1])),
+                "VC {} ended on a non-route {:?}",
+                vc.vci,
+                vc.route
+            );
+        }
+        if !vc.degraded {
+            surviving += 1;
+        }
+    }
+
+    let c = &reference.counters;
+    SurvivabilityReport {
+        smoke,
+        seed,
+        target_requests: cfg.target_requests,
+        killed_switch: killed,
+        flapped_links: flapped,
+        supersteps: reference.supersteps,
+        completed: c.completed,
+        reroutes: c.reroutes,
+        reroutes_committed: c.reroutes_committed,
+        reroutes_denied: c.reroutes_denied,
+        teardown_cells: c.teardown_cells,
+        leases_expired: c.leases_expired,
+        cells_link_killed: c.cells_link_killed,
+        crash_killed: c.crash_killed,
+        stranded_events: c.stranded_events,
+        unstranded_events: c.unstranded_events,
+        degraded_vcs: reference.degraded_vcs,
+        surviving_vcs: surviving,
+        final_drift: reference.audit.final_drift,
+        off_route_residue: reference.audit.off_route_residue,
+        counters_identical_with_sequential: identical,
+        wall_seconds: reference.wall_seconds,
+    }
+}
+
 fn main() {
     let args = Args::parse();
     let smoke = args.flag("smoke");
     let seed: u64 = args.get("seed", 7);
     let out = args.out_dir().or_else(|| Some(PathBuf::from("results")));
+
+    if args.flag("survivability") {
+        let report = survivability(seed, smoke);
+        println!(
+            "# survivability soak: {} requests, {} reroutes committed, {} stranded, \
+             {} surviving VCs, final drift {}, shard-identical {}",
+            report.completed,
+            report.reroutes_committed,
+            report.stranded_events,
+            report.surviving_vcs,
+            report.final_drift,
+            report.counters_identical_with_sequential
+        );
+        let name = if smoke {
+            "chaos_survivability_smoke.json"
+        } else {
+            "chaos_survivability.json"
+        };
+        write_json(&out, name, &report);
+        return;
+    }
 
     let (intensities, recoveries, target, probe_target): (&[u32], &[Recovery], u64, u64) = if smoke
     {

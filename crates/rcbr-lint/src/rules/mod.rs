@@ -20,6 +20,7 @@
 mod barrier;
 mod float_accum;
 mod float_sort;
+mod lease_units;
 mod panic_path;
 mod ptr_identity;
 mod unordered_iter;
@@ -124,6 +125,18 @@ pub static RULES: &[Rule] = &[
                  `reduce_`, which document their input ordering; `.sum()` anywhere else \
                  in the runtime crate is a violation.",
         check: float_accum::check,
+    },
+    Rule {
+        id: "lease-units",
+        summary: "lease/timeout durations flow through *_supersteps names, not raw literals",
+        hazard: "Every duration in the runtime is a superstep count, and the survivable \
+                 signaling plane (leases, retry backoff, reroute settle windows) is \
+                 tuned by relating those counts to each other. A bare integer next to \
+                 lease/timeout/deadline/backoff state hides the unit and goes silently \
+                 stale when the superstep cadence changes. Durations therefore live in \
+                 fields or consts named *_supersteps; pre-existing documented names are \
+                 grandfathered via allow_idents in lint.toml.",
+        check: lease_units::check,
     },
     Rule {
         id: "wire-layout",

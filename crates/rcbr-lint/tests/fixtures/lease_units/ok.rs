@@ -1,0 +1,34 @@
+// Fixture: near-misses for `lease-units` — none of these may trip.
+// Durations flow through *_supersteps names (the one place raw counts
+// are allowed), and integers next to duration state in plain argument
+// position are event counts, not durations.
+
+pub const RETRY_TIMEOUT_SUPERSTEPS: u64 = 32; // named unit: sanctioned
+
+pub struct Vc {
+    pub lease_supersteps: u64,
+    pub deadline: u64,
+    pub timeouts_seen: u64,
+}
+
+impl Vc {
+    pub fn arm(&mut self, now: u64) {
+        // The count comes from a *_supersteps field, so the window that
+        // mentions `deadline` carries no raw literal.
+        self.deadline = now + self.lease_supersteps;
+    }
+
+    pub fn timed_out(&self, now: u64) -> bool {
+        now.saturating_sub(self.deadline) > RETRY_TIMEOUT_SUPERSTEPS
+    }
+
+    pub fn note_timeout(&mut self) {
+        // Counting timeout *events* is not a duration: the literal sits
+        // in argument position, never bound to duration state.
+        self.bump_timeouts(1);
+    }
+
+    fn bump_timeouts(&mut self, n: u64) {
+        self.timeouts_seen += n;
+    }
+}

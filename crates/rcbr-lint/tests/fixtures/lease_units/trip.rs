@@ -1,0 +1,22 @@
+// Fixture: raw superstep-count literals as lease/timeout durations —
+// every marked line must trip `lease-units`.
+
+pub struct Vc {
+    pub lease_expires: u64,
+    pub deadline: u64,
+}
+
+impl Vc {
+    pub fn arm(&mut self, now: u64) {
+        self.lease_expires = now + 48; // trip: raw lease duration
+    }
+
+    pub fn timed_out(&self, now: u64) -> bool {
+        now.saturating_sub(self.deadline) > 32 // trip: raw timeout window
+    }
+
+    pub fn reschedule(&mut self, now: u64) {
+        let until = now + 7; // trip: raw backoff/settle duration
+        self.deadline = until;
+    }
+}

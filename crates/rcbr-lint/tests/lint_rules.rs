@@ -106,6 +106,52 @@ fn float_accum_fixtures() {
     assert_rule("float-accum", "float_accum", "", 1);
 }
 
+#[test]
+fn lease_units_fixtures() {
+    assert_rule("lease-units", "lease_units", "", 3);
+}
+
+#[test]
+fn lease_units_allow_idents_exempt_audited_names() {
+    // Grandfathering `lease_expires` silences exactly that trip; the
+    // other raw durations still fire.
+    let cfg = "[rule.lease-units]\nallow_idents = [\"lease_expires\"]\n";
+    let trips = lint_rule("lease-units", "lease_units", "trip.rs", "rcbr-runtime", cfg);
+    assert_eq!(
+        trips.len(),
+        2,
+        "one audited name, two live trips: {trips:#?}"
+    );
+    assert!(
+        trips.iter().all(|d| !d.snippet.contains("lease_expires")),
+        "the allow_idents window must be exempt: {trips:#?}"
+    );
+}
+
+#[test]
+fn lease_units_supersteps_named_bindings_are_sanctioned() {
+    // The sanctioned pattern from the rule's hazard text: the raw count
+    // lives in a *_supersteps const/field, uses flow through the name.
+    let src = "\
+const REROUTE_SETTLE_SUPERSTEPS: u64 = 48;
+fn settle(now: u64) -> u64 {
+    now + REROUTE_SETTLE_SUPERSTEPS
+}
+";
+    let cfg = Config::parse("").unwrap();
+    let (diags, _) = check_source(
+        "crates/rcbr-runtime/src/x.rs",
+        "rcbr-runtime",
+        false,
+        src,
+        &cfg,
+    );
+    assert!(
+        !diags.iter().any(|d| d.rule == "lease-units"),
+        "named superstep counts are the sanctioned home: {diags:#?}"
+    );
+}
+
 const WIRE_CFG: &str = r#"
 [rule.wire-layout]
 total = 16

@@ -71,6 +71,33 @@ pub struct CrashSpec {
     pub down_supersteps: u64,
 }
 
+/// One scheduled link outage: the undirected link `a <-> b` is down for
+/// `[at_superstep, at_superstep + down_supersteps)`. Cells crossing the
+/// link inside the window die without a verdict. Several windows may name
+/// the same link (a flapping link is a sequence of outages).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkDownSpec {
+    /// One endpoint switch of the link.
+    pub a: usize,
+    /// The other endpoint switch.
+    pub b: usize,
+    /// First superstep of the outage.
+    pub at_superstep: u64,
+    /// Outage length in supersteps (>= 1).
+    pub down_supersteps: u64,
+}
+
+/// One permanent switch kill: from `at_superstep` on, the switch is gone
+/// for good — unlike a [`CrashSpec`] it never restarts, so its VCs must
+/// reroute around it (or degrade if no alternate path survives).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KillSpec {
+    /// Global index of the switch that dies.
+    pub switch: usize,
+    /// First superstep of the permanent outage.
+    pub at_superstep: u64,
+}
+
 /// One scheduled stall: switches whose global index satisfies
 /// `switch % groups == group` stop processing for the window. Keyed by a
 /// *virtual* group rather than a physical shard id so the same spec means
@@ -106,6 +133,11 @@ pub struct FaultConfig {
     pub corrupt_bp: u32,
     /// Scheduled switch crashes (at most one per switch).
     pub crashes: Vec<CrashSpec>,
+    /// Scheduled link outages (several windows per link = flapping).
+    pub link_downs: Vec<LinkDownSpec>,
+    /// Permanent switch kills (at most one per switch; a killed switch
+    /// must not also have a transient crash scheduled).
+    pub kills: Vec<KillSpec>,
     /// Optional scheduled stall.
     pub stall: Option<StallSpec>,
 }
@@ -121,6 +153,8 @@ impl FaultConfig {
             dup_bp: 0,
             corrupt_bp: 0,
             crashes: Vec::new(),
+            link_downs: Vec::new(),
+            kills: Vec::new(),
             stall: None,
         }
     }
@@ -149,6 +183,8 @@ impl FaultConfig {
             && self.dup_bp == 0
             && self.corrupt_bp == 0
             && self.crashes.is_empty()
+            && self.link_downs.is_empty()
+            && self.kills.is_empty()
             && self.stall.is_none()
     }
 
@@ -168,6 +204,25 @@ impl FaultConfig {
             assert!(
                 !self.crashes[..i].iter().any(|o| o.switch == c.switch),
                 "at most one crash per switch"
+            );
+        }
+        for l in &self.link_downs {
+            assert!(l.a != l.b, "a link joins two distinct switches");
+            assert!(
+                l.down_supersteps >= 1,
+                "link outage must last >= 1 superstep"
+            );
+            assert!(l.at_superstep >= 1, "link outages start at superstep >= 1");
+        }
+        for (i, k) in self.kills.iter().enumerate() {
+            assert!(k.at_superstep >= 1, "kills start at superstep >= 1");
+            assert!(
+                !self.kills[..i].iter().any(|o| o.switch == k.switch),
+                "at most one kill per switch"
+            );
+            assert!(
+                !self.crashes.iter().any(|c| c.switch == k.switch),
+                "a killed switch cannot also have a transient crash"
             );
         }
         if let Some(s) = &self.stall {
@@ -267,18 +322,39 @@ impl FaultPlane {
         }
     }
 
-    /// Whether `switch` is down (crashed, not yet restarted) at
-    /// `superstep`.
+    /// Whether `switch` is down — transiently crashed *or* permanently
+    /// killed — at `superstep`.
     pub fn switch_down(&self, switch: usize, superstep: u64) -> bool {
-        self.cfg.crashes.iter().any(|c| {
-            c.switch == switch
-                && superstep >= c.at_superstep
-                && superstep < c.at_superstep + c.down_supersteps
+        self.switch_killed(switch, superstep)
+            || self.cfg.crashes.iter().any(|c| {
+                c.switch == switch
+                    && superstep >= c.at_superstep
+                    && superstep < c.at_superstep + c.down_supersteps
+            })
+    }
+
+    /// Whether `switch` is permanently killed at `superstep`. Kills never
+    /// end: recovery must come from rerouting, not from waiting.
+    pub fn switch_killed(&self, switch: usize, superstep: u64) -> bool {
+        self.cfg
+            .kills
+            .iter()
+            .any(|k| k.switch == switch && superstep >= k.at_superstep)
+    }
+
+    /// Whether the undirected link `a <-> b` is inside a scheduled outage
+    /// window at `superstep`.
+    pub fn link_down(&self, a: usize, b: usize, superstep: u64) -> bool {
+        self.cfg.link_downs.iter().any(|l| {
+            ((l.a == a && l.b == b) || (l.a == b && l.b == a))
+                && superstep >= l.at_superstep
+                && superstep < l.at_superstep + l.down_supersteps
         })
     }
 
     /// The superstep at which `switch` restarts (and its soft state must
-    /// be wiped), if it is scheduled to crash.
+    /// be wiped), if it is scheduled to crash. Permanently killed switches
+    /// never restart, so they report `None`.
     pub fn restart_superstep(&self, switch: usize) -> Option<u64> {
         self.cfg
             .crashes
@@ -435,6 +511,75 @@ mod tests {
         assert!(p.stalled(4, 21));
         assert!(!p.stalled(4, 24));
         assert!(!p.stalled(3, 21));
+    }
+
+    #[test]
+    fn kills_are_permanent_and_never_restart() {
+        let p = FaultPlane::new(FaultConfig {
+            kills: vec![KillSpec {
+                switch: 3,
+                at_superstep: 50,
+            }],
+            ..FaultConfig::transparent()
+        });
+        assert!(!p.switch_down(3, 49));
+        assert!(!p.switch_killed(3, 49));
+        assert!(p.switch_down(3, 50));
+        assert!(p.switch_killed(3, 50));
+        assert!(p.switch_down(3, 1_000_000), "kills never end");
+        assert_eq!(
+            p.restart_superstep(3),
+            None,
+            "killed switches never restart"
+        );
+        assert!(!p.switch_killed(2, 60));
+        assert!(!p.is_transparent());
+    }
+
+    #[test]
+    fn link_windows_are_undirected_and_can_flap() {
+        let p = FaultPlane::new(FaultConfig {
+            link_downs: vec![
+                LinkDownSpec {
+                    a: 1,
+                    b: 2,
+                    at_superstep: 10,
+                    down_supersteps: 5,
+                },
+                LinkDownSpec {
+                    a: 2,
+                    b: 1,
+                    at_superstep: 30,
+                    down_supersteps: 4,
+                },
+            ],
+            ..FaultConfig::transparent()
+        });
+        assert!(!p.link_down(1, 2, 9));
+        assert!(p.link_down(1, 2, 10));
+        assert!(p.link_down(2, 1, 14), "links are undirected");
+        assert!(!p.link_down(1, 2, 15), "first window ends");
+        assert!(p.link_down(1, 2, 31), "second flap window");
+        assert!(!p.link_down(1, 2, 34));
+        assert!(!p.link_down(1, 3, 12), "other links unaffected");
+        assert!(!p.is_transparent());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot also have a transient crash")]
+    fn kill_plus_crash_on_one_switch_rejected() {
+        FaultPlane::new(FaultConfig {
+            crashes: vec![CrashSpec {
+                switch: 1,
+                at_superstep: 5,
+                down_supersteps: 2,
+            }],
+            kills: vec![KillSpec {
+                switch: 1,
+                at_superstep: 50,
+            }],
+            ..FaultConfig::transparent()
+        });
     }
 
     #[test]

@@ -44,10 +44,13 @@ pub mod topology;
 pub use advance::{profile_from_segments, AdvanceBook, BookingOutcome};
 pub use cell::{cells_for_bits, CELL_BITS, CELL_PAYLOAD_BITS};
 pub use cellmux::{simulate_cbr_mux, CellMuxReport};
-pub use fault::{CrashSpec, FaultAction, FaultConfig, FaultPlane, StallSpec, FAULT_BP_SCALE};
+pub use fault::{
+    CrashSpec, FaultAction, FaultConfig, FaultPlane, KillSpec, LinkDownSpec, StallSpec,
+    FAULT_BP_SCALE,
+};
 pub use path::{Path, RenegotiationOutcome};
 pub use port::OutputPort;
 pub use rm::{RateField, RmCell, RM_CELL_BYTES};
-pub use rsvp::{FlowSpec, ResvOutcome, RsvpRouter};
+pub use rsvp::{FlowSpec, LeaseTable, ResvOutcome, RsvpRouter};
 pub use switch::{Switch, SwitchError};
 pub use topology::{Link, Topology};

@@ -71,6 +71,13 @@ impl OutputPort {
         self.per_vci.len()
     }
 
+    /// The nonzero per-VCI reservations, ascending by VCI (the map is
+    /// ordered) — the auditor's view for cross-checking that torn-down and
+    /// rerouted-away VCs left nothing behind.
+    pub fn vci_entries(&self) -> Vec<(u32, f64)> {
+        self.per_vci.iter().map(|(&v, &r)| (v, r)).collect()
+    }
+
     /// The fast-path check-and-update: apply a rate `delta` for `vci`.
     ///
     /// Succeeds iff the new aggregate fits the capacity and the VCI's own

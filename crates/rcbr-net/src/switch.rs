@@ -13,6 +13,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::port::OutputPort;
 use crate::rm::{RateField, RmCell};
+use crate::rsvp::LeaseTable;
 
 /// Errors from switch management operations.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -53,6 +54,9 @@ impl std::error::Error for SwitchError {}
 pub struct Switch {
     ports: Vec<OutputPort>,
     vci_table: BTreeMap<u32, usize>,
+    /// Per-VCI lease bookkeeping: the superstep of the last RM cell that
+    /// touched each VCI, for use-it-or-lose-it reclamation.
+    lease: LeaseTable,
 }
 
 impl Switch {
@@ -72,6 +76,7 @@ impl Switch {
                 .map(|&c| OutputPort::new(c))
                 .collect(),
             vci_table: BTreeMap::new(),
+            lease: LeaseTable::new(),
         }
     }
 
@@ -113,7 +118,63 @@ impl Switch {
             .vci_table
             .remove(&vci)
             .ok_or(SwitchError::UnknownVci(vci))?;
+        self.lease.forget(vci);
         Ok(self.ports[port].release(vci))
+    }
+
+    /// Idempotent teardown: release `vci`'s reservation and drop its table
+    /// entry, returning the released rate — or `None` if the VCI was not
+    /// routed here (already torn down, or never installed). The reroute
+    /// machinery's teardown cells use this: a teardown can legitimately
+    /// arrive twice when an earlier one was killed mid-path.
+    pub fn uninstall(&mut self, vci: u32) -> Option<f64> {
+        let port = self.vci_table.remove(&vci)?;
+        self.lease.forget(vci);
+        Some(self.ports[port].release(vci))
+    }
+
+    /// Route `vci` to `port` *without* reserving anything — the rerouting
+    /// slow path: the table entry is created here and the reservation
+    /// arrives via the absolute-rate cell that follows. No-op if the VCI
+    /// is already routed.
+    ///
+    /// # Panics
+    /// Panics on an unknown port.
+    pub fn install(&mut self, vci: u32, port: usize) {
+        assert!(port < self.ports.len(), "unknown port {port}");
+        self.vci_table.entry(vci).or_insert(port);
+    }
+
+    /// Record that an RM cell for `vci` was processed at superstep `now`,
+    /// refreshing its lease.
+    pub fn touch_lease(&mut self, vci: u32, now: u64) {
+        self.lease.touch(vci, now);
+    }
+
+    /// The superstep `vci`'s lease was last refreshed at.
+    pub fn lease_refreshed_at(&self, vci: u32) -> u64 {
+        self.lease.last_refresh(vci)
+    }
+
+    /// Use-it-or-lose-it reclamation: release the reservation of every
+    /// routed VCI whose lease lapsed at `now` (no RM cell for strictly
+    /// more than `lease_supersteps` supersteps). The routing-table entry
+    /// survives — like a crash wipe, expiry reclaims *soft* state only, so
+    /// a late source can rebuild its rate with an absolute resync. Expired
+    /// VCIs get a fresh grace period so one lapse is reclaimed (and
+    /// counted) once. Returns how many VCIs actually had bandwidth
+    /// reclaimed.
+    pub fn expire_leases(&mut self, now: u64, lease_supersteps: u64) -> u64 {
+        let routed = self.vcis();
+        let mut reclaimed = 0;
+        for vci in self.lease.expired(&routed, now, lease_supersteps) {
+            self.lease.touch(vci, now);
+            let port = self.vci_table[&vci];
+            if self.ports[port].release(vci) > 0.0 {
+                reclaimed += 1;
+            }
+        }
+        reclaimed
     }
 
     /// Process a renegotiation RM cell: the fast path. Returns the cell,
@@ -171,6 +232,9 @@ impl Switch {
         for p in &mut self.ports {
             p.wipe();
         }
+        // Lease history is soft state too: a restarted switch has no idea
+        // when it last heard from anyone.
+        self.lease = LeaseTable::new();
     }
 
     /// The routed VCIs, ascending (the map is ordered, so iteration is
@@ -264,6 +328,41 @@ mod tests {
         assert!(!out.denied);
         assert_eq!(sw.vci_rate(1), Some(300.0));
         assert!(sw.port(0).unwrap().is_consistent());
+    }
+
+    #[test]
+    fn lease_expiry_reclaims_soft_state_but_keeps_the_route() {
+        let mut sw = one_port_switch(1000.0);
+        sw.setup(1, 0, 300.0).unwrap();
+        sw.setup(2, 0, 200.0).unwrap();
+        // VCI 1 keeps refreshing; VCI 2 goes quiet after setup (refresh 0).
+        sw.touch_lease(1, 50);
+        assert_eq!(sw.expire_leases(60, 30), 1, "only VCI 2 lapses");
+        assert_eq!(sw.vci_rate(2), Some(0.0), "bandwidth reclaimed");
+        assert_eq!(sw.vci_rate(1), Some(300.0), "refreshed lease survives");
+        assert_eq!(sw.vcis(), vec![1, 2], "routing entries survive expiry");
+        assert_eq!(sw.port(0).unwrap().reserved(), 300.0);
+        // The lapse is counted once: the expired VCI got a grace period.
+        assert_eq!(sw.expire_leases(61, 30), 0);
+        // A late absolute resync rebuilds the reclaimed reservation.
+        let out = sw.process_rm(RmCell::resync(2, 200.0)).unwrap();
+        assert!(!out.denied);
+        assert_eq!(sw.vci_rate(2), Some(200.0));
+        assert!(sw.port(0).unwrap().is_consistent());
+    }
+
+    #[test]
+    fn install_and_uninstall_are_idempotent() {
+        let mut sw = one_port_switch(1000.0);
+        sw.install(7, 0);
+        sw.install(7, 0); // no-op
+        assert_eq!(sw.vci_rate(7), Some(0.0), "installed but unreserved");
+        let out = sw.process_rm(RmCell::resync(7, 400.0)).unwrap();
+        assert!(!out.denied);
+        assert_eq!(sw.uninstall(7), Some(400.0));
+        assert_eq!(sw.uninstall(7), None, "second teardown is a no-op");
+        assert_eq!(sw.vci_rate(7), None);
+        assert_eq!(sw.port(0).unwrap().reserved(), 0.0);
     }
 
     #[test]

@@ -119,6 +119,79 @@ impl Topology {
         Path::new(route.to_vec(), self.hop_latency)
     }
 
+    /// Up to `k` simple routes from `src` to `dst` of at most `max_len`
+    /// switches, restricted to live elements: a route may only visit
+    /// switches for which `alive_switch` holds and cross links for which
+    /// `alive_link` holds (queried in traversal direction). Routes are
+    /// returned sorted by `(length, lexicographic hop sequence)` — a total
+    /// order over routes — so the selection is a pure function of the
+    /// topology and the predicates, independent of caller iteration order:
+    /// the property the survivable signaling plane's determinism contract
+    /// rests on.
+    ///
+    /// The enumeration is a bounded DFS over simple paths; the substrate
+    /// topologies here (rings plus a few chords) keep that cheap, and
+    /// `max_len` caps the blowup on denser graphs.
+    pub fn alive_routes(
+        &self,
+        src: usize,
+        dst: usize,
+        k: usize,
+        max_len: usize,
+        alive_switch: &dyn Fn(usize) -> bool,
+        alive_link: &dyn Fn(usize, usize) -> bool,
+    ) -> Vec<Vec<usize>> {
+        let n = self.num_switches();
+        assert!(src < n && dst < n, "switch index out of range");
+        if k == 0 || max_len == 0 || !alive_switch(src) {
+            return Vec::new();
+        }
+        if src == dst {
+            return vec![vec![src]];
+        }
+        let mut found: Vec<Vec<usize>> = Vec::new();
+        let mut route = vec![src];
+        self.dfs_routes(
+            dst,
+            max_len,
+            alive_switch,
+            alive_link,
+            &mut route,
+            &mut found,
+        );
+        found.sort();
+        found.sort_by_key(|r| r.len());
+        found.truncate(k);
+        found
+    }
+
+    fn dfs_routes(
+        &self,
+        dst: usize,
+        max_len: usize,
+        alive_switch: &dyn Fn(usize) -> bool,
+        alive_link: &dyn Fn(usize, usize) -> bool,
+        route: &mut Vec<usize>,
+        found: &mut Vec<Vec<usize>>,
+    ) {
+        let u = *route.last().expect("route starts nonempty");
+        if route.len() == max_len {
+            return;
+        }
+        for l in &self.adjacency[u] {
+            if route.contains(&l.to) || !alive_switch(l.to) || !alive_link(u, l.to) {
+                continue;
+            }
+            route.push(l.to);
+            if l.to == dst {
+                found.push(route.clone());
+            } else {
+                self.dfs_routes(dst, max_len, alive_switch, alive_link, route, found);
+            }
+            route.pop();
+        }
+    }
+
     /// Among all fewest-hop routes from `src` to `dst`, pick the one whose
     /// bottleneck (most-utilized port along the route) is least utilized —
     /// the call-level load balancing Section III-C hopes for. Returns the
@@ -230,6 +303,72 @@ mod tests {
         for &s in &route {
             assert_eq!(switches[s].vci_rate(5), Some(400.0));
         }
+    }
+
+    /// A 6-ring with one chord 0-3.
+    fn ring6() -> Topology {
+        let mut t = Topology::new(6, 0.001);
+        for i in 0..6 {
+            t.add_duplex(i, (i + 1) % 6, 0);
+        }
+        t.add_duplex(0, 3, 0);
+        t
+    }
+
+    #[test]
+    fn alive_routes_are_sorted_and_bounded() {
+        let t = ring6();
+        let all = |_: usize| true;
+        let link_ok = |_: usize, _: usize| true;
+        let routes = t.alive_routes(0, 3, 8, 6, &all, &link_ok);
+        assert!(!routes.is_empty());
+        // Shortest first: the 0-3 chord.
+        assert_eq!(routes[0], vec![0, 3]);
+        // Sorted by (len, lex): ties in length break lexicographically.
+        for w in routes.windows(2) {
+            assert!(
+                w[0].len() < w[1].len() || (w[0].len() == w[1].len() && w[0] < w[1]),
+                "route order violated: {:?} before {:?}",
+                w[0],
+                w[1]
+            );
+        }
+        // k truncates.
+        assert_eq!(t.alive_routes(0, 3, 1, 6, &all, &link_ok).len(), 1);
+        // max_len bounds the enumeration (only the chord is <= 2 switches).
+        assert_eq!(t.alive_routes(0, 3, 8, 2, &all, &link_ok), vec![vec![0, 3]]);
+    }
+
+    #[test]
+    fn alive_routes_respect_dead_elements() {
+        let t = ring6();
+        let link_ok = |_: usize, _: usize| true;
+        // Kill switch 3 (the destination): nothing survives.
+        let no3 = |s: usize| s != 3;
+        assert!(t.alive_routes(0, 3, 8, 6, &no3, &link_ok).is_empty());
+        // Kill switch 1: routes must detour around it.
+        let no1 = |s: usize| s != 1;
+        let routes = t.alive_routes(0, 2, 8, 6, &no1, &link_ok);
+        assert!(!routes.is_empty());
+        for r in &routes {
+            assert!(!r.contains(&1), "dead switch on route {r:?}");
+        }
+        assert_eq!(routes[0], vec![0, 3, 2], "chord detour is shortest");
+        // Down link 0-3 removes the chord in both directions.
+        let all = |_: usize| true;
+        let no_chord = |a: usize, b: usize| !(a.min(b) == 0 && a.max(b) == 3);
+        let routes = t.alive_routes(0, 3, 8, 6, &all, &no_chord);
+        assert_eq!(routes[0], vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn alive_routes_selection_is_a_pure_function() {
+        let t = ring6();
+        let all = |_: usize| true;
+        let link_ok = |_: usize, _: usize| true;
+        let a = t.alive_routes(4, 1, 8, 6, &all, &link_ok);
+        let b = t.alive_routes(4, 1, 8, 6, &all, &link_ok);
+        assert_eq!(a, b);
     }
 
     #[test]

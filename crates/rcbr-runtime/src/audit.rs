@@ -21,6 +21,7 @@
 //!   and is marked degraded. Afterwards the residual drift must be zero.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 use rcbr_net::{FaultPlane, RmCell, Switch};
 use serde::{Deserialize, Serialize};
@@ -50,10 +51,18 @@ pub struct AuditReport {
     /// Ports whose aggregate disagreed with the sum of their per-VCI
     /// reservations after recovery (0 unless the switch itself is buggy).
     pub port_inconsistencies: u64,
+    /// Switch entries found off their VC's final route and removed
+    /// (teardown leftovers at down switches, expired-lease stubs, hops of
+    /// a reroute that was still in flight at exit).
+    pub stale_reclaimed: u64,
+    /// Of those, entries that still held bandwidth above [`DRIFT_EPS`] —
+    /// real residue a clean teardown should not leave. Nonzero only when
+    /// the run ended mid-reroute.
+    pub off_route_residue: u64,
 }
 
 /// One VC's end-of-run source state, collected from its runner.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub(crate) struct VcFinal {
     pub vci: u32,
     /// The rate the source believes is reserved end to end.
@@ -62,6 +71,9 @@ pub(crate) struct VcFinal {
     pub degraded: bool,
     /// The VC's end-system buffer loss fraction.
     pub loss: f64,
+    /// The route the VC's reservations should live on (empty if the VC
+    /// was torn down / stranded and holds nothing).
+    pub route: Vec<usize>,
 }
 
 /// Snapshot one VC's published believed rate. Must be called while the
@@ -90,12 +102,14 @@ pub(crate) fn reduce_source_loss(finals: &[VcFinal], num_vcs: usize) -> (f64, f6
 /// Counts drifted `(switch, VC)` pairs into `counters.audit_drift`.
 /// `audit_runs` is bumped by shard 0 only, so the count is independent of
 /// the shard count.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn audit_shard(
     plane: &FaultPlane,
     local_switches: &[Switch],
     shard: usize,
     num_shards: usize,
     believed: &[AtomicU64],
+    routes: &[Mutex<Vec<u16>>],
     superstep: u64,
     counters: &Counters,
 ) {
@@ -109,6 +123,19 @@ pub(crate) fn audit_shard(
             continue;
         }
         for vci in sw.vcis() {
+            // Only reservations on the VC's *published* route are held
+            // against the believed rate: an entry off that route is a
+            // known transient (a reroute's partial install awaiting
+            // commit or compensation, or a teardown leftover at a switch
+            // that was down when the walk passed) and is reclaimed by the
+            // end-of-run audit if it survives that long.
+            let on_route = routes[vci as usize]
+                .lock()
+                .expect("route lock")
+                .contains(&(h as u16));
+            if !on_route {
+                continue;
+            }
             let b = snapshot_believed(believed, vci);
             let r = sw.vci_rate(vci).expect("routed VCI has a rate");
             if (r - b).abs() > DRIFT_EPS {
@@ -122,13 +149,14 @@ pub(crate) fn audit_shard(
     }
 }
 
-/// Count `(hop, VC)` pairs whose reservation disagrees with the source's
-/// believed rate.
-fn count_drift(cfg: &RuntimeConfig, switches: &[Switch], finals: &[VcFinal]) -> u64 {
+/// Count `(hop, VC)` pairs on each VC's final route whose reservation
+/// disagrees with the source's believed rate. A hop with no entry (e.g. a
+/// teardown raced a kill) counts as holding 0.
+fn count_drift(switches: &[Switch], finals: &[VcFinal]) -> u64 {
     let mut n = 0;
     for f in finals {
-        for &h in &cfg.path_of(f.vci) {
-            let r = switches[h].vci_rate(f.vci).expect("routed VCI has a rate");
+        for &h in &f.route {
+            let r = switches[h].vci_rate(f.vci).unwrap_or(0.0);
             if (r - f.believed).abs() > DRIFT_EPS {
                 n += 1;
             }
@@ -147,42 +175,70 @@ fn count_drift(cfg: &RuntimeConfig, switches: &[Switch], finals: &[VcFinal]) -> 
 /// fallback when the believed rate no longer fits. Updates `finals` in
 /// place (floored VCs get their new believed rate and a degraded mark).
 pub(crate) fn finalize(
-    cfg: &RuntimeConfig,
+    _cfg: &RuntimeConfig,
     plane: &FaultPlane,
     switches: &mut [Switch],
     finals: &mut [VcFinal],
     final_superstep: u64,
 ) -> AuditReport {
-    // A switch still inside its crash window at exit loses its soft state
-    // just as a restarting one does.
+    // A switch still inside its crash window at exit — transient or
+    // permanently killed — loses its soft state just as a restarting one
+    // does.
     for (h, sw) in switches.iter_mut().enumerate() {
         if plane.switch_down(h, final_superstep) {
             sw.wipe_soft_state();
         }
     }
 
-    let final_drift_before = count_drift(cfg, switches, finals);
+    // Stale reclaim: remove every entry that is not on its VC's final
+    // route. Torn-down and expired VCs leave zero-rate stubs (counted but
+    // harmless); a reroute caught mid-flight by the end of the run can
+    // leave real bandwidth on candidate hops — that is the off-route
+    // residue, reclaimed here exactly as the compensating teardown would
+    // have.
+    let mut stale_reclaimed = 0u64;
+    let mut off_route_residue = 0u64;
+    for (h, sw) in switches.iter_mut().enumerate() {
+        for vci in sw.vcis() {
+            let f = &finals[vci as usize];
+            debug_assert_eq!(f.vci, vci, "finals indexed by VCI");
+            if f.route.contains(&h) {
+                continue;
+            }
+            if let Some(rate) = sw.uninstall(vci) {
+                stale_reclaimed += 1;
+                if rate > DRIFT_EPS {
+                    off_route_residue += 1;
+                }
+            }
+        }
+    }
+
+    let final_drift_before = count_drift(switches, finals);
     let mut drift_repaired = 0u64;
     let mut lose_it_vcs = 0u64;
 
     for f in finals.iter_mut() {
         let vci = f.vci;
-        let path = cfg.path_of(vci);
+        let path = &f.route;
         let drifted = move |switches: &[Switch], h: usize, target: f64| {
-            (switches[h].vci_rate(vci).expect("routed") - target).abs() > DRIFT_EPS
+            (switches[h].vci_rate(vci).unwrap_or(0.0) - target).abs() > DRIFT_EPS
         };
         if !path.iter().any(|&h| drifted(switches, h, f.believed)) {
             continue;
         }
         // Fast path: resync every drifted hop to the believed rate.
         let mut denied = false;
-        for &h in &path {
+        for &h in path {
             if !drifted(switches, h, f.believed) {
                 continue;
             }
+            // A hop that lost its entry (teardown raced a restart) is
+            // re-installed first; resync then rebuilds the reservation.
+            switches[h].install(vci, 0);
             let cell = switches[h]
                 .process_rm(RmCell::resync(vci, f.believed))
-                .expect("routed");
+                .expect("installed above");
             if cell.denied {
                 denied = true;
                 break;
@@ -196,15 +252,16 @@ pub(crate) fn finalize(
             // fallback itself can never be denied.
             let floor = path
                 .iter()
-                .map(|&h| switches[h].vci_rate(vci).expect("routed"))
+                .map(|&h| switches[h].vci_rate(vci).unwrap_or(0.0))
                 .fold(f.believed, f64::min);
-            for &h in &path {
+            for &h in path {
                 if !drifted(switches, h, floor) {
                     continue;
                 }
+                switches[h].install(vci, 0);
                 let cell = switches[h]
                     .process_rm(RmCell::resync(vci, floor))
-                    .expect("routed");
+                    .expect("installed above");
                 assert!(!cell.denied, "reducing to the floor always fits");
                 drift_repaired += 1;
             }
@@ -214,7 +271,7 @@ pub(crate) fn finalize(
         }
     }
 
-    let final_drift = count_drift(cfg, switches, finals);
+    let final_drift = count_drift(switches, finals);
     let port_inconsistencies = switches
         .iter()
         .filter(|s| !s.port(0).expect("one port per switch").is_consistent())
@@ -225,5 +282,7 @@ pub(crate) fn finalize(
         lose_it_vcs,
         final_drift,
         port_inconsistencies,
+        stale_reclaimed,
+        off_route_residue,
     }
 }

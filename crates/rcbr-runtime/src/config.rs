@@ -70,8 +70,22 @@ pub struct RuntimeConfig {
     /// round-trip latency histogram).
     pub hop_latency: f64,
     /// The fault scenario: per-traversal drop/delay/duplicate/corrupt
-    /// probabilities, scheduled switch crashes, and stalls.
+    /// probabilities, scheduled switch crashes and kills, link-down
+    /// windows, and stalls.
     pub fault: FaultConfig,
+    /// Per-hop reservation leases: a switch reclaims a VC's bandwidth
+    /// use-it-or-lose-it when no RM cell has refreshed it for this many
+    /// supersteps. The routing entry survives expiry, so a later
+    /// absolute-rate resync re-establishes service. `0` disables leases
+    /// (the legacy behavior).
+    pub lease_supersteps: u64,
+    /// Extra duplex chords `(a, b)` added on top of the ring substrate
+    /// [`topology`](Self::topology) builds — the alternate paths the
+    /// reroute engine needs to survive a killed switch or a down link.
+    pub extra_links: Vec<(usize, usize)>,
+    /// Alternate routes the reroute engine enumerates per attempt
+    /// (the `k` of its deterministic k-shortest-path selection).
+    pub reroute_k: usize,
     /// Master seed; all traffic and policy randomness derives from it.
     pub seed: u64,
 }
@@ -128,8 +142,13 @@ impl RuntimeConfig {
                 dup_bp: 50,
                 corrupt_bp: 50,
                 crashes: Vec::new(),
+                link_downs: Vec::new(),
+                kills: Vec::new(),
                 stall: None,
             },
+            lease_supersteps: 0,
+            extra_links: Vec::new(),
+            reroute_k: 4,
             seed: 7,
         }
     }
@@ -168,7 +187,54 @@ impl RuntimeConfig {
             self.hop_latency >= 0.0 && self.hop_latency.is_finite(),
             "bad hop latency"
         );
+        assert!(
+            self.hops_per_vc <= crate::core::MAX_ROUTE,
+            "hops_per_vc must fit an inline job route (<= {})",
+            crate::core::MAX_ROUTE
+        );
+        assert!(
+            self.num_switches <= u16::MAX as usize,
+            "switch indices must fit u16"
+        );
+        assert!(self.reroute_k >= 1, "need at least one candidate route");
+        let n = self.num_switches;
+        for (i, &(a, b)) in self.extra_links.iter().enumerate() {
+            assert!(a < n && b < n, "extra link ({a}, {b}) out of range");
+            assert!(a != b, "extra link ({a}, {b}) is a self-link");
+            assert!(
+                n < 2 || ((a + 1) % n != b && (b + 1) % n != a),
+                "extra link ({a}, {b}) duplicates a ring link"
+            );
+            assert!(
+                !self.extra_links[..i]
+                    .iter()
+                    .any(|&(x, y)| (x, y) == (a, b) || (x, y) == (b, a)),
+                "duplicate extra link ({a}, {b})"
+            );
+        }
         self.fault.validate();
+    }
+
+    /// The switch graph this configuration runs over: a bidirectional
+    /// ring `0 - 1 - ... - (n-1) - 0` (so the consecutive-switch default
+    /// paths of [`path_of`](Self::path_of) are always valid routes), plus
+    /// the configured [`extra_links`](Self::extra_links) chords. Every
+    /// link shares the switch's single output port, matching the
+    /// one-port-per-switch reservation model.
+    pub fn topology(&self) -> rcbr_net::Topology {
+        let n = self.num_switches;
+        let mut topo = rcbr_net::Topology::new(n, self.hop_latency);
+        if n == 2 {
+            topo.add_duplex(0, 1, 0);
+        } else if n > 2 {
+            for i in 0..n {
+                topo.add_duplex(i, (i + 1) % n, 0);
+            }
+        }
+        for &(a, b) in &self.extra_links {
+            topo.add_duplex(a, b, 0);
+        }
+        topo
     }
 
     /// The switch indices VC `vci` traverses: `hops_per_vc` consecutive

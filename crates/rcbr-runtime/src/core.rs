@@ -33,6 +33,54 @@ use serde::{Deserialize, Serialize};
 
 use crate::config::RuntimeConfig;
 
+/// Longest route a job can carry inline, in switches.
+pub const MAX_ROUTE: usize = 16;
+
+/// A route carried *inside* every [`Job`], so resolving a hop to a switch
+/// never consults shared routing state mid-drain. Routes only change at
+/// round boundaries (the pipeline is quiescent at phase A), so a job's
+/// inline copy can never be stale — and two engines processing the same
+/// job necessarily walk the same switches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Route {
+    len: u8,
+    hops: [u16; MAX_ROUTE],
+}
+
+impl Route {
+    /// Pack a switch-index route.
+    ///
+    /// # Panics
+    /// Panics on an empty route, more than [`MAX_ROUTE`] hops, or a
+    /// switch index that does not fit `u16`.
+    pub fn from_slice(hops: &[usize]) -> Self {
+        assert!(
+            !hops.is_empty() && hops.len() <= MAX_ROUTE,
+            "route must have 1..={MAX_ROUTE} hops"
+        );
+        let mut packed = [0u16; MAX_ROUTE];
+        for (i, &h) in hops.iter().enumerate() {
+            packed[i] = u16::try_from(h).expect("switch index fits u16");
+        }
+        Self {
+            len: hops.len() as u8,
+            hops: packed,
+        }
+    }
+
+    /// The switch at hop `i`.
+    pub fn hop(&self, i: usize) -> usize {
+        assert!(i < self.len(), "hop index out of route");
+        self.hops[i] as usize
+    }
+
+    /// Hops in the route.
+    #[allow(clippy::len_without_is_empty)] // routes are never empty
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+}
+
 /// What kind of RM cell a job carries.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum JobKind {
@@ -49,6 +97,20 @@ pub enum JobKind {
     },
     /// A denial is unwinding previously granted hops, one per superstep.
     Rollback(f64),
+    /// Establish the VC on the job's route at an absolute rate: each hop
+    /// installs a routing entry if it has none, then reserves. The
+    /// make-before-break walk of the reroute engine — idempotent, so a
+    /// retry (or a duplicate ghost) re-walking the route is harmless.
+    Reroute {
+        /// The absolute rate to reserve on every hop of the new route.
+        rate: f64,
+    },
+    /// Remove the VC from each switch on the job's route: release its
+    /// reservation and drop its routing entry. Fire-and-forget control
+    /// traffic — no verdict — and modeled as reliable (exempt from the
+    /// fault plane): teardown correctness is additionally backstopped by
+    /// lease expiry, and the end-of-run audit asserts nothing survives.
+    Teardown,
 }
 
 /// One in-flight signaling operation.
@@ -76,6 +138,8 @@ pub struct Job {
     /// The fault plane already ruled on this hop visit (set on delayed
     /// cells when they are re-presented, so the fate is decided once).
     pub cleared: bool,
+    /// The switch route this job walks (`hop` indexes into it).
+    pub route: Route,
 }
 
 /// Terminal verdict of a signaling attempt, reported back to the source.
@@ -146,6 +210,26 @@ pub struct Counters {
     pub exhausted: AtomicU64,
     /// VCs that newly entered the degraded state (kept a stale rate).
     pub degraded_events: AtomicU64,
+    /// Cells killed in flight crossing a down link.
+    pub cells_link_killed: AtomicU64,
+    /// Per-hop reservations reclaimed use-it-or-lose-it because no RM
+    /// cell refreshed the lease in time.
+    pub leases_expired: AtomicU64,
+    /// Reroute attempts injected (initial + retries).
+    pub reroutes: AtomicU64,
+    /// Reroutes granted end to end (the VC committed to the new route).
+    pub reroutes_committed: AtomicU64,
+    /// Reroute attempts denied at some hop (capacity on the new route).
+    pub reroutes_denied: AtomicU64,
+    /// Teardown walks injected (route switches, stale-hop cleanup, and
+    /// break-before-make compensation).
+    pub teardown_cells: AtomicU64,
+    /// Individual switch entries removed by teardown walks.
+    pub teardown_hops: AtomicU64,
+    /// VCs that ran out of live routes and released everything (stranded).
+    pub stranded_events: AtomicU64,
+    /// Stranded VCs that later re-established service on a revived route.
+    pub unstranded_events: AtomicU64,
     /// Periodic invariant audits executed.
     pub audit_runs: AtomicU64,
     /// (switch, VC) reservation pairs the periodic auditor found drifted
@@ -193,6 +277,24 @@ pub struct CounterSnapshot {
     pub exhausted: u64,
     /// VCs that newly degraded.
     pub degraded_events: u64,
+    /// Cells killed crossing a down link.
+    pub cells_link_killed: u64,
+    /// Hop reservations reclaimed by lease expiry.
+    pub leases_expired: u64,
+    /// Reroute attempts injected.
+    pub reroutes: u64,
+    /// Reroutes committed end to end.
+    pub reroutes_committed: u64,
+    /// Reroute attempts denied at some hop.
+    pub reroutes_denied: u64,
+    /// Teardown walks injected.
+    pub teardown_cells: u64,
+    /// Switch entries removed by teardown walks.
+    pub teardown_hops: u64,
+    /// VCs stranded with no live route.
+    pub stranded_events: u64,
+    /// Stranded VCs that recovered onto a revived route.
+    pub unstranded_events: u64,
     /// Periodic audits executed.
     pub audit_runs: u64,
     /// Drifted reservation pairs detected by periodic audits.
@@ -245,6 +347,15 @@ impl Counters {
             retries: ld(&self.retries),
             exhausted: ld(&self.exhausted),
             degraded_events: ld(&self.degraded_events),
+            cells_link_killed: ld(&self.cells_link_killed),
+            leases_expired: ld(&self.leases_expired),
+            reroutes: ld(&self.reroutes),
+            reroutes_committed: ld(&self.reroutes_committed),
+            reroutes_denied: ld(&self.reroutes_denied),
+            teardown_cells: ld(&self.teardown_cells),
+            teardown_hops: ld(&self.teardown_hops),
+            stranded_events: ld(&self.stranded_events),
+            unstranded_events: ld(&self.unstranded_events),
             audit_runs: ld(&self.audit_runs),
             audit_drift: ld(&self.audit_drift),
         }
@@ -268,8 +379,10 @@ pub(crate) struct FaultCtx<'a> {
 fn wire_cell(job: &Job) -> RmCell {
     match job.kind {
         JobKind::Delta(d) => RmCell::delta(job.vci, d),
-        JobKind::Resync { rate, .. } => RmCell::resync(job.vci, rate),
-        JobKind::Rollback(_) => unreachable!("rollback cells are never corrupted"),
+        JobKind::Resync { rate, .. } | JobKind::Reroute { rate } => RmCell::resync(job.vci, rate),
+        JobKind::Rollback(_) | JobKind::Teardown => {
+            unreachable!("rollback and teardown cells are never corrupted")
+        }
     }
 }
 
@@ -281,14 +394,13 @@ fn wire_cell(job: &Job) -> RmCell {
 /// either the job itself (fault-delayed) or a freshly spawned duplicate
 /// ghost.
 ///
-/// `sw` must be the switch at `path[job.hop]` for the job's VC, and
+/// `sw` must be the switch at `job.route.hop(job.hop)` for this job, and
 /// `switch_global` its global index.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn advance_job(
     job: Job,
     sw: &mut Switch,
     switch_global: usize,
-    path_len: usize,
     cfg: &RuntimeConfig,
     fx: &FaultCtx<'_>,
     counters: &Counters,
@@ -296,21 +408,46 @@ pub(crate) fn advance_job(
     sink: &mut CompletionSink<'_>,
 ) -> (Option<Job>, Option<(u64, Job)>) {
     let is_ghost = job.salt != 0;
+    let path_len = job.route.len();
     let gone = |counters: &Counters| {
         counters.in_flight.fetch_sub(1, Ordering::Relaxed);
     };
-    // A crashed switch kills every arriving cell — no verdict, so the
-    // source's retry machinery must time the attempt out.
-    if fx.plane.switch_down(switch_global, fx.superstep) {
+    // A forward cell reaching hop `k` just crossed the link
+    // `(route[k-1], route[k])`; if that link is down the cell died in
+    // flight — no verdict, the source times out. Rollbacks are exempt
+    // (like their drop-only fault treatment: an undo must not be lost to
+    // the same failure it is compensating), and teardown is reliable
+    // control traffic.
+    if matches!(
+        job.kind,
+        JobKind::Delta(_) | JobKind::Resync { .. } | JobKind::Reroute { .. }
+    ) && job.hop > 0
+        && fx.plane.link_down(
+            job.route.hop(job.hop - 1),
+            job.route.hop(job.hop),
+            fx.superstep,
+        )
+    {
+        counters.cells_link_killed.fetch_add(1, Ordering::Relaxed);
+        gone(counters);
+        return (None, None);
+    }
+    // A crashed (or permanently killed) switch kills every arriving cell
+    // — no verdict, so the source's retry machinery must time the attempt
+    // out. Teardown walks continue past it: the down switch's soft state
+    // is wiped on restart (or at end of run) anyway, and the walk must
+    // still clean the live switches beyond it.
+    let down = fx.plane.switch_down(switch_global, fx.superstep);
+    if down && !matches!(job.kind, JobKind::Teardown) {
         counters.crash_killed.fetch_add(1, Ordering::Relaxed);
         gone(counters);
         return (None, None);
     }
 
     // Decide this hop visit's fate exactly once (delayed cells come back
-    // `cleared`).
+    // `cleared`; teardown is exempt from the fault plane entirely).
     let mut spawned: Option<(u64, Job)> = None;
-    if !job.cleared {
+    if !job.cleared && !matches!(job.kind, JobKind::Teardown) {
         let action = if matches!(job.kind, JobKind::Rollback(_)) {
             // An undo must not be re-applied: rollback cells only drop.
             fx.plane.decide_rollback(job.seq, job.hop, job.salt)
@@ -367,6 +504,15 @@ pub(crate) fn advance_job(
                 ));
             }
         }
+    }
+
+    // Any RM cell that actually reached the switch refreshes the VC's
+    // reservation lease there — ghosts included, they are real cells on
+    // the wire. Dropped / corrupted / link-killed cells never arrive, so
+    // they refresh nothing: that is exactly the signal loss that lets
+    // leases expire.
+    if cfg.lease_supersteps > 0 && !matches!(job.kind, JobKind::Teardown) {
+        sw.touch_lease(job.vci, fx.superstep);
     }
 
     // Deliver the attempt's verdict to the source (salt-0 only: ghosts
@@ -500,6 +646,68 @@ pub(crate) fn advance_job(
                 (
                     Some(Job {
                         hop: job.hop - 1,
+                        cleared: false,
+                        ..job
+                    }),
+                    None,
+                )
+            }
+        }
+        JobKind::Reroute { rate } => {
+            // Establish-or-repair: hops of the new route that never saw
+            // this VC get a routing entry first, then every hop reserves
+            // the absolute rate. On hops shared with the old route this
+            // resyncs to the rate the VC already holds — a no-op that can
+            // never be denied — so partial failures only ever leave
+            // residue on *new* hops, which the runner's compensating
+            // teardown (and ultimately the end-of-run audit) reclaims.
+            sw.install(job.vci, 0);
+            let cell = sw
+                .process_rm(RmCell {
+                    vci: job.vci,
+                    rate: RateField::Absolute(rate),
+                    denied: false,
+                })
+                .expect("installed above");
+            if cell.denied {
+                if !is_ghost {
+                    deliver(Outcome::Denied, job.hop + 1, counters, sink);
+                }
+                gone(counters);
+                (None, spawned)
+            } else if job.hop + 1 == path_len {
+                if !is_ghost {
+                    deliver(Outcome::Granted, path_len, counters, sink);
+                }
+                gone(counters);
+                (None, spawned)
+            } else {
+                (
+                    Some(Job {
+                        hop: job.hop + 1,
+                        cleared: false,
+                        ..job
+                    }),
+                    spawned,
+                )
+            }
+        }
+        JobKind::Teardown => {
+            // Remove the VC from this switch: release the reservation and
+            // drop the routing entry. Idempotent — a hop that never held
+            // the VC (or was already torn) is a no-op — and skipped at a
+            // down switch, whose soft state is wiped on restart or at end
+            // of run anyway.
+            if !down && sw.uninstall(job.vci).is_some() {
+                counters.teardown_hops.fetch_add(1, Ordering::Relaxed);
+            }
+            if job.hop + 1 == path_len {
+                gone(counters);
+                (None, None)
+            } else {
+                (
+                    Some(Job {
+                        hop: job.hop + 1,
                         cleared: false,
                         ..job
                     }),

@@ -43,14 +43,16 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::{mpsc, Barrier, Mutex};
 
-use rcbr_net::{FaultPlane, Switch};
+use rcbr_net::{FaultPlane, Switch, Topology};
 use rcbr_sim::{Histogram, RunningStats};
 
 use crate::audit::{audit_shard, finalize, reduce_source_loss, VcFinal};
 use crate::config::RuntimeConfig;
 use crate::core::{advance_job, CompletionSink, Counters, FaultCtx, Job, JobKind, VciSlot};
 use crate::gen::VcRunner;
-use crate::report::{latency_histogram, summarize_latency, RunReport, ShardReport, WallTimer};
+use crate::report::{
+    latency_histogram, summarize_latency, RunReport, ShardReport, VcOutcome, WallTimer,
+};
 
 /// What each worker hands back when the run ends.
 struct ShardResult {
@@ -74,6 +76,7 @@ pub fn run(cfg: &RuntimeConfig) -> RunReport {
     let started = WallTimer::start();
     let shards = cfg.num_shards;
     let plane = FaultPlane::new(cfg.fault.clone());
+    let topo = cfg.topology();
 
     let counters = Counters::default();
     let vci_states: Vec<Mutex<VciSlot>> = (0..cfg.num_vcs)
@@ -83,6 +86,12 @@ pub fn run(cfg: &RuntimeConfig) -> RunReport {
     // owner shard every round for the auditor.
     let believed: Vec<AtomicU64> = (0..cfg.num_vcs)
         .map(|_| AtomicU64::new(cfg.initial_rate.to_bits()))
+        .collect();
+    // Each VC's published route, for the auditor's off-route skip. Only
+    // the owner shard writes (phase A); other shards read on audit rounds
+    // after the post-publish barrier.
+    let routes: Vec<Mutex<Vec<u16>>> = (0..cfg.num_vcs as u32)
+        .map(|vci| Mutex::new(cfg.path_of(vci).iter().map(|&h| h as u16).collect()))
         .collect();
     let barrier = Barrier::new(shards);
 
@@ -102,11 +111,14 @@ pub fn run(cfg: &RuntimeConfig) -> RunReport {
             let counters = &counters;
             let vci_states = &vci_states;
             let believed = &believed;
+            let routes = &routes;
             let barrier = &barrier;
             let plane = &plane;
+            let topo = &topo;
             handles.push(scope.spawn(move || {
                 worker(
-                    shard, cfg, plane, rx, txs, counters, vci_states, believed, barrier,
+                    shard, cfg, plane, topo, rx, txs, counters, vci_states, believed, routes,
+                    barrier,
                 )
             }));
         }
@@ -154,6 +166,16 @@ pub fn run(cfg: &RuntimeConfig) -> RunReport {
     let audit = finalize(cfg, &plane, &mut all_switches, &mut finals, superstep);
     let degraded_vcs = finals.iter().filter(|f| f.degraded).count() as u64;
     let (mean_source_loss, max_source_loss) = reduce_source_loss(&finals, cfg.num_vcs);
+    let vcs = finals
+        .iter()
+        .map(|f| VcOutcome {
+            vci: f.vci,
+            believed: f.believed,
+            degraded: f.degraded,
+            loss: f.loss,
+            route: f.route.clone(),
+        })
+        .collect();
 
     let counters = counters.snapshot();
     debug_assert_eq!(counters.completed, counters.accepted + counters.exhausted);
@@ -175,6 +197,7 @@ pub fn run(cfg: &RuntimeConfig) -> RunReport {
         degraded_vcs,
         mean_source_loss,
         max_source_loss,
+        vcs,
         latency: summarize_latency(&latency, &moments),
         shards: shard_reports,
     }
@@ -197,11 +220,13 @@ fn worker(
     shard: usize,
     cfg: &RuntimeConfig,
     plane: &FaultPlane,
+    topo: &Topology,
     rx: Receiver<Vec<Job>>,
     txs: Vec<Sender<Vec<Job>>>,
     counters: &Counters,
     vci_states: &[Mutex<VciSlot>],
     believed: &[AtomicU64],
+    routes: &[Mutex<Vec<u16>>],
     barrier: &Barrier,
 ) -> ShardResult {
     let shards = cfg.num_shards;
@@ -245,43 +270,68 @@ fn worker(
     let mut held: Vec<Job> = Vec::new();
     // Crash-restart wipes already applied, per local switch.
     let mut wiped: Vec<bool> = vec![false; switches.len()];
-    let path_len = cfg.hops_per_vc;
 
     for round in 0..cfg.max_rounds {
         rounds = round + 1;
+        // Lease sweep: each shard reclaims expired reservations on its
+        // own switches while the pipeline is quiescent. A down switch
+        // cannot run its sweep (its soft state is wiped on restart
+        // anyway).
+        if cfg.lease_supersteps > 0 {
+            for (li, sw) in switches.iter_mut().enumerate() {
+                let h = shard + li * shards;
+                if plane.switch_down(h, superstep) {
+                    continue;
+                }
+                let reclaimed = sw.expire_leases(superstep, cfg.lease_supersteps);
+                counters
+                    .leases_expired
+                    .fetch_add(reclaimed, Ordering::Relaxed);
+            }
+        }
         // Phase A: deliver last round's verdicts (grant / deny / timeout)
-        // and publish believed rates for the auditor.
+        // and publish believed rates and routes for the auditor.
         for runner in &mut runners {
             let outcome = vci_states[runner.vci() as usize]
                 .lock()
                 .expect("vci lock")
                 .outcome
                 .take();
-            runner.begin_round(outcome, superstep, counters);
+            runner.begin_round(cfg, topo, plane, outcome, superstep, counters);
             believed[runner.vci() as usize]
                 .store(runner.believed_rate().to_bits(), Ordering::Relaxed);
+            *routes[runner.vci() as usize].lock().expect("route lock") = runner.audit_route();
         }
         if cfg.audit_interval > 0 && round > 0 && round.is_multiple_of(cfg.audit_interval) {
-            // One extra barrier so every shard's believed rates are
-            // published before any shard reads them.
+            // One extra barrier so every shard's believed rates and
+            // routes are published before any shard reads them.
             barrier.wait();
             audit_shard(
-                plane, &switches, shard, shards, believed, superstep, counters,
+                plane, &switches, shard, shards, believed, routes, superstep, counters,
             );
         }
 
         // Phase B: generate this round's attempts (due retries first).
         for runner in &mut runners {
-            runner.emit_round(cfg, round, superstep, &mut staging, counters);
+            runner.emit_round(cfg, topo, plane, round, superstep, &mut staging, counters);
         }
         for job in staging.drain(..) {
             counters.injected.fetch_add(1, Ordering::Relaxed);
             counters.in_flight.fetch_add(1, Ordering::Relaxed);
-            if matches!(job.kind, JobKind::Resync { .. }) {
-                counters.resyncs.fetch_add(1, Ordering::Relaxed);
+            match job.kind {
+                JobKind::Resync { .. } => {
+                    counters.resyncs.fetch_add(1, Ordering::Relaxed);
+                }
+                JobKind::Reroute { .. } => {
+                    counters.reroutes.fetch_add(1, Ordering::Relaxed);
+                }
+                JobKind::Teardown => {
+                    counters.teardown_cells.fetch_add(1, Ordering::Relaxed);
+                }
+                _ => {}
             }
             injected += 1;
-            let first_hop = cfg.path_of(job.vci)[0];
+            let first_hop = job.route.hop(0);
             out_batches[first_hop % shards].push(job);
         }
         send_batches(&mut out_batches, &txs);
@@ -341,7 +391,7 @@ fn worker(
                 moments: &mut moments,
             };
             for job in jobs {
-                let h = cfg.path_of(job.vci)[job.hop];
+                let h = job.route.hop(job.hop);
                 if plane.stalled(h, superstep) {
                     // The switch is stalled: hold the cell, retry next
                     // superstep (pure latency, no loss).
@@ -353,7 +403,6 @@ fn worker(
                     job,
                     &mut switches[h / shards],
                     h,
-                    path_len,
                     cfg,
                     &fx,
                     counters,
@@ -361,7 +410,7 @@ fn worker(
                     &mut sink,
                 );
                 if let Some(nj) = forward {
-                    let nh = cfg.path_of(nj.vci)[nj.hop];
+                    let nh = nj.route.hop(nj.hop);
                     out_batches[nh % shards].push(nj);
                 }
                 if let Some(entry) = hold {
@@ -394,6 +443,7 @@ fn worker(
             believed: runner.believed_rate(),
             degraded: runner.is_degraded(),
             loss: runner.loss_fraction(),
+            route: runner.final_route(),
         });
     }
 

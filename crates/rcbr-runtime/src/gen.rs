@@ -31,15 +31,21 @@
 //! deterministic, keeping the sharded engine and the sequential replay
 //! bit-identical.
 
+use rcbr_net::{FaultPlane, Topology};
 use rcbr_schedule::online::{Ar1Config, Ar1Policy};
-use rcbr_schedule::{RetryPolicy, VcDriver};
+use rcbr_schedule::{RetryBudget, RetryPolicy, VcDriver};
 use rcbr_sim::SimRng;
 use rcbr_traffic::SyntheticMpegSource;
 
 use std::sync::atomic::Ordering;
 
 use crate::config::RuntimeConfig;
-use crate::core::{Counters, Job, JobKind, Outcome};
+use crate::core::{Counters, Job, JobKind, Outcome, Route, MAX_ROUTE};
+
+/// Supersteps a break-before-make teardown round occupies before the
+/// replacement reservation walk goes out: exactly one round, so the
+/// teardown has fully drained when the new walk is injected.
+const BBM_TEAR_SUPERSTEPS: u64 = 1;
 
 /// Where the VC's outstanding request stands.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -62,6 +68,55 @@ enum ReqPhase {
     },
 }
 
+/// How a reroute sequences reservation against teardown.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RerouteMode {
+    /// Reserve the candidate route end to end first; tear the old hops
+    /// down only after the commit. The default — service never gaps.
+    MakeBeforeBreak,
+    /// Tear the old route down first, then reserve fresh. The fallback
+    /// under capacity pressure: a denied make-before-break attempt means
+    /// old + new do not fit side by side, so the retry releases the old
+    /// reservation (believed rate drops to 0 for the gap) before asking.
+    BreakBeforeMake,
+}
+
+/// Where the VC stands with respect to its route's liveness.
+#[derive(Debug, Clone, PartialEq)]
+enum RouteState {
+    /// The active route is live (as of the last check).
+    Settled,
+    /// A reroute walk is in flight along `candidate`.
+    RerouteAwait {
+        /// Superstep the walk was injected at.
+        injected_at: u64,
+        /// The route being reserved.
+        candidate: Vec<usize>,
+        /// The sequencing mode of this attempt.
+        mode: RerouteMode,
+    },
+    /// Waiting out a backoff (or the teardown round of break-before-make)
+    /// before the next reroute attempt.
+    RerouteBackoff {
+        /// First superstep the attempt may be injected at.
+        until: u64,
+        /// The sequencing mode of the next attempt.
+        mode: RerouteMode,
+    },
+    /// No live route to the destination exists. The VC holds nothing and
+    /// believes rate 0, and rechecks the topology every round — degraded,
+    /// never deadlocked.
+    Stranded,
+}
+
+/// Whether every switch on `route` is unkilled and every link between
+/// consecutive hops is up at `now`. Transient crashes do *not* fail this
+/// check: they end on their own and the retry machinery rides them out.
+fn route_alive(route: &[usize], plane: &FaultPlane, now: u64) -> bool {
+    route.iter().all(|&h| !plane.switch_killed(h, now))
+        && route.windows(2).all(|w| !plane.link_down(w[0], w[1], now))
+}
+
 /// One VC's source-side state.
 pub(crate) struct VcRunner {
     vci: u32,
@@ -70,6 +125,25 @@ pub(crate) struct VcRunner {
     emitted: u64,
     phase: ReqPhase,
     retry: RetryPolicy,
+    /// The VC's fixed endpoints (reroutes preserve them).
+    src: usize,
+    dst: usize,
+    /// The route the VC's reservations currently live on.
+    active_route: Vec<usize>,
+    route_state: RouteState,
+    /// The old route is torn down (break-before-make window, or
+    /// stranded): the VC holds no reservations and believes rate 0.
+    torn: bool,
+    /// Monotone failure count, for deterministic candidate rotation.
+    route_failures: u64,
+    /// Consecutive-failure account for reroute attempts; refilled by any
+    /// committed reroute.
+    budget: RetryBudget,
+    /// Teardown walks queued at phase A for emission at phase B.
+    pending_tear: Vec<Vec<usize>>,
+    /// The VC stranded and has not yet recovered (drives the
+    /// `unstranded_events` counter).
+    stranded_sticky: bool,
 }
 
 impl VcRunner {
@@ -80,45 +154,249 @@ impl VcRunner {
         let tau = trace.frame_interval();
         let policy_cfg = Ar1Config::fig2(cfg.granularity, cfg.initial_rate, tau);
         let policy = Ar1Policy::new(policy_cfg, tau);
+        let active_route = cfg.path_of(vci);
         Self {
             vci,
             driver: VcDriver::new(trace, policy, cfg.buffer),
             emitted: 0,
             phase: ReqPhase::Idle,
             retry: cfg.retry_policy(),
+            src: active_route[0],
+            dst: *active_route.last().expect("routes are nonempty"),
+            active_route,
+            route_state: RouteState::Settled,
+            torn: false,
+            route_failures: 0,
+            budget: RetryBudget::new(cfg.retry_budget),
+            pending_tear: Vec::new(),
+            stranded_sticky: false,
         }
     }
 
     /// Round boundary, phase A: consume the outstanding attempt's verdict
-    /// if one arrived, otherwise check it for timeout. `now` is the
-    /// engine's superstep clock.
-    pub fn begin_round(&mut self, outcome: Option<Outcome>, now: u64, counters: &Counters) {
-        match outcome {
-            Some(Outcome::Granted) => {
-                self.driver.on_grant();
-                self.phase = ReqPhase::Idle;
-            }
-            Some(Outcome::Denied) => {
-                let ReqPhase::Await { failures, .. } = self.phase else {
-                    unreachable!("a verdict implies an attempt in flight");
-                };
-                self.fail(failures + 1, now, counters);
-            }
-            None => {
-                if let ReqPhase::Await {
-                    injected_at,
-                    failures,
-                } = self.phase
-                {
-                    if self.retry.timed_out(injected_at, now) {
-                        // The cell was killed (dropped, corrupted, or
-                        // crash-killed): no verdict will ever arrive.
-                        counters.timeouts.fetch_add(1, Ordering::Relaxed);
-                        self.fail(failures + 1, now, counters);
+    /// if one arrived, otherwise check it for timeout; then check the
+    /// active route's liveness against the fault plane. `now` is the
+    /// engine's superstep clock. The pipeline is quiescent here, which is
+    /// what makes route decisions race-free: no cell is in flight to
+    /// observe a half-switched route.
+    pub fn begin_round(
+        &mut self,
+        cfg: &RuntimeConfig,
+        topo: &Topology,
+        plane: &FaultPlane,
+        outcome: Option<Outcome>,
+        now: u64,
+        counters: &Counters,
+    ) {
+        if matches!(self.route_state, RouteState::RerouteAwait { .. }) {
+            // The outstanding attempt is a reroute walk; its verdict (or
+            // timeout) belongs to the route machinery.
+            self.reroute_verdict(outcome, now, counters);
+        } else {
+            match outcome {
+                Some(Outcome::Granted) => {
+                    self.driver.on_grant();
+                    self.phase = ReqPhase::Idle;
+                }
+                Some(Outcome::Denied) => {
+                    let ReqPhase::Await { failures, .. } = self.phase else {
+                        unreachable!("a verdict implies an attempt in flight");
+                    };
+                    self.fail(failures + 1, now, counters);
+                }
+                None => {
+                    if let ReqPhase::Await {
+                        injected_at,
+                        failures,
+                    } = self.phase
+                    {
+                        if self.retry.timed_out(injected_at, now) {
+                            // The cell was killed (dropped, corrupted, or
+                            // crash-killed): no verdict will ever arrive.
+                            counters.timeouts.fetch_add(1, Ordering::Relaxed);
+                            self.fail(failures + 1, now, counters);
+                        }
                     }
                 }
             }
         }
+        self.check_route(cfg, topo, plane, now);
+    }
+
+    /// Process the verdict (or timeout) of an in-flight reroute walk.
+    fn reroute_verdict(&mut self, outcome: Option<Outcome>, now: u64, counters: &Counters) {
+        let RouteState::RerouteAwait {
+            injected_at,
+            candidate,
+            mode,
+        } = std::mem::replace(&mut self.route_state, RouteState::Settled)
+        else {
+            unreachable!("caller checked the state");
+        };
+        match outcome {
+            Some(Outcome::Granted) => {
+                // Commit: the candidate is reserved end to end, so switch
+                // over *before* tearing down — hops the candidate does not
+                // share with the old route become stale and are reclaimed
+                // by an explicit teardown walk this round.
+                counters.reroutes_committed.fetch_add(1, Ordering::Relaxed);
+                let stale: Vec<usize> = self
+                    .active_route
+                    .iter()
+                    .copied()
+                    .filter(|h| !candidate.contains(h))
+                    .collect();
+                if !self.torn && !stale.is_empty() {
+                    self.queue_tear(stale);
+                }
+                self.active_route = candidate;
+                self.torn = false;
+                // A successful renegotiation refills the retry account.
+                self.budget.on_success();
+                if self.stranded_sticky {
+                    self.stranded_sticky = false;
+                    counters.unstranded_events.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            Some(Outcome::Denied) => {
+                // Capacity: old + new do not fit side by side. The retry
+                // goes break-before-make.
+                counters.reroutes_denied.fetch_add(1, Ordering::Relaxed);
+                self.reroute_failed(candidate, RerouteMode::BreakBeforeMake, now, counters);
+            }
+            None => {
+                if self.retry.timed_out(injected_at, now) {
+                    counters.timeouts.fetch_add(1, Ordering::Relaxed);
+                    self.reroute_failed(candidate, mode, now, counters);
+                } else {
+                    self.route_state = RouteState::RerouteAwait {
+                        injected_at,
+                        candidate,
+                        mode,
+                    };
+                }
+            }
+        }
+    }
+
+    /// Record a failed reroute attempt: compensate partial installs, then
+    /// back off for a retry or strand.
+    fn reroute_failed(
+        &mut self,
+        candidate: Vec<usize>,
+        mode: RerouteMode,
+        now: u64,
+        counters: &Counters,
+    ) {
+        self.budget.on_failure();
+        self.route_failures += 1;
+        // Compensate: clear whatever the failed walk installed on hops
+        // the active route does not cover. Uninstall is idempotent, so
+        // hops the walk never reached are no-ops — the exact install
+        // prefix need not be known.
+        let comp: Vec<usize> = if self.torn {
+            candidate
+        } else {
+            candidate
+                .into_iter()
+                .filter(|h| !self.active_route.contains(h))
+                .collect()
+        };
+        if !comp.is_empty() {
+            self.queue_tear(comp);
+        }
+        if self.budget.exhausted() {
+            self.strand(counters);
+        } else {
+            let mode = if self.torn {
+                // No reservations left to keep alive: stay break-first.
+                RerouteMode::BreakBeforeMake
+            } else {
+                mode
+            };
+            self.route_state = RouteState::RerouteBackoff {
+                until: now + self.retry.backoff(self.vci, self.budget.failures()),
+                mode,
+            };
+        }
+    }
+
+    /// Out of live routes (or out of budget): release everything, mark
+    /// degraded, and park in [`RouteState::Stranded`] — which rechecks
+    /// the topology every round, so the VC is degraded but never
+    /// deadlocked.
+    fn strand(&mut self, counters: &Counters) {
+        if !self.torn {
+            self.queue_tear(self.active_route.clone());
+            self.torn = true;
+        }
+        counters.stranded_events.fetch_add(1, Ordering::Relaxed);
+        counters.exhausted.fetch_add(1, Ordering::Relaxed);
+        counters.completed.fetch_add(1, Ordering::Relaxed);
+        if !self.driver.is_degraded() {
+            self.driver.mark_degraded();
+            counters.degraded_events.fetch_add(1, Ordering::Relaxed);
+        }
+        self.stranded_sticky = true;
+        self.route_state = RouteState::Stranded;
+    }
+
+    fn queue_tear(&mut self, hops: Vec<usize>) {
+        debug_assert!(
+            self.pending_tear.len() < 2,
+            "at most two teardown walks per round"
+        );
+        self.pending_tear.push(hops);
+    }
+
+    /// Phase A route-liveness check: a Settled VC whose route died starts
+    /// a reroute; a Stranded VC re-arms when the topology heals.
+    fn check_route(&mut self, cfg: &RuntimeConfig, topo: &Topology, plane: &FaultPlane, now: u64) {
+        match self.route_state {
+            RouteState::Settled if !route_alive(&self.active_route, plane, now) => {
+                // Cancel any outstanding normal request: the pipeline
+                // is quiescent, so an attempt without a verdict is
+                // already dead, and the reroute preempts retries.
+                if self.driver.pending_rate().is_some() {
+                    self.driver.on_deny();
+                }
+                self.phase = ReqPhase::Idle;
+                self.route_state = RouteState::RerouteBackoff {
+                    until: now,
+                    mode: RerouteMode::MakeBeforeBreak,
+                };
+            }
+            RouteState::Stranded if !self.candidates(cfg, topo, plane, now).is_empty() => {
+                // A path reopened (e.g. a flapped link restored): start a
+                // fresh failure episode from the torn state.
+                self.budget = RetryBudget::new(cfg.retry_budget);
+                self.route_state = RouteState::RerouteBackoff {
+                    until: now,
+                    mode: RerouteMode::BreakBeforeMake,
+                };
+            }
+            _ => {}
+        }
+    }
+
+    /// The live candidate routes between this VC's endpoints, in the
+    /// deterministic `(length, lexicographic)` order of
+    /// [`Topology::alive_routes`].
+    fn candidates(
+        &self,
+        cfg: &RuntimeConfig,
+        topo: &Topology,
+        plane: &FaultPlane,
+        now: u64,
+    ) -> Vec<Vec<usize>> {
+        topo.alive_routes(
+            self.src,
+            self.dst,
+            cfg.reroute_k,
+            MAX_ROUTE,
+            &|s| !plane.switch_killed(s, now),
+            &|a, b| !plane.link_down(a, b, now),
+        )
     }
 
     /// Record the `failures`-th failure of the outstanding request:
@@ -143,62 +421,118 @@ impl VcRunner {
         }
     }
 
-    /// Round boundary, phase B: inject a due retry, then step the VC
-    /// through one round of traffic slots, appending emitted requests to
-    /// `out`. At most one attempt per round surfaces (the source has a
-    /// single outstanding RM cell; the driver suppresses policy requests
-    /// while one is pending).
+    /// Round boundary, phase B: run the reroute engine's emission half
+    /// (due reroute walks, queued teardowns), then — only while Settled —
+    /// inject a due retry and step the VC through one round of traffic
+    /// slots. A reroute in progress pauses all normal emission: the
+    /// source is busy re-establishing connectivity.
+    #[allow(clippy::too_many_arguments)]
     pub fn emit_round(
         &mut self,
         cfg: &RuntimeConfig,
+        topo: &Topology,
+        plane: &FaultPlane,
         round: u64,
         now: u64,
         out: &mut Vec<Job>,
         counters: &Counters,
     ) {
-        if let ReqPhase::Backoff { until, failures } = self.phase {
+        // The slot-0 sequence number for this round: free for control
+        // traffic whenever no traffic-slot attempt claims it (a pending
+        // request or an in-progress reroute suppresses slot emissions),
+        // and teardown walks use distinct salts besides.
+        let base_seq = round * cfg.slots_per_round as u64 * cfg.num_vcs as u64 + self.vci as u64;
+
+        if let RouteState::RerouteBackoff { until, mode } = self.route_state {
             if now >= until {
-                // Retry the pending rate as an absolute resync: the failed
-                // attempt may have half-applied its delta, and an absolute
-                // cell repairs that drift while re-asking.
-                let rate = self
-                    .driver
-                    .pending_rate()
-                    .expect("backoff implies a pending request");
-                counters.retries.fetch_add(1, Ordering::Relaxed);
-                // The slot-0 sequence number for this round; unique, since
-                // a pending request suppresses every traffic-slot emission.
-                let seq = round * cfg.slots_per_round as u64 * cfg.num_vcs as u64 + self.vci as u64;
-                out.push(Job {
-                    seq,
-                    vci: self.vci,
-                    hop: 0,
-                    kind: JobKind::Resync {
-                        rate,
-                        expected_prior: self.driver.current_rate(),
-                    },
-                    salt: 0,
-                    origin: 0,
-                    cleared: false,
-                });
-                self.phase = ReqPhase::Await {
-                    injected_at: now,
-                    failures,
-                };
+                if mode == RerouteMode::BreakBeforeMake && !self.torn {
+                    // Break first: tear the old route down completely; the
+                    // fresh reservation walk goes out next round, after
+                    // the teardown has drained.
+                    self.queue_tear(self.active_route.clone());
+                    self.torn = true;
+                    self.route_state = RouteState::RerouteBackoff {
+                        until: now + BBM_TEAR_SUPERSTEPS,
+                        mode,
+                    };
+                } else {
+                    let cands = self.candidates(cfg, topo, plane, now);
+                    if cands.is_empty() {
+                        self.strand(counters);
+                    } else {
+                        // Deterministic rotation: successive failures try
+                        // successive candidates of the (len, lex)-ordered
+                        // list — a pure function of (failure count,
+                        // topology, fault schedule).
+                        let pick = (self.route_failures % cands.len() as u64) as usize;
+                        let candidate = cands.into_iter().nth(pick).expect("pick < len");
+                        out.push(Job {
+                            seq: base_seq,
+                            vci: self.vci,
+                            hop: 0,
+                            kind: JobKind::Reroute {
+                                rate: self.driver.current_rate(),
+                            },
+                            salt: 0,
+                            origin: 0,
+                            cleared: false,
+                            route: Route::from_slice(&candidate),
+                        });
+                        self.route_state = RouteState::RerouteAwait {
+                            injected_at: now,
+                            candidate,
+                            mode,
+                        };
+                    }
+                }
             }
         }
-        for slot in 0..cfg.slots_per_round {
-            let Some(rate) = self.driver.step() else {
-                continue;
-            };
-            let global_slot = round * cfg.slots_per_round as u64 + slot as u64;
-            let seq = global_slot * cfg.num_vcs as u64 + self.vci as u64;
-            // The driver's current rate is still the pre-grant rate: the
-            // delta below is what the network must add (or return).
-            let current = self.driver.current_rate();
-            self.emitted += 1;
-            let kind =
-                if cfg.resync_interval > 0 && self.emitted.is_multiple_of(cfg.resync_interval) {
+
+        if matches!(self.route_state, RouteState::Settled) {
+            let route = Route::from_slice(&self.active_route);
+            if let ReqPhase::Backoff { until, failures } = self.phase {
+                if now >= until {
+                    // Retry the pending rate as an absolute resync: the
+                    // failed attempt may have half-applied its delta, and
+                    // an absolute cell repairs that drift while re-asking.
+                    let rate = self
+                        .driver
+                        .pending_rate()
+                        .expect("backoff implies a pending request");
+                    counters.retries.fetch_add(1, Ordering::Relaxed);
+                    out.push(Job {
+                        seq: base_seq,
+                        vci: self.vci,
+                        hop: 0,
+                        kind: JobKind::Resync {
+                            rate,
+                            expected_prior: self.driver.current_rate(),
+                        },
+                        salt: 0,
+                        origin: 0,
+                        cleared: false,
+                        route,
+                    });
+                    self.phase = ReqPhase::Await {
+                        injected_at: now,
+                        failures,
+                    };
+                }
+            }
+            for slot in 0..cfg.slots_per_round {
+                let Some(rate) = self.driver.step() else {
+                    continue;
+                };
+                let global_slot = round * cfg.slots_per_round as u64 + slot as u64;
+                let seq = global_slot * cfg.num_vcs as u64 + self.vci as u64;
+                // The driver's current rate is still the pre-grant rate:
+                // the delta below is what the network must add (or
+                // return).
+                let current = self.driver.current_rate();
+                self.emitted += 1;
+                let kind = if cfg.resync_interval > 0
+                    && self.emitted.is_multiple_of(cfg.resync_interval)
+                {
                     JobKind::Resync {
                         rate,
                         expected_prior: current,
@@ -206,26 +540,59 @@ impl VcRunner {
                 } else {
                     JobKind::Delta(rate - current)
                 };
+                out.push(Job {
+                    seq,
+                    vci: self.vci,
+                    hop: 0,
+                    kind,
+                    salt: 0,
+                    origin: 0,
+                    cleared: false,
+                    route,
+                });
+                self.phase = ReqPhase::Await {
+                    injected_at: now,
+                    failures: 0,
+                };
+            }
+        }
+
+        // Queued teardown walks last (stale hops after a commit,
+        // compensation after a failed walk, break-before-make, or
+        // stranding). Distinct salts keep same-seq control jobs totally
+        // ordered — partition-independently.
+        for (i, tear) in std::mem::take(&mut self.pending_tear)
+            .into_iter()
+            .enumerate()
+        {
             out.push(Job {
-                seq,
+                seq: base_seq,
                 vci: self.vci,
                 hop: 0,
-                kind,
-                salt: 0,
+                kind: JobKind::Teardown,
+                salt: 3 + i as u8,
                 origin: 0,
-                cleared: false,
+                cleared: true,
+                route: Route::from_slice(&tear),
             });
-            self.phase = ReqPhase::Await {
-                injected_at: now,
-                failures: 0,
-            };
         }
     }
 
     /// End of run: apply a verdict that arrived in the final round so the
-    /// driver's believed rate reflects it (no retry processing — the run
-    /// is over).
+    /// driver's believed rate (and route) reflects it — no retry
+    /// processing, the run is over.
     pub fn apply_final(&mut self, outcome: Outcome) {
+        if let RouteState::RerouteAwait { candidate, .. } = &self.route_state {
+            // A granted reroute commits the route switch (its
+            // reservations are already placed); a denial leaves residue
+            // on the candidate hops for the end-of-run audit to reclaim.
+            if outcome == Outcome::Granted {
+                self.active_route = candidate.clone();
+                self.torn = false;
+            }
+            self.route_state = RouteState::Settled;
+            return;
+        }
         match outcome {
             Outcome::Granted => self.driver.on_grant(),
             Outcome::Denied => self.driver.on_deny(),
@@ -238,9 +605,35 @@ impl VcRunner {
         self.vci
     }
 
-    /// The rate the source currently believes is reserved end to end.
+    /// The rate the source currently believes is reserved end to end —
+    /// 0 while the VC holds nothing (torn down or stranded).
     pub fn believed_rate(&self) -> f64 {
-        self.driver.current_rate()
+        if self.torn {
+            0.0
+        } else {
+            self.driver.current_rate()
+        }
+    }
+
+    /// The route the auditor should cross-check this VC's reservations
+    /// against — empty while the VC holds nothing, so every entry it may
+    /// still be leaving behind is treated as off-route residue.
+    pub fn audit_route(&self) -> Vec<u16> {
+        if self.torn {
+            Vec::new()
+        } else {
+            self.active_route.iter().map(|&h| h as u16).collect()
+        }
+    }
+
+    /// The route this VC's reservations should live on at end of run
+    /// (empty if it holds nothing).
+    pub fn final_route(&self) -> Vec<usize> {
+        if self.torn {
+            Vec::new()
+        } else {
+            self.active_route.clone()
+        }
     }
 
     /// Whether this VC ever exhausted a retry budget (or was floored by
@@ -276,6 +669,8 @@ mod tests {
         verdict: Option<Outcome>,
         counters: &Counters,
     ) -> Vec<Job> {
+        let topo = cfg.topology();
+        let plane = FaultPlane::new(cfg.fault.clone());
         let mut jobs = Vec::new();
         let mut superstep = 0u64;
         let mut outstanding = false;
@@ -284,9 +679,9 @@ mod tests {
             if outcome.is_some() {
                 outstanding = false;
             }
-            r.begin_round(outcome, superstep, counters);
+            r.begin_round(cfg, &topo, &plane, outcome, superstep, counters);
             let before = jobs.len();
-            r.emit_round(cfg, round, superstep, &mut jobs, counters);
+            r.emit_round(cfg, &topo, &plane, round, superstep, &mut jobs, counters);
             assert!(jobs.len() - before <= 1, "multiple attempts in one round");
             if jobs.len() > before {
                 outstanding = true;
@@ -350,6 +745,154 @@ mod tests {
         assert!(snap.timeouts > 0, "unanswered attempts must time out");
         assert!(snap.exhausted > 0);
         assert!(r.is_degraded());
+    }
+
+    #[test]
+    fn killed_route_triggers_mbb_reroute_commit_and_stale_teardown() {
+        let mut cfg = quiet_cfg();
+        cfg.extra_links = vec![(2, 4)];
+        // VC 1's default route is [1, 2, 3, 4]; killing switch 3 leaves
+        // the chord detour [1, 2, 4] as the shortest live candidate.
+        cfg.fault.kills = vec![rcbr_net::KillSpec {
+            switch: 3,
+            at_superstep: 1,
+        }];
+        let topo = cfg.topology();
+        let plane = FaultPlane::new(cfg.fault.clone());
+        let counters = Counters::default();
+        let mut r = VcRunner::new(&cfg, 1);
+
+        let mut jobs = Vec::new();
+        r.begin_round(&cfg, &topo, &plane, None, 2, &counters);
+        r.emit_round(&cfg, &topo, &plane, 0, 2, &mut jobs, &counters);
+        assert_eq!(jobs.len(), 1, "a dead route emits exactly the reroute walk");
+        assert!(matches!(jobs[0].kind, JobKind::Reroute { .. }));
+        let walked: Vec<usize> = (0..jobs[0].route.len())
+            .map(|i| jobs[0].route.hop(i))
+            .collect();
+        assert_eq!(walked, vec![1, 2, 4], "make-before-break takes the chord");
+        // Believed rate stays up through the make-before-break window.
+        assert!(r.believed_rate() > 0.0);
+
+        jobs.clear();
+        r.begin_round(&cfg, &topo, &plane, Some(Outcome::Granted), 8, &counters);
+        assert_eq!(r.final_route(), vec![1, 2, 4]);
+        r.emit_round(&cfg, &topo, &plane, 1, 8, &mut jobs, &counters);
+        let tears: Vec<&Job> = jobs
+            .iter()
+            .filter(|j| matches!(j.kind, JobKind::Teardown))
+            .collect();
+        assert_eq!(tears.len(), 1, "the stale hop gets one teardown walk");
+        assert_eq!(tears[0].route.len(), 1);
+        assert_eq!(tears[0].route.hop(0), 3);
+        let snap = counters.snapshot();
+        assert_eq!(snap.reroutes_committed, 1);
+        assert_eq!(snap.stranded_events, 0);
+    }
+
+    #[test]
+    fn denied_reroute_falls_back_to_break_before_make() {
+        let mut cfg = quiet_cfg();
+        cfg.backoff_base = 1;
+        cfg.backoff_jitter = 0;
+        cfg.extra_links = vec![(2, 4)];
+        cfg.fault.kills = vec![rcbr_net::KillSpec {
+            switch: 3,
+            at_superstep: 1,
+        }];
+        let topo = cfg.topology();
+        let plane = FaultPlane::new(cfg.fault.clone());
+        let counters = Counters::default();
+        let mut r = VcRunner::new(&cfg, 1);
+
+        // Round 0: make-before-break walk along the chord goes out.
+        let mut jobs = Vec::new();
+        r.begin_round(&cfg, &topo, &plane, None, 2, &counters);
+        r.emit_round(&cfg, &topo, &plane, 0, 2, &mut jobs, &counters);
+        assert!(matches!(jobs[0].kind, JobKind::Reroute { .. }));
+
+        // The walk is denied (capacity): the retry must go break-first.
+        jobs.clear();
+        r.begin_round(&cfg, &topo, &plane, Some(Outcome::Denied), 10, &counters);
+        assert_eq!(counters.snapshot().reroutes_denied, 1);
+        assert!(r.believed_rate() > 0.0, "nothing torn yet");
+        // Backoff elapses: the break round tears the whole old route.
+        r.emit_round(&cfg, &topo, &plane, 1, 20, &mut jobs, &counters);
+        let tears: Vec<&Job> = jobs
+            .iter()
+            .filter(|j| matches!(j.kind, JobKind::Teardown))
+            .collect();
+        assert_eq!(tears.len(), 1);
+        assert_eq!(
+            tears[0].route.len(),
+            4,
+            "break-before-make tears everything"
+        );
+        assert_eq!(r.believed_rate(), 0.0, "service gaps during the break");
+
+        // Next round: the fresh reservation walk goes out, and a grant
+        // restores service on the new route.
+        jobs.clear();
+        r.begin_round(&cfg, &topo, &plane, None, 28, &counters);
+        r.emit_round(&cfg, &topo, &plane, 2, 28, &mut jobs, &counters);
+        assert!(jobs
+            .iter()
+            .any(|j| matches!(j.kind, JobKind::Reroute { .. })));
+        r.begin_round(&cfg, &topo, &plane, Some(Outcome::Granted), 36, &counters);
+        assert_eq!(counters.snapshot().reroutes_committed, 1);
+        assert!(r.believed_rate() > 0.0);
+        assert!(!r.final_route().contains(&3));
+    }
+
+    #[test]
+    fn unreachable_destination_strands_then_recovers_when_links_heal() {
+        let mut cfg = quiet_cfg();
+        cfg.retry_budget = 1;
+        cfg.backoff_base = 1;
+        cfg.backoff_jitter = 0;
+        // Cut both ring links around VC 1's destination (switch 4) for a
+        // window: no candidate survives, so the VC must strand — and then
+        // re-arm once the links come back.
+        for (a, b) in [(3usize, 4usize), (4, 5)] {
+            cfg.fault.link_downs.push(rcbr_net::LinkDownSpec {
+                a,
+                b,
+                at_superstep: 1,
+                down_supersteps: 100,
+            });
+        }
+        let topo = cfg.topology();
+        let plane = FaultPlane::new(cfg.fault.clone());
+        let counters = Counters::default();
+        let mut r = VcRunner::new(&cfg, 1);
+
+        let mut jobs = Vec::new();
+        r.begin_round(&cfg, &topo, &plane, None, 2, &counters);
+        r.emit_round(&cfg, &topo, &plane, 0, 2, &mut jobs, &counters);
+        assert_eq!(counters.snapshot().stranded_events, 1);
+        assert_eq!(r.believed_rate(), 0.0, "a stranded VC holds nothing");
+        assert!(r.final_route().is_empty());
+        let tears = jobs
+            .iter()
+            .filter(|j| matches!(j.kind, JobKind::Teardown))
+            .count();
+        assert_eq!(tears, 1, "stranding tears the whole active route down");
+
+        // Links heal at superstep 101: the recheck re-arms, the walk goes
+        // out, and a grant un-strands the VC.
+        jobs.clear();
+        r.begin_round(&cfg, &topo, &plane, None, 101, &counters);
+        r.emit_round(&cfg, &topo, &plane, 1, 101, &mut jobs, &counters);
+        assert!(
+            jobs.iter()
+                .any(|j| matches!(j.kind, JobKind::Reroute { .. })),
+            "a revived topology re-arms the stranded VC"
+        );
+        r.begin_round(&cfg, &topo, &plane, Some(Outcome::Granted), 108, &counters);
+        let snap = counters.snapshot();
+        assert_eq!(snap.unstranded_events, 1);
+        assert_eq!(r.final_route(), vec![1, 2, 3, 4]);
+        assert!(r.believed_rate() > 0.0);
     }
 
     #[test]

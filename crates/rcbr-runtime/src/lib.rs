@@ -55,5 +55,5 @@ pub use audit::AuditReport;
 pub use config::RuntimeConfig;
 pub use core::{CounterSnapshot, Outcome};
 pub use engine::run;
-pub use report::{LatencySummary, RunReport, ShardReport};
+pub use report::{LatencySummary, RunReport, ShardReport, VcOutcome};
 pub use sequential::run_sequential;

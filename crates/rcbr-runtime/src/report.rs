@@ -66,6 +66,25 @@ pub struct LatencySummary {
     pub max: f64,
 }
 
+/// One VC's end-of-run outcome, for survivability assertions: did it end
+/// on a valid route at a live rate, or cleanly degraded holding nothing?
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VcOutcome {
+    /// The VC's identifier.
+    pub vci: u32,
+    /// The rate the source believes is reserved end to end (0 for a
+    /// stranded/torn-down VC).
+    pub believed: f64,
+    /// The VC ended degraded (exhausted a retry budget, was stranded, or
+    /// was floored by end-of-run recovery).
+    pub degraded: bool,
+    /// The VC's end-system buffer loss fraction.
+    pub loss: f64,
+    /// The route the VC's reservations live on at exit (empty if it holds
+    /// nothing).
+    pub route: Vec<usize>,
+}
+
 /// The result of one signaling-plane run.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct RunReport {
@@ -98,6 +117,8 @@ pub struct RunReport {
     pub mean_source_loss: f64,
     /// Worst end-system buffer loss fraction across VCs.
     pub max_source_loss: f64,
+    /// Per-VC end-of-run outcomes, ascending VCI.
+    pub vcs: Vec<VcOutcome>,
     /// Merged latency statistics.
     pub latency: LatencySummary,
     /// Per-shard pipeline metrics (one entry for the sequential replay).

@@ -20,13 +20,16 @@ use crate::audit::{audit_shard, finalize, reduce_source_loss, VcFinal};
 use crate::config::RuntimeConfig;
 use crate::core::{advance_job, CompletionSink, Counters, FaultCtx, Job, JobKind, VciSlot};
 use crate::gen::VcRunner;
-use crate::report::{latency_histogram, summarize_latency, RunReport, ShardReport, WallTimer};
+use crate::report::{
+    latency_histogram, summarize_latency, RunReport, ShardReport, VcOutcome, WallTimer,
+};
 
 /// Run the workload single-threaded and report.
 pub fn run_sequential(cfg: &RuntimeConfig) -> RunReport {
     cfg.validate();
     let started = WallTimer::start();
     let plane = FaultPlane::new(cfg.fault.clone());
+    let topo = cfg.topology();
 
     let counters = Counters::default();
     let vci_states: Vec<Mutex<VciSlot>> = (0..cfg.num_vcs)
@@ -34,6 +37,9 @@ pub fn run_sequential(cfg: &RuntimeConfig) -> RunReport {
         .collect();
     let believed: Vec<AtomicU64> = (0..cfg.num_vcs)
         .map(|_| AtomicU64::new(cfg.initial_rate.to_bits()))
+        .collect();
+    let routes: Vec<Mutex<Vec<u16>>> = (0..cfg.num_vcs as u32)
+        .map(|vci| Mutex::new(cfg.path_of(vci).iter().map(|&h| h as u16).collect()))
         .collect();
 
     let mut switches: Vec<Switch> = (0..cfg.num_switches)
@@ -58,7 +64,6 @@ pub fn run_sequential(cfg: &RuntimeConfig) -> RunReport {
     let mut max_batch = 0u64;
     let mut rounds = 0u64;
     let mut superstep = 0u64;
-    let path_len = cfg.hops_per_vc;
 
     let mut wave: Vec<Job> = Vec::new();
     let mut delayed: Vec<(u64, Job)> = Vec::new();
@@ -67,28 +72,51 @@ pub fn run_sequential(cfg: &RuntimeConfig) -> RunReport {
 
     for round in 0..cfg.max_rounds {
         rounds = round + 1;
+        if cfg.lease_supersteps > 0 {
+            for (h, sw) in switches.iter_mut().enumerate() {
+                if plane.switch_down(h, superstep) {
+                    continue;
+                }
+                let reclaimed = sw.expire_leases(superstep, cfg.lease_supersteps);
+                counters
+                    .leases_expired
+                    .fetch_add(reclaimed, Ordering::Relaxed);
+            }
+        }
         for runner in &mut runners {
             let outcome = vci_states[runner.vci() as usize]
                 .lock()
                 .expect("vci lock")
                 .outcome
                 .take();
-            runner.begin_round(outcome, superstep, &counters);
+            runner.begin_round(cfg, &topo, &plane, outcome, superstep, &counters);
             believed[runner.vci() as usize]
                 .store(runner.believed_rate().to_bits(), Ordering::Relaxed);
+            *routes[runner.vci() as usize].lock().expect("route lock") = runner.audit_route();
         }
         if cfg.audit_interval > 0 && round > 0 && round.is_multiple_of(cfg.audit_interval) {
-            audit_shard(&plane, &switches, 0, 1, &believed, superstep, &counters);
+            audit_shard(
+                &plane, &switches, 0, 1, &believed, &routes, superstep, &counters,
+            );
         }
 
         for runner in &mut runners {
-            runner.emit_round(cfg, round, superstep, &mut wave, &counters);
+            runner.emit_round(cfg, &topo, &plane, round, superstep, &mut wave, &counters);
         }
         for job in &wave {
             counters.injected.fetch_add(1, Ordering::Relaxed);
             counters.in_flight.fetch_add(1, Ordering::Relaxed);
-            if matches!(job.kind, JobKind::Resync { .. }) {
-                counters.resyncs.fetch_add(1, Ordering::Relaxed);
+            match job.kind {
+                JobKind::Resync { .. } => {
+                    counters.resyncs.fetch_add(1, Ordering::Relaxed);
+                }
+                JobKind::Reroute { .. } => {
+                    counters.reroutes.fetch_add(1, Ordering::Relaxed);
+                }
+                JobKind::Teardown => {
+                    counters.teardown_cells.fetch_add(1, Ordering::Relaxed);
+                }
+                _ => {}
             }
             injected += 1;
         }
@@ -133,7 +161,7 @@ pub fn run_sequential(cfg: &RuntimeConfig) -> RunReport {
                 moments: &mut moments,
             };
             for job in wave.drain(..) {
-                let h = cfg.path_of(job.vci)[job.hop];
+                let h = job.route.hop(job.hop);
                 if plane.stalled(h, superstep) {
                     held.push(job);
                     continue;
@@ -143,7 +171,6 @@ pub fn run_sequential(cfg: &RuntimeConfig) -> RunReport {
                     job,
                     &mut switches[h],
                     h,
-                    path_len,
                     cfg,
                     &fx,
                     &counters,
@@ -180,12 +207,23 @@ pub fn run_sequential(cfg: &RuntimeConfig) -> RunReport {
             believed: runner.believed_rate(),
             degraded: runner.is_degraded(),
             loss: runner.loss_fraction(),
+            route: runner.final_route(),
         });
     }
 
     let audit = finalize(cfg, &plane, &mut switches, &mut finals, superstep);
     let degraded_vcs = finals.iter().filter(|f| f.degraded).count() as u64;
     let (mean_source_loss, max_source_loss) = reduce_source_loss(&finals, cfg.num_vcs);
+    let vcs = finals
+        .iter()
+        .map(|f| VcOutcome {
+            vci: f.vci,
+            believed: f.believed,
+            degraded: f.degraded,
+            loss: f.loss,
+            route: f.route.clone(),
+        })
+        .collect();
 
     let wall = started.elapsed_seconds();
     let counters = counters.snapshot();
@@ -208,6 +246,7 @@ pub fn run_sequential(cfg: &RuntimeConfig) -> RunReport {
         degraded_vcs,
         mean_source_loss,
         max_source_loss,
+        vcs,
         latency: summarize_latency(&latency, &moments),
         shards: vec![ShardReport {
             shard: 0,

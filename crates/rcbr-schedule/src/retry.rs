@@ -74,6 +74,52 @@ impl RetryPolicy {
     }
 }
 
+/// Stateful failure accounting for a long-lived recovery process (e.g.
+/// rerouting a VC around a dead switch), layered over the stateless
+/// [`RetryPolicy`]. Unlike a per-request failure count, the budget is an
+/// *account*: consecutive failures draw it down, and any successful
+/// renegotiation refills it in full — a source that just proved the
+/// control plane works again deserves a fresh budget for the next
+/// failure, not the tail end of the previous one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RetryBudget {
+    budget: u32,
+    failures: u32,
+}
+
+impl RetryBudget {
+    /// A full budget allowing `budget` retries after the initial attempt.
+    pub fn new(budget: u32) -> Self {
+        Self {
+            budget,
+            failures: 0,
+        }
+    }
+
+    /// Record a failed attempt; returns the consecutive-failure count.
+    pub fn on_failure(&mut self) -> u32 {
+        self.failures += 1;
+        self.failures
+    }
+
+    /// A renegotiation succeeded: reset the consecutive-failure count,
+    /// restoring the full budget for the next failure episode.
+    pub fn on_success(&mut self) {
+        self.failures = 0;
+    }
+
+    /// Consecutive failures since the last success.
+    pub fn failures(&self) -> u32 {
+        self.failures
+    }
+
+    /// Whether the consecutive failures exhaust the budget (initial
+    /// attempt + `budget` retries all failed).
+    pub fn exhausted(&self) -> bool {
+        self.failures > self.budget
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -136,5 +182,22 @@ mod tests {
         let p = policy();
         let b = p.backoff(0, u32::MAX);
         assert!(b >= p.backoff_base * (1 << 16));
+    }
+
+    #[test]
+    fn budget_refills_after_a_successful_renegotiation() {
+        let mut b = RetryBudget::new(2);
+        assert!(!b.exhausted());
+        assert_eq!(b.on_failure(), 1);
+        assert_eq!(b.on_failure(), 2);
+        assert!(!b.exhausted(), "the budget allows exactly 2 retries");
+        // A success mid-episode resets the account in full.
+        b.on_success();
+        assert_eq!(b.failures(), 0);
+        assert_eq!(b.on_failure(), 1, "post-success failures start fresh");
+        assert!(!b.exhausted());
+        b.on_failure();
+        b.on_failure();
+        assert!(b.exhausted(), "3 consecutive failures exceed budget 2");
     }
 }

@@ -1,6 +1,8 @@
 //! The four admission controllers of Section VI.
 
-use rcbr_ldt::chernoff::{chernoff_failure_probability, max_admissible_calls};
+use rcbr_ldt::chernoff::{
+    chernoff_failure_probability, max_admissible_calls, min_capacity_per_source,
+};
 use rcbr_sim::stats::DiscreteDistribution;
 
 use crate::descriptor::distribution_from_observations;
@@ -78,6 +80,29 @@ impl Memoryless {
     pub fn new(target: f64) -> Self {
         assert!(target > 0.0 && target < 1.0, "target must be in (0, 1)");
         Self { target }
+    }
+
+    /// The renegotiation-failure probability target.
+    pub fn target(&self) -> f64 {
+        self.target
+    }
+
+    /// The online, windowed form of the memoryless test, for callers that
+    /// measure continuously instead of snapshotting per decision: from a
+    /// weighted marginal estimate `levels` (`(rate b/s, weight)` pairs,
+    /// weights need not be normalized) and the number of `calls` sharing
+    /// the port, the aggregate capacity those calls need so that the
+    /// Chernoff overflow estimate meets the target —
+    /// `n · C_min(estimate, n, target)` via
+    /// [`min_capacity_per_source`]. Returns `None` with nothing measured
+    /// (`levels` empty or `calls == 0`): the caller must bootstrap, just
+    /// as [`AdmissionController::admit`] admits on an empty system.
+    pub fn needed_capacity(&self, levels: &[(f64, f64)], calls: usize) -> Option<f64> {
+        if levels.is_empty() || calls == 0 {
+            return None;
+        }
+        let est = DiscreteDistribution::from_weights(levels);
+        Some(calls as f64 * min_capacity_per_source(&est, calls, self.target))
     }
 }
 
@@ -265,6 +290,26 @@ mod tests {
         assert!(
             ml.admit(&snapshot(&quiet, cap)),
             "memoryless should over-admit on a quiet snapshot"
+        );
+    }
+
+    #[test]
+    fn memoryless_needed_capacity_online_form() {
+        let ml = Memoryless::new(1e-3);
+        assert_eq!(ml.target(), 1e-3);
+        assert!(ml.needed_capacity(&[], 5).is_none());
+        assert!(ml.needed_capacity(&[(100_000.0, 1.0)], 0).is_none());
+        // A constant-rate marginal needs exactly n calls at that rate.
+        let flat = ml.needed_capacity(&[(100_000.0, 3.0)], 10).unwrap();
+        assert!((flat - 1_000_000.0).abs() < 1.0, "flat {flat}");
+        // A bursty marginal needs more than the aggregate mean but never
+        // more than the aggregate peak.
+        let bursty = ml
+            .needed_capacity(&[(0.0, 0.7), (1_000_000.0, 0.3)], 50)
+            .unwrap();
+        assert!(
+            bursty > 50.0 * 300_000.0 && bursty <= 50.0 * 1_000_000.0 + 1e-6,
+            "bursty {bursty}"
         );
     }
 

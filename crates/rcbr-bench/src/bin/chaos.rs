@@ -25,7 +25,7 @@
 //! subset (for CI) and writes `chaos_smoke.json`.
 
 use rcbr_bench::{write_json, Args};
-use rcbr_net::{CrashSpec, KillSpec, LinkDownSpec, StallSpec};
+use rcbr_net::{CrashSpec, StallSpec};
 use rcbr_runtime::{run, run_sequential, RunReport, RuntimeConfig};
 use serde::Serialize;
 use std::path::PathBuf;
@@ -208,39 +208,10 @@ struct SurvivabilityReport {
 /// two flapping links, with per-hop leases armed. Every departure from
 /// the survivability contract is a panic, so CI fails loudly.
 fn survivability(seed: u64, smoke: bool) -> SurvivabilityReport {
-    let killed = 3usize;
-    let flapped = vec![(5usize, 6usize), (6usize, 7usize)];
-    let mut cfg = RuntimeConfig::balanced(4, 64); // 8 switches, 4-hop paths
-    cfg.target_requests = if smoke { 5_000 } else { 100_000 };
-    cfg.seed = seed;
-    cfg.fault = rcbr_net::FaultConfig::transparent();
-    cfg.fault.seed = seed ^ 0xc4a05;
-    // Chord (2, 4) routes around the killed switch; chord (5, 7) routes
-    // around both flapping links.
-    cfg.extra_links = vec![(2, 4), (5, 7)];
-    cfg.lease_supersteps = 200;
-    // Headroom for make-before-break double occupancy while half the
-    // population reroutes onto the chords at once.
-    cfg.port_capacity *= 4.0;
-    cfg.fault.kills = vec![KillSpec {
-        switch: killed,
-        at_superstep: 200,
-    }];
-    // Two windows per link, staggered so the two flapping links are never
-    // down at once: simultaneous outages would isolate the switch between
-    // them, and this soak is about VCs that *do* have an alternate path.
-    cfg.fault.link_downs = flapped
-        .iter()
-        .zip([[350u64, 1_800], [500, 2_200]])
-        .flat_map(|(&(a, b), windows)| {
-            windows.into_iter().map(move |at| LinkDownSpec {
-                a,
-                b,
-                at_superstep: at,
-                down_supersteps: 120,
-            })
-        })
-        .collect();
+    // The scenario lives in the library so the admission parity tests can
+    // replay the exact committed configuration.
+    let scenario = rcbr_bench::survivability_scenario(seed, smoke);
+    let (cfg, killed, flapped) = (scenario.cfg, scenario.killed_switch, scenario.flapped_links);
 
     let reference = run_sequential(&cfg);
     let mut identical = true;

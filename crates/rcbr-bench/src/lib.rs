@@ -20,6 +20,8 @@
 //! same pipelines so regressions in the algorithms' *runtime* are caught;
 //! the binaries are the scientific harness.
 
+use rcbr_net::{FaultConfig, KillSpec, LinkDownSpec};
+use rcbr_runtime::RuntimeConfig;
 use rcbr_schedule::{CostModel, OfflineOptimizer, RateGrid, Schedule, TrellisConfig};
 use rcbr_sim::SimRng;
 use rcbr_traffic::{FrameTrace, SyntheticMpegSource};
@@ -105,6 +107,65 @@ pub fn paper_schedule(trace: &FrameTrace, buffer: f64) -> Schedule {
     )
     .optimize(trace)
     .expect("the 2.4 Mb/s grid covers the synthetic trace")
+}
+
+/// The survivability soak scenario (see `chaos --survivability`): which
+/// switch dies, which links flap, and the full runtime configuration.
+#[derive(Debug, Clone)]
+pub struct SurvivabilityScenario {
+    /// The runtime configuration the soak runs.
+    pub cfg: RuntimeConfig,
+    /// The permanently killed switch.
+    pub killed_switch: usize,
+    /// The two links that flap (two down windows each).
+    pub flapped_links: Vec<(usize, usize)>,
+}
+
+/// The committed survivability scenario: a chorded 8-ring under one
+/// permanent switch kill and two flapping links, with per-hop leases
+/// armed and no random cell faults. This is the configuration behind
+/// `results/chaos_survivability_smoke.json`, shared between the chaos
+/// binary and the admission parity tests so "reproduces the committed
+/// counters" means the *same* scenario, not a re-typed copy.
+pub fn survivability_scenario(seed: u64, smoke: bool) -> SurvivabilityScenario {
+    let killed = 3usize;
+    let flapped = vec![(5usize, 6usize), (6usize, 7usize)];
+    let mut cfg = RuntimeConfig::balanced(4, 64); // 8 switches, 4-hop paths
+    cfg.target_requests = if smoke { 5_000 } else { 100_000 };
+    cfg.seed = seed;
+    cfg.fault = FaultConfig::transparent();
+    cfg.fault.seed = seed ^ 0xc4a05;
+    // Chord (2, 4) routes around the killed switch; chord (5, 7) routes
+    // around both flapping links.
+    cfg.extra_links = vec![(2, 4), (5, 7)];
+    cfg.lease_supersteps = 200;
+    // Headroom for make-before-break double occupancy while half the
+    // population reroutes onto the chords at once.
+    cfg.port_capacity *= 4.0;
+    cfg.fault.kills = vec![KillSpec {
+        switch: killed,
+        at_superstep: 200,
+    }];
+    // Two windows per link, staggered so the two flapping links are never
+    // down at once: simultaneous outages would isolate the switch between
+    // them, and the soak is about VCs that *do* have an alternate path.
+    cfg.fault.link_downs = flapped
+        .iter()
+        .zip([[350u64, 1_800], [500, 2_200]])
+        .flat_map(|(&(a, b), windows)| {
+            windows.into_iter().map(move |at| LinkDownSpec {
+                a,
+                b,
+                at_superstep: at,
+                down_supersteps: 120,
+            })
+        })
+        .collect();
+    SurvivabilityScenario {
+        cfg,
+        killed_switch: killed,
+        flapped_links: flapped,
+    }
 }
 
 /// Write `value` as pretty JSON to `dir/name` when a directory was given.

@@ -1,0 +1,87 @@
+//! Satellite: the `PeakRate` default reproduces the committed PR 5
+//! survivability counters bit for bit.
+//!
+//! The live admission subsystem threads a booking ceiling through every
+//! port check and an observation hook through every delivered RM cell.
+//! Under the default `PeakRate` policy both must be exact no-ops: this
+//! test replays the *committed* survivability scenario (the one behind
+//! `results/chaos_survivability_smoke.json`, shared via
+//! [`rcbr_bench::survivability_scenario`]) and compares every counter in
+//! the committed artifact against a fresh run. Any drift means the
+//! admission plumbing changed legacy behavior.
+
+use rcbr_bench::survivability_scenario;
+use rcbr_runtime::{run_sequential, AdmissionPolicy};
+use serde::Value;
+
+/// A `u64` field of the committed report.
+fn committed_u64(v: &Value, key: &str) -> u64 {
+    match v.get(key) {
+        Some(Value::UInt(n)) => *n,
+        Some(Value::Int(n)) if *n >= 0 => *n as u64,
+        other => panic!("committed field `{key}` is not a u64: {other:?}"),
+    }
+}
+
+#[test]
+fn peak_rate_default_reproduces_committed_survivability_counters() {
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../results/chaos_survivability_smoke.json"
+    );
+    let committed = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("missing committed artifact {path}: {e}"));
+    let want: Value = serde_json::from_str(&committed).expect("committed artifact parses");
+
+    let scenario = survivability_scenario(committed_u64(&want, "seed"), true);
+    assert_eq!(
+        scenario.cfg.admission,
+        AdmissionPolicy::PeakRate,
+        "the committed scenario runs the legacy default policy"
+    );
+    assert_eq!(
+        scenario.cfg.target_requests,
+        committed_u64(&want, "target_requests")
+    );
+    assert_eq!(
+        scenario.killed_switch as u64,
+        committed_u64(&want, "killed_switch")
+    );
+
+    let report = run_sequential(&scenario.cfg);
+    let c = &report.counters;
+    for (name, got) in [
+        ("supersteps", report.supersteps),
+        ("completed", c.completed),
+        ("reroutes", c.reroutes),
+        ("reroutes_committed", c.reroutes_committed),
+        ("reroutes_denied", c.reroutes_denied),
+        ("teardown_cells", c.teardown_cells),
+        ("leases_expired", c.leases_expired),
+        ("cells_link_killed", c.cells_link_killed),
+        ("crash_killed", c.crash_killed),
+        ("stranded_events", c.stranded_events),
+        ("unstranded_events", c.unstranded_events),
+        ("degraded_vcs", report.degraded_vcs),
+        ("final_drift", report.audit.final_drift),
+        ("off_route_residue", report.audit.off_route_residue),
+    ] {
+        assert_eq!(
+            got,
+            committed_u64(&want, name),
+            "`{name}` drifted from the committed survivability run — \
+             the admission plumbing is not a no-op under PeakRate"
+        );
+    }
+
+    // And the admission subsystem itself must report pure passivity.
+    let a = &report.admission;
+    assert_eq!(a.policy, "peak-rate");
+    assert_eq!(a.rolls, 0, "peak-rate must never roll a measurement window");
+    assert_eq!(a.estimator_observations, 0);
+    assert_eq!(a.eb_cache_misses, 0);
+    assert_eq!(
+        a.admitted_cells + a.denied_cells,
+        c.admission_grants + c.admission_denials
+    );
+}

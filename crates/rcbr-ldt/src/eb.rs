@@ -146,6 +146,18 @@ pub struct EbCache {
     misses: u64,
 }
 
+/// A point-in-time snapshot of an [`EbCache`]'s hit/miss accounting, for
+/// run reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EbCacheStats {
+    /// Lookups answered from the memo.
+    pub hits: u64,
+    /// Lookups that had to run the power iteration.
+    pub misses: u64,
+    /// Distinct `(source, QoS)` pairs memoized.
+    pub entries: u64,
+}
+
 impl EbCache {
     /// An empty cache.
     pub fn new() -> Self {
@@ -170,6 +182,15 @@ impl EbCache {
     /// Lookups that had to run the power iteration.
     pub fn misses(&self) -> u64 {
         self.misses
+    }
+
+    /// Snapshot the cache's accounting.
+    pub fn stats(&self) -> EbCacheStats {
+        EbCacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            entries: self.map.len() as u64,
+        }
     }
 
     /// [`equivalent_bandwidth`], memoized.

@@ -33,7 +33,8 @@ pub mod numerics;
 
 pub use chernoff::{chernoff_failure_probability, max_admissible_calls, min_capacity_per_source};
 pub use eb::{
-    equivalent_bandwidth, log_spectral_mgf, mts_equivalent_bandwidth, EbCache, QosTarget,
+    equivalent_bandwidth, log_spectral_mgf, mts_equivalent_bandwidth, EbCache, EbCacheStats,
+    QosTarget,
 };
 pub use empirical::{empirical_log_mgf, trace_equivalent_bandwidth};
 pub use legendre::rate_function;

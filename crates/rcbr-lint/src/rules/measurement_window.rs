@@ -1,0 +1,101 @@
+//! `measurement-window`: estimator window and decay cadences must be
+//! named, never raw superstep-count literals.
+//!
+//! The live admission subsystem schedules its measurement windows on the
+//! superstep clock, and its determinism argument depends on every shard
+//! rolling at the same instants. The convention mirrors `lease-units`:
+//! the cadence lives in a field, const, or config knob whose name ends in
+//! `_supersteps`, so a bare `next_roll + 64` next to window/decay state
+//! cannot silently desynchronize the rolls when the cadence changes.
+//!
+//! Same window-based scan as `lease-units`: statement-ish windows split
+//! at `;`, `,`, `{`, `}`; a window trips when it holds an identifier
+//! naming estimator cadence state (`window`, `decay`, `ewma`,
+//! `horizon`), an integer literal in value position, and no sanctioned
+//! `*_supersteps` (or `allow_idents`) name.
+
+use super::Ctx;
+use crate::lexer::{TokKind, Token};
+
+/// Identifier fragments that mark estimator cadence state. Deliberately
+/// excludes `estimat…`: estimator *identifiers* are everywhere, but only
+/// their window/decay schedules carry superstep units.
+const CADENCE_KEYS: &[&str] = &["window", "decay", "ewma", "horizon"];
+
+/// Does this (lowercased) identifier declare its superstep unit?
+fn sanctioned_name(lower: &str) -> bool {
+    lower.ends_with("_supersteps") || lower == "supersteps"
+}
+
+/// Is the integer at `idx` used as a value — bound or in arithmetic —
+/// rather than sitting in plain argument position?
+fn value_position(win: &[Token], idx: usize) -> bool {
+    let prev_binds = idx > 0
+        && matches!(win[idx - 1].kind, TokKind::Punct)
+        && matches!(
+            win[idx - 1].text.as_bytes().first(),
+            Some(b'=') | Some(b':') | Some(b'+') | Some(b'-') | Some(b'<') | Some(b'>')
+        );
+    let next_combines = win
+        .get(idx + 1)
+        .is_some_and(|t| t.is_punct('+') || t.is_punct('-') || t.is_punct('<') || t.is_punct('>'));
+    prev_binds || next_combines
+}
+
+pub(super) fn check(ctx: &mut Ctx<'_>) {
+    let allow: Vec<String> = ctx
+        .cfg_list("allow_idents")
+        .iter()
+        .map(|a| a.to_ascii_lowercase())
+        .collect();
+    let toks = &ctx.file.tokens;
+    let mut start = 0usize;
+    for i in 0..=toks.len() {
+        let at_boundary = i == toks.len()
+            || toks[i].is_punct(';')
+            || toks[i].is_punct(',')
+            || toks[i].is_punct('{')
+            || toks[i].is_punct('}');
+        if !at_boundary {
+            continue;
+        }
+        scan_window(ctx, &toks[start..i], &allow);
+        start = i + 1;
+    }
+}
+
+fn scan_window(ctx: &mut Ctx<'_>, win: &[Token], allow: &[String]) {
+    let mut keyed: Option<String> = None;
+    let mut sanctioned = false;
+    let mut literal: Option<&Token> = None;
+    for (i, t) in win.iter().enumerate() {
+        match t.kind {
+            TokKind::Ident => {
+                let lower = t.text.to_ascii_lowercase();
+                if sanctioned_name(&lower) || allow.contains(&lower) {
+                    sanctioned = true;
+                } else if keyed.is_none() && CADENCE_KEYS.iter().any(|k| lower.contains(k)) {
+                    keyed = Some(t.text.clone());
+                }
+            }
+            TokKind::Int if literal.is_none() && value_position(win, i) => {
+                literal = Some(t);
+            }
+            _ => {}
+        }
+    }
+    if sanctioned {
+        return;
+    }
+    if let (Some(name), Some(lit)) = (keyed, literal) {
+        ctx.emit(
+            lit.line,
+            format!(
+                "raw integer near estimator cadence state `{name}` hard-codes a \
+                 superstep count; route it through a *_supersteps field or const \
+                 so every shard rolls the measurement window on the same named \
+                 schedule"
+            ),
+        );
+    }
+}

@@ -21,6 +21,7 @@ mod barrier;
 mod float_accum;
 mod float_sort;
 mod lease_units;
+mod measurement_window;
 mod panic_path;
 mod ptr_identity;
 mod unordered_iter;
@@ -137,6 +138,18 @@ pub static RULES: &[Rule] = &[
                  fields or consts named *_supersteps; pre-existing documented names are \
                  grandfathered via allow_idents in lint.toml.",
         check: lease_units::check,
+    },
+    Rule {
+        id: "measurement-window",
+        summary:
+            "estimator window/decay cadences flow through *_supersteps names, not raw literals",
+        hazard: "The live admission subsystem is deterministic only because every shard \
+                 rolls its measurement windows at the same supersteps. A bare integer \
+                 next to window/decay/ewma/horizon state hides that cadence and lets a \
+                 local edit silently desynchronize the rolls (and thus the booking \
+                 ceilings) across shard counts. Cadences therefore live in fields or \
+                 consts named *_supersteps; audited names go in allow_idents.",
+        check: measurement_window::check,
     },
     Rule {
         id: "wire-layout",

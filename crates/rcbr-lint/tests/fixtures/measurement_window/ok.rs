@@ -1,0 +1,40 @@
+// Fixture: near-misses for `measurement-window` — none of these may
+// trip. Cadences flow through *_supersteps names, and integers next to
+// window/decay state in plain argument position are counts or indices,
+// not cadences.
+
+pub const DECAY_SUPERSTEPS: u64 = 16; // named unit: sanctioned
+
+pub struct Estimator {
+    pub measurement_window_supersteps: u64,
+    pub window_ends: u64,
+    pub windows_rolled: u64,
+}
+
+impl Estimator {
+    pub fn arm(&mut self, now: u64) {
+        // The count comes from a *_supersteps field, so the window that
+        // mentions `window_ends` carries no raw literal.
+        self.window_ends = now + self.measurement_window_supersteps;
+    }
+
+    pub fn should_decay(&self, now: u64) -> bool {
+        now.saturating_sub(self.window_ends) > DECAY_SUPERSTEPS
+    }
+
+    pub fn note_roll(&mut self) {
+        // Counting rolled *windows* is not a cadence: the literal sits in
+        // argument position, never bound to cadence state.
+        self.bump_windows(1);
+    }
+
+    pub fn pairs(&self, route: &[usize]) -> usize {
+        // `.windows(2)` over a slice is iteration, not a cadence: the
+        // literal is a plain argument.
+        route.windows(2).count()
+    }
+
+    fn bump_windows(&mut self, n: u64) {
+        self.windows_rolled += n;
+    }
+}

@@ -1,0 +1,23 @@
+// Fixture: raw superstep-count literals as estimator cadences — every
+// marked line must trip `measurement-window`.
+
+pub struct Estimator {
+    pub window_ends: u64,
+    pub decay_at: u64,
+    pub horizon: u64,
+}
+
+impl Estimator {
+    pub fn arm(&mut self, now: u64) {
+        self.window_ends = now + 64; // trip: raw measurement window
+    }
+
+    pub fn should_decay(&self, now: u64) -> bool {
+        now.saturating_sub(self.decay_at) > 16 // trip: raw decay cadence
+    }
+
+    pub fn extend(&mut self, now: u64) {
+        let horizon = now + 128; // trip: raw estimation horizon
+        self.horizon = horizon;
+    }
+}

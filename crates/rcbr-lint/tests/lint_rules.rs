@@ -152,6 +152,34 @@ fn settle(now: u64) -> u64 {
     );
 }
 
+#[test]
+fn measurement_window_fixtures() {
+    assert_rule("measurement-window", "measurement_window", "", 3);
+}
+
+#[test]
+fn measurement_window_supersteps_named_cadences_are_sanctioned() {
+    // The sanctioned pattern: the raw count lives in a *_supersteps
+    // config knob, the roll schedule flows through the name.
+    let src = "\
+pub fn next_roll(superstep: u64, measurement_window_supersteps: u64) -> u64 {
+    superstep + measurement_window_supersteps
+}
+";
+    let cfg = Config::parse("").unwrap();
+    let (diags, _) = check_source(
+        "crates/rcbr-runtime/src/x.rs",
+        "rcbr-runtime",
+        false,
+        src,
+        &cfg,
+    );
+    assert!(
+        !diags.iter().any(|d| d.rule == "measurement-window"),
+        "named cadences are the sanctioned home: {diags:#?}"
+    );
+}
+
 const WIRE_CFG: &str = r#"
 [rule.wire-layout]
 total = 16

@@ -20,6 +20,11 @@ use serde::{Deserialize, Serialize};
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct OutputPort {
     capacity: f64,
+    /// The booking ceiling the fast-path check compares against. Equal to
+    /// `capacity` by default (the legacy peak-rate check); a live
+    /// measurement-based admission policy may move it below the capacity
+    /// (conservative) or above it (statistical overbooking).
+    ceiling: f64,
     reserved: f64,
     per_vci: BTreeMap<u32, f64>,
 }
@@ -36,6 +41,7 @@ impl OutputPort {
         );
         Self {
             capacity,
+            ceiling: capacity,
             reserved: 0.0,
             per_vci: BTreeMap::new(),
         }
@@ -44,6 +50,26 @@ impl OutputPort {
     /// Port capacity, bits/second.
     pub fn capacity(&self) -> f64 {
         self.capacity
+    }
+
+    /// The admission booking ceiling, bits/second.
+    pub fn admit_ceiling(&self) -> f64 {
+        self.ceiling
+    }
+
+    /// Set the admission booking ceiling (bits/second). With the default
+    /// `ceiling == capacity` the port behaves exactly like the legacy
+    /// static peak-rate check; a measurement-based policy overbooks
+    /// (`ceiling > capacity`) or tightens (`ceiling < capacity`).
+    ///
+    /// # Panics
+    /// Panics unless `ceiling > 0` and finite.
+    pub fn set_admit_ceiling(&mut self, ceiling: f64) {
+        assert!(
+            ceiling > 0.0 && ceiling.is_finite(),
+            "admission ceiling must be positive"
+        );
+        self.ceiling = ceiling;
     }
 
     /// Aggregate reserved bandwidth, bits/second.
@@ -92,7 +118,7 @@ impl OutputPort {
             return false;
         }
         let new = new.max(0.0);
-        if delta > 0.0 && self.reserved + delta > self.capacity + 1e-9 {
+        if delta > 0.0 && self.reserved + delta > self.ceiling + 1e-9 {
             return false;
         }
         self.apply(vci, old, new);
@@ -107,11 +133,26 @@ impl OutputPort {
             "absolute rate must be nonnegative"
         );
         let old = self.vci_rate(vci);
-        if self.reserved - old + rate > self.capacity + 1e-9 {
+        if self.reserved - old + rate > self.ceiling + 1e-9 {
             return false;
         }
         self.apply(vci, old, rate);
         true
+    }
+
+    /// Administrative absolute-rate set that bypasses the booking ceiling.
+    /// Only the end-of-run audit uses this, for its use-it-or-lose-it
+    /// floor repair: at a port a live policy overbooked past its ceiling,
+    /// even a rate *reduction* would fail the checked path, yet recovery
+    /// must still reconcile the reservation. Never part of the live
+    /// signaling path.
+    pub fn set_unchecked(&mut self, vci: u32, rate: f64) {
+        assert!(
+            rate >= 0.0 && rate.is_finite(),
+            "absolute rate must be nonnegative"
+        );
+        let old = self.vci_rate(vci);
+        self.apply(vci, old, rate);
     }
 
     /// Release everything reserved by `vci` (teardown). Returns the rate
@@ -137,6 +178,10 @@ impl OutputPort {
     pub fn wipe(&mut self) {
         self.reserved = 0.0;
         self.per_vci.clear();
+        // The booking ceiling is policy soft state too: a restarted switch
+        // starts back at the legacy peak-rate check until the admission
+        // estimator's next window closes.
+        self.ceiling = self.capacity;
     }
 
     /// Audit: aggregate equals the sum of per-VCI reservations (used by
@@ -200,6 +245,41 @@ mod tests {
         assert!(p.try_reserve_delta(2, 300.0));
         assert!(!p.try_set_absolute(2, 500.0)); // 600 + 500 > 1000
         assert_eq!(p.vci_rate(2), 300.0);
+    }
+
+    #[test]
+    fn ceiling_defaults_to_capacity_and_gates_bookings() {
+        let mut p = OutputPort::new(1000.0);
+        assert_eq!(p.admit_ceiling(), 1000.0);
+        // Overbooked ceiling: bookings past the capacity are admitted.
+        p.set_admit_ceiling(1500.0);
+        assert!(p.try_reserve_delta(1, 1200.0));
+        assert!(p.reserved() > p.capacity());
+        // Tightened ceiling: even a within-capacity increase is denied,
+        // but decreases still fit (delta path) and the checked absolute
+        // path denies while the total stays above the ceiling.
+        p.set_admit_ceiling(800.0);
+        assert!(!p.try_reserve_delta(2, 100.0));
+        assert!(p.try_reserve_delta(1, -600.0));
+        assert!(!p.try_set_absolute(1, 900.0));
+        assert!(p.try_set_absolute(1, 700.0));
+        assert!(p.is_consistent());
+    }
+
+    #[test]
+    fn wipe_resets_ceiling_and_unchecked_set_bypasses_it() {
+        let mut p = OutputPort::new(1000.0);
+        p.set_admit_ceiling(2000.0);
+        assert!(p.try_reserve_delta(1, 1800.0));
+        p.set_admit_ceiling(500.0);
+        // Checked reduction fails while the aggregate stays overbooked;
+        // the administrative path applies it regardless.
+        assert!(!p.try_set_absolute(1, 1700.0));
+        p.set_unchecked(1, 1700.0);
+        assert_eq!(p.vci_rate(1), 1700.0);
+        assert!(p.is_consistent());
+        p.wipe();
+        assert_eq!(p.admit_ceiling(), p.capacity());
     }
 
     #[test]

@@ -218,6 +218,41 @@ impl Switch {
         Ok(self.ports[port].try_reserve_delta(vci, -delta))
     }
 
+    /// Set port `port`'s admission booking ceiling (bits/second) — the
+    /// runtime's live admission policy publishes its per-window decision
+    /// here; [`OutputPort::try_reserve_delta`] and
+    /// [`OutputPort::try_set_absolute`] compare against it.
+    ///
+    /// # Panics
+    /// Panics on an unknown port or a non-positive ceiling.
+    pub fn set_admit_ceiling(&mut self, port: usize, ceiling: f64) {
+        assert!(port < self.ports.len(), "unknown port {port}");
+        self.ports[port].set_admit_ceiling(ceiling);
+    }
+
+    /// Reset every port's booking ceiling to its capacity — the legacy
+    /// static check. The end-of-run audit does this before repairing:
+    /// recovery reconciles state against the true capacity, not against
+    /// whatever ceiling the live policy last published.
+    pub fn reset_admit_ceilings(&mut self) {
+        for p in &mut self.ports {
+            let cap = p.capacity();
+            p.set_admit_ceiling(cap);
+        }
+    }
+
+    /// Administrative absolute-rate set for `vci`, bypassing the booking
+    /// ceiling (see [`OutputPort::set_unchecked`]). The end-of-run
+    /// audit's floor repair uses this; it is never on the live path.
+    pub fn force_set(&mut self, vci: u32, rate: f64) -> Result<(), SwitchError> {
+        let port = *self
+            .vci_table
+            .get(&vci)
+            .ok_or(SwitchError::UnknownVci(vci))?;
+        self.ports[port].set_unchecked(vci, rate);
+        Ok(())
+    }
+
     /// The reservation this switch holds for `vci`.
     pub fn vci_rate(&self, vci: u32) -> Option<f64> {
         let port = *self.vci_table.get(&vci)?;
@@ -363,6 +398,30 @@ mod tests {
         assert_eq!(sw.uninstall(7), None, "second teardown is a no-op");
         assert_eq!(sw.vci_rate(7), None);
         assert_eq!(sw.port(0).unwrap().reserved(), 0.0);
+    }
+
+    #[test]
+    fn ceiling_pass_through_and_force_set() {
+        let mut sw = one_port_switch(1000.0);
+        sw.setup(1, 0, 300.0).unwrap();
+        sw.set_admit_ceiling(0, 400.0);
+        let cell = sw.process_rm(RmCell::delta(1, 200.0)).unwrap();
+        assert!(cell.denied, "tightened ceiling denies the increase");
+        sw.set_admit_ceiling(0, 2000.0);
+        let cell = sw.process_rm(RmCell::delta(1, 1200.0)).unwrap();
+        assert!(!cell.denied, "overbooked ceiling admits past capacity");
+        assert_eq!(sw.vci_rate(1), Some(1500.0));
+        // Administrative repair applies even while overbooked.
+        sw.set_admit_ceiling(0, 400.0);
+        sw.force_set(1, 900.0).unwrap();
+        assert_eq!(sw.vci_rate(1), Some(900.0));
+        assert_eq!(
+            sw.force_set(9, 1.0),
+            Err(SwitchError::UnknownVci(9)),
+            "force_set still requires a routing entry"
+        );
+        sw.reset_admit_ceilings();
+        assert_eq!(sw.port(0).unwrap().admit_ceiling(), 1000.0);
     }
 
     #[test]

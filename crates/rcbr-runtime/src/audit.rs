@@ -190,6 +190,14 @@ pub(crate) fn finalize(
         }
     }
 
+    // Recovery reconciles against *physical* capacity, not against
+    // whatever booking ceiling a measurement-based admission policy last
+    // rolled: the run is over, the policy with it. A no-op under the
+    // default PeakRate, whose ceilings never move.
+    for sw in switches.iter_mut() {
+        sw.reset_admit_ceilings();
+    }
+
     // Stale reclaim: remove every entry that is not on its VC's final
     // route. Torn-down and expired VCs leave zero-rate stubs (counted but
     // harmless); a reroute caught mid-flight by the end of the run can
@@ -248,8 +256,13 @@ pub(crate) fn finalize(
         if denied {
             // Use-it-or-lose-it: the believed rate no longer fits
             // somewhere, so fall back to the minimum rate any hop still
-            // holds. That is a reduction (or no-op) at every hop, so the
-            // fallback itself can never be denied.
+            // holds. The write goes through the administrative
+            // `force_set` path: reducing to the floor is always the right
+            // repair, but the *checked* path can still refuse it at a
+            // port an admission policy left overbooked past the physical
+            // capacity (the aggregate stays above the limit even after
+            // this VC shrinks). Identical state mutation to the checked
+            // path wherever that path would have succeeded.
             let floor = path
                 .iter()
                 .map(|&h| switches[h].vci_rate(vci).unwrap_or(0.0))
@@ -259,10 +272,7 @@ pub(crate) fn finalize(
                     continue;
                 }
                 switches[h].install(vci, 0);
-                let cell = switches[h]
-                    .process_rm(RmCell::resync(vci, floor))
-                    .expect("installed above");
-                assert!(!cell.denied, "reducing to the floor always fits");
+                switches[h].force_set(vci, floor).expect("installed above");
                 drift_repaired += 1;
             }
             f.believed = floor;

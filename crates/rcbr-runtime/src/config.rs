@@ -3,6 +3,8 @@
 use rcbr_net::FaultConfig;
 use serde::{Deserialize, Serialize};
 
+use crate::admission::AdmissionPolicy;
+
 /// Configuration of a signaling-plane run.
 ///
 /// The same configuration drives both [`run`](crate::run) (sharded, one
@@ -86,6 +88,18 @@ pub struct RuntimeConfig {
     /// Alternate routes the reroute engine enumerates per attempt
     /// (the `k` of its deterministic k-shortest-path selection).
     pub reroute_k: usize,
+    /// The admission test gating renegotiation RM cells at each port.
+    /// [`AdmissionPolicy::PeakRate`] (the default) is the legacy static
+    /// check, bit-identical to the runtime before live admission existed;
+    /// the measurement-based policies move per-port booking ceilings at
+    /// each measurement-window roll.
+    pub admission: AdmissionPolicy,
+    /// Length of an admission measurement window, supersteps. Windows
+    /// advance only at the top of a round (phase-A quiescence), at the
+    /// first round whose superstep has reached the schedule — so rolls
+    /// land on the same superstep at every shard count. Ignored under
+    /// `PeakRate`.
+    pub measurement_window_supersteps: u64,
     /// Master seed; all traffic and policy randomness derives from it.
     pub seed: u64,
 }
@@ -149,6 +163,8 @@ impl RuntimeConfig {
             lease_supersteps: 0,
             extra_links: Vec::new(),
             reroute_k: 4,
+            admission: AdmissionPolicy::PeakRate,
+            measurement_window_supersteps: 64,
             seed: 7,
         }
     }
@@ -197,6 +213,23 @@ impl RuntimeConfig {
             "switch indices must fit u16"
         );
         assert!(self.reroute_k >= 1, "need at least one candidate route");
+        match self.admission {
+            AdmissionPolicy::PeakRate => {}
+            AdmissionPolicy::Memoryless { target } => assert!(
+                target > 0.0 && target < 1.0,
+                "memoryless admission target must be in (0, 1)"
+            ),
+            AdmissionPolicy::ChernoffEb { epsilon } => assert!(
+                epsilon > 0.0 && epsilon < 1.0,
+                "chernoff-eb admission epsilon must be in (0, 1)"
+            ),
+        }
+        if self.admission.measures() {
+            assert!(
+                self.measurement_window_supersteps >= 1,
+                "measurement window must be at least one superstep"
+            );
+        }
         let n = self.num_switches;
         for (i, &(a, b)) in self.extra_links.iter().enumerate() {
             assert!(a < n && b < n, "extra link ({a}, {b}) out of range");

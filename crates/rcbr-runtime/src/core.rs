@@ -31,6 +31,7 @@ use rcbr_net::{FaultAction, FaultPlane, RateField, RmCell, Switch};
 use rcbr_sim::{Histogram, RunningStats};
 use serde::{Deserialize, Serialize};
 
+use crate::admission::SwitchAdmission;
 use crate::config::RuntimeConfig;
 
 /// Longest route a job can carry inline, in switches.
@@ -235,6 +236,13 @@ pub struct Counters {
     /// (switch, VC) reservation pairs the periodic auditor found drifted
     /// from the source's believed rate.
     pub audit_drift: AtomicU64,
+    /// Per-hop booking checks that admitted an RM cell (delta, resync, or
+    /// reroute; ghosts included — every cell that reaches a port faces the
+    /// admission test).
+    pub admission_grants: AtomicU64,
+    /// Per-hop booking checks that denied an RM cell. These are admission
+    /// losses, as distinct from the fault plane's `cells_*` destruction.
+    pub admission_denials: AtomicU64,
     /// Jobs currently in the pipeline (including rollbacks still
     /// unwinding, delayed cells, and ghosts).
     pub in_flight: AtomicU64,
@@ -299,6 +307,10 @@ pub struct CounterSnapshot {
     pub audit_runs: u64,
     /// Drifted reservation pairs detected by periodic audits.
     pub audit_drift: u64,
+    /// Per-hop booking checks that admitted an RM cell.
+    pub admission_grants: u64,
+    /// Per-hop booking checks that denied an RM cell.
+    pub admission_denials: u64,
 }
 
 /// The pair of reads that decides a drain loop's fate, taken together in
@@ -358,6 +370,8 @@ impl Counters {
             unstranded_events: ld(&self.unstranded_events),
             audit_runs: ld(&self.audit_runs),
             audit_drift: ld(&self.audit_drift),
+            admission_grants: ld(&self.admission_grants),
+            admission_denials: ld(&self.admission_denials),
         }
     }
 }
@@ -372,6 +386,28 @@ pub(crate) struct CompletionSink<'a> {
 pub(crate) struct FaultCtx<'a> {
     pub plane: &'a FaultPlane,
     pub superstep: u64,
+}
+
+/// Record a booking-check verdict: bump the admission grant/denial
+/// counters and, when a measurement-based policy is live, fold the VC's
+/// post-decision reservation at this switch into the estimator. Ghosts are
+/// observed too — they are real cells that mutated real switch state, and
+/// the estimator measures the switch, not the load generator.
+fn record_admission(
+    cell: &RmCell,
+    vci: u32,
+    sw: &Switch,
+    counters: &Counters,
+    adm: Option<&mut SwitchAdmission>,
+) {
+    if cell.denied {
+        counters.admission_denials.fetch_add(1, Ordering::Relaxed);
+    } else {
+        counters.admission_grants.fetch_add(1, Ordering::Relaxed);
+    }
+    if let Some(sa) = adm {
+        sa.observe(vci, sw.vci_rate(vci).unwrap_or(0.0));
+    }
 }
 
 /// The RM cell a forward job would put on the wire (used to corrupt real
@@ -395,7 +431,9 @@ fn wire_cell(job: &Job) -> RmCell {
 /// ghost.
 ///
 /// `sw` must be the switch at `job.route.hop(job.hop)` for this job, and
-/// `switch_global` its global index.
+/// `switch_global` its global index. `adm` is the switch's admission
+/// state when a measurement-based policy is live (`None` under the
+/// default `PeakRate`, which keeps the legacy fast path untouched).
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn advance_job(
     job: Job,
@@ -406,6 +444,7 @@ pub(crate) fn advance_job(
     counters: &Counters,
     vci_states: &[Mutex<VciSlot>],
     sink: &mut CompletionSink<'_>,
+    adm: Option<&mut SwitchAdmission>,
 ) -> (Option<Job>, Option<(u64, Job)>) {
     let is_ghost = job.salt != 0;
     let path_len = job.route.len();
@@ -545,6 +584,7 @@ pub(crate) fn advance_job(
                     denied: false,
                 })
                 .expect("VC is routed through this switch");
+            record_admission(&cell, job.vci, sw, counters, adm);
             if !cell.denied {
                 if job.hop + 1 == path_len {
                     if !is_ghost {
@@ -605,6 +645,7 @@ pub(crate) fn advance_job(
                     denied: false,
                 })
                 .expect("VC is routed through this switch");
+            record_admission(&cell, job.vci, sw, counters, adm);
             if cell.denied {
                 // No rollback for resync (Path::resync semantics): hops
                 // already synchronized stay synchronized.
@@ -669,6 +710,7 @@ pub(crate) fn advance_job(
                     denied: false,
                 })
                 .expect("installed above");
+            record_admission(&cell, job.vci, sw, counters, adm);
             if cell.denied {
                 if !is_ghost {
                     deliver(Outcome::Denied, job.hop + 1, counters, sink);

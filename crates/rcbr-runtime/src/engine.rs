@@ -46,6 +46,7 @@ use std::sync::{mpsc, Barrier, Mutex};
 use rcbr_net::{FaultPlane, Switch, Topology};
 use rcbr_sim::{Histogram, RunningStats};
 
+use crate::admission::{reduce_admission, SwitchAdmission};
 use crate::audit::{audit_shard, finalize, reduce_source_loss, VcFinal};
 use crate::config::RuntimeConfig;
 use crate::core::{advance_job, CompletionSink, Counters, FaultCtx, Job, JobKind, VciSlot};
@@ -66,6 +67,8 @@ struct ShardResult {
     superstep: u64,
     /// This shard's switches, in local (strided) order.
     switches: Vec<Switch>,
+    /// Per-switch admission state, parallel to `switches`.
+    admission: Vec<SwitchAdmission>,
     /// This shard's VCs' final source states.
     finals: Vec<VcFinal>,
 }
@@ -140,6 +143,8 @@ pub fn run(cfg: &RuntimeConfig) -> RunReport {
     // Reassemble the global switch population and VC states from the
     // strided shard partitions for the end-of-run audit.
     let mut all_switches: Vec<Option<Switch>> = (0..cfg.num_switches).map(|_| None).collect();
+    let mut all_admission: Vec<Option<SwitchAdmission>> =
+        (0..cfg.num_switches).map(|_| None).collect();
     let mut finals: Vec<VcFinal> = Vec::with_capacity(cfg.num_vcs);
     for r in &mut results {
         debug_assert_eq!(r.rounds, rounds, "shards disagree on round count");
@@ -155,9 +160,18 @@ pub fn run(cfg: &RuntimeConfig) -> RunReport {
         for (li, sw) in r.switches.drain(..).enumerate() {
             all_switches[r.shard + li * shards] = Some(sw);
         }
+        for (li, sa) in r.admission.drain(..).enumerate() {
+            all_admission[r.shard + li * shards] = Some(sa);
+        }
         finals.append(&mut r.finals);
     }
     let mut all_switches: Vec<Switch> = all_switches
+        .into_iter()
+        .map(|s| s.expect("every switch owned by exactly one shard"))
+        .collect();
+    // Ascending switch order, so the report's float reduction is
+    // shard-invariant.
+    let all_admission: Vec<SwitchAdmission> = all_admission
         .into_iter()
         .map(|s| s.expect("every switch owned by exactly one shard"))
         .collect();
@@ -179,6 +193,7 @@ pub fn run(cfg: &RuntimeConfig) -> RunReport {
 
     let counters = counters.snapshot();
     debug_assert_eq!(counters.completed, counters.accepted + counters.exhausted);
+    let admission = reduce_admission(cfg.admission, &counters, &all_admission);
     RunReport {
         num_shards: shards,
         num_vcs: cfg.num_vcs,
@@ -194,6 +209,7 @@ pub fn run(cfg: &RuntimeConfig) -> RunReport {
         },
         counters,
         audit,
+        admission,
         degraded_vcs,
         mean_source_loss,
         max_source_loss,
@@ -231,6 +247,9 @@ fn worker(
 ) -> ShardResult {
     let shards = cfg.num_shards;
     let mut switches = build_local_switches(cfg, shard);
+    let mut admission: Vec<SwitchAdmission> =
+        switches.iter().map(|_| SwitchAdmission::new(cfg)).collect();
+    let measuring = cfg.admission.measures();
 
     // Initial admission: every VC's base rate is reserved on each of its
     // hops, in ascending VCI order per switch (the same order the
@@ -287,6 +306,23 @@ fn worker(
                 counters
                     .leases_expired
                     .fetch_add(reclaimed, Ordering::Relaxed);
+            }
+        }
+        // Admission sweep: at the round top the pipeline is quiescent, so
+        // utilization samples and window rolls observe a settled switch.
+        // Sampling runs under every policy (the frontier sweep needs the
+        // PeakRate baseline's utilization); rolls only when a
+        // measurement-based policy is live and the schedule is due. Down
+        // switches skip both — their soft state is mid-crash.
+        for (li, sw) in switches.iter_mut().enumerate() {
+            let h = shard + li * shards;
+            if plane.switch_down(h, superstep) {
+                continue;
+            }
+            let sa = &mut admission[li];
+            sa.sample(sw);
+            if measuring && superstep >= sa.next_roll_at {
+                sa.roll(cfg, superstep, sw);
             }
         }
         // Phase A: deliver last round's verdicts (grant / deny / timeout)
@@ -373,12 +409,14 @@ fn worker(
             if drain.quiescent {
                 break drain.completed;
             }
-            // Crash restarts due this superstep wipe soft state.
+            // Crash restarts due this superstep wipe soft state — the
+            // admission measurements with it (the EB cache survives).
             for (li, sw) in switches.iter_mut().enumerate() {
                 if !wiped[li] {
                     if let Some(restart) = plane.restart_superstep(shard + li * shards) {
                         if superstep >= restart {
                             sw.wipe_soft_state();
+                            admission[li].wipe_measurements();
                             wiped[li] = true;
                         }
                     }
@@ -408,6 +446,11 @@ fn worker(
                     counters,
                     vci_states,
                     &mut sink,
+                    if measuring {
+                        Some(&mut admission[h / shards])
+                    } else {
+                        None
+                    },
                 );
                 if let Some(nj) = forward {
                     let nh = nj.route.hop(nj.hop);
@@ -457,6 +500,7 @@ fn worker(
         rounds,
         superstep,
         switches,
+        admission,
         finals,
     }
 }

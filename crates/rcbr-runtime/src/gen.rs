@@ -30,6 +30,12 @@
 //! synchronized failures don't retry in lockstep — yet every schedule is
 //! deterministic, keeping the sharded engine and the sequential replay
 //! bit-identical.
+//!
+//! The state machine is admission-policy agnostic: a `Denied` verdict is
+//! handled identically whether a switch's static peak-rate check or a live
+//! measurement-based policy (see [`crate::admission`]) refused the
+//! booking. MBAC denials simply arrive as ordinary denials and ride the
+//! same backoff / retry / degrade path above, unchanged.
 
 use rcbr_net::{FaultPlane, Topology};
 use rcbr_schedule::online::{Ar1Config, Ar1Policy};

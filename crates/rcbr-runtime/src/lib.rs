@@ -31,6 +31,13 @@
 //!   so [`run`] produces bit-identical accept/deny/rollback/fault counters
 //!   at any shard count, equal to the single-threaded [`run_sequential`]
 //!   replay — under every fault mode. See [`engine`] for the argument.
+//! - **Live measurement-based admission** — every switch carries a
+//!   deterministic arrival estimator over the delivered renegotiation
+//!   stream; an [`AdmissionPolicy`] (the memoryless Chernoff test or the
+//!   equivalent-bandwidth test of the paper's Section VI) rolls the
+//!   measurement window into per-port booking ceilings at superstep
+//!   boundaries. The default [`AdmissionPolicy::PeakRate`] is the legacy
+//!   static check, bit for bit. See [`admission`].
 //!
 //! ```
 //! use rcbr_runtime::{run, run_sequential, RuntimeConfig};
@@ -43,6 +50,7 @@
 //! assert!(sharded.counters.completed >= 500);
 //! ```
 
+pub mod admission;
 mod audit;
 pub mod config;
 pub mod core;
@@ -51,6 +59,7 @@ mod gen;
 pub mod report;
 pub mod sequential;
 
+pub use admission::{AdmissionPolicy, AdmissionReport, ArrivalEstimator, SwitchAdmission};
 pub use audit::AuditReport;
 pub use config::RuntimeConfig;
 pub use core::{CounterSnapshot, Outcome};

@@ -7,6 +7,7 @@
 use rcbr_sim::{Histogram, RunningStats};
 use serde::{Deserialize, Serialize};
 
+use crate::admission::AdmissionReport;
 use crate::audit::AuditReport;
 use crate::config::RuntimeConfig;
 use crate::core::CounterSnapshot;
@@ -110,6 +111,10 @@ pub struct RunReport {
     /// What the end-of-run auditor found and repaired; `audit.final_drift`
     /// must be 0.
     pub audit: AuditReport,
+    /// Admission accounting: grants and denials at the booking checks
+    /// (split from the fault plane's lost cells), plus estimator and
+    /// equivalent-bandwidth-cache telemetry.
+    pub admission: AdmissionReport,
     /// VCs that ended the run degraded (exhausted a retry budget, or were
     /// floored by end-of-run recovery).
     pub degraded_vcs: u64,

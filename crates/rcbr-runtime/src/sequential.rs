@@ -16,6 +16,7 @@ use std::sync::Mutex;
 use rcbr_net::{FaultPlane, Switch};
 use rcbr_sim::RunningStats;
 
+use crate::admission::{reduce_admission, SwitchAdmission};
 use crate::audit::{audit_shard, finalize, reduce_source_loss, VcFinal};
 use crate::config::RuntimeConfig;
 use crate::core::{advance_job, CompletionSink, Counters, FaultCtx, Job, JobKind, VciSlot};
@@ -53,6 +54,9 @@ pub fn run_sequential(cfg: &RuntimeConfig) -> RunReport {
             assert!(admitted, "initial admission must fit; raise port_capacity");
         }
     }
+    let mut admission: Vec<SwitchAdmission> =
+        switches.iter().map(|_| SwitchAdmission::new(cfg)).collect();
+    let measuring = cfg.admission.measures();
     let mut runners: Vec<VcRunner> = (0..cfg.num_vcs as u32)
         .map(|v| VcRunner::new(cfg, v))
         .collect();
@@ -81,6 +85,17 @@ pub fn run_sequential(cfg: &RuntimeConfig) -> RunReport {
                 counters
                     .leases_expired
                     .fetch_add(reclaimed, Ordering::Relaxed);
+            }
+        }
+        // Admission sweep — identical to the engine's round-top sweep.
+        for (h, sw) in switches.iter_mut().enumerate() {
+            if plane.switch_down(h, superstep) {
+                continue;
+            }
+            let sa = &mut admission[h];
+            sa.sample(sw);
+            if measuring && superstep >= sa.next_roll_at {
+                sa.roll(cfg, superstep, sw);
             }
         }
         for runner in &mut runners {
@@ -145,6 +160,7 @@ pub fn run_sequential(cfg: &RuntimeConfig) -> RunReport {
                     if let Some(restart) = plane.restart_superstep(h) {
                         if superstep >= restart {
                             sw.wipe_soft_state();
+                            admission[h].wipe_measurements();
                             wiped[h] = true;
                         }
                     }
@@ -176,6 +192,11 @@ pub fn run_sequential(cfg: &RuntimeConfig) -> RunReport {
                     &counters,
                     &vci_states,
                     &mut sink,
+                    if measuring {
+                        Some(&mut admission[h])
+                    } else {
+                        None
+                    },
                 );
                 if let Some(nj) = forward {
                     next_wave.push(nj);
@@ -228,6 +249,7 @@ pub fn run_sequential(cfg: &RuntimeConfig) -> RunReport {
     let wall = started.elapsed_seconds();
     let counters = counters.snapshot();
     debug_assert_eq!(counters.completed, counters.accepted + counters.exhausted);
+    let admission = reduce_admission(cfg.admission, &counters, &admission);
     RunReport {
         num_shards: 1,
         num_vcs: cfg.num_vcs,
@@ -243,6 +265,7 @@ pub fn run_sequential(cfg: &RuntimeConfig) -> RunReport {
         },
         counters,
         audit,
+        admission,
         degraded_vcs,
         mean_source_loss,
         max_source_loss,

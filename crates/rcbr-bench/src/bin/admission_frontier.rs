@@ -26,8 +26,10 @@
 //! Usage: `admission_frontier [--seed 7] [--out results/]`
 //!        `admission_frontier --smoke [--update-baseline]`
 
-use rcbr_bench::{write_json, Args, PAPER_FAILURE_TARGET, PAPER_LOSS_TARGET};
-use rcbr_net::FaultConfig;
+use rcbr_bench::{
+    write_json, Args, ScenarioBuilder, ADMISSION_FAULT_SEED_SALT, PAPER_FAILURE_TARGET,
+    PAPER_LOSS_TARGET,
+};
 use rcbr_runtime::{
     run, run_sequential, AdmissionPolicy, AdmissionReport, RunReport, RuntimeConfig,
 };
@@ -58,17 +60,15 @@ fn frontier_cfg(
     headroom: f64,
     seed: u64,
 ) -> RuntimeConfig {
-    let mut cfg = RuntimeConfig::balanced(2, num_vcs);
-    cfg.target_requests = target_requests;
-    cfg.seed = seed;
-    cfg.fault = FaultConfig::transparent();
-    cfg.fault.seed = seed ^ 0xad315;
-    let flows_per_switch = (cfg.num_vcs * cfg.hops_per_vc) as f64 / cfg.num_switches as f64;
-    cfg.port_capacity = flows_per_switch * cfg.initial_rate * headroom;
-    cfg.audit_interval = 32;
-    cfg.admission = policy;
-    cfg.measurement_window_supersteps = window_supersteps;
-    cfg
+    ScenarioBuilder::balanced(2, num_vcs)
+        .seed(seed)
+        .target_requests(target_requests)
+        .transparent_faults()
+        .fault_seed_salt(ADMISSION_FAULT_SEED_SALT)
+        .mean_flow_capacity(headroom)
+        .audit_interval(32)
+        .admission(policy, window_supersteps)
+        .build()
 }
 
 /// One utilization-vs-loss frontier point.

@@ -24,8 +24,8 @@
 //! The full sweep writes `chaos_sweep.json`; `--smoke` runs a <60 s
 //! subset (for CI) and writes `chaos_smoke.json`.
 
-use rcbr_bench::{write_json, Args};
-use rcbr_net::{CrashSpec, StallSpec};
+use rcbr_bench::{write_json, Args, ScenarioBuilder, CHAOS_FAULT_SEED_SALT};
+use rcbr_net::StallSpec;
 use rcbr_runtime::{run, run_sequential, RunReport, RuntimeConfig};
 use serde::Serialize;
 use std::path::PathBuf;
@@ -81,21 +81,16 @@ struct Report {
 type Recovery = (u64, u32, u64);
 
 fn sweep_cfg(seed: u64, target: u64, intensity_bp: u32) -> RuntimeConfig {
-    let mut cfg = RuntimeConfig::balanced(2, 64);
-    cfg.target_requests = target;
-    cfg.seed = seed;
-    // Tight enough that contention and fault recovery interact, loose
-    // enough that grants stay common.
-    let flows_per_switch = (cfg.num_vcs * cfg.hops_per_vc) as f64 / cfg.num_switches as f64;
-    cfg.port_capacity = flows_per_switch * cfg.initial_rate * 2.0;
-    cfg.audit_interval = 32;
-    cfg.fault.seed = seed ^ 0xc4a05;
-    cfg.fault.drop_bp = intensity_bp * 40 / 100;
-    cfg.fault.delay_bp = intensity_bp * 30 / 100;
-    cfg.fault.max_delay = 3;
-    cfg.fault.dup_bp = intensity_bp * 15 / 100;
-    cfg.fault.corrupt_bp = intensity_bp * 15 / 100;
-    cfg
+    // Capacity tight enough that contention and fault recovery interact,
+    // loose enough that grants stay common.
+    ScenarioBuilder::balanced(2, 64)
+        .seed(seed)
+        .target_requests(target)
+        .mean_flow_capacity(2.0)
+        .audit_interval(32)
+        .fault_seed_salt(CHAOS_FAULT_SEED_SALT)
+        .intensity_bp(intensity_bp)
+        .build()
 }
 
 fn cell(cfg: &RuntimeConfig, intensity_bp: u32) -> Cell {
@@ -138,19 +133,22 @@ fn cell(cfg: &RuntimeConfig, intensity_bp: u32) -> Cell {
 
 /// Arm every fault mode at once and compare 1/2/4 shards + sequential.
 fn probe(seed: u64, target: u64) -> Probe {
-    let mut cfg = sweep_cfg(seed, target, 500);
-    cfg.timeout_supersteps = 24;
-    cfg.fault.crashes = vec![CrashSpec {
-        switch: 1,
-        at_superstep: 40,
-        down_supersteps: 30,
-    }];
-    cfg.fault.stall = Some(StallSpec {
-        groups: 3,
-        group: 1,
-        at_superstep: 25,
-        supersteps: 12,
-    });
+    let cfg = ScenarioBuilder::balanced(2, 64)
+        .seed(seed)
+        .target_requests(target)
+        .mean_flow_capacity(2.0)
+        .audit_interval(32)
+        .fault_seed_salt(CHAOS_FAULT_SEED_SALT)
+        .intensity_bp(500)
+        .timeout_supersteps(24)
+        .crash(1, 40, 30)
+        .stall(StallSpec {
+            groups: 3,
+            group: 1,
+            at_superstep: 25,
+            supersteps: 12,
+        })
+        .build();
 
     let reference = run_sequential(&cfg);
     let shard_counts = vec![1usize, 2, 4];

@@ -1,0 +1,299 @@
+//! Delta-debugging shrinker: minimize a failing schedule while it keeps
+//! failing the *same* oracle.
+//!
+//! Greedy first-improvement descent over a fixed transform catalog:
+//! each pass enumerates every single-step reduction of the current
+//! configuration — drop one fault window (or a whole category), drop a
+//! chord, halve a population / budget / duration knob, collapse the
+//! admission policy to `PeakRate` — and takes the first candidate the
+//! caller's predicate still rejects. The scan restarts from the reduced
+//! config; the loop ends at a fixpoint, which is exactly 1-minimality
+//! with respect to the catalog: removing any remaining fault window or
+//! halving any remaining knob makes the failure disappear (or change
+//! oracle — the predicate encodes "same oracle").
+//!
+//! Every candidate is valid by construction (floors keep
+//! `RuntimeConfig::validate` happy), so the predicate never sees a
+//! config that panics in validation.
+
+use rcbr_runtime::{AdmissionPolicy, RuntimeConfig};
+
+use super::space::FuzzSchedule;
+
+/// Scheduled outage windows in `cfg`: kills + crashes + link-down
+/// windows + the stall (the shrink demo's "fault window" count).
+pub fn fault_window_count(cfg: &RuntimeConfig) -> usize {
+    cfg.fault.kills.len()
+        + cfg.fault.crashes.len()
+        + cfg.fault.link_downs.len()
+        + usize::from(cfg.fault.stall.is_some())
+}
+
+/// Halve toward a floor; `None` when already there.
+fn halved(value: u64, floor: u64) -> Option<u64> {
+    let next = (value / 2).max(floor);
+    (next < value).then_some(next)
+}
+
+/// Every single-step reduction of `cfg`, as `(description, candidate)`
+/// pairs. Public so the 1-minimality property can re-verify the
+/// fixpoint the shrinker claims.
+pub fn candidates(cfg: &RuntimeConfig) -> Vec<(String, RuntimeConfig)> {
+    let mut out: Vec<(String, RuntimeConfig)> = Vec::new();
+    let mut push = |desc: String, cand: RuntimeConfig| out.push((desc, cand));
+
+    // Structural drops first: whole categories, then single windows.
+    if !cfg.fault.kills.is_empty() {
+        let mut c = cfg.clone();
+        c.fault.kills.clear();
+        push("drop all kills".into(), c);
+    }
+    if !cfg.fault.crashes.is_empty() {
+        let mut c = cfg.clone();
+        c.fault.crashes.clear();
+        push("drop all crashes".into(), c);
+    }
+    if !cfg.fault.link_downs.is_empty() {
+        let mut c = cfg.clone();
+        c.fault.link_downs.clear();
+        push("drop all link windows".into(), c);
+    }
+    for i in 0..cfg.fault.kills.len() {
+        let mut c = cfg.clone();
+        c.fault.kills.remove(i);
+        push(format!("drop kill #{i}"), c);
+    }
+    for i in 0..cfg.fault.crashes.len() {
+        let mut c = cfg.clone();
+        c.fault.crashes.remove(i);
+        push(format!("drop crash #{i}"), c);
+    }
+    for i in 0..cfg.fault.link_downs.len() {
+        let mut c = cfg.clone();
+        c.fault.link_downs.remove(i);
+        push(format!("drop link window #{i}"), c);
+    }
+    if cfg.fault.stall.is_some() {
+        let mut c = cfg.clone();
+        c.fault.stall = None;
+        push("drop stall".into(), c);
+    }
+    for i in 0..cfg.extra_links.len() {
+        let mut c = cfg.clone();
+        c.extra_links.remove(i);
+        push(format!("drop chord #{i}"), c);
+    }
+
+    // Random cell-fault intensity, toward transparent.
+    for (name, get) in [
+        ("drop_bp", 0usize),
+        ("delay_bp", 1),
+        ("dup_bp", 2),
+        ("corrupt_bp", 3),
+    ] {
+        let value = match get {
+            0 => cfg.fault.drop_bp,
+            1 => cfg.fault.delay_bp,
+            2 => cfg.fault.dup_bp,
+            _ => cfg.fault.corrupt_bp,
+        };
+        if value > 0 {
+            let mut c = cfg.clone();
+            match get {
+                0 => c.fault.drop_bp = value / 2,
+                1 => c.fault.delay_bp = value / 2,
+                2 => c.fault.dup_bp = value / 2,
+                _ => c.fault.corrupt_bp = value / 2,
+            }
+            push(format!("halve {name}"), c);
+        }
+    }
+
+    // Population and run length.
+    if let Some(v) = halved(cfg.num_vcs as u64, 8) {
+        let mut c = cfg.clone();
+        c.num_vcs = v as usize;
+        push("halve num_vcs".into(), c);
+    }
+    if let Some(v) = halved(cfg.target_requests, 50) {
+        let mut c = cfg.clone();
+        c.target_requests = v;
+        push("halve target_requests".into(), c);
+    }
+    if let Some(v) = halved(cfg.max_rounds, 64) {
+        let mut c = cfg.clone();
+        c.max_rounds = v;
+        push("halve max_rounds".into(), c);
+    }
+
+    // Recovery and signaling knobs.
+    if let Some(v) = halved(cfg.lease_supersteps, 0) {
+        let mut c = cfg.clone();
+        c.lease_supersteps = v;
+        push("halve lease_supersteps".into(), c);
+    }
+    if let Some(v) = halved(cfg.timeout_supersteps, 1) {
+        let mut c = cfg.clone();
+        c.timeout_supersteps = v;
+        push("halve timeout_supersteps".into(), c);
+    }
+    if let Some(v) = halved(cfg.retry_budget as u64, 0) {
+        let mut c = cfg.clone();
+        c.retry_budget = v as u32;
+        push("halve retry_budget".into(), c);
+    }
+    if let Some(v) = halved(cfg.backoff_base, 1) {
+        let mut c = cfg.clone();
+        c.backoff_base = v;
+        push("halve backoff_base".into(), c);
+    }
+    if let Some(v) = halved(cfg.backoff_jitter, 0) {
+        let mut c = cfg.clone();
+        c.backoff_jitter = v;
+        push("halve backoff_jitter".into(), c);
+    }
+    if cfg.resync_interval != 0 {
+        let mut c = cfg.clone();
+        c.resync_interval = 0;
+        push("disable resync".into(), c);
+    }
+    if cfg.audit_interval != 0 {
+        let mut c = cfg.clone();
+        c.audit_interval = 0;
+        push("disable periodic audits".into(), c);
+    }
+    if cfg.admission.measures() {
+        let mut c = cfg.clone();
+        c.admission = AdmissionPolicy::PeakRate;
+        push("collapse policy to peak-rate".into(), c);
+        if let Some(v) = halved(cfg.measurement_window_supersteps, 1) {
+            let mut c = cfg.clone();
+            c.measurement_window_supersteps = v;
+            push("halve measurement window".into(), c);
+        }
+    }
+
+    // Shorten and advance the remaining windows.
+    for i in 0..cfg.fault.kills.len() {
+        if let Some(v) = halved(cfg.fault.kills[i].at_superstep, 1) {
+            let mut c = cfg.clone();
+            c.fault.kills[i].at_superstep = v;
+            push(format!("advance kill #{i}"), c);
+        }
+    }
+    for i in 0..cfg.fault.crashes.len() {
+        if let Some(v) = halved(cfg.fault.crashes[i].down_supersteps, 1) {
+            let mut c = cfg.clone();
+            c.fault.crashes[i].down_supersteps = v;
+            push(format!("shorten crash #{i}"), c);
+        }
+        if let Some(v) = halved(cfg.fault.crashes[i].at_superstep, 1) {
+            let mut c = cfg.clone();
+            c.fault.crashes[i].at_superstep = v;
+            push(format!("advance crash #{i}"), c);
+        }
+    }
+    for i in 0..cfg.fault.link_downs.len() {
+        if let Some(v) = halved(cfg.fault.link_downs[i].down_supersteps, 1) {
+            let mut c = cfg.clone();
+            c.fault.link_downs[i].down_supersteps = v;
+            push(format!("shorten link window #{i}"), c);
+        }
+        if let Some(v) = halved(cfg.fault.link_downs[i].at_superstep, 1) {
+            let mut c = cfg.clone();
+            c.fault.link_downs[i].at_superstep = v;
+            push(format!("advance link window #{i}"), c);
+        }
+    }
+    if let Some(stall) = cfg.fault.stall {
+        if let Some(v) = halved(stall.supersteps, 1) {
+            let mut c = cfg.clone();
+            c.fault.stall = Some(rcbr_net::StallSpec {
+                supersteps: v,
+                ..stall
+            });
+            push("shorten stall".into(), c);
+        }
+    }
+
+    out
+}
+
+/// What one shrink run did.
+#[derive(Debug, Clone)]
+pub struct ShrinkOutcome {
+    /// Predicate evaluations spent.
+    pub evals: usize,
+    /// Reductions accepted, in order (`desc` of each accepted step).
+    pub steps: Vec<String>,
+}
+
+/// Minimize `schedule` while `still_fails` keeps rejecting it. The
+/// predicate must encode "fails the same oracle as the original"; it is
+/// only ever called on valid configurations. `budget` caps predicate
+/// evaluations (the returned schedule is whatever fixpoint — or partial
+/// descent — the budget allowed).
+pub fn shrink<F>(
+    schedule: &FuzzSchedule,
+    mut still_fails: F,
+    budget: usize,
+) -> (FuzzSchedule, ShrinkOutcome)
+where
+    F: FnMut(&RuntimeConfig) -> bool,
+{
+    let mut current = schedule.clone();
+    let mut outcome = ShrinkOutcome {
+        evals: 0,
+        steps: Vec::new(),
+    };
+    'descend: loop {
+        for (desc, cand) in candidates(&current.cfg) {
+            if outcome.evals >= budget {
+                break 'descend;
+            }
+            outcome.evals += 1;
+            if still_fails(&cand) {
+                current.cfg = cand;
+                outcome.steps.push(desc);
+                continue 'descend;
+            }
+        }
+        break;
+    }
+    (current, outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fuzz::space::draw_schedule;
+
+    #[test]
+    fn candidates_are_all_valid() {
+        for seed in 0..32u64 {
+            let s = draw_schedule(seed);
+            for (desc, cand) in candidates(&s.cfg) {
+                // validate() panics on an inconsistent config; the
+                // catalog must never produce one.
+                cand.validate();
+                assert!(!desc.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn shrink_reaches_a_fixpoint_under_an_always_failing_predicate() {
+        // With a predicate that accepts every reduction, the fixpoint
+        // is the catalog's floor: no fault windows, no chords, minimal
+        // knobs — and no candidate remains.
+        let s = draw_schedule(3);
+        let (min, outcome) = shrink(&s, |_| true, 10_000);
+        assert_eq!(fault_window_count(&min.cfg), 0);
+        assert!(min.cfg.extra_links.is_empty());
+        assert_eq!(min.cfg.num_vcs, 8);
+        assert_eq!(min.cfg.max_rounds, 64);
+        assert!(candidates(&min.cfg).is_empty(), "fixpoint must be bare");
+        assert!(outcome.evals >= outcome.steps.len());
+        min.cfg.validate();
+    }
+}

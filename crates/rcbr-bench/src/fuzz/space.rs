@@ -1,0 +1,202 @@
+//! The typed schedule space: a seeded generator that draws whole
+//! runtime scenarios — population, topology, fault intensity, outage
+//! windows, recovery knobs, admission policy — as validated
+//! [`RuntimeConfig`]s.
+//!
+//! Every draw is a pure function of the schedule seed, and the drawn
+//! config's master `seed` *is* the schedule seed (with the fault plane
+//! salted via [`FUZZ_FAULT_SEED_SALT`](crate::FUZZ_FAULT_SEED_SALT)),
+//! so one `u64` reproduces the entire run. The generator respects every
+//! `RuntimeConfig::validate` / `FaultConfig::validate` constraint by
+//! construction: VC counts are multiples of the derived switch count
+//! (so the mean-flow port sizing admits the initial population at any
+//! headroom > 1), chords never duplicate ring links, crash/kill
+//! switches are distinct, and `max_rounds` is capped low enough that a
+//! schedule which strands its whole population still terminates fast.
+
+use rcbr_net::StallSpec;
+use rcbr_runtime::{AdmissionPolicy, RuntimeConfig};
+use rcbr_sim::SimRng;
+use serde::{Deserialize, Serialize};
+
+use crate::{ScenarioBuilder, FUZZ_FAULT_SEED_SALT};
+
+/// RNG substream label separating schedule draws from every other
+/// consumer of the master seed.
+const DRAW_STREAM: u64 = 0x5c4ed;
+
+/// Hard cap on rounds for fuzz schedules. A schedule that strands every
+/// VC never reaches `target_requests`; this bounds such runs to roughly
+/// a second instead of the `balanced()` default of a million rounds.
+const FUZZ_MAX_ROUNDS: u64 = 1_024;
+
+/// One drawn scenario: the seed it came from and the full (validated)
+/// runtime configuration. The config is authoritative — the shrinker
+/// mutates it directly and the seed stays behind as provenance.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FuzzSchedule {
+    /// The seed [`draw_schedule`] consumed.
+    pub schedule_seed: u64,
+    /// The scenario to execute.
+    pub cfg: RuntimeConfig,
+}
+
+/// Draw the schedule for `schedule_seed`. Total function: every seed
+/// yields a valid scenario.
+pub fn draw_schedule(schedule_seed: u64) -> FuzzSchedule {
+    let mut rng = SimRng::from_seed(schedule_seed).substream(DRAW_STREAM);
+
+    // Population: multiples of 8 keep `balanced()`'s derived switch
+    // count a divisor of the VC count, so per-switch flow loads are
+    // exactly balanced and `mean_flow_capacity(headroom)` admits the
+    // initial population for any headroom > 1.
+    let num_vcs = [16, 24, 32, 48, 64, 96, 128][rng.index(7)];
+    let target_requests = 200 + 100 * rng.index(9) as u64;
+    let headroom = rng.uniform_in(1.1, 3.5);
+    let intensity_bp = [0, 50, 150, 300, 500, 800][rng.index(6)];
+
+    let policy = match rng.index(3) {
+        0 => AdmissionPolicy::PeakRate,
+        1 => AdmissionPolicy::Memoryless {
+            target: rng.uniform_in(1e-4, 0.1),
+        },
+        _ => AdmissionPolicy::ChernoffEb {
+            epsilon: rng.uniform_in(1e-6, 1e-2),
+        },
+    };
+    let window_supersteps = [16, 32, 64, 128][rng.index(4)];
+
+    let mut builder = ScenarioBuilder::balanced(2, num_vcs)
+        .seed(schedule_seed)
+        .fault_seed_salt(FUZZ_FAULT_SEED_SALT)
+        .target_requests(target_requests)
+        .max_rounds(FUZZ_MAX_ROUNDS)
+        .transparent_faults()
+        .intensity_bp(intensity_bp)
+        .mean_flow_capacity(headroom)
+        .admission(policy, window_supersteps)
+        .lease_supersteps([0, 0, 64, 200][rng.index(4)])
+        .timeout_supersteps([8, 16, 32][rng.index(3)])
+        .recovery(
+            [0, 4, 8, 16][rng.index(4)],
+            1 + rng.index(4) as u32,
+            1 + rng.index(6) as u64,
+        )
+        .audit_interval([0, 16, 64][rng.index(3)]);
+
+    // Topology: up to two chords that are neither self-links, ring
+    // links, nor duplicates. `n >= 8` always, so valid chords exist.
+    let n = (num_vcs / 8).max(8);
+    let mut chords: Vec<(usize, usize)> = Vec::new();
+    for _ in 0..rng.index(3) {
+        let a = rng.index(n);
+        let b = (a + 2 + rng.index(n - 3)) % n;
+        let ring = (a + 1) % n == b || (b + 1) % n == a;
+        let dup = chords
+            .iter()
+            .any(|&(x, y)| (x, y) == (a, b) || (x, y) == (b, a));
+        if a != b && !ring && !dup {
+            chords.push((a, b));
+        }
+    }
+    builder = builder.extra_links(chords);
+
+    // Outage windows. Crash and kill switches must be distinct (at most
+    // one window per switch, crashes disjoint from kills).
+    let mut used: Vec<usize> = Vec::new();
+    for _ in 0..rng.index(3) {
+        let switch = rng.index(n);
+        if used.contains(&switch) {
+            continue;
+        }
+        used.push(switch);
+        builder = builder.crash(switch, 1 + rng.index(300) as u64, 5 + rng.index(46) as u64);
+    }
+    if rng.chance(0.4) {
+        let switch = rng.index(n);
+        if !used.contains(&switch) {
+            used.push(switch);
+            builder = builder.kill(switch, 40 + rng.index(260) as u64);
+        }
+    }
+    // Link flaps on ring links (always-present edges, so every window
+    // is a real outage on some VC's default path).
+    for _ in 0..rng.index(4) {
+        let a = rng.index(n);
+        let b = (a + 1) % n;
+        builder = builder.link_down(a, b, 1 + rng.index(400) as u64, 5 + rng.index(76) as u64);
+    }
+    if rng.chance(0.25) {
+        let groups = 2 + rng.index(3);
+        builder = builder.stall(StallSpec {
+            groups,
+            group: rng.index(groups),
+            at_superstep: 1 + rng.index(200) as u64,
+            supersteps: 4 + rng.index(21) as u64,
+        });
+    }
+
+    let mut cfg = builder.build();
+    // Knobs the builder does not expose; re-validate after poking them.
+    cfg.backoff_jitter = rng.index(5) as u64;
+    cfg.reroute_k = 2 + rng.index(3);
+    cfg.validate();
+
+    FuzzSchedule { schedule_seed, cfg }
+}
+
+/// The deterministic seed stream for a campaign: `count` schedule seeds
+/// derived from `base_seed`.
+pub fn seed_stream(base_seed: u64, count: usize) -> Vec<u64> {
+    let mut rng = SimRng::from_seed(base_seed).substream(DRAW_STREAM ^ 1);
+    (0..count).map(|_| rng.next_u64()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_seed_draws_a_valid_schedule() {
+        for seed in 0..64u64 {
+            let s = draw_schedule(seed);
+            s.cfg.validate();
+            assert_eq!(s.cfg.seed, seed);
+            assert_eq!(s.cfg.fault.seed, seed ^ FUZZ_FAULT_SEED_SALT);
+            assert!(s.cfg.max_rounds <= FUZZ_MAX_ROUNDS);
+        }
+    }
+
+    #[test]
+    fn draws_are_deterministic() {
+        let a = serde_json::to_string(&draw_schedule(42)).unwrap();
+        let b = serde_json::to_string(&draw_schedule(42)).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn the_space_reaches_every_fault_dimension() {
+        let mut kills = 0;
+        let mut crashes = 0;
+        let mut flaps = 0;
+        let mut stalls = 0;
+        let mut measured = 0;
+        for seed in 0..128u64 {
+            let cfg = draw_schedule(seed).cfg;
+            kills += usize::from(!cfg.fault.kills.is_empty());
+            crashes += usize::from(!cfg.fault.crashes.is_empty());
+            flaps += usize::from(!cfg.fault.link_downs.is_empty());
+            stalls += usize::from(cfg.fault.stall.is_some());
+            measured += usize::from(cfg.admission.measures());
+        }
+        for (name, hit) in [
+            ("kills", kills),
+            ("crashes", crashes),
+            ("flaps", flaps),
+            ("stalls", stalls),
+            ("measured policies", measured),
+        ] {
+            assert!(hit > 8, "{name} barely explored: {hit}/128");
+        }
+    }
+}

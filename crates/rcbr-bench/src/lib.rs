@@ -20,8 +20,8 @@
 //! same pipelines so regressions in the algorithms' *runtime* are caught;
 //! the binaries are the scientific harness.
 
-use rcbr_net::{FaultConfig, KillSpec, LinkDownSpec};
-use rcbr_runtime::RuntimeConfig;
+use rcbr_net::{CrashSpec, FaultConfig, KillSpec, LinkDownSpec, StallSpec};
+use rcbr_runtime::{AdmissionPolicy, RuntimeConfig};
 use rcbr_schedule::{CostModel, OfflineOptimizer, RateGrid, Schedule, TrellisConfig};
 use rcbr_sim::SimRng;
 use rcbr_traffic::{FrameTrace, SyntheticMpegSource};
@@ -109,6 +109,212 @@ pub fn paper_schedule(trace: &FrameTrace, buffer: f64) -> Schedule {
     .expect("the 2.4 Mb/s grid covers the synthetic trace")
 }
 
+/// Fault-plane seed salt used by the chaos sweep and the survivability
+/// soak: `cfg.fault.seed = cfg.seed ^ CHAOS_FAULT_SEED_SALT`.
+pub const CHAOS_FAULT_SEED_SALT: u64 = 0xc4a05;
+/// Fault-plane seed salt used by the admission frontier sweep.
+pub const ADMISSION_FAULT_SEED_SALT: u64 = 0xad315;
+/// Fault-plane seed salt used by the deterministic chaos fuzzer.
+pub const FUZZ_FAULT_SEED_SALT: u64 = 0xf0cc5;
+
+pub mod fuzz;
+
+/// The one shared way benchmark binaries, parity tests, and the fuzzer
+/// assemble a runtime scenario.
+///
+/// Every consumer used to hand-roll the same fragments — seed the fault
+/// plane from the master seed xor a harness salt, size ports against the
+/// mean admission load, split a fault intensity across the four cell
+/// modes — and a re-typed copy that drifted by one expression would
+/// silently change which committed baseline a test reproduces. The
+/// builder owns those fragments; `build()` hands back a validated
+/// [`RuntimeConfig`].
+///
+/// The capacity and intensity arithmetic is kept byte-for-byte identical
+/// to the historical `sweep_cfg` / `frontier_cfg` expressions: the
+/// committed CI baselines (`results/admission_frontier_smoke_baseline.json`,
+/// `results/chaos_survivability_smoke.json`) gate on exact counters, so
+/// even a float-expression re-association here would read as drift.
+#[derive(Debug, Clone)]
+pub struct ScenarioBuilder {
+    cfg: RuntimeConfig,
+    /// Applied at `build()` as `fault.seed = seed ^ salt`, so the call
+    /// order of [`seed`](Self::seed) and the fault methods never matters.
+    fault_seed_salt: Option<u64>,
+}
+
+impl ScenarioBuilder {
+    /// Start from [`RuntimeConfig::balanced`].
+    pub fn balanced(num_shards: usize, num_vcs: usize) -> Self {
+        Self {
+            cfg: RuntimeConfig::balanced(num_shards, num_vcs),
+            fault_seed_salt: None,
+        }
+    }
+
+    /// Set the master seed (traffic, policy jitter, and — via the salt —
+    /// the fault plane).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    /// Stop after this many completed signaling requests.
+    pub fn target_requests(mut self, target: u64) -> Self {
+        self.cfg.target_requests = target;
+        self
+    }
+
+    /// Hard cap on rounds. The fuzzer lowers this from the `balanced()`
+    /// default so a schedule that strands its whole VC population (and
+    /// therefore never reaches `target_requests`) terminates in bounded
+    /// time instead of spinning out a million idle rounds.
+    pub fn max_rounds(mut self, max_rounds: u64) -> Self {
+        self.cfg.max_rounds = max_rounds;
+        self
+    }
+
+    /// Replace the fault scenario with [`FaultConfig::transparent`]:
+    /// no random cell faults, no scheduled outages.
+    pub fn transparent_faults(mut self) -> Self {
+        self.cfg.fault = FaultConfig::transparent();
+        self
+    }
+
+    /// Derive the fault-plane seed from the master seed at `build()`:
+    /// `fault.seed = seed ^ salt`. The salt decorrelates fault coin flips
+    /// from the traffic streams while keeping the whole run a pure
+    /// function of one master seed.
+    pub fn fault_seed_salt(mut self, salt: u64) -> Self {
+        self.fault_seed_salt = Some(salt);
+        self
+    }
+
+    /// Split a total per-traversal fault probability (basis points)
+    /// across the four cell-fault modes: 40% drop, 30% delay (up to 3
+    /// supersteps), 15% duplicate, 15% corrupt — the chaos sweep's
+    /// canonical mix.
+    pub fn intensity_bp(mut self, intensity_bp: u32) -> Self {
+        self.cfg.fault.drop_bp = intensity_bp * 40 / 100;
+        self.cfg.fault.delay_bp = intensity_bp * 30 / 100;
+        self.cfg.fault.max_delay = 3;
+        self.cfg.fault.dup_bp = intensity_bp * 15 / 100;
+        self.cfg.fault.corrupt_bp = intensity_bp * 15 / 100;
+        self
+    }
+
+    /// Size ports at `headroom` times the *mean* per-switch initial
+    /// admission load (`num_vcs * hops_per_vc / num_switches` flows at
+    /// `initial_rate`). Contrast with [`RuntimeConfig::balanced`], which
+    /// sizes against the most-loaded port; the sweeps want the mean so
+    /// `headroom` maps directly onto contention.
+    pub fn mean_flow_capacity(mut self, headroom: f64) -> Self {
+        let flows_per_switch =
+            (self.cfg.num_vcs * self.cfg.hops_per_vc) as f64 / self.cfg.num_switches as f64;
+        self.cfg.port_capacity = flows_per_switch * self.cfg.initial_rate * headroom;
+        self
+    }
+
+    /// Multiply whatever port capacity is currently configured.
+    pub fn capacity_scale(mut self, factor: f64) -> Self {
+        self.cfg.port_capacity *= factor;
+        self
+    }
+
+    /// Run the periodic invariant auditor every `rounds` rounds.
+    pub fn audit_interval(mut self, rounds: u64) -> Self {
+        self.cfg.audit_interval = rounds;
+        self
+    }
+
+    /// Select the admission policy and its measurement-window cadence.
+    pub fn admission(mut self, policy: AdmissionPolicy, window_supersteps: u64) -> Self {
+        self.cfg.admission = policy;
+        self.cfg.measurement_window_supersteps = window_supersteps;
+        self
+    }
+
+    /// Arm use-it-or-lose-it per-hop leases (0 disables).
+    pub fn lease_supersteps(mut self, lease_supersteps: u64) -> Self {
+        self.cfg.lease_supersteps = lease_supersteps;
+        self
+    }
+
+    /// Add duplex chords on top of the ring substrate.
+    pub fn extra_links(mut self, links: Vec<(usize, usize)>) -> Self {
+        self.cfg.extra_links = links;
+        self
+    }
+
+    /// Override the per-request verdict timeout.
+    pub fn timeout_supersteps(mut self, timeout_supersteps: u64) -> Self {
+        self.cfg.timeout_supersteps = timeout_supersteps;
+        self
+    }
+
+    /// Set the recovery knobs the chaos sweep tunes: resync cadence,
+    /// retry budget, and base backoff.
+    pub fn recovery(mut self, resync_interval: u64, retry_budget: u32, backoff_base: u64) -> Self {
+        self.cfg.resync_interval = resync_interval;
+        self.cfg.retry_budget = retry_budget;
+        self.cfg.backoff_base = backoff_base;
+        self
+    }
+
+    /// Schedule a permanent switch kill.
+    pub fn kill(mut self, switch: usize, at_superstep: u64) -> Self {
+        self.cfg.fault.kills.push(KillSpec {
+            switch,
+            at_superstep,
+        });
+        self
+    }
+
+    /// Schedule a transient switch crash/restart window.
+    pub fn crash(mut self, switch: usize, at_superstep: u64, down_supersteps: u64) -> Self {
+        self.cfg.fault.crashes.push(CrashSpec {
+            switch,
+            at_superstep,
+            down_supersteps,
+        });
+        self
+    }
+
+    /// Schedule one link-down window.
+    pub fn link_down(
+        mut self,
+        a: usize,
+        b: usize,
+        at_superstep: u64,
+        down_supersteps: u64,
+    ) -> Self {
+        self.cfg.fault.link_downs.push(LinkDownSpec {
+            a,
+            b,
+            at_superstep,
+            down_supersteps,
+        });
+        self
+    }
+
+    /// Schedule a shard-group stall.
+    pub fn stall(mut self, spec: StallSpec) -> Self {
+        self.cfg.fault.stall = Some(spec);
+        self
+    }
+
+    /// Resolve the deferred fault seed and return the validated
+    /// configuration.
+    pub fn build(self) -> RuntimeConfig {
+        let mut cfg = self.cfg;
+        if let Some(salt) = self.fault_seed_salt {
+            cfg.fault.seed = cfg.seed ^ salt;
+        }
+        cfg.validate();
+        cfg
+    }
+}
+
 /// The survivability soak scenario (see `chaos --survivability`): which
 /// switch dies, which links flap, and the full runtime configuration.
 #[derive(Debug, Clone)]
@@ -130,39 +336,29 @@ pub struct SurvivabilityScenario {
 pub fn survivability_scenario(seed: u64, smoke: bool) -> SurvivabilityScenario {
     let killed = 3usize;
     let flapped = vec![(5usize, 6usize), (6usize, 7usize)];
-    let mut cfg = RuntimeConfig::balanced(4, 64); // 8 switches, 4-hop paths
-    cfg.target_requests = if smoke { 5_000 } else { 100_000 };
-    cfg.seed = seed;
-    cfg.fault = FaultConfig::transparent();
-    cfg.fault.seed = seed ^ 0xc4a05;
-    // Chord (2, 4) routes around the killed switch; chord (5, 7) routes
-    // around both flapping links.
-    cfg.extra_links = vec![(2, 4), (5, 7)];
-    cfg.lease_supersteps = 200;
-    // Headroom for make-before-break double occupancy while half the
-    // population reroutes onto the chords at once.
-    cfg.port_capacity *= 4.0;
-    cfg.fault.kills = vec![KillSpec {
-        switch: killed,
-        at_superstep: 200,
-    }];
+    let mut builder = ScenarioBuilder::balanced(4, 64) // 8 switches, 4-hop paths
+        .seed(seed)
+        .target_requests(if smoke { 5_000 } else { 100_000 })
+        .transparent_faults()
+        .fault_seed_salt(CHAOS_FAULT_SEED_SALT)
+        // Chord (2, 4) routes around the killed switch; chord (5, 7)
+        // routes around both flapping links.
+        .extra_links(vec![(2, 4), (5, 7)])
+        .lease_supersteps(200)
+        // Headroom for make-before-break double occupancy while half the
+        // population reroutes onto the chords at once.
+        .capacity_scale(4.0)
+        .kill(killed, 200);
     // Two windows per link, staggered so the two flapping links are never
     // down at once: simultaneous outages would isolate the switch between
     // them, and the soak is about VCs that *do* have an alternate path.
-    cfg.fault.link_downs = flapped
-        .iter()
-        .zip([[350u64, 1_800], [500, 2_200]])
-        .flat_map(|(&(a, b), windows)| {
-            windows.into_iter().map(move |at| LinkDownSpec {
-                a,
-                b,
-                at_superstep: at,
-                down_supersteps: 120,
-            })
-        })
-        .collect();
+    for (&(a, b), windows) in flapped.iter().zip([[350u64, 1_800], [500, 2_200]]) {
+        for at in windows {
+            builder = builder.link_down(a, b, at, 120);
+        }
+    }
     SurvivabilityScenario {
-        cfg,
+        cfg: builder.build(),
         killed_switch: killed,
         flapped_links: flapped,
     }

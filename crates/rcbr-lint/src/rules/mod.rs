@@ -24,6 +24,7 @@ mod lease_units;
 mod measurement_window;
 mod panic_path;
 mod ptr_identity;
+mod salt_registry;
 mod unordered_iter;
 mod unsafe_audit;
 mod wall_clock;
@@ -150,6 +151,18 @@ pub static RULES: &[Rule] = &[
                  ceilings) across shard counts. Cadences therefore live in fields or \
                  consts named *_supersteps; audited names go in allow_idents.",
         check: measurement_window::check,
+    },
+    Rule {
+        id: "salt-registry",
+        summary: "fault-plane salts are named consts from the one registry module",
+        hazard: "A job's salt feeds the fault plane's (seed, seq, hop, salt, lane) hash \
+                 and breaks same-seq processing ties, so two cells sharing a (seq, salt) \
+                 pair share fault coin flips and ordering — the PR 5 shard-identity \
+                 regression was a teardown walk reusing slot traffic's salt space. Bare \
+                 salt literals scattered across crates make that disjointness unauditable; \
+                 every salt therefore lives as a named const in the single registry \
+                 module configured as `registry` in lint.toml.",
+        check: salt_registry::check,
     },
     Rule {
         id: "wire-layout",

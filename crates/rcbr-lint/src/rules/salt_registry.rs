@@ -1,0 +1,107 @@
+//! `salt-registry`: fault-plane salts must be named consts from the one
+//! registry module, never bare integer literals.
+//!
+//! A salt is wire-visible identity: it feeds the fault plane's stateless
+//! `(seed, seq, hop, salt, lane)` hash and breaks same-`seq` processing
+//! ties, so two cells that share a `(seq, salt)` pair share fault coin
+//! flips and ordering. The PR 5 regression happened exactly this way —
+//! teardown walks briefly reused the salt space of slot traffic and
+//! shard bit-identity broke. Declaring every salt as a named const in a
+//! single registry module (`registry` in `lint.toml`, normally
+//! `crates/rcbr-net/src/salt.rs`) keeps the disjointness argument in one
+//! auditable place.
+//!
+//! The check is window-based like `lease-units`: tokens split into
+//! statement-ish windows at `;`, `,`, `{`, `}`. A window trips when it
+//! contains
+//!
+//! 1. an identifier containing `salt`, and
+//! 2. an integer literal directly bound to it or compared against it
+//!    (previous punct starting `=`, `:`, `!`, `+`, or `-`), and
+//! 3. no sanctioned name: an identifier starting with the registry
+//!    const prefix (`SALT_` by default) or listed in `allow_idents`.
+//!
+//! The registry file itself is exempt — it is where the literals live.
+
+use super::{path_matches, Ctx};
+use crate::lexer::{TokKind, Token};
+
+/// Is the integer at `idx` bound to or compared against salt state?
+/// Previous-punct first bytes `=`, `:` catch bindings and `==`;
+/// `!` catches `!=`; `+`/`-` catch arithmetic like the historical
+/// `salt: 3 + i`. Shifts and plain argument positions stay exempt
+/// (the fault hash legitimately shifts `salt as u64` by a literal).
+fn bound_position(win: &[Token], idx: usize) -> bool {
+    idx > 0
+        && matches!(win[idx - 1].kind, TokKind::Punct)
+        && matches!(
+            win[idx - 1].text.as_bytes().first(),
+            Some(b'=') | Some(b':') | Some(b'!') | Some(b'+') | Some(b'-')
+        )
+}
+
+pub(super) fn check(ctx: &mut Ctx<'_>) {
+    if let Some(registry) = ctx.cfg_str("registry") {
+        if path_matches(&ctx.file.rel_path, &registry) {
+            return;
+        }
+    }
+    let prefix = ctx
+        .cfg_str("const_prefix")
+        .unwrap_or_else(|| "SALT_".to_string());
+    let allow: Vec<String> = ctx
+        .cfg_list("allow_idents")
+        .iter()
+        .map(|a| a.to_ascii_lowercase())
+        .collect();
+    let toks = &ctx.file.tokens;
+    let mut start = 0usize;
+    for i in 0..=toks.len() {
+        let at_boundary = i == toks.len()
+            || toks[i].is_punct(';')
+            || toks[i].is_punct(',')
+            || toks[i].is_punct('{')
+            || toks[i].is_punct('}');
+        if !at_boundary {
+            continue;
+        }
+        scan_window(ctx, &toks[start..i], &prefix, &allow);
+        start = i + 1;
+    }
+}
+
+fn scan_window(ctx: &mut Ctx<'_>, win: &[Token], prefix: &str, allow: &[String]) {
+    let mut keyed: Option<String> = None;
+    let mut sanctioned = false;
+    let mut literal: Option<&Token> = None;
+    for (i, t) in win.iter().enumerate() {
+        match t.kind {
+            TokKind::Ident => {
+                let lower = t.text.to_ascii_lowercase();
+                if t.text.starts_with(prefix) || allow.contains(&lower) {
+                    sanctioned = true;
+                } else if keyed.is_none() && lower.contains("salt") {
+                    keyed = Some(t.text.clone());
+                }
+            }
+            TokKind::Int if literal.is_none() && bound_position(win, i) => {
+                literal = Some(t);
+            }
+            _ => {}
+        }
+    }
+    if sanctioned {
+        return;
+    }
+    if let (Some(name), Some(lit)) = (keyed, literal) {
+        ctx.emit(
+            lit.line,
+            format!(
+                "raw integer bound to fault-plane salt `{name}`; salts are \
+                 wire-visible identity and must be named consts declared in \
+                 the salt registry module (see lint.toml `registry`), so \
+                 their disjointness stays auditable in one place"
+            ),
+        );
+    }
+}

@@ -1,0 +1,39 @@
+//! Near-miss for `salt-registry`: salts flow through the registry's
+//! named consts, and salt-adjacent arithmetic that is not a salt value
+//! (hash shifts, argument passing) stays exempt.
+
+pub const SALT_PRIMARY: u8 = 0;
+pub const SALT_GHOST: u8 = 1;
+pub const SALT_TEARDOWN_BASE: u8 = 3;
+
+pub struct Job {
+    pub seq: u64,
+    pub salt: u8,
+}
+
+pub fn emit(seq: u64, out: &mut Vec<Job>) {
+    out.push(Job {
+        seq,
+        salt: SALT_GHOST,
+    });
+    for i in 0..2u8 {
+        out.push(Job {
+            seq,
+            salt: SALT_TEARDOWN_BASE + i,
+        });
+    }
+}
+
+pub fn is_ghost(job: &Job) -> bool {
+    job.salt != SALT_PRIMARY
+}
+
+pub fn fault_key(seq: u64, salt: u8) -> u64 {
+    // A shift by a literal is hash layout, not a salt value.
+    seq ^ ((salt as u64) << 40)
+}
+
+pub fn decide(seq: u64, salt: u8) -> u64 {
+    // Plain argument position next to a salt identifier is exempt.
+    fault_key(seq, salt)
+}

@@ -1,0 +1,28 @@
+//! Trips `salt-registry`: bare integer literals minted as (or compared
+//! against) fault-plane salts outside the registry module.
+
+pub struct Job {
+    pub seq: u64,
+    pub salt: u8,
+}
+
+pub fn emit(seq: u64, out: &mut Vec<Job>) {
+    // A struct literal minting a raw ghost salt.
+    out.push(Job { seq, salt: 1 });
+    // The historical teardown pattern: a raw base plus a walk index.
+    for i in 0..2u8 {
+        out.push(Job {
+            seq,
+            salt: 3 + i,
+        });
+    }
+}
+
+pub fn is_ghost(job: &Job) -> bool {
+    // Comparison against a raw salt literal.
+    job.salt != 0
+}
+
+pub fn is_primary(job: &Job) -> bool {
+    job.salt == 0
+}

@@ -180,6 +180,30 @@ pub fn next_roll(superstep: u64, measurement_window_supersteps: u64) -> u64 {
     );
 }
 
+#[test]
+fn salt_registry_fixtures() {
+    assert_rule("salt-registry", "salt_registry", "", 4);
+}
+
+#[test]
+fn salt_registry_exempts_the_registry_module_itself() {
+    // The registry is where the literals live: the same source that trips
+    // everywhere else is clean when it *is* the configured registry.
+    let cfg_text = "[rule.salt-registry]\nregistry = \"crates/rcbr-runtime/src/trip.rs\"\n";
+    let cfg = Config::parse(cfg_text).expect("config parses");
+    let (diags, _) = check_source(
+        "crates/rcbr-runtime/src/trip.rs",
+        "rcbr-runtime",
+        false,
+        &fixture("salt_registry", "trip.rs"),
+        &cfg,
+    );
+    assert!(
+        !diags.iter().any(|d| d.rule == "salt-registry"),
+        "the registry module declares the literals: {diags:#?}"
+    );
+}
+
 const WIRE_CFG: &str = r#"
 [rule.wire-layout]
 total = 16

@@ -299,7 +299,9 @@ impl FaultPlane {
             FaultAction::Corrupt
         } else if r < c.drop_bp + c.corrupt_bp + c.delay_bp {
             FaultAction::Delay(1 + (h >> 32) % c.max_delay)
-        } else if r < c.drop_bp + c.corrupt_bp + c.delay_bp + c.dup_bp && salt == 0 {
+        } else if r < c.drop_bp + c.corrupt_bp + c.delay_bp + c.dup_bp
+            && salt == crate::SALT_PRIMARY
+        {
             // Ghosts never spawn further ghosts: at most one copy per cell.
             FaultAction::Duplicate
         } else {

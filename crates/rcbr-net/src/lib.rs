@@ -38,6 +38,7 @@ pub mod path;
 pub mod port;
 pub mod rm;
 pub mod rsvp;
+pub mod salt;
 pub mod switch;
 pub mod topology;
 
@@ -52,5 +53,6 @@ pub use path::{Path, RenegotiationOutcome};
 pub use port::OutputPort;
 pub use rm::{RateField, RmCell, RM_CELL_BYTES};
 pub use rsvp::{FlowSpec, LeaseTable, ResvOutcome, RsvpRouter};
+pub use salt::{SALT_GHOST, SALT_PRIMARY, SALT_TEARDOWN_BASE};
 pub use switch::{Switch, SwitchError};
 pub use topology::{Link, Topology};

@@ -111,6 +111,18 @@ pub struct ArrivalEstimator {
     transitions: BTreeMap<(u64, u64), u64>,
     /// Last observed grid level per VC — persists across window rolls so
     /// cross-window transitions still chain.
+    ///
+    /// The per-VC rate process does not restart at a window boundary:
+    /// the first cell a VC delivers after a roll is a transition *from*
+    /// its last pre-roll level, and forgetting that level would silently
+    /// drop exactly one transition per VC per window. With windows short
+    /// relative to the renegotiation cadence that loss is a systematic
+    /// bias toward whatever the within-window dynamics happen to be —
+    /// the fitted transition matrix (and so the booking ceilings) would
+    /// then depend on where the roll landed, not on the traffic. Only a
+    /// crash [`wipe`](Self::wipe) clears it: measurement state is soft
+    /// state, and a restarted switch genuinely has no pre-crash evidence
+    /// to chain from. [`clear_window`](Self::clear_window) keeps it.
     last_level: BTreeMap<u32, u64>,
     /// Cumulative observations since the last wipe (not reset by rolls).
     observed: u64,
@@ -496,6 +508,36 @@ mod tests {
         est.wipe();
         assert_eq!(est.observations(), 0);
         assert_eq!(est.active_vcs(), 0);
+    }
+
+    #[test]
+    fn cross_window_transition_chains_when_the_prior_level_reoccurs() {
+        // The kept-chain case pinning `last_level`'s reason to exist: the
+        // VC's first post-roll cell is a transition *from* its last
+        // pre-roll level, and when that level re-occurs in the new window
+        // it is part of the state space — the chained transition must be
+        // counted, not dropped like the dangling case above.
+        let mut est = ArrivalEstimator::new(100.0);
+        est.observe(7, 300.0); // level 3, pre-roll
+        est.clear_window();
+        est.observe(7, 100.0); // level 1: cross-window transition 3 -> 1
+        est.observe(7, 300.0); // level 3 back in this window's histogram
+        let src = est.empirical_source().expect("non-empty window");
+        // States, ascending by level: index 0 = level 1, index 1 = level 3.
+        assert_eq!(src.chain().num_states(), 2);
+        // The 3 -> 1 chain crossed the roll; 1 -> 3 happened within the
+        // window. Each row has exactly one observed exit.
+        assert!((src.chain().prob(1, 0) - 1.0).abs() < 1e-12);
+        assert!((src.chain().prob(0, 1) - 1.0).abs() < 1e-12);
+        // A fresh estimator fed the same post-roll stream must fit
+        // different dynamics: without the chained 3 -> 1 evidence, level
+        // 3 has no observed exits and self-loops instead.
+        let mut fresh = ArrivalEstimator::new(100.0);
+        fresh.observe(7, 100.0);
+        fresh.observe(7, 300.0);
+        let unchained = fresh.empirical_source().expect("non-empty window");
+        assert_eq!(unchained.chain().num_states(), 2);
+        assert!((unchained.chain().prob(1, 1) - 1.0).abs() < 1e-12);
     }
 
     #[test]

@@ -74,6 +74,10 @@ pub(crate) struct VcFinal {
     /// The route the VC's reservations should live on (empty if the VC
     /// was torn down / stranded and holds nothing).
     pub route: Vec<usize>,
+    /// The run ended with this VC's route machinery still in motion
+    /// (reroute in flight or teardowns queued) — see
+    /// `VcRunner::unsettled_at_exit`. Read before `apply_final`.
+    pub unsettled: bool,
 }
 
 /// Snapshot one VC's published believed rate. Must be called while the

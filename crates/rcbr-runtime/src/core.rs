@@ -27,8 +27,8 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
-use rcbr_net::{FaultAction, FaultPlane, RateField, RmCell, Switch};
-use rcbr_sim::{Histogram, RunningStats};
+use rcbr_net::{FaultAction, FaultPlane, RateField, RmCell, Switch, SALT_GHOST, SALT_PRIMARY};
+use rcbr_sim::Histogram;
 use serde::{Deserialize, Serialize};
 
 use crate::admission::SwitchAdmission;
@@ -379,7 +379,7 @@ impl Counters {
 /// Where a completing job records its modeled latency.
 pub(crate) struct CompletionSink<'a> {
     pub latency: &'a mut Histogram,
-    pub moments: &'a mut RunningStats,
+    pub moments: &'a mut crate::report::RttStats,
 }
 
 /// The fault plane plus the logical clock a hop is processed at.
@@ -446,7 +446,7 @@ pub(crate) fn advance_job(
     sink: &mut CompletionSink<'_>,
     adm: Option<&mut SwitchAdmission>,
 ) -> (Option<Job>, Option<(u64, Job)>) {
-    let is_ghost = job.salt != 0;
+    let is_ghost = job.salt != SALT_PRIMARY;
     let path_len = job.route.len();
     let gone = |counters: &Counters| {
         counters.in_flight.fetch_sub(1, Ordering::Relaxed);
@@ -535,7 +535,7 @@ pub(crate) fn advance_job(
                 spawned = Some((
                     fx.superstep + 1,
                     Job {
-                        salt: 1,
+                        salt: SALT_GHOST,
                         origin: job.hop as u8,
                         cleared: false,
                         ..job
@@ -562,7 +562,7 @@ pub(crate) fn advance_job(
                    sink: &mut CompletionSink<'_>| {
         let rtt = cfg.hop_latency * 2.0 * hops_touched as f64;
         sink.latency.record(rtt);
-        sink.moments.push(rtt);
+        sink.moments.record(hops_touched);
         if outcome == Outcome::Granted {
             counters.accepted.fetch_add(1, Ordering::Relaxed);
             counters.completed.fetch_add(1, Ordering::Relaxed);

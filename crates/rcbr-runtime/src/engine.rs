@@ -44,7 +44,7 @@ use std::sync::mpsc::{Receiver, Sender};
 use std::sync::{mpsc, Barrier, Mutex};
 
 use rcbr_net::{FaultPlane, Switch, Topology};
-use rcbr_sim::{Histogram, RunningStats};
+use rcbr_sim::Histogram;
 
 use crate::admission::{reduce_admission, SwitchAdmission};
 use crate::audit::{audit_shard, finalize, reduce_source_loss, VcFinal};
@@ -59,7 +59,7 @@ use crate::report::{
 struct ShardResult {
     shard: usize,
     latency: Histogram,
-    moments: RunningStats,
+    moments: crate::report::RttStats,
     processed: u64,
     injected: u64,
     max_batch: u64,
@@ -136,7 +136,7 @@ pub fn run(cfg: &RuntimeConfig) -> RunReport {
 
     let wall = started.elapsed_seconds();
     let mut latency = latency_histogram(cfg);
-    let mut moments = RunningStats::new();
+    let mut moments = crate::report::RttStats::new();
     let mut shard_reports = Vec::with_capacity(shards);
     let rounds = results[0].rounds;
     let superstep = results[0].superstep;
@@ -179,6 +179,7 @@ pub fn run(cfg: &RuntimeConfig) -> RunReport {
 
     let audit = finalize(cfg, &plane, &mut all_switches, &mut finals, superstep);
     let degraded_vcs = finals.iter().filter(|f| f.degraded).count() as u64;
+    let unsettled_vcs = finals.iter().filter(|f| f.unsettled).count() as u64;
     let (mean_source_loss, max_source_loss) = reduce_source_loss(&finals, cfg.num_vcs);
     let vcs = finals
         .iter()
@@ -211,10 +212,11 @@ pub fn run(cfg: &RuntimeConfig) -> RunReport {
         audit,
         admission,
         degraded_vcs,
+        unsettled_vcs,
         mean_source_loss,
         max_source_loss,
         vcs,
-        latency: summarize_latency(&latency, &moments),
+        latency: summarize_latency(&latency, &moments, cfg.hop_latency),
         shards: shard_reports,
     }
 }
@@ -271,7 +273,7 @@ fn worker(
         .collect();
 
     let mut latency = latency_histogram(cfg);
-    let mut moments = RunningStats::new();
+    let mut moments = crate::report::RttStats::new();
     let mut processed = 0u64;
     let mut injected = 0u64;
     let mut max_batch = 0u64;
@@ -473,6 +475,9 @@ fn worker(
     // current, then snapshot each VC's source state for the audit.
     let mut finals = Vec::with_capacity(runners.len());
     for runner in &mut runners {
+        // Read before apply_final: the final verdict collapses a
+        // mid-flight reroute to Settled while its residue stays behind.
+        let unsettled = runner.unsettled_at_exit();
         let outcome = vci_states[runner.vci() as usize]
             .lock()
             .expect("vci lock")
@@ -487,6 +492,7 @@ fn worker(
             degraded: runner.is_degraded(),
             loss: runner.loss_fraction(),
             route: runner.final_route(),
+            unsettled,
         });
     }
 

@@ -37,7 +37,7 @@
 //! booking. MBAC denials simply arrive as ordinary denials and ride the
 //! same backoff / retry / degrade path above, unchanged.
 
-use rcbr_net::{FaultPlane, Topology};
+use rcbr_net::{FaultPlane, Topology, SALT_PRIMARY, SALT_TEARDOWN_BASE};
 use rcbr_schedule::online::{Ar1Config, Ar1Policy};
 use rcbr_schedule::{RetryBudget, RetryPolicy, VcDriver};
 use rcbr_sim::SimRng;
@@ -451,7 +451,22 @@ impl VcRunner {
 
         if let RouteState::RerouteBackoff { until, mode } = self.route_state {
             if now >= until {
-                if mode == RerouteMode::BreakBeforeMake && !self.torn {
+                if !self.pending_tear.is_empty() {
+                    // Teardown walks queued this round overlap any
+                    // candidate on the shared endpoints at minimum (a
+                    // stranding tear covers the whole active route, a
+                    // compensation tear the whole failed candidate).
+                    // Launching a walk now would race them on those
+                    // hops: sorted after the walk at a shared switch,
+                    // the teardown uninstalls the entry the walk just
+                    // reserved, and a later grant commits a route with
+                    // holes in it. Same discipline as break-before-make:
+                    // let the tears drain, walk next round.
+                    self.route_state = RouteState::RerouteBackoff {
+                        until: now + BBM_TEAR_SUPERSTEPS,
+                        mode,
+                    };
+                } else if mode == RerouteMode::BreakBeforeMake && !self.torn {
                     // Break first: tear the old route down completely; the
                     // fresh reservation walk goes out next round, after
                     // the teardown has drained.
@@ -479,7 +494,7 @@ impl VcRunner {
                             kind: JobKind::Reroute {
                                 rate: self.driver.current_rate(),
                             },
-                            salt: 0,
+                            salt: SALT_PRIMARY,
                             origin: 0,
                             cleared: false,
                             route: Route::from_slice(&candidate),
@@ -514,7 +529,7 @@ impl VcRunner {
                             rate,
                             expected_prior: self.driver.current_rate(),
                         },
-                        salt: 0,
+                        salt: SALT_PRIMARY,
                         origin: 0,
                         cleared: false,
                         route,
@@ -551,7 +566,7 @@ impl VcRunner {
                     vci: self.vci,
                     hop: 0,
                     kind,
-                    salt: 0,
+                    salt: SALT_PRIMARY,
                     origin: 0,
                     cleared: false,
                     route,
@@ -576,7 +591,7 @@ impl VcRunner {
                 vci: self.vci,
                 hop: 0,
                 kind: JobKind::Teardown,
-                salt: 3 + i as u8,
+                salt: SALT_TEARDOWN_BASE + i as u8,
                 origin: 0,
                 cleared: true,
                 route: Route::from_slice(&tear),
@@ -604,6 +619,24 @@ impl VcRunner {
             Outcome::Denied => self.driver.on_deny(),
         }
         self.phase = ReqPhase::Idle;
+    }
+
+    /// Whether the run is ending with this VC's route machinery still in
+    /// motion: a reroute walk awaiting its verdict, a backoff pending the
+    /// next attempt, or teardown walks queued but not yet emitted. Such a
+    /// VC can legitimately leave bandwidth on candidate or stale hops for
+    /// the end-of-run audit to reclaim (`off_route_residue`), so the
+    /// residue invariant only binds when every VC reports settled.
+    ///
+    /// Must be read *before* [`apply_final`](Self::apply_final): applying
+    /// a final reroute verdict collapses the state to `Settled` while the
+    /// residue it documents is still on the hops.
+    pub fn unsettled_at_exit(&self) -> bool {
+        !self.pending_tear.is_empty()
+            || matches!(
+                self.route_state,
+                RouteState::RerouteAwait { .. } | RouteState::RerouteBackoff { .. }
+            )
     }
 
     /// The VCI this runner drives.

@@ -4,7 +4,7 @@
 //! boundary (`lint.toml` exempts it from the `wall-clock` rule): the
 //! [`WallTimer`] below feeds throughput reporting and nothing else.
 
-use rcbr_sim::{Histogram, RunningStats};
+use rcbr_sim::Histogram;
 use serde::{Deserialize, Serialize};
 
 use crate::admission::AdmissionReport;
@@ -118,6 +118,13 @@ pub struct RunReport {
     /// VCs that ended the run degraded (exhausted a retry budget, or were
     /// floored by end-of-run recovery).
     pub degraded_vcs: u64,
+    /// VCs whose route machinery was still in motion when the run ended —
+    /// a reroute walk awaiting its verdict, a reroute backoff pending, or
+    /// teardown walks queued but not yet emitted. Such VCs can
+    /// legitimately leave `audit.off_route_residue` behind; when this is
+    /// zero the residue must be zero too (the fuzzer's quiescent-residue
+    /// oracle).
+    pub unsettled_vcs: u64,
     /// Mean end-system buffer loss fraction across VCs.
     pub mean_source_loss: f64,
     /// Worst end-system buffer loss fraction across VCs.
@@ -137,22 +144,57 @@ pub(crate) fn latency_histogram(cfg: &RuntimeConfig) -> Histogram {
     Histogram::new(0.0, hi, 4 * (cfg.hops_per_vc + 1))
 }
 
+/// Exact round-trip accumulator: every modeled RTT is an integer hop
+/// count scaled by `2 * hop_latency`, so summing the *hop counts* (and
+/// scaling once at summary time) keeps the mean a pure function of the
+/// completion multiset. A float running mean would pick up
+/// partition-dependent rounding (parallel Welford merges in shard order,
+/// the sequential replay streams in arrival order), breaking the
+/// bit-identity invariant in the last ulps.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct RttStats {
+    hops: u64,
+    count: u64,
+    max_hops: u64,
+}
+
+impl RttStats {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one completed attempt that touched `hops` hops.
+    pub fn record(&mut self, hops: usize) {
+        self.hops += hops as u64;
+        self.count += 1;
+        self.max_hops = self.max_hops.max(hops as u64);
+    }
+
+    /// Exact merge (integer sums are associative and commutative).
+    pub fn merge(&mut self, other: &RttStats) {
+        self.hops += other.hops;
+        self.count += other.count;
+        self.max_hops = self.max_hops.max(other.max_hops);
+    }
+}
+
 /// Summarize merged latency stats.
-pub(crate) fn summarize_latency(hist: &Histogram, moments: &RunningStats) -> LatencySummary {
+pub(crate) fn summarize_latency(
+    hist: &Histogram,
+    rtt: &RttStats,
+    hop_latency: f64,
+) -> LatencySummary {
+    let per_hop = 2.0 * hop_latency;
     LatencySummary {
         count: hist.count(),
-        mean: if moments.count() > 0 {
-            moments.mean()
+        mean: if rtt.count > 0 {
+            per_hop * rtt.hops as f64 / rtt.count as f64
         } else {
             0.0
         },
         p50: hist.quantile(0.5),
         p95: hist.quantile(0.95),
         p99: hist.quantile(0.99),
-        max: if moments.count() > 0 {
-            moments.max()
-        } else {
-            0.0
-        },
+        max: per_hop * rtt.max_hops as f64,
     }
 }

@@ -14,7 +14,6 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 use rcbr_net::{FaultPlane, Switch};
-use rcbr_sim::RunningStats;
 
 use crate::admission::{reduce_admission, SwitchAdmission};
 use crate::audit::{audit_shard, finalize, reduce_source_loss, VcFinal};
@@ -62,7 +61,7 @@ pub fn run_sequential(cfg: &RuntimeConfig) -> RunReport {
         .collect();
 
     let mut latency = latency_histogram(cfg);
-    let mut moments = RunningStats::new();
+    let mut moments = crate::report::RttStats::new();
     let mut processed = 0u64;
     let mut injected = 0u64;
     let mut max_batch = 0u64;
@@ -215,6 +214,9 @@ pub fn run_sequential(cfg: &RuntimeConfig) -> RunReport {
 
     let mut finals: Vec<VcFinal> = Vec::with_capacity(cfg.num_vcs);
     for runner in &mut runners {
+        // Read before apply_final: the final verdict collapses a
+        // mid-flight reroute to Settled while its residue stays behind.
+        let unsettled = runner.unsettled_at_exit();
         let outcome = vci_states[runner.vci() as usize]
             .lock()
             .expect("vci lock")
@@ -229,11 +231,13 @@ pub fn run_sequential(cfg: &RuntimeConfig) -> RunReport {
             degraded: runner.is_degraded(),
             loss: runner.loss_fraction(),
             route: runner.final_route(),
+            unsettled,
         });
     }
 
     let audit = finalize(cfg, &plane, &mut switches, &mut finals, superstep);
     let degraded_vcs = finals.iter().filter(|f| f.degraded).count() as u64;
+    let unsettled_vcs = finals.iter().filter(|f| f.unsettled).count() as u64;
     let (mean_source_loss, max_source_loss) = reduce_source_loss(&finals, cfg.num_vcs);
     let vcs = finals
         .iter()
@@ -267,10 +271,11 @@ pub fn run_sequential(cfg: &RuntimeConfig) -> RunReport {
         audit,
         admission,
         degraded_vcs,
+        unsettled_vcs,
         mean_source_loss,
         max_source_loss,
         vcs,
-        latency: summarize_latency(&latency, &moments),
+        latency: summarize_latency(&latency, &moments, cfg.hop_latency),
         shards: vec![ShardReport {
             shard: 0,
             processed,

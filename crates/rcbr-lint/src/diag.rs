@@ -51,11 +51,29 @@ pub struct RuleSummary {
     pub suppressed: usize,
 }
 
+/// Call-graph statistics for the report's `graph` block — coverage
+/// evidence for the cross-function passes (a report claiming "clean" is
+/// only as strong as the graph it analyzed).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GraphStats {
+    /// Production functions in the workspace graph.
+    pub functions: usize,
+    /// Resolved call edges between them.
+    pub call_edges: usize,
+    /// Nondeterminism source sites that seeded taint.
+    pub taint_seeds: usize,
+    /// Functions carrying taint (seeds + transitive callers, minus
+    /// sanctioned boundaries).
+    pub tainted_functions: usize,
+}
+
 /// The complete result of a lint run.
 #[derive(Debug, Clone)]
 pub struct LintReport {
     /// Files lexed and checked.
     pub files_scanned: usize,
+    /// Call-graph coverage statistics.
+    pub graph: GraphStats,
     /// Every active rule, in registry order.
     pub rules: Vec<RuleSummary>,
     /// Violations sorted by `(path, line, rule)`.
@@ -83,6 +101,15 @@ impl LintReport {
         out.push_str("{\n");
         let _ = writeln!(out, "  \"clean\": {},", self.clean());
         let _ = writeln!(out, "  \"files_scanned\": {},", self.files_scanned);
+        let _ = writeln!(
+            out,
+            "  \"graph\": {{\"call_edges\": {}, \"functions\": {}, \"taint_seeds\": {}, \
+             \"tainted_functions\": {}}},",
+            self.graph.call_edges,
+            self.graph.functions,
+            self.graph.taint_seeds,
+            self.graph.tainted_functions
+        );
         out.push_str("  \"rules\": [\n");
         for (i, r) in self.rules.iter().enumerate() {
             let _ = write!(
@@ -162,6 +189,7 @@ mod tests {
     fn canonical_order_is_path_line_rule() {
         let mut r = LintReport {
             files_scanned: 0,
+            graph: GraphStats::default(),
             rules: Vec::new(),
             violations: vec![d("b", "z.rs", 1), d("a", "a.rs", 9), d("a", "a.rs", 2)],
             suppressed: 0,

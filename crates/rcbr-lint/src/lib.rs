@@ -28,21 +28,65 @@
 
 pub mod config;
 pub mod diag;
+pub mod graph;
 pub mod lexer;
 pub mod rules;
 pub mod source;
+pub mod taint;
 
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
 use config::Config;
-use diag::{Diagnostic, LintReport, RuleSummary};
+use diag::{Diagnostic, GraphStats, LintReport, RuleSummary};
+use graph::Workspace;
 use source::SourceFile;
+use taint::TaintSummary;
+
+/// Everything one analysis pass produces: the call graph, the taint
+/// summary, and the (canonically sortable) diagnostics.
+pub struct Analysis {
+    pub workspace: Workspace,
+    pub taint: TaintSummary,
+    pub violations: Vec<Diagnostic>,
+    /// Per-rule `lint:allow` suppression counts.
+    pub suppressed: std::collections::BTreeMap<&'static str, usize>,
+}
+
+/// The full pipeline over pre-lexed sources: per-file rules, then the
+/// workspace call graph, then transitive taint and the graph rules.
+/// Output is independent of the order of `files` — the workspace sorts
+/// them by path before anything else looks at them.
+pub fn analyze_sources(files: Vec<SourceFile>, cfg: &Config) -> Analysis {
+    let ws = Workspace::build(files, cfg);
+    let mut violations = Vec::new();
+    let mut suppressed: std::collections::BTreeMap<&'static str, usize> =
+        std::collections::BTreeMap::new();
+    for file in &ws.files {
+        for (rule, n) in rules::check_file(file, cfg, &mut violations) {
+            *suppressed.entry(rule).or_insert(0) += n;
+        }
+    }
+    let (taint, taint_suppressed) = taint::check(&ws, cfg, &mut violations);
+    for (rule, n) in taint_suppressed {
+        *suppressed.entry(rule).or_insert(0) += n;
+    }
+    for (rule, n) in rules::check_graph(&ws, cfg, &mut violations) {
+        *suppressed.entry(rule).or_insert(0) += n;
+    }
+    Analysis {
+        workspace: ws,
+        taint,
+        violations,
+        suppressed,
+    }
+}
 
 /// Lint a single source text, as the file `rel_path` of `crate_name`.
 /// Returns the diagnostics plus per-rule suppression counts. This is the
-/// entry point the fixture tests drive directly.
+/// entry point the fixture tests drive directly. A single file is a
+/// (small) workspace: graph rules and taint run over it too.
 pub fn check_source(
     rel_path: &str,
     crate_name: &str,
@@ -54,9 +98,8 @@ pub fn check_source(
     std::collections::BTreeMap<&'static str, usize>,
 ) {
     let file = SourceFile::new(rel_path, crate_name, is_test_target, source);
-    let mut out = Vec::new();
-    let suppressed = rules::check_file(&file, cfg, &mut out);
-    (out, suppressed)
+    let analysis = analyze_sources(vec![file], cfg);
+    (analysis.violations, analysis.suppressed)
 }
 
 /// Walk upward from `start` to the directory holding `lint.toml`.
@@ -134,42 +177,63 @@ fn rel_path(root: &Path, path: &Path) -> String {
 /// Lint an explicit file list (paths under `root`). The report is
 /// canonical: independent of the order of `files`.
 pub fn run_lint_files(root: &Path, cfg: &Config, files: &[PathBuf]) -> io::Result<LintReport> {
-    let mut violations = Vec::new();
-    let mut suppressed: std::collections::BTreeMap<&'static str, usize> =
-        std::collections::BTreeMap::new();
+    Ok(run_lint_files_full(root, cfg, files)?.0)
+}
+
+/// Like [`run_lint_files`], but also returns the [`Analysis`] (the call
+/// graph for `--graph`, the taint summary).
+pub fn run_lint_files_full(
+    root: &Path,
+    cfg: &Config,
+    files: &[PathBuf],
+) -> io::Result<(LintReport, Analysis)> {
+    let mut sources = Vec::with_capacity(files.len());
     for path in files {
         let rel = rel_path(root, path);
         let (crate_name, is_test) = classify(&rel);
         let source = fs::read_to_string(path)?;
-        let (mut diags, file_suppressed) = check_source(&rel, &crate_name, is_test, &source, cfg);
-        violations.append(&mut diags);
-        for (rule, n) in file_suppressed {
-            *suppressed.entry(rule).or_insert(0) += n;
-        }
+        sources.push(SourceFile::new(&rel, &crate_name, is_test, &source));
     }
+    let analysis = analyze_sources(sources, cfg);
     let rules = rules::RULES
         .iter()
         .map(|r| RuleSummary {
             id: r.id.to_string(),
             summary: r.summary.to_string(),
-            violations: violations.iter().filter(|d| d.rule == r.id).count(),
-            suppressed: suppressed.get(r.id).copied().unwrap_or(0),
+            violations: analysis
+                .violations
+                .iter()
+                .filter(|d| d.rule == r.id)
+                .count(),
+            suppressed: analysis.suppressed.get(r.id).copied().unwrap_or(0),
         })
         .collect();
     let mut report = LintReport {
         files_scanned: files.len(),
+        graph: GraphStats {
+            functions: analysis.workspace.fns.len(),
+            call_edges: analysis.workspace.edges.len(),
+            taint_seeds: analysis.taint.seeds,
+            tainted_functions: analysis.taint.tainted,
+        },
         rules,
-        violations,
-        suppressed: suppressed.values().sum(),
+        violations: analysis.violations.clone(),
+        suppressed: analysis.suppressed.values().sum(),
     };
     report.canonicalize();
-    Ok(report)
+    Ok((report, analysis))
 }
 
 /// Lint the whole workspace under `root`.
 pub fn run_lint(root: &Path, cfg: &Config) -> io::Result<LintReport> {
     let files = collect_files(root, cfg)?;
     run_lint_files(root, cfg, &files)
+}
+
+/// Lint the whole workspace under `root`, returning the analysis too.
+pub fn run_lint_full(root: &Path, cfg: &Config) -> io::Result<(LintReport, Analysis)> {
+    let files = collect_files(root, cfg)?;
+    run_lint_files_full(root, cfg, &files)
 }
 
 #[cfg(test)]

@@ -1,0 +1,249 @@
+//! `counter-order`: every `RunReport` field is classified deterministic
+//! or wall-clock, and the deterministic set is exactly what the fuzz
+//! oracle compares.
+//!
+//! The fuzzer's shard-identity oracle serializes a `ComparableReport` —
+//! the deterministic subset of `RunReport` — to canonical JSON and
+//! byte-compares it across shard counts. That subset is the *definition*
+//! of the bit-identity invariant, and it used to live in two places that
+//! could drift silently: the struct in `fuzz/oracle.rs` and people's
+//! heads. This rule pins it in `lint.toml`:
+//!
+//! ```toml
+//! [rule.counter-order]
+//! report_file   = "crates/rcbr-runtime/src/report.rs"
+//! report_struct = "RunReport"
+//! oracle_file   = "crates/rcbr-bench/src/fuzz/oracle.rs"
+//! oracle_struct = "ComparableReport"
+//! deterministic = ["rounds", "supersteps", ...]
+//! wall_clock    = ["wall_seconds", "num_shards", ...]
+//! ```
+//!
+//! Checks (a whole-workspace pass — the two structs live in different
+//! crates):
+//!
+//! 1. no field is classified both ways, and no registry entry is stale;
+//! 2. every `RunReport` field appears in exactly one list — adding a
+//!    field without deciding its determinism class is a lint error;
+//! 3. the `deterministic` list equals the oracle struct's fields exactly
+//!    — a deterministic field the oracle doesn't compare is a blind
+//!    spot, a compared field not declared deterministic is an
+//!    undocumented invariant.
+//!
+//! If the report file is not among the scanned sources (a partial scan,
+//! e.g. linting one crate), the rule is silent; a full workspace scan
+//! with a missing oracle file or struct is an error, not a skip.
+
+use super::{path_matches, GraphCtx};
+use crate::lexer::{TokKind, Token};
+
+pub(super) fn check(ctx: &mut GraphCtx<'_>) {
+    let Some(report_file) = ctx.cfg_str("report_file") else {
+        return;
+    };
+    let report_struct = ctx
+        .cfg_str("report_struct")
+        .unwrap_or_else(|| "RunReport".into());
+    let oracle_file = ctx.cfg_str("oracle_file");
+    let oracle_struct = ctx
+        .cfg_str("oracle_struct")
+        .unwrap_or_else(|| "ComparableReport".into());
+    let deterministic = ctx.cfg_list("deterministic");
+    let wall_clock = ctx.cfg_list("wall_clock");
+
+    let Some(rfi) = ctx
+        .ws
+        .files
+        .iter()
+        .position(|f| path_matches(&f.rel_path, &report_file))
+    else {
+        return; // partial scan: the subject isn't on the table
+    };
+    let Some((rline, rfields)) = struct_fields(&ctx.ws.files[rfi].tokens, &report_struct) else {
+        ctx.emit(
+            rfi,
+            1,
+            format!(
+                "counter-order: struct `{report_struct}` not found in {report_file}; \
+                 the determinism registry is unverifiable"
+            ),
+        );
+        return;
+    };
+
+    // 1. Registry self-checks.
+    for d in &deterministic {
+        if wall_clock.contains(d) {
+            ctx.emit(
+                rfi,
+                rline,
+                format!(
+                    "counter-order: field `{d}` is classified both deterministic and wall-clock"
+                ),
+            );
+        }
+    }
+    for entry in deterministic.iter().chain(wall_clock.iter()) {
+        if !rfields.iter().any(|(n, _)| n == entry) {
+            ctx.emit(
+                rfi,
+                rline,
+                format!(
+                    "counter-order: registry entry `{entry}` matches no `{report_struct}` \
+                     field — remove the stale classification"
+                ),
+            );
+        }
+    }
+
+    // 2. Every report field is classified.
+    for (name, line) in &rfields {
+        let in_d = deterministic.contains(name);
+        let in_w = wall_clock.contains(name);
+        if !in_d && !in_w {
+            ctx.emit(
+                rfi,
+                *line,
+                format!(
+                    "counter-order: `{report_struct}` field `{name}` has no determinism \
+                     classification — add it to [rule.counter-order] `deterministic` \
+                     (and to the fuzz oracle's `{oracle_struct}`) or to `wall_clock`"
+                ),
+            );
+        }
+    }
+
+    // 3. The deterministic set is exactly what the oracle compares.
+    let Some(oracle_file) = oracle_file else {
+        return;
+    };
+    let Some(ofi) = ctx
+        .ws
+        .files
+        .iter()
+        .position(|f| path_matches(&f.rel_path, &oracle_file))
+    else {
+        ctx.emit(
+            rfi,
+            rline,
+            format!(
+                "counter-order: oracle file {oracle_file} was not scanned; the \
+                 deterministic registry is unverifiable"
+            ),
+        );
+        return;
+    };
+    let Some((oline, ofields)) = struct_fields(&ctx.ws.files[ofi].tokens, &oracle_struct) else {
+        ctx.emit(
+            ofi,
+            1,
+            format!(
+                "counter-order: struct `{oracle_struct}` not found in {oracle_file}; \
+                 the shard-identity oracle has lost its comparison set"
+            ),
+        );
+        return;
+    };
+    for d in &deterministic {
+        if !ofields.iter().any(|(n, _)| n == d) {
+            ctx.emit(
+                ofi,
+                oline,
+                format!(
+                    "counter-order: deterministic field `{d}` is not compared by \
+                     `{oracle_struct}` — the shard-identity oracle is blind to \
+                     divergence in it"
+                ),
+            );
+        }
+    }
+    for (name, line) in &ofields {
+        if !deterministic.contains(name) {
+            ctx.emit(
+                ofi,
+                *line,
+                format!(
+                    "counter-order: `{oracle_struct}` compares `{name}`, which is not \
+                     declared deterministic — declare it or stop comparing it"
+                ),
+            );
+        }
+    }
+}
+
+/// The named fields of `struct <name> { ... }`: `(field, line)` pairs in
+/// declaration order, plus the struct's own line. Understands `pub`,
+/// `pub(crate)`, attributes, and path-typed fields (`a: m::T`).
+fn struct_fields(toks: &[Token], name: &str) -> Option<(u32, Vec<(String, u32)>)> {
+    let mut at = None;
+    for i in 0..toks.len().saturating_sub(1) {
+        if toks[i].is_ident("struct") && toks[i + 1].is_ident(name) {
+            at = Some(i);
+            break;
+        }
+    }
+    let start = at?;
+    // The body's opening brace (skip generics; `;` = unit/tuple struct).
+    let mut angle = 0i64;
+    let mut open = None;
+    for (j, t) in toks.iter().enumerate().skip(start + 2) {
+        if t.is_punct('<') {
+            angle += 1;
+        } else if t.is_punct('>') {
+            angle = (angle - 1).max(0);
+        } else if angle == 0 && t.is_punct('{') {
+            open = Some(j);
+            break;
+        } else if angle == 0 && (t.is_punct(';') || t.is_punct('(')) {
+            return Some((toks[start].line, Vec::new()));
+        }
+    }
+    let open = open?;
+    let mut fields = Vec::new();
+    let mut depth = 0i64;
+    let mut j = open;
+    while j < toks.len() {
+        let t = &toks[j];
+        if t.is_punct('{') || t.is_punct('(') || t.is_punct('[') || t.is_punct('<') {
+            depth += 1;
+        } else if t.is_punct('}') || t.is_punct(')') || t.is_punct(']') || t.is_punct('>') {
+            depth -= 1;
+            if depth == 0 && t.is_punct('}') {
+                break;
+            }
+        } else if depth == 1
+            && t.kind == TokKind::Ident
+            && toks.get(j + 1).is_some_and(|n| n.is_punct(':'))
+            && !toks.get(j + 2).is_some_and(|n| n.is_punct(':'))
+            && (j == 0 || !toks[j - 1].is_punct(':'))
+        {
+            fields.push((t.text.clone(), t.line));
+        }
+        j += 1;
+    }
+    Some((toks[start].line, fields))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn struct_fields_skip_visibility_attrs_and_paths() {
+        let toks = lex("
+#[derive(Debug)]
+pub struct RunReport {
+    /// doc
+    pub rounds: u64,
+    pub(crate) audit: crate::audit::AuditReport,
+    vcs: Vec<VcOutcome>,
+}
+")
+        .tokens;
+        let (line, fields) = struct_fields(&toks, "RunReport").unwrap();
+        assert_eq!(line, 3);
+        let names: Vec<&str> = fields.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["rounds", "audit", "vcs"]);
+    }
+}

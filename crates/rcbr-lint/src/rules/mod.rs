@@ -18,12 +18,15 @@
 //! * `// lint:allow(<id>)` on or above a line silences one diagnostic.
 
 mod barrier;
+mod counter_order;
 mod float_accum;
 mod float_sort;
 mod lease_units;
 mod measurement_window;
 mod panic_path;
+mod phase_discipline;
 mod ptr_identity;
+mod salt_disjointness;
 mod salt_registry;
 mod unordered_iter;
 mod unsafe_audit;
@@ -32,7 +35,17 @@ mod wire_layout;
 
 use crate::config::Config;
 use crate::diag::Diagnostic;
+use crate::graph::Workspace;
 use crate::source::SourceFile;
+
+/// How a rule runs: over one file at a time, or once over the whole
+/// workspace call graph.
+pub enum Check {
+    /// Per-file token scan (scoped by `crates`/`files`/`allow_files`).
+    File(fn(&mut Ctx<'_>)),
+    /// One whole-workspace pass over the [`Workspace`] call graph.
+    Graph(fn(&mut GraphCtx<'_>)),
+}
 
 /// One static-analysis rule.
 pub struct Rule {
@@ -45,7 +58,7 @@ pub struct Rule {
     /// shown by `lint --explain <id>`.
     pub hazard: &'static str,
     /// The check itself.
-    pub check: fn(&mut Ctx<'_>),
+    pub check: Check,
 }
 
 /// The registry. Order here is the order rules run and report in.
@@ -58,7 +71,7 @@ pub static RULES: &[Rule] = &[
                  sharded engine and run_sequential. Wall time may only be read through \
                  the audited WallTimer boundary (crates/rcbr-runtime/src/report.rs), \
                  which feeds throughput reporting and never simulation state.",
-        check: wall_clock::check,
+        check: Check::File(wall_clock::check),
     },
     Rule {
         id: "unordered-iter",
@@ -67,7 +80,7 @@ pub static RULES: &[Rule] = &[
                  (RandomState), so any fold, serialization, or float accumulation over \
                  one diverges between runs and between shards. Use BTreeMap/BTreeSet, \
                  or a Vec with explicit sorting.",
-        check: unordered_iter::check,
+        check: Check::File(unordered_iter::check),
     },
     Rule {
         id: "ptr-identity",
@@ -75,7 +88,7 @@ pub static RULES: &[Rule] = &[
         hazard: "std::ptr::eq and `as *const/*mut` casts compare allocation addresses, \
                  which differ run to run and shard to shard; identity must come from \
                  stable ids (vci, seq, switch index).",
-        check: ptr_identity::check,
+        check: Check::File(ptr_identity::check),
     },
     Rule {
         id: "barrier-discipline",
@@ -86,7 +99,7 @@ pub static RULES: &[Rule] = &[
                  round's phase-A timeout writes and deadlocks the barrier. All \
                  cross-shard counter loads therefore live in functions prefixed \
                  `snapshot`, whose call sites are auditable.",
-        check: barrier::check,
+        check: Check::File(barrier::check),
     },
     Rule {
         id: "panic-path",
@@ -97,7 +110,7 @@ pub static RULES: &[Rule] = &[
                  invariants, or plumb a Result. Bare unwrap(), panic!, todo!, \
                  unimplemented!, empty-message expect, and unchecked indexing \
                  (get_unchecked) are banned; tests and benches are exempt.",
-        check: panic_path::check,
+        check: Check::File(panic_path::check),
     },
     Rule {
         id: "unsafe-audit",
@@ -106,7 +119,7 @@ pub static RULES: &[Rule] = &[
                  DESIGN.md assumes no UB-capable code path. In the vendored shim \
                  crates, each `unsafe` must carry a `// SAFETY:` comment within three \
                  lines above it explaining why the invariant holds.",
-        check: unsafe_audit::check,
+        check: Check::File(unsafe_audit::check),
     },
     Rule {
         id: "float-sort",
@@ -116,7 +129,7 @@ pub static RULES: &[Rule] = &[
                  of it, like trellis survivor pruning — can differ between runs the \
                  moment a NaN or -0.0 appears. f64::total_cmp is total, deterministic, \
                  and free.",
-        check: float_sort::check,
+        check: Check::File(float_sort::check),
     },
     Rule {
         id: "float-accum",
@@ -126,7 +139,7 @@ pub static RULES: &[Rule] = &[
                  Reductions over merged shard data therefore live in functions prefixed \
                  `reduce_`, which document their input ordering; `.sum()` anywhere else \
                  in the runtime crate is a violation.",
-        check: float_accum::check,
+        check: Check::File(float_accum::check),
     },
     Rule {
         id: "lease-units",
@@ -138,7 +151,7 @@ pub static RULES: &[Rule] = &[
                  stale when the superstep cadence changes. Durations therefore live in \
                  fields or consts named *_supersteps; pre-existing documented names are \
                  grandfathered via allow_idents in lint.toml.",
-        check: lease_units::check,
+        check: Check::File(lease_units::check),
     },
     Rule {
         id: "measurement-window",
@@ -150,7 +163,7 @@ pub static RULES: &[Rule] = &[
                  local edit silently desynchronize the rolls (and thus the booking \
                  ceilings) across shard counts. Cadences therefore live in fields or \
                  consts named *_supersteps; audited names go in allow_idents.",
-        check: measurement_window::check,
+        check: Check::File(measurement_window::check),
     },
     Rule {
         id: "salt-registry",
@@ -162,7 +175,7 @@ pub static RULES: &[Rule] = &[
                  salt literals scattered across crates make that disjointness unauditable; \
                  every salt therefore lives as a named const in the single registry \
                  module configured as `registry` in lint.toml.",
-        check: salt_registry::check,
+        check: Check::File(salt_registry::check),
     },
     Rule {
         id: "wire-layout",
@@ -172,7 +185,45 @@ pub static RULES: &[Rule] = &[
                  doesn't — corruption becomes silently undetectable or valid cells get \
                  rejected. This rule cross-checks encode(), decode(), and cell_crc() \
                  in rcbr-net/src/rm.rs against the layout declared in lint.toml.",
-        check: wire_layout::check,
+        check: Check::File(wire_layout::check),
+    },
+    Rule {
+        id: "phase-discipline",
+        summary: "phase-locked state mutators reachable only from declared quiescence entry points",
+        hazard: "Route/lease/admission state (RouteState transitions, lease sweeps, \
+                 measurement-window rolls, booking-ceiling updates) may only move at \
+                 phase-A quiescence or in the end-of-run auditor, where every shard \
+                 observes the same state — otherwise shard counts diverge (the PR 5/6 \
+                 bug class). This rule walks the call graph caller-ward from every \
+                 declared mutator (mutator_fns / state_idents writes) and flags any \
+                 root that is not a declared entry_points quiescence function, with \
+                 the full chain from root to mutation.",
+        check: Check::Graph(phase_discipline::check),
+    },
+    Rule {
+        id: "salt-disjointness",
+        summary: "declared salt families are pairwise disjoint and anchor the registry consts",
+        hazard: "A job's salt feeds the fault hash and breaks same-seq ordering ties, \
+                 so two traffic families sharing salt space share fault coin flips — \
+                 the PR 5 shard-identity regression. `salt-registry` forces every \
+                 construction through named consts; this rule proves the consts \
+                 themselves stay collision-free: the families declared in lint.toml \
+                 must be pairwise disjoint, each anchored by its `const` at the \
+                 family's start, and every SALT_ const must belong to a declared \
+                 family so no unaudited salt can be minted.",
+        check: Check::File(salt_disjointness::check),
+    },
+    Rule {
+        id: "counter-order",
+        summary: "RunReport fields are all determinism-classified; the oracle compares exactly the deterministic set",
+        hazard: "The fuzz oracle byte-compares a ComparableReport — the deterministic \
+                 subset of RunReport — across shard counts; that subset *is* the \
+                 bit-identity invariant. If a new RunReport field lands without a \
+                 classification, or the oracle struct drifts from the declared \
+                 deterministic list, divergence goes silently untested (blind spot) \
+                 or wall-clock noise turns the oracle flaky. This rule cross-checks \
+                 the lint.toml registry against both structs on every run.",
+        check: Check::Graph(counter_order::check),
     },
 ];
 
@@ -233,7 +284,7 @@ impl<'a> Ctx<'a> {
 }
 
 /// Does `rule` apply to `file` at all, per its `lint.toml` scope?
-fn rule_in_scope(rule: &Rule, file: &SourceFile, cfg: &Config) -> bool {
+pub(crate) fn rule_in_scope(rule: &Rule, file: &SourceFile, cfg: &Config) -> bool {
     let section = format!("rule.{}", rule.id);
     if !cfg.bool_or(&section, "enabled", true) {
         return false;
@@ -259,16 +310,71 @@ fn rule_in_scope(rule: &Rule, file: &SourceFile, cfg: &Config) -> bool {
 
 /// A config path entry matches a file if it equals the relative path or
 /// is a suffix of it starting at a path-component boundary.
-fn path_matches(rel_path: &str, entry: &str) -> bool {
+pub(crate) fn path_matches(rel_path: &str, entry: &str) -> bool {
     rel_path == entry
         || rel_path
             .strip_suffix(entry)
             .is_some_and(|prefix| prefix.ends_with('/'))
 }
 
-/// Run every in-scope rule over one file, appending diagnostics to `out`.
-/// Returns, per rule id, how many diagnostics `lint:allow` comments
-/// silenced.
+/// Whole-workspace check context for [`Check::Graph`] rules: the call
+/// graph, the rule's config section, and filtered emission addressed by
+/// workspace file index.
+pub struct GraphCtx<'a> {
+    pub ws: &'a Workspace,
+    pub cfg: &'a Config,
+    pub rule: &'static Rule,
+    include_tests: bool,
+    out: &'a mut Vec<Diagnostic>,
+    suppressed: &'a mut usize,
+}
+
+impl<'a> GraphCtx<'a> {
+    fn section(&self) -> String {
+        format!("rule.{}", self.rule.id)
+    }
+
+    /// A string-list key from the rule's section.
+    pub fn cfg_list(&self, key: &str) -> Vec<String> {
+        self.cfg.list(&self.section(), key)
+    }
+
+    /// A string key from the rule's section.
+    pub fn cfg_str(&self, key: &str) -> Option<String> {
+        self.cfg.str_(&self.section(), key).map(str::to_string)
+    }
+
+    /// Does this rule's per-file scoping (`crates`/`files`/`allow_files`)
+    /// admit `file`? Graph rules see the whole workspace; this is how
+    /// they honor the shared scoping semantics per emission site.
+    pub fn file_in_scope(&self, file: &SourceFile) -> bool {
+        rule_in_scope(self.rule, file, self.cfg)
+    }
+
+    /// Emit a diagnostic in workspace file `file_idx` at `line`, with
+    /// the same test-region and `lint:allow` filtering as [`Ctx::emit`].
+    pub fn emit(&mut self, file_idx: usize, line: u32, message: String) {
+        let file = &self.ws.files[file_idx];
+        if !self.include_tests && file.is_test_at(line) {
+            return;
+        }
+        if file.is_suppressed(self.rule.id, line) {
+            *self.suppressed += 1;
+            return;
+        }
+        self.out.push(Diagnostic {
+            rule: self.rule.id.to_string(),
+            path: file.rel_path.clone(),
+            line,
+            message,
+            snippet: file.snippet(line),
+        });
+    }
+}
+
+/// Run every in-scope [`Check::File`] rule over one file, appending
+/// diagnostics to `out`. Returns, per rule id, how many diagnostics
+/// `lint:allow` comments silenced.
 pub fn check_file(
     file: &SourceFile,
     cfg: &Config,
@@ -276,6 +382,9 @@ pub fn check_file(
 ) -> std::collections::BTreeMap<&'static str, usize> {
     let mut all_suppressed = std::collections::BTreeMap::new();
     for rule in RULES {
+        let Check::File(check) = rule.check else {
+            continue;
+        };
         if !rule_in_scope(rule, file, cfg) {
             continue;
         }
@@ -289,7 +398,42 @@ pub fn check_file(
             out,
             suppressed: &mut suppressed,
         };
-        (rule.check)(&mut ctx);
+        check(&mut ctx);
+        if suppressed > 0 {
+            *all_suppressed.entry(rule.id).or_insert(0) += suppressed;
+        }
+    }
+    all_suppressed
+}
+
+/// Run every enabled [`Check::Graph`] rule once over the workspace,
+/// appending diagnostics to `out`. Returns per-rule `lint:allow`
+/// suppression counts.
+pub fn check_graph(
+    ws: &Workspace,
+    cfg: &Config,
+    out: &mut Vec<Diagnostic>,
+) -> std::collections::BTreeMap<&'static str, usize> {
+    let mut all_suppressed = std::collections::BTreeMap::new();
+    for rule in RULES {
+        let Check::Graph(check) = rule.check else {
+            continue;
+        };
+        let section = format!("rule.{}", rule.id);
+        if !cfg.bool_or(&section, "enabled", true) {
+            continue;
+        }
+        let include_tests = cfg.bool_or(&section, "include_tests", false);
+        let mut suppressed = 0usize;
+        let mut ctx = GraphCtx {
+            ws,
+            cfg,
+            rule,
+            include_tests,
+            out,
+            suppressed: &mut suppressed,
+        };
+        check(&mut ctx);
         if suppressed > 0 {
             *all_suppressed.entry(rule.id).or_insert(0) += suppressed;
         }

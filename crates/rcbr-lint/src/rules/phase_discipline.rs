@@ -1,0 +1,143 @@
+//! `phase-discipline`: phase-locked state mutators are reachable only
+//! from declared phase-A quiescence entry points.
+//!
+//! The BSP engine's bit-identity argument (DESIGN.md §6) hinges on
+//! *when* shared route/lease/admission state may move: lease sweeps,
+//! measurement-window rolls, booking-ceiling updates, and `RouteState`
+//! transitions happen at phase-A quiescence (or in the end-of-run
+//! auditor), where every shard observes the same state. PRs 5 and 6 each
+//! shipped a fix for exactly this class of bug and left the invariant as
+//! prose; this rule proves it over the call graph on every run.
+//!
+//! Configuration (`lint.toml [rule.phase-discipline]`):
+//!
+//! * `mutator_fns` — function names that mutate phase-locked state
+//!   (`expire_leases`, `roll`, `set_admit_ceiling`, …);
+//! * `state_idents` — identifiers whose *assignment* marks the enclosing
+//!   function as a mutator (`route_state`: both `x.route_state = …` and
+//!   `&mut self.route_state` in a `mem::replace`);
+//! * `entry_points` — the sanctioned quiescence roots, as
+//!   `path/suffix.rs::name` (or a bare `name` matching any file).
+//!
+//! The check walks caller-ward from every mutator. A walk that reaches a
+//! declared entry point is sanctioned and stops; any *other* root (a
+//! function nobody calls — including the mutator itself if uncalled) is
+//! flagged with the full chain from that root down to the mutation.
+
+use std::collections::BTreeSet;
+
+use super::{path_matches, GraphCtx};
+use crate::lexer::TokKind;
+
+pub(super) fn check(ctx: &mut GraphCtx<'_>) {
+    let mutator_fns = ctx.cfg_list("mutator_fns");
+    let state_idents = ctx.cfg_list("state_idents");
+    let entry_points = ctx.cfg_list("entry_points");
+    if mutator_fns.is_empty() && state_idents.is_empty() {
+        return; // nothing declared, nothing to prove
+    }
+
+    let ws = ctx.ws;
+    let is_entry = |fn_id: usize| -> bool {
+        let f = &ws.fns[fn_id];
+        let rel = &ws.files[f.file].rel_path;
+        entry_points.iter().any(|e| match e.split_once("::") {
+            Some((path, name)) => f.name == name && path_matches(rel, path),
+            None => f.name == *e,
+        })
+    };
+
+    // Mutators: by declared name, and by assignment to declared state.
+    let mut mutators: Vec<(usize, String)> = Vec::new();
+    for (id, f) in ws.fns.iter().enumerate() {
+        if !ctx.file_in_scope(&ws.files[f.file]) {
+            continue;
+        }
+        if mutator_fns.iter().any(|m| m == &f.name) {
+            mutators.push((id, format!("`{}`", f.display())));
+        }
+    }
+    for (fi, file) in ws.files.iter().enumerate() {
+        if ws.fns_in_file(fi).is_empty() || !ctx.file_in_scope(file) {
+            continue;
+        }
+        let toks = &file.tokens;
+        for i in 0..toks.len() {
+            if toks[i].kind != TokKind::Ident || !state_idents.iter().any(|s| s == &toks[i].text) {
+                continue;
+            }
+            // `ident = …` (not `==`), or `&mut [self.]ident`.
+            let assigned = toks.get(i + 1).is_some_and(|t| t.is_punct('='))
+                && !toks.get(i + 2).is_some_and(|t| t.is_punct('='));
+            let borrowed_mut = (i >= 1 && toks[i - 1].is_ident("mut"))
+                || (i >= 3 && toks[i - 1].is_punct('.') && toks[i - 3].is_ident("mut"));
+            if !assigned && !borrowed_mut {
+                continue;
+            }
+            let Some(fn_id) = ws.enclosing(fi, i) else {
+                continue;
+            };
+            let label = format!("`{}` (writes `{}`)", ws.fns[fn_id].display(), toks[i].text);
+            if !mutators.iter().any(|(id, _)| *id == fn_id) {
+                mutators.push((fn_id, label));
+            }
+        }
+    }
+    mutators.sort_by_key(|(id, _)| *id);
+    mutators.dedup_by_key(|(id, _)| *id);
+
+    // Reverse reachability: flag every undeclared root.
+    let entries_text = if entry_points.is_empty() {
+        "<none declared>".to_string()
+    } else {
+        entry_points.join(", ")
+    };
+    let mut flagged: BTreeSet<(usize, usize)> = BTreeSet::new();
+    for (mutator, what) in &mutators {
+        if is_entry(*mutator) {
+            continue;
+        }
+        // parent[f] = the callee one step closer to the mutator.
+        let mut parent: Vec<Option<usize>> = vec![None; ws.fns.len()];
+        let mut visited = BTreeSet::new();
+        let mut queue = std::collections::VecDeque::from([*mutator]);
+        visited.insert(*mutator);
+        while let Some(f) = queue.pop_front() {
+            let callers = ws.callers_of(f);
+            if callers.is_empty() {
+                if !is_entry(f) && flagged.insert((f, *mutator)) {
+                    let mut chain = vec![ws.fns[f].display()];
+                    let mut at = f;
+                    while let Some(next) = parent[at] {
+                        chain.push(ws.fns[next].display());
+                        at = next;
+                    }
+                    let root = &ws.fns[f];
+                    let root_file = root.file;
+                    let line = root.line;
+                    ctx.emit(
+                        root_file,
+                        line,
+                        format!(
+                            "{what} is phase-locked state but is reachable from \
+                             undeclared root `{}` (chain: {}); route/lease/admission \
+                             state may only move at phase-A quiescence — call it from \
+                             a declared entry point ({entries_text}) or add this root \
+                             to [rule.phase-discipline] entry_points",
+                            ws.fns[f].display(),
+                            chain.join(" → "),
+                        ),
+                    );
+                }
+                continue;
+            }
+            for &(caller, _) in callers {
+                if is_entry(caller) || !visited.insert(caller) {
+                    continue;
+                }
+                parent[caller] = Some(f);
+                queue.push_back(caller);
+            }
+        }
+    }
+}

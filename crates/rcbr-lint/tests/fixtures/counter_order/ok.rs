@@ -1,0 +1,12 @@
+// Near-miss: every RunReport field is classified and the oracle
+// compares exactly the deterministic set (deterministic = ["rounds"],
+// wall_clock = ["wall_seconds"]).
+
+pub struct RunReport {
+    pub rounds: u64,
+    pub wall_seconds: f64,
+}
+
+pub struct ComparableReport {
+    pub rounds: u64,
+}

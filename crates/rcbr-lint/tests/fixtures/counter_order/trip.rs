@@ -1,0 +1,16 @@
+// Fixture: the determinism registry drifts in both directions. The test
+// config declares deterministic = ["rounds"], wall_clock =
+// ["wall_seconds"], with both structs living in this file.
+
+pub struct RunReport {
+    pub rounds: u64,
+    pub wall_seconds: f64,
+    /// trip: a new field with no determinism classification.
+    pub surprise: u64,
+}
+
+pub struct ComparableReport {
+    pub rounds: u64,
+    /// trip: compared by the oracle but not declared deterministic.
+    pub wall_seconds: f64,
+}

@@ -1,0 +1,23 @@
+// Near-miss: the same mutators and state writes as trip.rs, but every
+// path to them starts at the declared `worker` entry point — the
+// quiescence discipline holds.
+
+pub struct Leases;
+
+impl Leases {
+    pub fn expire_leases(&mut self) {}
+}
+
+pub struct Vc {
+    pub route_state: u32,
+}
+
+// A helper on the sanctioned path: its only caller is `worker`.
+pub fn apply_final(vc: &mut Vc) {
+    vc.route_state = 3;
+}
+
+pub fn worker(l: &mut Leases, vc: &mut Vc) {
+    l.expire_leases();
+    apply_final(vc);
+}

@@ -1,0 +1,24 @@
+// Fixture: phase-locked mutators reached from undeclared roots. The
+// test config declares `worker` as the only quiescence entry point,
+// `expire_leases` as a mutator name, and `route_state` as phase-locked
+// state — neither root below is `worker`.
+
+pub struct Leases;
+
+impl Leases {
+    pub fn expire_leases(&mut self) {}
+}
+
+pub struct Vc {
+    pub route_state: u32,
+}
+
+// trip: `rogue` reaches the lease sweep but is not a declared entry.
+pub fn rogue(l: &mut Leases) {
+    l.expire_leases();
+}
+
+// trip: a RouteState write whose only root is this undeclared function.
+pub fn sneak(vc: &mut Vc) {
+    vc.route_state = 3;
+}

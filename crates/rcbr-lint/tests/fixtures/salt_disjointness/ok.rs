@@ -1,0 +1,12 @@
+// Near-miss: the registry consts anchor their declared families exactly
+// (SALT_PRIMARY=0, SALT_GHOST=1, SALT_TEARDOWN_BASE=3..) and no
+// undeclared salt exists. Salt 2 is a historical gap, not a family.
+
+pub const SALT_PRIMARY: u8 = 0;
+
+pub const SALT_GHOST: u8 = 1;
+
+pub const SALT_TEARDOWN_BASE: u8 = 3;
+
+/// Not a salt: the prefix scan must not confuse sizes with salts.
+pub const CELL_BYTES: usize = 16;

@@ -1,0 +1,12 @@
+// Fixture: the salt registry drifts from the declared families
+// (SALT_PRIMARY=0, SALT_GHOST=1, SALT_TEARDOWN_BASE=3..).
+
+/// trip: declared family starts at 0, the const says 7.
+pub const SALT_PRIMARY: u8 = 7;
+
+pub const SALT_GHOST: u8 = 1;
+
+/// trip: a salt minted outside every declared family.
+pub const SALT_ROGUE: u8 = 2;
+
+pub const SALT_TEARDOWN_BASE: u8 = 3;

@@ -1,0 +1,7 @@
+// Fixture: the seed. `sample` reads the wall clock, tainting itself and
+// (transitively) everything that can reach it.
+
+pub fn sample() -> u64 {
+    let t = std::time::Instant::now(); // seed: wall-clock
+    t.elapsed().as_nanos() as u64
+}

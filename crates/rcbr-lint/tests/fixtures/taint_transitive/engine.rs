@@ -1,0 +1,11 @@
+// Fixture: the top of a three-hop chain into a wall-clock read
+// (`drive → plan → sample → Instant::now`), plus a sanctioned path
+// through a snapshot_* boundary that must stay clean.
+
+pub fn drive() -> u64 {
+    plan() // trip: transitively reaches Instant::now two files away
+}
+
+pub fn tally() -> u64 {
+    snapshot_total() // ok: the snapshot_* boundary stops taint
+}

@@ -1,0 +1,10 @@
+// Fixture: the middle hop. `plan` forwards taint; `snapshot_total` is a
+// sanctioned boundary and absorbs it.
+
+pub fn plan() -> u64 {
+    sample() // trip: calls into tainted territory
+}
+
+pub fn snapshot_total() -> u64 {
+    sample()
+}

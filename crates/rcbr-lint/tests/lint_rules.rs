@@ -232,6 +232,130 @@ fn wire_layout_fixtures() {
     assert!(ok.is_empty(), "consistent codec must pass: {ok:#?}");
 }
 
+const PHASE_CFG: &str = r#"
+[rule.phase-discipline]
+entry_points = ["worker"]
+mutator_fns = ["expire_leases"]
+state_idents = ["route_state"]
+"#;
+
+#[test]
+fn phase_discipline_fixtures() {
+    // trip.rs: two undeclared roots (a named mutator and a state write);
+    // ok.rs: the same mutations reached only through `worker`.
+    assert_rule("phase-discipline", "phase_discipline", PHASE_CFG, 2);
+}
+
+#[test]
+fn phase_discipline_diagnostics_name_the_chain() {
+    let trips = lint_rule(
+        "phase-discipline",
+        "phase_discipline",
+        "trip.rs",
+        "rcbr-runtime",
+        PHASE_CFG,
+    );
+    assert!(
+        trips
+            .iter()
+            .any(|d| d.message.contains("rogue") && d.message.contains("expire_leases")),
+        "the chain from root to mutator is named: {trips:#?}"
+    );
+}
+
+const SALT_DISJOINT_CFG: &str = r#"
+[rule.salt-disjointness]
+families = ["SALT_PRIMARY=0", "SALT_GHOST=1", "SALT_TEARDOWN_BASE=3.."]
+"#;
+
+#[test]
+fn salt_disjointness_fixtures() {
+    // trip.rs: a const off its family start plus an undeclared salt;
+    // ok.rs: the registry anchors every family exactly.
+    assert_rule(
+        "salt-disjointness",
+        "salt_disjointness",
+        SALT_DISJOINT_CFG,
+        2,
+    );
+}
+
+#[test]
+fn salt_disjointness_rejects_overlapping_families() {
+    // A config-level collision is itself a violation: the declared
+    // ranges would share fault coin flips.
+    let cfg = "[rule.salt-disjointness]\nfamilies = [\"SALT_A=0..4\", \"SALT_B=2\"]\n";
+    let diags = lint_rule(
+        "salt-disjointness",
+        "salt_disjointness",
+        "ok.rs",
+        "rcbr-runtime",
+        cfg,
+    );
+    assert!(
+        diags.iter().any(|d| d.message.contains("overlap")),
+        "{diags:#?}"
+    );
+}
+
+fn counter_cfg(file: &str) -> String {
+    format!(
+        "[rule.counter-order]\n\
+         report_file = \"crates/rcbr-runtime/src/{file}\"\n\
+         report_struct = \"RunReport\"\n\
+         oracle_file = \"crates/rcbr-runtime/src/{file}\"\n\
+         oracle_struct = \"ComparableReport\"\n\
+         deterministic = [\"rounds\"]\n\
+         wall_clock = [\"wall_seconds\"]\n"
+    )
+}
+
+#[test]
+fn counter_order_fixtures() {
+    // trip.rs: an unclassified RunReport field plus an oracle comparison
+    // of a non-deterministic field.
+    let trips = lint_rule(
+        "counter-order",
+        "counter_order",
+        "trip.rs",
+        "rcbr-runtime",
+        &counter_cfg("trip.rs"),
+    );
+    assert!(trips.len() >= 2, "{trips:#?}");
+    assert!(
+        trips.iter().any(|d| d.message.contains("surprise")),
+        "the unclassified field is named: {trips:#?}"
+    );
+    assert!(
+        trips
+            .iter()
+            .any(|d| d.message.contains("wall_seconds") && d.message.contains("not")),
+        "the over-eager oracle comparison is named: {trips:#?}"
+    );
+    let ok = lint_rule(
+        "counter-order",
+        "counter_order",
+        "ok.rs",
+        "rcbr-runtime",
+        &counter_cfg("ok.rs"),
+    );
+    assert!(ok.is_empty(), "{ok:#?}");
+}
+
+#[test]
+fn counter_order_is_silent_on_partial_scans() {
+    // Linting some other file while the registry points elsewhere must
+    // not error: the subject simply is not on the table.
+    let diags = lint_rule(
+        "counter-order",
+        "counter_order",
+        "ok.rs",
+        "rcbr-runtime",
+        &counter_cfg("absent.rs"),
+    );
+    assert!(diags.is_empty(), "{diags:#?}");
+}
+
 #[test]
 fn suppression_covers_line_and_counts() {
     let src = "\

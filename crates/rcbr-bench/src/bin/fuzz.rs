@@ -296,6 +296,32 @@ fn main() {
             };
             write_repro(&corpus, &format!("clean_{seed:016x}.json"), &repro);
         }
+        // Plus one storm anchor: the first smoke-stream schedule whose
+        // draw landed both a flash-crowd window and a bounded signaling
+        // budget, verified clean, so the corpus replay permanently
+        // covers the overload-protection plane.
+        let seed = seed_stream(SMOKE_BASE_SEED, 256)
+            .into_iter()
+            .find(|&seed| {
+                let cfg = &draw_schedule(seed).cfg;
+                cfg.storm.is_some() && cfg.signaling_budget_per_round > 0
+            })
+            .expect("256 draws must reach the storm x budget corner");
+        let s = draw_schedule(seed);
+        let record = check(&s);
+        assert!(
+            record.failures.is_empty(),
+            "storm anchor seed {seed:#x} is not clean: {:?}",
+            record.failures
+        );
+        let repro = FuzzRepro {
+            format: REPRO_FORMAT.to_string(),
+            schedule_seed: seed,
+            oracle: "all".to_string(),
+            expect: "clean".to_string(),
+            cfg: s.cfg,
+        };
+        write_repro(&corpus, &format!("clean_storm_{seed:016x}.json"), &repro);
         return;
     }
 

@@ -25,6 +25,11 @@
 //!   cache traffic.
 //! - **vc-outcome-sanity** — per-VC loss fractions are in [0, 1] and
 //!   believed rates are finite and nonnegative.
+//! - **shed-accounting** — overload shedding is exhaustive and gated:
+//!   per-class shed counters sum to `cells_shed`, brownout exits never
+//!   exceed entries, brownouts only happen after sheds, and a zero
+//!   signaling budget (the legacy default) sheds nothing and counts no
+//!   pressure.
 //!
 //! Oracles are pure functions of [`Execution`]; a failure names the
 //! oracle and carries a human-readable detail line, which is what the
@@ -55,6 +60,7 @@ pub const ORACLE_DENIAL_LOSS_SPLIT: &str = "denial-loss-split";
 pub const ORACLE_COUNTER_ORDER: &str = "counter-order";
 pub const ORACLE_PEAK_RATE_PASSIVITY: &str = "peak-rate-passivity";
 pub const ORACLE_VC_SANITY: &str = "vc-outcome-sanity";
+pub const ORACLE_SHED_ACCOUNTING: &str = "shed-accounting";
 /// Test-only: trips whenever the fault plane killed a cell on a downed
 /// link. Not a real invariant — it exists so the shrinker's soundness
 /// and 1-minimality properties have a deterministic, cheap-to-evaluate
@@ -102,6 +108,7 @@ struct ComparableReport {
     admission: rcbr_runtime::AdmissionReport,
     degraded_vcs: u64,
     unsettled_vcs: u64,
+    brownout_vcs: u64,
     mean_source_loss: f64,
     max_source_loss: f64,
     vcs: Vec<rcbr_runtime::VcOutcome>,
@@ -118,6 +125,7 @@ pub fn comparable_json(report: &RunReport) -> String {
         admission: report.admission.clone(),
         degraded_vcs: report.degraded_vcs,
         unsettled_vcs: report.unsettled_vcs,
+        brownout_vcs: report.brownout_vcs,
         mean_source_loss: report.mean_source_loss,
         max_source_loss: report.max_source_loss,
         vcs: report.vcs.clone(),
@@ -273,6 +281,54 @@ pub fn run_oracles(cfg: &RuntimeConfig, ex: &Execution) -> Vec<OracleFailure> {
                     "[{label}] measurement pipeline ran under PeakRate: \
                      rolls {} observations {} cache {}/{} policy {:?}",
                     a.rolls, a.estimator_observations, a.eb_cache_hits, a.eb_cache_misses, a.policy
+                ),
+            );
+        }
+        let class_sheds = c.sheds_gold + c.sheds_silver + c.sheds_best_effort;
+        if class_sheds != c.cells_shed {
+            fail(
+                &mut failures,
+                ORACLE_SHED_ACCOUNTING,
+                format!(
+                    "[{label}] per-class sheds {} (gold {} + silver {} + best-effort {}) \
+                     != cells_shed {}",
+                    class_sheds, c.sheds_gold, c.sheds_silver, c.sheds_best_effort, c.cells_shed
+                ),
+            );
+        }
+        if c.brownout_exits > c.brownout_entries {
+            fail(
+                &mut failures,
+                ORACLE_SHED_ACCOUNTING,
+                format!(
+                    "[{label}] brownout_exits {} > brownout_entries {}",
+                    c.brownout_exits, c.brownout_entries
+                ),
+            );
+        }
+        if c.brownout_entries > 0 && c.cells_shed == 0 {
+            fail(
+                &mut failures,
+                ORACLE_SHED_ACCOUNTING,
+                format!(
+                    "[{label}] {} brownout entries without a single shed",
+                    c.brownout_entries
+                ),
+            );
+        }
+        if cfg.signaling_budget_per_round == 0
+            && (c.cells_shed != 0
+                || c.brownout_entries != 0
+                || c.brownout_exits != 0
+                || c.pressure_rounds != 0)
+        {
+            fail(
+                &mut failures,
+                ORACLE_SHED_ACCOUNTING,
+                format!(
+                    "[{label}] zero signaling budget yet shed machinery ran: \
+                     cells_shed {} brownout {}/{} pressure_rounds {}",
+                    c.cells_shed, c.brownout_entries, c.brownout_exits, c.pressure_rounds
                 ),
             );
         }

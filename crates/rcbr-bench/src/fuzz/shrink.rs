@@ -152,6 +152,34 @@ pub fn candidates(cfg: &RuntimeConfig) -> Vec<(String, RuntimeConfig)> {
         c.backoff_jitter = v;
         push("halve backoff_jitter".into(), c);
     }
+    // Overload-protection knobs: unbound the signaling queue entirely
+    // (the legacy behavior), or keep shedding but gentler; calm the
+    // storm before dropping it.
+    if cfg.signaling_budget_per_round > 0 {
+        let mut c = cfg.clone();
+        c.signaling_budget_per_round = 0;
+        push("unbound the signaling queues".into(), c);
+        if let Some(v) = halved(cfg.signaling_budget_per_round, 1) {
+            let mut c = cfg.clone();
+            c.signaling_budget_per_round = v;
+            push("halve signaling budget".into(), c);
+        }
+    }
+    if let Some(storm) = cfg.storm {
+        let mut c = cfg.clone();
+        c.storm = None;
+        push("drop storm".into(), c);
+        if let Some(v) = halved(storm.burst, 1) {
+            let mut c = cfg.clone();
+            c.storm = Some(rcbr_runtime::StormSpec { burst: v, ..storm });
+            push("halve storm burst".into(), c);
+        }
+        if let Some(v) = halved(storm.rounds, 1) {
+            let mut c = cfg.clone();
+            c.storm = Some(rcbr_runtime::StormSpec { rounds: v, ..storm });
+            push("shorten storm".into(), c);
+        }
+    }
     if cfg.resync_interval != 0 {
         let mut c = cfg.clone();
         c.resync_interval = 0;

@@ -140,6 +140,23 @@ pub fn draw_schedule(schedule_seed: u64) -> FuzzSchedule {
     // Knobs the builder does not expose; re-validate after poking them.
     cfg.backoff_jitter = rng.index(5) as u64;
     cfg.reroute_k = 2 + rng.index(3);
+    // Overload-protection dimension: bounded signaling queues, class
+    // mixes, and flash-crowd storm windows. Budget 0 (the legacy
+    // unbounded default) stays the most likely draw so the pre-shedding
+    // interaction space keeps getting explored.
+    cfg.signaling_budget_per_round = [0, 0, 2, 4, 8][rng.index(5)];
+    cfg.gold_pct = [0, 25, 40][rng.index(3)];
+    cfg.silver_pct = [0, 25, 30][rng.index(3)];
+    cfg.shed_budget = 1 + rng.index(4) as u32;
+    cfg.pressure_hold_supersteps = [4, 8, 16][rng.index(3)];
+    cfg.brownout_hold_supersteps = [16, 64, 128][rng.index(3)];
+    if rng.chance(0.35) {
+        cfg.storm = Some(rcbr_runtime::StormSpec {
+            at_round: 1 + rng.index(8) as u64,
+            rounds: 1 + rng.index(3) as u64,
+            burst: [3, 10][rng.index(2)] as u64,
+        });
+    }
     cfg.validate();
 
     FuzzSchedule { schedule_seed, cfg }
@@ -181,6 +198,8 @@ mod tests {
         let mut flaps = 0;
         let mut stalls = 0;
         let mut measured = 0;
+        let mut budgeted = 0;
+        let mut storms = 0;
         for seed in 0..128u64 {
             let cfg = draw_schedule(seed).cfg;
             kills += usize::from(!cfg.fault.kills.is_empty());
@@ -188,6 +207,8 @@ mod tests {
             flaps += usize::from(!cfg.fault.link_downs.is_empty());
             stalls += usize::from(cfg.fault.stall.is_some());
             measured += usize::from(cfg.admission.measures());
+            budgeted += usize::from(cfg.signaling_budget_per_round > 0);
+            storms += usize::from(cfg.storm.is_some());
         }
         for (name, hit) in [
             ("kills", kills),
@@ -195,6 +216,8 @@ mod tests {
             ("flaps", flaps),
             ("stalls", stalls),
             ("measured policies", measured),
+            ("bounded signaling budgets", budgeted),
+            ("storm windows", storms),
         ] {
             assert!(hit > 8, "{name} barely explored: {hit}/128");
         }

@@ -116,6 +116,8 @@ pub const CHAOS_FAULT_SEED_SALT: u64 = 0xc4a05;
 pub const ADMISSION_FAULT_SEED_SALT: u64 = 0xad315;
 /// Fault-plane seed salt used by the deterministic chaos fuzzer.
 pub const FUZZ_FAULT_SEED_SALT: u64 = 0xf0cc5;
+/// Fault-plane seed salt used by the flash-crowd storm sweep.
+pub const STORM_FAULT_SEED_SALT: u64 = 0x5706d;
 
 pub mod fuzz;
 

@@ -73,6 +73,7 @@ pub struct RcbrConnection {
     renegotiations: u64,
     resyncs: u64,
     lost_cells: u64,
+    pressured_responses: u64,
 }
 
 impl RcbrConnection {
@@ -93,6 +94,7 @@ impl RcbrConnection {
                 renegotiations: 0,
                 resyncs: 0,
                 lost_cells: 0,
+                pressured_responses: 0,
             }),
             Err(hop) => Err(ServiceError::SetupBlocked { hop }),
         }
@@ -123,6 +125,14 @@ impl RcbrConnection {
     /// corrupted and discarded by the checksum).
     pub fn lost_cells(&self) -> u64 {
         self.lost_cells
+    }
+
+    /// Responses that came back carrying a hop's overload-pressure flag —
+    /// the connection-level view of the signaling plane's shedding (see
+    /// `rcbr_net::signaling`): a pressured response tells the source to
+    /// widen its renegotiation cadence until one comes back clean.
+    pub fn pressured_responses(&self) -> u64 {
+        self.pressured_responses
     }
 
     /// Renegotiate to `new_rate`, optimistically. The request cell's fate
@@ -160,6 +170,7 @@ impl RcbrConnection {
                 // just a delivered one.
                 let outcome = self.path.renegotiate(switches, self.vci, delta)?;
                 ok = outcome.granted;
+                self.pressured_responses += u64::from(outcome.pressured);
                 if ok {
                     self.believed_rate = new_rate;
                 }
@@ -167,6 +178,7 @@ impl RcbrConnection {
             FaultAction::Duplicate => {
                 let outcome = self.path.renegotiate(switches, self.vci, delta)?;
                 ok = outcome.granted;
+                self.pressured_responses += u64::from(outcome.pressured);
                 if ok {
                     self.believed_rate = new_rate;
                     // The duplicate applies the delta a second time where

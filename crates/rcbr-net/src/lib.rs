@@ -24,6 +24,10 @@
 //!   failure (Section III-C); a denial at hop `k` rolls back reservations
 //!   made at hops `1..k`. Per-hop latency accumulates into the
 //!   request/confirm round-trip time.
+//! * [`signaling`] — bounded per-switch signaling queues: a per-superstep
+//!   service budget for renegotiation cells with deterministic,
+//!   priority-monotone shedding by the pure `(class, seq, salt)` order,
+//!   plus the overload-pressure window piggybacked on RM responses.
 //! * [`fault`] — the deterministic fault plane: seeded, stateless
 //!   per-traversal decisions (drop / delay / duplicate / bit-corrupt),
 //!   scheduled switch crashes that wipe soft reservation state, and
@@ -39,6 +43,7 @@ pub mod port;
 pub mod rm;
 pub mod rsvp;
 pub mod salt;
+pub mod signaling;
 pub mod switch;
 pub mod topology;
 
@@ -54,5 +59,6 @@ pub use port::OutputPort;
 pub use rm::{RateField, RmCell, RM_CELL_BYTES};
 pub use rsvp::{FlowSpec, LeaseTable, ResvOutcome, RsvpRouter};
 pub use salt::{SALT_GHOST, SALT_PRIMARY, SALT_TEARDOWN_BASE};
+pub use signaling::{select_shed, PriorityClass, ShedKey, SignalingQueue};
 pub use switch::{Switch, SwitchError};
 pub use topology::{Link, Topology};

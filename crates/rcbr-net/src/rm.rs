@@ -62,6 +62,11 @@ pub struct RmCell {
     /// Set by a switch to deny the request (the "modify the ER field"
     /// denial of Section III-B).
     pub denied: bool,
+    /// Set by an overloaded hop: the switch's signaling queue shed cells
+    /// this window, and sources should widen their renegotiation cadence
+    /// (BestEffort VCs brown out). Piggybacked on the response path —
+    /// bit 1 of the wire flags byte, covered by the CRC.
+    pub pressure: bool,
 }
 
 impl RmCell {
@@ -71,6 +76,7 @@ impl RmCell {
             vci,
             rate: RateField::Delta(delta_bps),
             denied: false,
+            pressure: false,
         }
     }
 
@@ -81,6 +87,7 @@ impl RmCell {
             vci,
             rate: RateField::Absolute(rate_bps),
             denied: false,
+            pressure: false,
         }
     }
 
@@ -92,7 +99,7 @@ impl RmCell {
             RateField::Delta(_) => 0,
             RateField::Absolute(_) => 1,
         };
-        buf[5] = u8::from(self.denied);
+        buf[5] = u8::from(self.denied) | (u8::from(self.pressure) << 1);
         let v = match self.rate {
             RateField::Delta(d) | RateField::Absolute(d) => d,
         };
@@ -118,7 +125,14 @@ impl RmCell {
         }
         let vci = u32::from_be_bytes(cell[0..4].try_into().expect("length checked"));
         let kind = cell[4];
-        let denied = cell[5] != 0;
+        let flags = cell[5];
+        if flags > 0b11 {
+            // Undeclared flag bits: reject rather than silently drop
+            // semantics a newer sender may have meant.
+            return None;
+        }
+        let denied = flags & 0b01 != 0;
+        let pressure = flags & 0b10 != 0;
         let v = f64::from_be_bytes(cell[8..16].try_into().expect("length checked"));
         if !v.is_finite() {
             return None;
@@ -133,7 +147,12 @@ impl RmCell {
             }
             _ => return None,
         };
-        Some(Self { vci, rate, denied })
+        Some(Self {
+            vci,
+            rate,
+            denied,
+            pressure,
+        })
     }
 }
 
@@ -156,6 +175,33 @@ mod tests {
         let back = RmCell::decode(&cell.encode()).unwrap();
         assert_eq!(cell, back);
         assert!(back.denied);
+    }
+
+    #[test]
+    fn roundtrip_pressure_flag() {
+        let mut cell = RmCell::delta(9, 25_000.0);
+        cell.pressure = true;
+        let back = RmCell::decode(&cell.encode()).unwrap();
+        assert_eq!(cell, back);
+        assert!(back.pressure);
+        assert!(!back.denied);
+        // Both flags together survive too.
+        cell.denied = true;
+        let back = RmCell::decode(&cell.encode()).unwrap();
+        assert!(back.pressure && back.denied);
+    }
+
+    #[test]
+    fn undeclared_flag_bits_rejected() {
+        for flags in 4u8..=255 {
+            let mut raw = RmCell::delta(1, 1.0).encode();
+            raw[5] = flags;
+            restamp(&mut raw);
+            assert!(
+                RmCell::decode(&raw).is_none(),
+                "flags byte {flags:#010b} must be rejected"
+            );
+        }
     }
 
     #[test]
@@ -217,9 +263,10 @@ mod tests {
             v in -1e12..1e12f64,
             absolute in any::<bool>(),
             denied in any::<bool>(),
+            pressure in any::<bool>(),
         ) {
             let rate = if absolute { RateField::Absolute(v.abs()) } else { RateField::Delta(v) };
-            let cell = RmCell { vci, rate, denied };
+            let cell = RmCell { vci, rate, denied, pressure };
             prop_assert_eq!(RmCell::decode(&cell.encode()), Some(cell));
         }
 

@@ -26,6 +26,7 @@ proptest! {
         negative in any::<bool>(),
         absolute in any::<bool>(),
         denied in any::<bool>(),
+        pressure in any::<bool>(),
         trailing in proptest::collection::vec(any::<u8>(), 0..16),
     ) {
         let rate = if absolute {
@@ -33,7 +34,7 @@ proptest! {
         } else {
             RateField::Delta(if negative { -magnitude } else { magnitude })
         };
-        let cell = RmCell { vci, rate, denied };
+        let cell = RmCell { vci, rate, denied, pressure };
         let mut wire = cell.encode().to_vec();
         prop_assert_eq!(wire.len(), RM_CELL_BYTES);
         wire.extend(trailing);

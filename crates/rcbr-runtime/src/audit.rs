@@ -78,6 +78,9 @@ pub(crate) struct VcFinal {
     /// (reroute in flight or teardowns queued) — see
     /// `VcRunner::unsettled_at_exit`. Read before `apply_final`.
     pub unsettled: bool,
+    /// The VC ended the run browned out — holding its granted rate under
+    /// overload pressure instead of renegotiating.
+    pub brownout: bool,
 }
 
 /// Snapshot one VC's published believed rate. Must be called while the

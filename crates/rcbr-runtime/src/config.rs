@@ -1,9 +1,24 @@
 //! Runtime configuration.
 
-use rcbr_net::FaultConfig;
+use rcbr_net::{FaultConfig, PriorityClass};
 use serde::{Deserialize, Serialize};
 
 use crate::admission::AdmissionPolicy;
+
+/// A flash-crowd arrival storm: for `rounds` rounds starting at
+/// `at_round`, every VC steps `burst ×` its usual traffic slots per
+/// round, so renegotiation demand across the population spikes in
+/// lockstep — the synchronized control-plane burst the signaling budget
+/// exists to survive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StormSpec {
+    /// First storm round.
+    pub at_round: u64,
+    /// Storm length, rounds.
+    pub rounds: u64,
+    /// Traffic-slot multiplier during the storm (`1` = no storm).
+    pub burst: u64,
+}
 
 /// Configuration of a signaling-plane run.
 ///
@@ -100,6 +115,32 @@ pub struct RuntimeConfig {
     /// land on the same superstep at every shard count. Ignored under
     /// `PeakRate`.
     pub measurement_window_supersteps: u64,
+    /// Per-switch signaling-queue budget: renegotiation RM cells (deltas
+    /// and resyncs, ghosts included) a switch serves per superstep.
+    /// Overflow is shed deterministically by the pure
+    /// `(priority_class, seq, salt)` order — see `rcbr_net::signaling`.
+    /// `0` disables the bound (the legacy behavior, bit-identical to the
+    /// runtime before overload protection existed).
+    pub signaling_budget_per_round: u64,
+    /// Percent of VCIs (by `vci % 100`) assigned `PriorityClass::Gold`.
+    pub gold_pct: u32,
+    /// Percent of VCIs assigned `PriorityClass::Silver` (after the Gold
+    /// band); the remainder are `BestEffort`.
+    pub silver_pct: u32,
+    /// Consecutive sheds one request absorbs before the source abandons
+    /// it (keeping its last granted rate). A separate account from
+    /// `retry_budget`: sheds are the network asking for patience, not a
+    /// verdict, so they must not consume the failure budget.
+    pub shed_budget: u32,
+    /// How long a browned-out BestEffort VC holds its last granted rate
+    /// before probing again, supersteps (the timer fallback; a
+    /// pressure-free response exits brownout earlier).
+    pub brownout_hold_supersteps: u64,
+    /// How long a switch advertises overload pressure after shedding,
+    /// supersteps.
+    pub pressure_hold_supersteps: u64,
+    /// Optional flash-crowd storm window (`None` = steady arrivals).
+    pub storm: Option<StormSpec>,
     /// Master seed; all traffic and policy randomness derives from it.
     pub seed: u64,
 }
@@ -165,6 +206,13 @@ impl RuntimeConfig {
             reroute_k: 4,
             admission: AdmissionPolicy::PeakRate,
             measurement_window_supersteps: 64,
+            signaling_budget_per_round: 0,
+            gold_pct: 25,
+            silver_pct: 25,
+            shed_budget: 4,
+            brownout_hold_supersteps: 64,
+            pressure_hold_supersteps: 8,
+            storm: None,
             seed: 7,
         }
     }
@@ -245,6 +293,14 @@ impl RuntimeConfig {
                 "duplicate extra link ({a}, {b})"
             );
         }
+        assert!(
+            self.gold_pct + self.silver_pct <= 100,
+            "gold_pct + silver_pct must not exceed 100"
+        );
+        if let Some(storm) = self.storm {
+            assert!(storm.burst >= 1, "storm burst must be >= 1");
+            assert!(storm.rounds >= 1, "storm must last at least one round");
+        }
         self.fault.validate();
     }
 
@@ -279,6 +335,42 @@ impl RuntimeConfig {
         (0..self.hops_per_vc)
             .map(|k| (start + k) % self.num_switches)
             .collect()
+    }
+
+    /// The priority class of VC `vci`: the `vci % 100` bucket falls in the
+    /// Gold band, the Silver band after it, or the BestEffort remainder.
+    /// Pure function of the config, so every shard (and the generator that
+    /// stamps jobs) agrees without coordination.
+    pub fn class_of(&self, vci: u32) -> PriorityClass {
+        PriorityClass::from_mix(vci, self.gold_pct, self.silver_pct)
+    }
+
+    /// Traffic slots VC drivers step in `round`: `slots_per_round`,
+    /// multiplied by the storm burst inside the storm window.
+    pub fn slots_in_round(&self, round: u64) -> usize {
+        match self.storm {
+            Some(s) if (s.at_round..s.at_round + s.rounds).contains(&round) => {
+                self.slots_per_round * s.burst as usize
+            }
+            _ => self.slots_per_round,
+        }
+    }
+
+    /// Global traffic-slot index at which `round` begins — the sum of
+    /// [`slots_in_round`](Self::slots_in_round) over all earlier rounds,
+    /// in closed form so sequence numbers stay O(1) to derive. With no
+    /// storm this is exactly `round * slots_per_round`, preserving the
+    /// legacy sequence-number layout bit for bit.
+    pub fn slot_base(&self, round: u64) -> u64 {
+        let base = round * self.slots_per_round as u64;
+        match self.storm {
+            Some(s) => {
+                let storm_rounds_before =
+                    round.min(s.at_round + s.rounds).saturating_sub(s.at_round);
+                base + storm_rounds_before * self.slots_per_round as u64 * (s.burst - 1)
+            }
+            None => base,
+        }
     }
 
     /// The retry policy implied by this configuration.

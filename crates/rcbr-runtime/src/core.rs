@@ -27,7 +27,9 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
-use rcbr_net::{FaultAction, FaultPlane, RateField, RmCell, Switch, SALT_GHOST, SALT_PRIMARY};
+use rcbr_net::{
+    FaultAction, FaultPlane, PriorityClass, RateField, RmCell, Switch, SALT_GHOST, SALT_PRIMARY,
+};
 use rcbr_sim::Histogram;
 use serde::{Deserialize, Serialize};
 
@@ -139,6 +141,12 @@ pub struct Job {
     /// The fault plane already ruled on this hop visit (set on delayed
     /// cells when they are re-presented, so the fate is decided once).
     pub cleared: bool,
+    /// The VC's priority class — part of the deterministic shed order when
+    /// a switch's signaling queue overflows (Gold sheds last).
+    pub class: PriorityClass,
+    /// Some hop this job visited was advertising overload pressure; the
+    /// flag rides the cell back to the source (wire flags bit 1).
+    pub pressured: bool,
     /// The switch route this job walks (`hop` indexes into it).
     pub route: Route,
 }
@@ -153,6 +161,12 @@ pub enum Outcome {
     /// Some hop denied (already-granted hops are rolled back for deltas;
     /// resyncs keep their partial progress).
     Denied,
+    /// A hop's signaling queue was over budget and dropped the cell before
+    /// processing it. Unlike a denial this is not a capacity verdict — the
+    /// request is retryable after backoff — and unlike a fault-plane drop
+    /// the source is told immediately (the shed notification models the
+    /// switch's local push-back).
+    Shed,
 }
 
 /// Per-VCI slow-path state, guarded by a mutex: the pipeline's completion
@@ -162,6 +176,11 @@ pub enum Outcome {
 pub struct VciSlot {
     /// The fate of the VC's outstanding attempt, if it completed.
     pub outcome: Option<Outcome>,
+    /// The attempt's response carried a hop's overload-pressure flag
+    /// (wire flags bit 1). Consumed alongside `outcome` at the round
+    /// boundary; keeps browned-out BestEffort VCs from renegotiating
+    /// until a response comes back clean.
+    pub pressure: bool,
 }
 
 /// Shared atomic counters. All increments use relaxed ordering — the
@@ -243,6 +262,24 @@ pub struct Counters {
     /// Per-hop booking checks that denied an RM cell. These are admission
     /// losses, as distinct from the fault plane's `cells_*` destruction.
     pub admission_denials: AtomicU64,
+    /// Cells shed by over-budget signaling queues (ghosts included):
+    /// `cells_shed == sheds_gold + sheds_silver + sheds_best_effort`.
+    pub cells_shed: AtomicU64,
+    /// Shed cells whose VC is Gold class.
+    pub sheds_gold: AtomicU64,
+    /// Shed cells whose VC is Silver class.
+    pub sheds_silver: AtomicU64,
+    /// Shed cells whose VC is BestEffort class.
+    pub sheds_best_effort: AtomicU64,
+    /// BestEffort VCs that entered brownout (held their granted rate and
+    /// stopped renegotiating under pressure).
+    pub brownout_entries: AtomicU64,
+    /// Brownouts that ended on a clean (pressure-free) grant, as opposed
+    /// to the hold timer lapsing.
+    pub brownout_exits: AtomicU64,
+    /// (round, switch) pairs where the switch was still advertising
+    /// overload pressure at the round top.
+    pub pressure_rounds: AtomicU64,
     /// Jobs currently in the pipeline (including rollbacks still
     /// unwinding, delayed cells, and ghosts).
     pub in_flight: AtomicU64,
@@ -311,6 +348,21 @@ pub struct CounterSnapshot {
     pub admission_grants: u64,
     /// Per-hop booking checks that denied an RM cell.
     pub admission_denials: u64,
+    /// Cells shed by over-budget signaling queues (sum of the per-class
+    /// counters below).
+    pub cells_shed: u64,
+    /// Shed cells whose VC is Gold class.
+    pub sheds_gold: u64,
+    /// Shed cells whose VC is Silver class.
+    pub sheds_silver: u64,
+    /// Shed cells whose VC is BestEffort class.
+    pub sheds_best_effort: u64,
+    /// BestEffort VCs that entered brownout.
+    pub brownout_entries: u64,
+    /// Brownouts that ended on a clean grant.
+    pub brownout_exits: u64,
+    /// (round, switch) pairs still under pressure at the round top.
+    pub pressure_rounds: u64,
 }
 
 /// The pair of reads that decides a drain loop's fate, taken together in
@@ -372,6 +424,13 @@ impl Counters {
             audit_drift: ld(&self.audit_drift),
             admission_grants: ld(&self.admission_grants),
             admission_denials: ld(&self.admission_denials),
+            cells_shed: ld(&self.cells_shed),
+            sheds_gold: ld(&self.sheds_gold),
+            sheds_silver: ld(&self.sheds_silver),
+            sheds_best_effort: ld(&self.sheds_best_effort),
+            brownout_entries: ld(&self.brownout_entries),
+            brownout_exits: ld(&self.brownout_exits),
+            pressure_rounds: ld(&self.pressure_rounds),
         }
     }
 }
@@ -422,6 +481,39 @@ fn wire_cell(job: &Job) -> RmCell {
     }
 }
 
+/// Drop `job` at its current hop because the switch's signaling queue is
+/// over budget this superstep. The cell dies here — partial upstream
+/// deltas stay applied (drift, repaired by the retry-as-resync path or the
+/// audit) — and, for salt-0 attempts, the source is told immediately via
+/// the retryable [`Outcome::Shed`] with the pressure flag set. Ghosts shed
+/// silently but still count: `cells_shed` and the per-class counters see
+/// every cell the queue refused.
+pub(crate) fn shed_job(
+    job: &Job,
+    cfg: &RuntimeConfig,
+    counters: &Counters,
+    vci_states: &[Mutex<VciSlot>],
+    sink: &mut CompletionSink<'_>,
+) {
+    counters.cells_shed.fetch_add(1, Ordering::Relaxed);
+    match job.class {
+        PriorityClass::Gold => &counters.sheds_gold,
+        PriorityClass::Silver => &counters.sheds_silver,
+        PriorityClass::BestEffort => &counters.sheds_best_effort,
+    }
+    .fetch_add(1, Ordering::Relaxed);
+    counters.in_flight.fetch_sub(1, Ordering::Relaxed);
+    if job.salt == SALT_PRIMARY {
+        // The shed notification rides back from the refusing hop.
+        let rtt = cfg.hop_latency * 2.0 * (job.hop + 1) as f64;
+        sink.latency.record(rtt);
+        sink.moments.record(job.hop + 1);
+        let mut slot = vci_states[job.vci as usize].lock().expect("vci lock");
+        slot.outcome = Some(Outcome::Shed);
+        slot.pressure = true;
+    }
+}
+
 /// Process `job` at the switch for its current hop.
 ///
 /// Returns `(forward, delayed)`: `forward` is the follow-up job to route
@@ -434,6 +526,9 @@ fn wire_cell(job: &Job) -> RmCell {
 /// `switch_global` its global index. `adm` is the switch's admission
 /// state when a measurement-based policy is live (`None` under the
 /// default `PeakRate`, which keeps the legacy fast path untouched).
+/// `under_pressure` is the switch's signaling queue still advertising a
+/// recent shed; it stamps the job's pressure flag, which rides the
+/// response back to the source.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn advance_job(
     job: Job,
@@ -445,7 +540,11 @@ pub(crate) fn advance_job(
     vci_states: &[Mutex<VciSlot>],
     sink: &mut CompletionSink<'_>,
     adm: Option<&mut SwitchAdmission>,
+    under_pressure: bool,
 ) -> (Option<Job>, Option<(u64, Job)>) {
+    let mut job = job;
+    job.pressured |= under_pressure;
+    let job = job;
     let is_ghost = job.salt != SALT_PRIMARY;
     let path_len = job.route.len();
     let gone = |counters: &Counters| {
@@ -569,10 +668,9 @@ pub(crate) fn advance_job(
         } else {
             counters.denied.fetch_add(1, Ordering::Relaxed);
         }
-        vci_states[job.vci as usize]
-            .lock()
-            .expect("vci lock")
-            .outcome = Some(outcome);
+        let mut slot = vci_states[job.vci as usize].lock().expect("vci lock");
+        slot.outcome = Some(outcome);
+        slot.pressure = job.pressured;
     };
 
     match job.kind {
@@ -582,6 +680,7 @@ pub(crate) fn advance_job(
                     vci: job.vci,
                     rate: RateField::Delta(delta),
                     denied: false,
+                    pressure: false,
                 })
                 .expect("VC is routed through this switch");
             record_admission(&cell, job.vci, sw, counters, adm);
@@ -643,6 +742,7 @@ pub(crate) fn advance_job(
                     vci: job.vci,
                     rate: RateField::Absolute(rate),
                     denied: false,
+                    pressure: false,
                 })
                 .expect("VC is routed through this switch");
             record_admission(&cell, job.vci, sw, counters, adm);
@@ -708,6 +808,7 @@ pub(crate) fn advance_job(
                     vci: job.vci,
                     rate: RateField::Absolute(rate),
                     denied: false,
+                    pressure: false,
                 })
                 .expect("installed above");
             record_admission(&cell, job.vci, sw, counters, adm);

@@ -43,13 +43,15 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::{mpsc, Barrier, Mutex};
 
-use rcbr_net::{FaultPlane, Switch, Topology};
+use rcbr_net::{FaultPlane, ShedKey, SignalingQueue, Switch, Topology};
 use rcbr_sim::Histogram;
 
 use crate::admission::{reduce_admission, SwitchAdmission};
 use crate::audit::{audit_shard, finalize, reduce_source_loss, VcFinal};
 use crate::config::RuntimeConfig;
-use crate::core::{advance_job, CompletionSink, Counters, FaultCtx, Job, JobKind, VciSlot};
+use crate::core::{
+    advance_job, shed_job, CompletionSink, Counters, FaultCtx, Job, JobKind, VciSlot,
+};
 use crate::gen::VcRunner;
 use crate::report::{
     latency_histogram, summarize_latency, RunReport, ShardReport, VcOutcome, WallTimer,
@@ -180,6 +182,7 @@ pub fn run(cfg: &RuntimeConfig) -> RunReport {
     let audit = finalize(cfg, &plane, &mut all_switches, &mut finals, superstep);
     let degraded_vcs = finals.iter().filter(|f| f.degraded).count() as u64;
     let unsettled_vcs = finals.iter().filter(|f| f.unsettled).count() as u64;
+    let brownout_vcs = finals.iter().filter(|f| f.brownout).count() as u64;
     let (mean_source_loss, max_source_loss) = reduce_source_loss(&finals, cfg.num_vcs);
     let vcs = finals
         .iter()
@@ -213,6 +216,7 @@ pub fn run(cfg: &RuntimeConfig) -> RunReport {
         admission,
         degraded_vcs,
         unsettled_vcs,
+        brownout_vcs,
         mean_source_loss,
         max_source_loss,
         vcs,
@@ -252,6 +256,14 @@ fn worker(
     let mut admission: Vec<SwitchAdmission> =
         switches.iter().map(|_| SwitchAdmission::new(cfg)).collect();
     let measuring = cfg.admission.measures();
+    // Per-switch bounded signaling queues (budget 0 = unbounded, the
+    // legacy behavior). Queue state evolves from the shard-invariant
+    // meeting sets, so it is identical at every shard count.
+    let budget = cfg.signaling_budget_per_round;
+    let mut queues: Vec<SignalingQueue> = switches
+        .iter()
+        .map(|_| SignalingQueue::new(budget))
+        .collect();
 
     // Initial admission: every VC's base rate is reserved on each of its
     // hops, in ascending VCI order per switch (the same order the
@@ -327,15 +339,23 @@ fn worker(
                 sa.roll(cfg, superstep, sw);
             }
         }
+        // Pressure accounting: one count per (round, local switch) still
+        // advertising overload pressure at the round top.
+        if budget > 0 {
+            for q in &queues {
+                if q.under_pressure(superstep) {
+                    counters.pressure_rounds.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
         // Phase A: deliver last round's verdicts (grant / deny / timeout)
         // and publish believed rates and routes for the auditor.
         for runner in &mut runners {
-            let outcome = vci_states[runner.vci() as usize]
-                .lock()
-                .expect("vci lock")
-                .outcome
-                .take();
-            runner.begin_round(cfg, topo, plane, outcome, superstep, counters);
+            let (outcome, pressured) = {
+                let mut slot = vci_states[runner.vci() as usize].lock().expect("vci lock");
+                (slot.outcome.take(), std::mem::take(&mut slot.pressure))
+            };
+            runner.begin_round(cfg, topo, plane, outcome, pressured, superstep, counters);
             believed[runner.vci() as usize]
                 .store(runner.believed_rate().to_bits(), Ordering::Relaxed);
             *routes[runner.vci() as usize].lock().expect("route lock") = runner.audit_route();
@@ -425,6 +445,43 @@ fn worker(
                 }
             }
             jobs.sort_unstable_by_key(|j| (j.seq, j.salt));
+            // Signaling-queue admission: with a budget configured, each
+            // switch serves at most `budget` renegotiation cells this
+            // superstep; overflow is chosen by the pure (class, seq, salt)
+            // order over the switch's whole meeting set — never by arrival
+            // order — so the plan is identical at every shard count.
+            // Stall-held cells never meet the switch, and rollback /
+            // reroute / teardown walks are exempt: undo and repair traffic
+            // must not be shed.
+            let mut shed_plans: Vec<Vec<(u64, u8)>> = Vec::new();
+            if budget > 0 {
+                let mut candidates: Vec<Vec<ShedKey>> =
+                    switches.iter().map(|_| Vec::new()).collect();
+                for job in &jobs {
+                    let h = job.route.hop(job.hop);
+                    if plane.stalled(h, superstep) {
+                        continue;
+                    }
+                    if matches!(job.kind, JobKind::Delta(_) | JobKind::Resync { .. }) {
+                        candidates[h / shards].push(ShedKey {
+                            class: job.class,
+                            seq: job.seq,
+                            salt: job.salt,
+                        });
+                    }
+                }
+                shed_plans = candidates
+                    .into_iter()
+                    .enumerate()
+                    .map(|(li, keys)| {
+                        queues[li]
+                            .admit_superstep(keys, superstep, cfg.pressure_hold_supersteps)
+                            .into_iter()
+                            .map(|k| (k.seq, k.salt))
+                            .collect()
+                    })
+                    .collect();
+            }
             let fx = FaultCtx { plane, superstep };
             let mut sink = CompletionSink {
                 latency: &mut latency,
@@ -439,6 +496,15 @@ fn worker(
                     continue;
                 }
                 processed += 1;
+                if budget > 0
+                    && matches!(job.kind, JobKind::Delta(_) | JobKind::Resync { .. })
+                    && shed_plans[h / shards]
+                        .binary_search(&(job.seq, job.salt))
+                        .is_ok()
+                {
+                    shed_job(&job, cfg, counters, vci_states, &mut sink);
+                    continue;
+                }
                 let (forward, hold) = advance_job(
                     job,
                     &mut switches[h / shards],
@@ -453,6 +519,7 @@ fn worker(
                     } else {
                         None
                     },
+                    budget > 0 && queues[h / shards].under_pressure(superstep),
                 );
                 if let Some(nj) = forward {
                     let nh = nj.route.hop(nj.hop);
@@ -493,6 +560,7 @@ fn worker(
             loss: runner.loss_fraction(),
             route: runner.final_route(),
             unsettled,
+            brownout: runner.in_brownout(),
         });
     }
 

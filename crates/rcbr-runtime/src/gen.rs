@@ -37,9 +37,9 @@
 //! booking. MBAC denials simply arrive as ordinary denials and ride the
 //! same backoff / retry / degrade path above, unchanged.
 
-use rcbr_net::{FaultPlane, Topology, SALT_PRIMARY, SALT_TEARDOWN_BASE};
+use rcbr_net::{FaultPlane, PriorityClass, Topology, SALT_PRIMARY, SALT_TEARDOWN_BASE};
 use rcbr_schedule::online::{Ar1Config, Ar1Policy};
-use rcbr_schedule::{RetryBudget, RetryPolicy, VcDriver};
+use rcbr_schedule::{RetryBudget, RetryPolicy, ShedAccount, VcDriver};
 use rcbr_sim::SimRng;
 use rcbr_traffic::SyntheticMpegSource;
 
@@ -150,6 +150,18 @@ pub(crate) struct VcRunner {
     /// The VC stranded and has not yet recovered (drives the
     /// `unstranded_events` counter).
     stranded_sticky: bool,
+    /// The VC's priority class — stamped on every job it emits, so
+    /// over-budget signaling queues shed in class order.
+    class: PriorityClass,
+    /// Consecutive-shed account, deliberately separate from the failure
+    /// budget: sheds are congestion push-back, not verdicts.
+    sheds: ShedAccount,
+    /// BestEffort brownout: the VC holds its last granted rate and stops
+    /// offering slot renegotiations until pressure clears (a clean grant)
+    /// or the hold timer lapses.
+    brownout: bool,
+    /// Superstep at which a brownout's hold timer lapses.
+    brownout_clear_at: u64,
 }
 
 impl VcRunner {
@@ -176,6 +188,10 @@ impl VcRunner {
             budget: RetryBudget::new(cfg.retry_budget),
             pending_tear: Vec::new(),
             stranded_sticky: false,
+            class: cfg.class_of(vci),
+            sheds: ShedAccount::new(cfg.shed_budget),
+            brownout: false,
+            brownout_clear_at: 0,
         }
     }
 
@@ -185,15 +201,22 @@ impl VcRunner {
     /// engine's superstep clock. The pipeline is quiescent here, which is
     /// what makes route decisions race-free: no cell is in flight to
     /// observe a half-switched route.
+    #[allow(clippy::too_many_arguments)]
     pub fn begin_round(
         &mut self,
         cfg: &RuntimeConfig,
         topo: &Topology,
         plane: &FaultPlane,
         outcome: Option<Outcome>,
+        pressured: bool,
         now: u64,
         counters: &Counters,
     ) {
+        // Brownout timer fallback: probe again once the hold lapses (not
+        // counted as an exit — only a clean grant proves pressure cleared).
+        if self.brownout && now >= self.brownout_clear_at {
+            self.brownout = false;
+        }
         if matches!(self.route_state, RouteState::RerouteAwait { .. }) {
             // The outstanding attempt is a reroute walk; its verdict (or
             // timeout) belongs to the route machinery.
@@ -203,7 +226,19 @@ impl VcRunner {
                 Some(Outcome::Granted) => {
                     self.driver.on_grant();
                     self.phase = ReqPhase::Idle;
+                    self.sheds.on_success();
+                    if self.brownout {
+                        if pressured {
+                            // The response still carried a hop's pressure
+                            // flag: hold the brownout, refresh the timer.
+                            self.brownout_clear_at = now + cfg.brownout_hold_supersteps;
+                        } else {
+                            self.brownout = false;
+                            counters.brownout_exits.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
                 }
+                Some(Outcome::Shed) => self.shed(cfg, now, counters),
                 Some(Outcome::Denied) => {
                     let ReqPhase::Await { failures, .. } = self.phase else {
                         unreachable!("a verdict implies an attempt in flight");
@@ -240,6 +275,9 @@ impl VcRunner {
             unreachable!("caller checked the state");
         };
         match outcome {
+            Some(Outcome::Shed) => {
+                unreachable!("reroute walks are exempt from signaling-queue shedding")
+            }
             Some(Outcome::Granted) => {
                 // Commit: the candidate is reserved end to end, so switch
                 // over *before* tearing down — hops the candidate does not
@@ -427,6 +465,39 @@ impl VcRunner {
         }
     }
 
+    /// The outstanding attempt was shed by an over-budget signaling
+    /// queue. Retryable on its own account — never the failure budget —
+    /// with the decorrelated widening shed backoff; a BestEffort VC also
+    /// enters brownout. An exhausted shed account abandons the request
+    /// (the source keeps its granted rate) *without* degrading the VC:
+    /// shedding is congestion push-back, not a failure.
+    fn shed(&mut self, cfg: &RuntimeConfig, now: u64, counters: &Counters) {
+        let ReqPhase::Await { failures, .. } = self.phase else {
+            unreachable!("a shed verdict implies an attempt in flight");
+        };
+        let sheds = self.sheds.on_shed();
+        if self.class == PriorityClass::BestEffort && !self.brownout {
+            self.brownout = true;
+            self.brownout_clear_at = now + cfg.brownout_hold_supersteps;
+            counters.brownout_entries.fetch_add(1, Ordering::Relaxed);
+        } else if self.brownout {
+            self.brownout_clear_at = now + cfg.brownout_hold_supersteps;
+        }
+        if self.sheds.exhausted() {
+            counters.exhausted.fetch_add(1, Ordering::Relaxed);
+            counters.completed.fetch_add(1, Ordering::Relaxed);
+            self.driver.abandon();
+            self.phase = ReqPhase::Idle;
+            // A fresh account for the next request.
+            self.sheds.on_success();
+        } else {
+            self.phase = ReqPhase::Backoff {
+                until: now + self.retry.shed_backoff(self.vci, sheds),
+                failures,
+            };
+        }
+    }
+
     /// Round boundary, phase B: run the reroute engine's emission half
     /// (due reroute walks, queued teardowns), then — only while Settled —
     /// inject a due retry and step the VC through one round of traffic
@@ -446,8 +517,10 @@ impl VcRunner {
         // The slot-0 sequence number for this round: free for control
         // traffic whenever no traffic-slot attempt claims it (a pending
         // request or an in-progress reroute suppresses slot emissions),
-        // and teardown walks use distinct salts besides.
-        let base_seq = round * cfg.slots_per_round as u64 * cfg.num_vcs as u64 + self.vci as u64;
+        // and teardown walks use distinct salts besides. `slot_base`
+        // accounts for storm rounds' widened slot windows; without a storm
+        // it is exactly `round * slots_per_round`, the legacy layout.
+        let base_seq = cfg.slot_base(round) * cfg.num_vcs as u64 + self.vci as u64;
 
         if let RouteState::RerouteBackoff { until, mode } = self.route_state {
             if now >= until {
@@ -497,6 +570,8 @@ impl VcRunner {
                             salt: SALT_PRIMARY,
                             origin: 0,
                             cleared: false,
+                            class: self.class,
+                            pressured: false,
                             route: Route::from_slice(&candidate),
                         });
                         self.route_state = RouteState::RerouteAwait {
@@ -532,6 +607,8 @@ impl VcRunner {
                         salt: SALT_PRIMARY,
                         origin: 0,
                         cleared: false,
+                        class: self.class,
+                        pressured: false,
                         route,
                     });
                     self.phase = ReqPhase::Await {
@@ -540,11 +617,19 @@ impl VcRunner {
                     };
                 }
             }
-            for slot in 0..cfg.slots_per_round {
+            for slot in 0..cfg.slots_in_round(round) {
                 let Some(rate) = self.driver.step() else {
                     continue;
                 };
-                let global_slot = round * cfg.slots_per_round as u64 + slot as u64;
+                if self.brownout {
+                    // Browned out: hold the granted rate and never offer
+                    // the request to the network — the shed-backoff probe
+                    // above is the only signaling until pressure clears.
+                    // No counters move; the request was never injected.
+                    self.driver.abandon();
+                    continue;
+                }
+                let global_slot = cfg.slot_base(round) + slot as u64;
                 let seq = global_slot * cfg.num_vcs as u64 + self.vci as u64;
                 // The driver's current rate is still the pre-grant rate:
                 // the delta below is what the network must add (or
@@ -569,6 +654,8 @@ impl VcRunner {
                     salt: SALT_PRIMARY,
                     origin: 0,
                     cleared: false,
+                    class: self.class,
+                    pressured: false,
                     route,
                 });
                 self.phase = ReqPhase::Await {
@@ -594,6 +681,8 @@ impl VcRunner {
                 salt: SALT_TEARDOWN_BASE + i as u8,
                 origin: 0,
                 cleared: true,
+                class: self.class,
+                pressured: false,
                 route: Route::from_slice(&tear),
             });
         }
@@ -617,6 +706,9 @@ impl VcRunner {
         match outcome {
             Outcome::Granted => self.driver.on_grant(),
             Outcome::Denied => self.driver.on_deny(),
+            // The run is over: a final shed is just an unserved request —
+            // the source keeps what it has.
+            Outcome::Shed => self.driver.abandon(),
         }
         self.phase = ReqPhase::Idle;
     }
@@ -681,6 +773,12 @@ impl VcRunner {
         self.driver.is_degraded()
     }
 
+    /// Whether this VC is ending the run browned out (holding its granted
+    /// rate, not renegotiating, waiting for pressure to clear).
+    pub fn in_brownout(&self) -> bool {
+        self.brownout
+    }
+
     /// Fraction of arrived bits this VC lost to end-system buffer
     /// overflow.
     pub fn loss_fraction(&self) -> f64 {
@@ -718,7 +816,7 @@ mod tests {
             if outcome.is_some() {
                 outstanding = false;
             }
-            r.begin_round(cfg, &topo, &plane, outcome, superstep, counters);
+            r.begin_round(cfg, &topo, &plane, outcome, false, superstep, counters);
             let before = jobs.len();
             r.emit_round(cfg, &topo, &plane, round, superstep, &mut jobs, counters);
             assert!(jobs.len() - before <= 1, "multiple attempts in one round");
@@ -802,7 +900,7 @@ mod tests {
         let mut r = VcRunner::new(&cfg, 1);
 
         let mut jobs = Vec::new();
-        r.begin_round(&cfg, &topo, &plane, None, 2, &counters);
+        r.begin_round(&cfg, &topo, &plane, None, false, 2, &counters);
         r.emit_round(&cfg, &topo, &plane, 0, 2, &mut jobs, &counters);
         assert_eq!(jobs.len(), 1, "a dead route emits exactly the reroute walk");
         assert!(matches!(jobs[0].kind, JobKind::Reroute { .. }));
@@ -814,7 +912,15 @@ mod tests {
         assert!(r.believed_rate() > 0.0);
 
         jobs.clear();
-        r.begin_round(&cfg, &topo, &plane, Some(Outcome::Granted), 8, &counters);
+        r.begin_round(
+            &cfg,
+            &topo,
+            &plane,
+            Some(Outcome::Granted),
+            false,
+            8,
+            &counters,
+        );
         assert_eq!(r.final_route(), vec![1, 2, 4]);
         r.emit_round(&cfg, &topo, &plane, 1, 8, &mut jobs, &counters);
         let tears: Vec<&Job> = jobs
@@ -846,13 +952,21 @@ mod tests {
 
         // Round 0: make-before-break walk along the chord goes out.
         let mut jobs = Vec::new();
-        r.begin_round(&cfg, &topo, &plane, None, 2, &counters);
+        r.begin_round(&cfg, &topo, &plane, None, false, 2, &counters);
         r.emit_round(&cfg, &topo, &plane, 0, 2, &mut jobs, &counters);
         assert!(matches!(jobs[0].kind, JobKind::Reroute { .. }));
 
         // The walk is denied (capacity): the retry must go break-first.
         jobs.clear();
-        r.begin_round(&cfg, &topo, &plane, Some(Outcome::Denied), 10, &counters);
+        r.begin_round(
+            &cfg,
+            &topo,
+            &plane,
+            Some(Outcome::Denied),
+            false,
+            10,
+            &counters,
+        );
         assert_eq!(counters.snapshot().reroutes_denied, 1);
         assert!(r.believed_rate() > 0.0, "nothing torn yet");
         // Backoff elapses: the break round tears the whole old route.
@@ -872,12 +986,20 @@ mod tests {
         // Next round: the fresh reservation walk goes out, and a grant
         // restores service on the new route.
         jobs.clear();
-        r.begin_round(&cfg, &topo, &plane, None, 28, &counters);
+        r.begin_round(&cfg, &topo, &plane, None, false, 28, &counters);
         r.emit_round(&cfg, &topo, &plane, 2, 28, &mut jobs, &counters);
         assert!(jobs
             .iter()
             .any(|j| matches!(j.kind, JobKind::Reroute { .. })));
-        r.begin_round(&cfg, &topo, &plane, Some(Outcome::Granted), 36, &counters);
+        r.begin_round(
+            &cfg,
+            &topo,
+            &plane,
+            Some(Outcome::Granted),
+            false,
+            36,
+            &counters,
+        );
         assert_eq!(counters.snapshot().reroutes_committed, 1);
         assert!(r.believed_rate() > 0.0);
         assert!(!r.final_route().contains(&3));
@@ -906,7 +1028,7 @@ mod tests {
         let mut r = VcRunner::new(&cfg, 1);
 
         let mut jobs = Vec::new();
-        r.begin_round(&cfg, &topo, &plane, None, 2, &counters);
+        r.begin_round(&cfg, &topo, &plane, None, false, 2, &counters);
         r.emit_round(&cfg, &topo, &plane, 0, 2, &mut jobs, &counters);
         assert_eq!(counters.snapshot().stranded_events, 1);
         assert_eq!(r.believed_rate(), 0.0, "a stranded VC holds nothing");
@@ -920,18 +1042,222 @@ mod tests {
         // Links heal at superstep 101: the recheck re-arms, the walk goes
         // out, and a grant un-strands the VC.
         jobs.clear();
-        r.begin_round(&cfg, &topo, &plane, None, 101, &counters);
+        r.begin_round(&cfg, &topo, &plane, None, false, 101, &counters);
         r.emit_round(&cfg, &topo, &plane, 1, 101, &mut jobs, &counters);
         assert!(
             jobs.iter()
                 .any(|j| matches!(j.kind, JobKind::Reroute { .. })),
             "a revived topology re-arms the stranded VC"
         );
-        r.begin_round(&cfg, &topo, &plane, Some(Outcome::Granted), 108, &counters);
+        r.begin_round(
+            &cfg,
+            &topo,
+            &plane,
+            Some(Outcome::Granted),
+            false,
+            108,
+            &counters,
+        );
         let snap = counters.snapshot();
         assert_eq!(snap.unstranded_events, 1);
         assert_eq!(r.final_route(), vec![1, 2, 3, 4]);
         assert!(r.believed_rate() > 0.0);
+    }
+
+    #[test]
+    fn sheds_exhaust_their_own_account_without_degrading() {
+        let mut cfg = quiet_cfg();
+        cfg.shed_budget = 2;
+        cfg.backoff_base = 1;
+        cfg.backoff_jitter = 0;
+        let counters = Counters::default();
+        // VC 1 is Gold under the default 25/25 mix: sheds must never
+        // brown it out, only back it off and eventually abandon.
+        let mut r = VcRunner::new(&cfg, 1);
+        drive(&mut r, &cfg, 300, Some(Outcome::Shed), &counters);
+        let snap = counters.snapshot();
+        assert!(snap.exhausted > 0, "the shed account must run out");
+        assert_eq!(snap.completed, snap.exhausted);
+        assert_eq!(
+            snap.degraded_events, 0,
+            "sheds are push-back, not failures: no degradation"
+        );
+        assert!(!r.is_degraded());
+        assert!(!r.in_brownout(), "Gold VCs never brown out");
+        assert_eq!(snap.brownout_entries, 0);
+    }
+
+    #[test]
+    fn best_effort_shed_enters_brownout_and_a_clean_grant_exits() {
+        let mut cfg = quiet_cfg();
+        cfg.backoff_base = 1;
+        cfg.backoff_jitter = 0;
+        cfg.brownout_hold_supersteps = 10_000;
+        let topo = cfg.topology();
+        let plane = FaultPlane::new(cfg.fault.clone());
+        let counters = Counters::default();
+        // vci % 100 = 51 falls past the Gold + Silver bands.
+        assert_eq!(cfg.class_of(51), rcbr_net::PriorityClass::BestEffort);
+        let mut r = VcRunner::new(&cfg, 51);
+
+        // Step rounds until the driver offers an attempt.
+        let mut jobs = Vec::new();
+        let mut round = 0u64;
+        let mut now = 0u64;
+        while jobs.is_empty() {
+            r.begin_round(&cfg, &topo, &plane, None, false, now, &counters);
+            r.emit_round(&cfg, &topo, &plane, round, now, &mut jobs, &counters);
+            round += 1;
+            now += 8;
+        }
+
+        // Shed it: the BestEffort VC browns out and schedules the probe.
+        r.begin_round(
+            &cfg,
+            &topo,
+            &plane,
+            Some(Outcome::Shed),
+            false,
+            now,
+            &counters,
+        );
+        assert!(r.in_brownout());
+        assert_eq!(counters.snapshot().brownout_entries, 1);
+        jobs.clear();
+        now += 8;
+        r.begin_round(&cfg, &topo, &plane, None, false, now, &counters);
+        r.emit_round(&cfg, &topo, &plane, round, now, &mut jobs, &counters);
+        assert_eq!(
+            jobs.len(),
+            1,
+            "brownout allows exactly the shed-backoff probe, no slot traffic"
+        );
+        assert!(matches!(jobs[0].kind, JobKind::Resync { .. }));
+
+        // The probe comes back granted and clean: the brownout ends.
+        now += 8;
+        r.begin_round(
+            &cfg,
+            &topo,
+            &plane,
+            Some(Outcome::Granted),
+            false,
+            now,
+            &counters,
+        );
+        assert!(!r.in_brownout(), "a clean grant ends the brownout");
+        assert_eq!(counters.snapshot().brownout_exits, 1);
+    }
+
+    #[test]
+    fn pressured_grant_keeps_the_brownout() {
+        let mut cfg = quiet_cfg();
+        cfg.backoff_base = 1;
+        cfg.backoff_jitter = 0;
+        cfg.brownout_hold_supersteps = 10_000;
+        let topo = cfg.topology();
+        let plane = FaultPlane::new(cfg.fault.clone());
+        let counters = Counters::default();
+        let mut r = VcRunner::new(&cfg, 51);
+        let mut jobs = Vec::new();
+        let mut round = 0u64;
+        let mut now = 0u64;
+        while jobs.is_empty() {
+            r.begin_round(&cfg, &topo, &plane, None, false, now, &counters);
+            r.emit_round(&cfg, &topo, &plane, round, now, &mut jobs, &counters);
+            round += 1;
+            now += 8;
+        }
+        r.begin_round(
+            &cfg,
+            &topo,
+            &plane,
+            Some(Outcome::Shed),
+            false,
+            now,
+            &counters,
+        );
+        assert!(r.in_brownout());
+        // The probe's grant still carries a hop's pressure flag: the VC
+        // stays browned out (timer refreshed) and no exit is counted.
+        r.begin_round(
+            &cfg,
+            &topo,
+            &plane,
+            Some(Outcome::Granted),
+            true,
+            now + 8,
+            &counters,
+        );
+        assert!(r.in_brownout(), "a pressured grant refreshes the brownout");
+        assert_eq!(counters.snapshot().brownout_exits, 0);
+        // And while browned out with nothing pending, no slot traffic.
+        jobs.clear();
+        r.emit_round(&cfg, &topo, &plane, round, now + 8, &mut jobs, &counters);
+        assert!(jobs.is_empty(), "brownout suppresses slot renegotiation");
+    }
+
+    #[test]
+    fn brownout_hold_timer_lapses_into_probing() {
+        let mut cfg = quiet_cfg();
+        cfg.backoff_base = 1;
+        cfg.backoff_jitter = 0;
+        cfg.brownout_hold_supersteps = 16;
+        let topo = cfg.topology();
+        let plane = FaultPlane::new(cfg.fault.clone());
+        let counters = Counters::default();
+        let mut r = VcRunner::new(&cfg, 51);
+        let mut jobs = Vec::new();
+        let mut round = 0u64;
+        let mut now = 0u64;
+        while jobs.is_empty() {
+            r.begin_round(&cfg, &topo, &plane, None, false, now, &counters);
+            r.emit_round(&cfg, &topo, &plane, round, now, &mut jobs, &counters);
+            round += 1;
+            now += 8;
+        }
+        r.begin_round(
+            &cfg,
+            &topo,
+            &plane,
+            Some(Outcome::Shed),
+            false,
+            now,
+            &counters,
+        );
+        assert!(r.in_brownout());
+        // The timer lapses: the VC resumes renegotiating without a grant,
+        // and the lapse is not counted as a pressure-cleared exit.
+        r.begin_round(&cfg, &topo, &plane, None, false, now + 17, &counters);
+        assert!(!r.in_brownout());
+        assert_eq!(counters.snapshot().brownout_exits, 0);
+    }
+
+    #[test]
+    fn storm_rounds_widen_the_slot_window_deterministically() {
+        let mut cfg = quiet_cfg();
+        cfg.storm = Some(crate::config::StormSpec {
+            at_round: 2,
+            rounds: 2,
+            burst: 3,
+        });
+        cfg.validate();
+        let spr = cfg.slots_per_round as u64;
+        assert_eq!(cfg.slots_in_round(0), cfg.slots_per_round);
+        assert_eq!(cfg.slots_in_round(2), cfg.slots_per_round * 3);
+        assert_eq!(cfg.slots_in_round(3), cfg.slots_per_round * 3);
+        assert_eq!(cfg.slots_in_round(4), cfg.slots_per_round);
+        // slot_base is the running sum of slots_in_round.
+        let mut acc = 0u64;
+        for round in 0..8 {
+            assert_eq!(cfg.slot_base(round), acc, "round {round}");
+            acc += cfg.slots_in_round(round) as u64;
+        }
+        // And without a storm it reduces to the legacy layout bit for bit.
+        cfg.storm = None;
+        for round in 0..8 {
+            assert_eq!(cfg.slot_base(round), round * spr);
+        }
     }
 
     #[test]

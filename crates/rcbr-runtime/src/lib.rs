@@ -61,7 +61,7 @@ pub mod sequential;
 
 pub use admission::{AdmissionPolicy, AdmissionReport, ArrivalEstimator, SwitchAdmission};
 pub use audit::AuditReport;
-pub use config::RuntimeConfig;
+pub use config::{RuntimeConfig, StormSpec};
 pub use core::{CounterSnapshot, Outcome};
 pub use engine::run;
 pub use report::{LatencySummary, RunReport, ShardReport, VcOutcome};

@@ -125,6 +125,10 @@ pub struct RunReport {
     /// zero the residue must be zero too (the fuzzer's quiescent-residue
     /// oracle).
     pub unsettled_vcs: u64,
+    /// VCs that ended the run browned out — BestEffort sources holding
+    /// their last granted rate under advertised overload pressure instead
+    /// of renegotiating.
+    pub brownout_vcs: u64,
     /// Mean end-system buffer loss fraction across VCs.
     pub mean_source_loss: f64,
     /// Worst end-system buffer loss fraction across VCs.

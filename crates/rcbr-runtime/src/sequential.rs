@@ -13,12 +13,14 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
-use rcbr_net::{FaultPlane, Switch};
+use rcbr_net::{FaultPlane, ShedKey, SignalingQueue, Switch};
 
 use crate::admission::{reduce_admission, SwitchAdmission};
 use crate::audit::{audit_shard, finalize, reduce_source_loss, VcFinal};
 use crate::config::RuntimeConfig;
-use crate::core::{advance_job, CompletionSink, Counters, FaultCtx, Job, JobKind, VciSlot};
+use crate::core::{
+    advance_job, shed_job, CompletionSink, Counters, FaultCtx, Job, JobKind, VciSlot,
+};
 use crate::gen::VcRunner;
 use crate::report::{
     latency_histogram, summarize_latency, RunReport, ShardReport, VcOutcome, WallTimer,
@@ -56,6 +58,13 @@ pub fn run_sequential(cfg: &RuntimeConfig) -> RunReport {
     let mut admission: Vec<SwitchAdmission> =
         switches.iter().map(|_| SwitchAdmission::new(cfg)).collect();
     let measuring = cfg.admission.measures();
+    // Per-switch bounded signaling queues — the replay twin of the
+    // engine's (budget 0 = unbounded, the legacy behavior).
+    let budget = cfg.signaling_budget_per_round;
+    let mut queues: Vec<SignalingQueue> = switches
+        .iter()
+        .map(|_| SignalingQueue::new(budget))
+        .collect();
     let mut runners: Vec<VcRunner> = (0..cfg.num_vcs as u32)
         .map(|v| VcRunner::new(cfg, v))
         .collect();
@@ -97,13 +106,20 @@ pub fn run_sequential(cfg: &RuntimeConfig) -> RunReport {
                 sa.roll(cfg, superstep, sw);
             }
         }
+        // Pressure accounting — identical to the engine's round-top count.
+        if budget > 0 {
+            for q in &queues {
+                if q.under_pressure(superstep) {
+                    counters.pressure_rounds.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
         for runner in &mut runners {
-            let outcome = vci_states[runner.vci() as usize]
-                .lock()
-                .expect("vci lock")
-                .outcome
-                .take();
-            runner.begin_round(cfg, &topo, &plane, outcome, superstep, &counters);
+            let (outcome, pressured) = {
+                let mut slot = vci_states[runner.vci() as usize].lock().expect("vci lock");
+                (slot.outcome.take(), std::mem::take(&mut slot.pressure))
+            };
+            runner.begin_round(cfg, &topo, &plane, outcome, pressured, superstep, &counters);
             believed[runner.vci() as usize]
                 .store(runner.believed_rate().to_bits(), Ordering::Relaxed);
             *routes[runner.vci() as usize].lock().expect("route lock") = runner.audit_route();
@@ -166,6 +182,38 @@ pub fn run_sequential(cfg: &RuntimeConfig) -> RunReport {
                 }
             }
             wave.sort_unstable_by_key(|j| (j.seq, j.salt));
+            // Signaling-queue admission — the replay twin of the engine's
+            // per-superstep shed plan (same meeting sets, same pure
+            // ordering, so the identical cells are shed).
+            let mut shed_plans: Vec<Vec<(u64, u8)>> = Vec::new();
+            if budget > 0 {
+                let mut candidates: Vec<Vec<ShedKey>> =
+                    switches.iter().map(|_| Vec::new()).collect();
+                for job in &wave {
+                    let h = job.route.hop(job.hop);
+                    if plane.stalled(h, superstep) {
+                        continue;
+                    }
+                    if matches!(job.kind, JobKind::Delta(_) | JobKind::Resync { .. }) {
+                        candidates[h].push(ShedKey {
+                            class: job.class,
+                            seq: job.seq,
+                            salt: job.salt,
+                        });
+                    }
+                }
+                shed_plans = candidates
+                    .into_iter()
+                    .enumerate()
+                    .map(|(h, keys)| {
+                        queues[h]
+                            .admit_superstep(keys, superstep, cfg.pressure_hold_supersteps)
+                            .into_iter()
+                            .map(|k| (k.seq, k.salt))
+                            .collect()
+                    })
+                    .collect();
+            }
             let fx = FaultCtx {
                 plane: &plane,
                 superstep,
@@ -182,6 +230,13 @@ pub fn run_sequential(cfg: &RuntimeConfig) -> RunReport {
                     continue;
                 }
                 processed += 1;
+                if budget > 0
+                    && matches!(job.kind, JobKind::Delta(_) | JobKind::Resync { .. })
+                    && shed_plans[h].binary_search(&(job.seq, job.salt)).is_ok()
+                {
+                    shed_job(&job, cfg, &counters, &vci_states, &mut sink);
+                    continue;
+                }
                 let (forward, hold) = advance_job(
                     job,
                     &mut switches[h],
@@ -196,6 +251,7 @@ pub fn run_sequential(cfg: &RuntimeConfig) -> RunReport {
                     } else {
                         None
                     },
+                    budget > 0 && queues[h].under_pressure(superstep),
                 );
                 if let Some(nj) = forward {
                     next_wave.push(nj);
@@ -232,12 +288,14 @@ pub fn run_sequential(cfg: &RuntimeConfig) -> RunReport {
             loss: runner.loss_fraction(),
             route: runner.final_route(),
             unsettled,
+            brownout: runner.in_brownout(),
         });
     }
 
     let audit = finalize(cfg, &plane, &mut switches, &mut finals, superstep);
     let degraded_vcs = finals.iter().filter(|f| f.degraded).count() as u64;
     let unsettled_vcs = finals.iter().filter(|f| f.unsettled).count() as u64;
+    let brownout_vcs = finals.iter().filter(|f| f.brownout).count() as u64;
     let (mean_source_loss, max_source_loss) = reduce_source_loss(&finals, cfg.num_vcs);
     let vcs = finals
         .iter()
@@ -272,6 +330,7 @@ pub fn run_sequential(cfg: &RuntimeConfig) -> RunReport {
         admission,
         degraded_vcs,
         unsettled_vcs,
+        brownout_vcs,
         mean_source_loss,
         max_source_loss,
         vcs,

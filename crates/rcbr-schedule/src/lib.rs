@@ -36,7 +36,7 @@ pub use cost::CostModel;
 pub use driver::VcDriver;
 pub use grid::RateGrid;
 pub use online::{Ar1Config, Ar1Policy, GopAwareConfig, GopAwarePolicy, OnlinePolicy};
-pub use retry::{RetryBudget, RetryPolicy};
+pub use retry::{RetryBudget, RetryPolicy, ShedAccount};
 pub use schedule::{Schedule, ScheduleMetrics};
 pub use smoothing::{min_peak_rate_bound, optimal_smoothing};
 pub use trellis::{OfflineOptimizer, TrellisConfig, TrellisError, TrellisStats};

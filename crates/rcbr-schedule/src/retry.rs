@@ -72,6 +72,66 @@ impl RetryPolicy {
         };
         base + jitter
     }
+
+    /// Backoff before retrying a request the network *shed* (an over-budget
+    /// signaling queue refused the cell), supersteps. Same exponential
+    /// widening and jitter bounds as [`backoff`](Self::backoff), but drawn
+    /// from a decorrelated jitter stream: a shed is the network asking the
+    /// whole population for patience, so shed retries must not land on the
+    /// same supersteps as failure retries — that would re-synchronize the
+    /// very storm the shedding is dissipating.
+    pub fn shed_backoff(&self, vci: u32, sheds: u32) -> u64 {
+        assert!(sheds >= 1, "shed backoff is only defined after a shed");
+        let exp = (sheds - 1).min(16);
+        let base = self.backoff_base.saturating_mul(1u64 << exp);
+        let jitter = if self.backoff_jitter == 0 {
+            0
+        } else {
+            mix(self.seed ^ 0x5348_4544 ^ ((vci as u64) << 32) ^ sheds as u64) // "SHED"
+                % (self.backoff_jitter + 1)
+        };
+        base + jitter
+    }
+}
+
+/// Shed accounting for one request, parallel to — and deliberately
+/// separate from — [`RetryBudget`]: a shed is the network asking for
+/// patience, not a verdict on the request, so sheds must never draw down
+/// the failure budget that decides degradation. Consecutive sheds draw
+/// this account instead; any successful renegotiation refills it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShedAccount {
+    cap: u32,
+    sheds: u32,
+}
+
+impl ShedAccount {
+    /// A full account allowing `cap` shed-retries after the first shed.
+    pub fn new(cap: u32) -> Self {
+        Self { cap, sheds: 0 }
+    }
+
+    /// Record a shed; returns the consecutive-shed count.
+    pub fn on_shed(&mut self) -> u32 {
+        self.sheds += 1;
+        self.sheds
+    }
+
+    /// A renegotiation succeeded: refill the account.
+    pub fn on_success(&mut self) {
+        self.sheds = 0;
+    }
+
+    /// Consecutive sheds since the last success.
+    pub fn sheds(&self) -> u32 {
+        self.sheds
+    }
+
+    /// Whether consecutive sheds exhaust the account (the source gives up
+    /// on this request and keeps its granted rate).
+    pub fn exhausted(&self) -> bool {
+        self.sheds > self.cap
+    }
 }
 
 /// Stateful failure accounting for a long-lived recovery process (e.g.
@@ -182,6 +242,58 @@ mod tests {
         let p = policy();
         let b = p.backoff(0, u32::MAX);
         assert!(b >= p.backoff_base * (1 << 16));
+    }
+
+    #[test]
+    fn shed_backoff_widens_and_decorrelates_from_failure_backoff() {
+        let p = policy();
+        for sheds in 1..=6u32 {
+            let a = p.shed_backoff(7, sheds);
+            assert_eq!(a, p.shed_backoff(7, sheds), "must be deterministic");
+            let base = p.backoff_base * (1 << (sheds - 1));
+            assert!(
+                (base..=base + p.backoff_jitter).contains(&a),
+                "shed backoff {a} outside [{base}, {}]",
+                base + p.backoff_jitter
+            );
+        }
+        // The two jitter streams must actually differ somewhere, or shed
+        // retries re-synchronize with failure retries.
+        assert!(
+            (0..64u32).any(|vci| p.shed_backoff(vci, 1) != p.backoff(vci, 1)),
+            "shed jitter stream must be decorrelated from failure jitter"
+        );
+    }
+
+    #[test]
+    fn sheds_do_not_touch_the_denial_budget() {
+        // Satellite: a request that is shed (then eventually succeeds)
+        // must leave the failure budget exactly where it was — sheds have
+        // their own account.
+        let mut denials = RetryBudget::new(2);
+        let mut sheds = ShedAccount::new(2);
+        denials.on_failure();
+        let failures_before = denials.failures();
+        assert_eq!(sheds.on_shed(), 1);
+        assert_eq!(sheds.on_shed(), 2);
+        assert!(!sheds.exhausted());
+        assert_eq!(
+            denials.failures(),
+            failures_before,
+            "sheds must not consume the denial budget"
+        );
+        // Shed-then-success refills the shed account; the denial account
+        // is refilled by the same success, as before.
+        sheds.on_success();
+        denials.on_success();
+        assert_eq!(sheds.sheds(), 0);
+        assert_eq!(denials.failures(), 0);
+        // And the shed account exhausts independently.
+        let mut s = ShedAccount::new(1);
+        s.on_shed();
+        assert!(!s.exhausted());
+        s.on_shed();
+        assert!(s.exhausted(), "2 consecutive sheds exceed cap 1");
     }
 
     #[test]
